@@ -1,0 +1,301 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! harness [--scale quick|full] [--budget CONFLICTS] [--seed N] [--out DIR] <experiment>
+//!
+//! experiments:
+//!   table1     accumulated both-solved time, Sat/Unsat/All × SC/TSO/PSO
+//!   table2     decisions/propagations/conflicts ratios
+//!   table3     baseline vs ZPRE⁻ vs ZPRE summary
+//!   fig6 fig7 fig8      per-task scatter (SC, TSO, PSO)
+//!   fig9 fig10 fig11    per-subcategory totals (SC, TSO, PSO)
+//!   ablation   heuristic stack + polarity + propagation ablations
+//!   validate   verdict consistency against generator ground truth
+//!   all        everything above
+//! ```
+//!
+//! Raw measurements are written as CSV/JSON under `--out`
+//! (default `target/experiments`).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use zpre::Strategy;
+use zpre_bench::{
+    ablation, ascii, fig_scatter, fig_subcats, mismatches, run_suite, table1, table2, table3,
+    to_csv, RunConfig, TaskResult,
+};
+use zpre_prog::MemoryModel;
+use zpre_workloads::{suite, Scale};
+
+const MMS: [&str; 3] = ["sc", "tso", "pso"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut budget: u64 = 200_000;
+    let mut seed: u64 = 0xC0FFEE;
+    let mut out_dir = PathBuf::from("target/experiments");
+    let mut experiments: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args[i].as_str() {
+                    "quick" => Scale::Quick,
+                    "full" => Scale::Full,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--budget" => {
+                i += 1;
+                budget = args[i].parse().expect("numeric --budget");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("numeric --seed");
+            }
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(&args[i]);
+            }
+            exp => experiments.push(exp.to_string()),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        eprintln!("usage: harness [--scale quick|full] [--budget N] [--seed N] [--out DIR] <experiment>...");
+        eprintln!("experiments: table1 table2 table3 fig6..fig11 ablation validate all");
+        std::process::exit(2);
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "validate", "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let cfg = RunConfig { scale, max_conflicts: budget, seed, ..RunConfig::default() };
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    // Which strategies are needed?
+    let needs_ablation = experiments.iter().any(|e| e == "ablation");
+    let needs_minus = needs_ablation || experiments.iter().any(|e| e == "table3");
+    let mut strategies = vec![Strategy::Baseline, Strategy::Zpre];
+    if needs_minus {
+        strategies.push(Strategy::ZpreMinus);
+    }
+    if needs_ablation {
+        strategies.extend([
+            Strategy::ZpreH2,
+            Strategy::ZpreH3,
+            Strategy::ZpreFixedTrue,
+            Strategy::ZpreNoReverseProp,
+            Strategy::BranchCond,
+        ]);
+    }
+
+    let tasks = suite(scale);
+    eprintln!(
+        "running {} tasks x 3 memory models x {} strategies (budget {} conflicts)...",
+        tasks.len(),
+        strategies.len(),
+        budget
+    );
+    let t0 = std::time::Instant::now();
+    let results = run_suite(&tasks, &MemoryModel::ALL, &strategies, &cfg);
+    eprintln!("suite finished in {:.1}s", t0.elapsed().as_secs_f64());
+
+    // Persist raw data.
+    std::fs::write(out_dir.join("raw.csv"), to_csv(&results)).expect("write raw.csv");
+    std::fs::write(
+        out_dir.join("raw.json"),
+        serde_json::to_string_pretty(&results).expect("serialize"),
+    )
+    .expect("write raw.json");
+
+    for exp in &experiments {
+        println!("\n================ {exp} ================");
+        match exp.as_str() {
+            "validate" => print_validate(&results),
+            "table1" => print_table1(&results),
+            "table2" => print_table2(&results),
+            "table3" => print_table3(&results),
+            "fig6" => print_fig_scatter(&results, "sc", "Figure 6: ZPRE vs baseline in SC", &out_dir),
+            "fig7" => print_fig_scatter(&results, "tso", "Figure 7: ZPRE vs baseline in TSO", &out_dir),
+            "fig8" => print_fig_scatter(&results, "pso", "Figure 8: ZPRE vs baseline in PSO", &out_dir),
+            "fig9" => print_fig_subcats(&results, "sc", "Figure 9: subcategory time in SC"),
+            "fig10" => print_fig_subcats(&results, "tso", "Figure 10: subcategory time in TSO"),
+            "fig11" => print_fig_subcats(&results, "pso", "Figure 11: subcategory time in PSO"),
+            "ablation" => print_ablation(&results),
+            "probe" => print_probe(&results),
+            other => eprintln!("unknown experiment {other:?}"),
+        }
+    }
+}
+
+/// Slowest tasks by baseline time, with the ZPRE comparison.
+fn print_probe(results: &[TaskResult]) {
+    let mut rows: Vec<&TaskResult> = results.iter().filter(|r| r.strategy == "baseline").collect();
+    rows.sort_by(|a, b| b.solve_ms.partial_cmp(&a.solve_ms).unwrap());
+    println!(
+        "{:<34} {:>4} {:>10} {:>10} {:>8} {:>9}",
+        "task", "mm", "base(ms)", "zpre(ms)", "verdict", "conflicts"
+    );
+    for r in rows.iter().take(40) {
+        let z = results
+            .iter()
+            .find(|x| x.task == r.task && x.mm == r.mm && x.strategy == "zpre");
+        println!(
+            "{:<34} {:>4} {:>10.1} {:>10.1} {:>8} {:>9}",
+            r.task,
+            r.mm,
+            r.solve_ms,
+            z.map_or(f64::NAN, |x| x.solve_ms),
+            r.verdict,
+            r.conflicts
+        );
+    }
+}
+
+fn print_validate(results: &[TaskResult]) {
+    let bad = mismatches(results);
+    let mut counts: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    for r in results {
+        *counts.entry((r.mm.as_str(), r.verdict.as_str())).or_default() += 1;
+    }
+    println!("verdict counts per memory model:");
+    for ((mm, verdict), n) in &counts {
+        println!("  {mm:>4} {verdict:>8}: {n}");
+    }
+    if bad.is_empty() {
+        println!("ground-truth check: all verdicts consistent");
+    } else {
+        println!("ground-truth check: {} MISMATCHES:", bad.len());
+        for r in bad {
+            println!("  {} {} {} -> {}", r.task, r.mm, r.strategy, r.verdict);
+        }
+    }
+}
+
+fn print_table1(results: &[TaskResult]) {
+    println!("Table 1. Overall results: baseline vs ZPRE (both-solved accumulated time)");
+    println!(
+        "{:<5} {:>22} {:>22} {:>22}",
+        "MM", "Sat (base/zpre, x)", "Unsat (base/zpre, x)", "All (base/zpre, x)"
+    );
+    for row in table1(results, &MMS) {
+        let (s, u, a) = row.speedups();
+        println!(
+            "{:<5} {:>9.2}/{:<6.2} {:>4.2}x {:>9.2}/{:<6.2} {:>4.2}x {:>9.2}/{:<6.2} {:>4.2}x",
+            row.mm.to_uppercase(),
+            row.sat_base_s,
+            row.sat_zpre_s,
+            s,
+            row.unsat_base_s,
+            row.unsat_zpre_s,
+            u,
+            row.all_base_s,
+            row.all_zpre_s,
+            a
+        );
+    }
+}
+
+fn print_table2(results: &[TaskResult]) {
+    println!("Table 2. Decisions / propagations / conflicts: baseline vs ZPRE");
+    println!(
+        "{:<5} {:>26} {:>26} {:>26}",
+        "MM", "Decisions (b/z, x)", "Propagations (b/z, x)", "Conflicts (b/z, x)"
+    );
+    for row in table2(results, &MMS) {
+        let (d, p, c) = row.ratios();
+        println!(
+            "{:<5} {:>10}/{:<10} {:>4.2}x {:>10}/{:<10} {:>4.2}x {:>9}/{:<9} {:>4.2}x",
+            row.mm.to_uppercase(),
+            row.decisions_base,
+            row.decisions_zpre,
+            d,
+            row.propagations_base,
+            row.propagations_zpre,
+            p,
+            row.conflicts_base,
+            row.conflicts_zpre,
+            c
+        );
+    }
+}
+
+fn print_table3(results: &[TaskResult]) {
+    println!("Table 3. Summary: baseline vs ZPRE- vs ZPRE");
+    println!(
+        "{:<5} {:>6} {:>7} {:>6} {:>6} | {:>20} | {:>22} | {:>22}",
+        "MM", "files", "solved", "true", "false", "baseline TO/s", "zpre- TO/s/x", "zpre TO/s/x"
+    );
+    for row in table3(results, &MMS) {
+        let s = &row.strategies;
+        println!(
+            "{:<5} {:>6} {:>7} {:>6} {:>6} | {:>8} {:>10.2}s | {:>4} {:>8.2}s {:>5.2}x | {:>4} {:>8.2}s {:>5.2}x",
+            row.mm.to_uppercase(),
+            row.files,
+            row.both_solved,
+            row.true_count,
+            row.false_count,
+            s[0].timeouts,
+            s[0].cpu_s,
+            s[1].timeouts,
+            s[1].cpu_s,
+            s[1].speedup,
+            s[2].timeouts,
+            s[2].cpu_s,
+            s[2].speedup,
+        );
+    }
+}
+
+fn print_fig_scatter(results: &[TaskResult], mm: &str, title: &str, out_dir: &std::path::Path) {
+    let pts = fig_scatter(results, mm);
+    let csv_name = format!("fig_scatter_{mm}.csv");
+    let mut csv = String::from("task,baseline_ms,zpre_ms\n");
+    for (t, b, z) in &pts {
+        csv.push_str(&format!("{t},{b:.3},{z:.3}\n"));
+    }
+    std::fs::write(out_dir.join(&csv_name), csv).expect("write scatter csv");
+    println!("{}", ascii::scatter(&pts, title));
+    println!("(raw data: {csv_name})");
+}
+
+fn print_fig_subcats(results: &[TaskResult], mm: &str, title: &str) {
+    let rows = fig_subcats(results, mm);
+    println!("{}", ascii::subcat_bars(&rows, title));
+}
+
+fn print_ablation(results: &[TaskResult]) {
+    let strategies = [
+        "baseline",
+        "branch-cond",
+        "zpre-",
+        "zpre-h2",
+        "zpre-h3",
+        "zpre",
+        "zpre-fixed-true",
+        "zpre-no-revprop",
+    ];
+    for mm in MMS {
+        println!("Ablation under {}:", mm.to_uppercase());
+        println!(
+            "{:<18} {:>12} {:>5} {:>7}",
+            "strategy", "common(s)", "TO", "solved"
+        );
+        for (s, total, to, solved) in ablation(results, mm, &strategies) {
+            println!("{s:<18} {total:>12.3} {to:>5} {solved:>7}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,16 @@
+//! # zpre-bench — experiment runner and aggregation
+//!
+//! Runs the workload suite through the verifier under every (memory model,
+//! strategy) combination and aggregates the measurements into the paper's
+//! tables and figures. The `harness` binary (`src/bin/harness.rs`)
+//! regenerates each table/figure; the Criterion benches under `benches/`
+//! provide statistically sampled timings on representative subsets.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod ascii;
+pub mod runner;
+
+pub use aggregate::*;
+pub use runner::{run_one, run_suite, to_csv, RunConfig, TaskResult};

@@ -1,0 +1,207 @@
+//! Parallel execution of the benchmark suite.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use zpre::{verify, Strategy, Verdict, VerifyOptions};
+use zpre_prog::MemoryModel;
+use zpre_workloads::{Scale, Subcat, Task};
+
+/// Configuration of one experiment run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Suite scale.
+    pub scale: Scale,
+    /// Deterministic conflict cap standing in for the paper's 1800 s
+    /// per-task timeout (reported as `TO`).
+    pub max_conflicts: u64,
+    /// Optional wall-clock cap per task.
+    pub timeout: Option<Duration>,
+    /// Seed for random decision polarities.
+    pub seed: u64,
+    /// Validate extracted counterexample executions.
+    pub validate: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            scale: Scale::Full,
+            max_conflicts: 200_000,
+            timeout: None,
+            seed: 0xC0FFEE,
+            validate: true,
+        }
+    }
+}
+
+/// One measurement: a task solved under one memory model with one strategy.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskResult {
+    /// Task name.
+    pub task: String,
+    /// Subcategory name.
+    pub subcat: String,
+    /// Memory-model name.
+    pub mm: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Verdict: "safe" / "unsafe" / "unknown".
+    pub verdict: String,
+    /// Solve time in milliseconds (excluding encoding).
+    pub solve_ms: f64,
+    /// Encoding time in milliseconds.
+    pub encode_ms: f64,
+    /// Decisions.
+    pub decisions: u64,
+    /// Propagations.
+    pub propagations: u64,
+    /// Conflicts.
+    pub conflicts: u64,
+    /// Decisions answered by the interference guide.
+    pub guided_decisions: u64,
+    /// `true` when the verdict matches the generator's ground truth (or the
+    /// ground truth is unknown / the verdict is unknown).
+    pub expected_ok: bool,
+}
+
+impl TaskResult {
+    /// Parsed verdict.
+    pub fn verdict_enum(&self) -> Verdict {
+        match self.verdict.as_str() {
+            "safe" => Verdict::Safe,
+            "unsafe" => Verdict::Unsafe,
+            _ => Verdict::Unknown,
+        }
+    }
+
+    /// `true` when the task was solved within budget.
+    pub fn solved(&self) -> bool {
+        self.verdict != "unknown"
+    }
+}
+
+/// Runs `tasks × mms × strategies` in parallel and returns all results.
+pub fn run_suite(
+    tasks: &[Task],
+    mms: &[MemoryModel],
+    strategies: &[Strategy],
+    cfg: &RunConfig,
+) -> Vec<TaskResult> {
+    let mut jobs: Vec<(&Task, MemoryModel, Strategy)> = Vec::new();
+    for t in tasks {
+        for &mm in mms {
+            for &st in strategies {
+                jobs.push((t, mm, st));
+            }
+        }
+    }
+    jobs.par_iter()
+        .map(|&(task, mm, strategy)| run_one(task, mm, strategy, cfg))
+        .collect()
+}
+
+/// Runs a single (task, memory model, strategy) measurement.
+pub fn run_one(task: &Task, mm: MemoryModel, strategy: Strategy, cfg: &RunConfig) -> TaskResult {
+    let opts = VerifyOptions {
+        mm,
+        strategy,
+        unroll_bound: task.unroll_bound,
+        max_conflicts: Some(cfg.max_conflicts),
+        timeout: cfg.timeout,
+        seed: cfg.seed,
+        validate_models: cfg.validate,
+        want_trace: false,
+    };
+    let out = verify(&task.program, &opts);
+    let verdict = match out.verdict {
+        Verdict::Safe => "safe",
+        Verdict::Unsafe => "unsafe",
+        Verdict::Unknown => "unknown",
+    };
+    TaskResult {
+        task: task.name.clone(),
+        subcat: task.subcat.name().to_string(),
+        mm: mm.name().to_string(),
+        strategy: strategy.name().to_string(),
+        verdict: verdict.to_string(),
+        solve_ms: out.solve_time.as_secs_f64() * 1e3,
+        encode_ms: out.encode_time.as_secs_f64() * 1e3,
+        decisions: out.stats.decisions,
+        propagations: out.stats.propagations,
+        conflicts: out.stats.conflicts,
+        guided_decisions: out.stats.guided_decisions,
+        expected_ok: task.expected.matches(mm, out.verdict),
+    }
+}
+
+/// Serializes results as CSV.
+pub fn to_csv(results: &[TaskResult]) -> String {
+    let mut out = String::from(
+        "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.3},{:.3},{},{},{},{},{}\n",
+            r.task,
+            r.subcat,
+            r.mm,
+            r.strategy,
+            r.verdict,
+            r.solve_ms,
+            r.encode_ms,
+            r.decisions,
+            r.propagations,
+            r.conflicts,
+            r.guided_decisions,
+            r.expected_ok
+        ));
+    }
+    out
+}
+
+/// Helper: the subcategory display order used by the figures.
+pub fn subcat_order() -> Vec<&'static str> {
+    Subcat::ALL.iter().map(|s| s.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zpre_workloads::suite;
+
+    #[test]
+    fn quick_run_produces_consistent_results() {
+        let tasks: Vec<Task> = suite(Scale::Quick).into_iter().take(4).collect();
+        let cfg = RunConfig { scale: Scale::Quick, ..RunConfig::default() };
+        let results = run_suite(
+            &tasks,
+            &[MemoryModel::Sc],
+            &[Strategy::Baseline, Strategy::Zpre],
+            &cfg,
+        );
+        assert_eq!(results.len(), tasks.len() * 2);
+        for r in &results {
+            assert!(r.expected_ok, "{} {} {} got {}", r.task, r.mm, r.strategy, r.verdict);
+        }
+        // Baseline and ZPRE agree on every verdict.
+        for t in &tasks {
+            let v: Vec<&str> = results
+                .iter()
+                .filter(|r| r.task == t.name)
+                .map(|r| r.verdict.as_str())
+                .collect();
+            assert_eq!(v[0], v[1], "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let tasks: Vec<Task> = suite(Scale::Quick).into_iter().take(1).collect();
+        let cfg = RunConfig::default();
+        let results = run_suite(&tasks, &[MemoryModel::Sc], &[Strategy::Zpre], &cfg);
+        let csv = to_csv(&results);
+        assert_eq!(csv.lines().count(), results.len() + 1);
+        assert!(csv.starts_with("task,"));
+    }
+}

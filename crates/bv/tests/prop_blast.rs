@@ -1,0 +1,175 @@
+//! Property tests: random bit-vector expression DAGs, blasted to CNF with
+//! forced inputs, must agree with the reference `eval` semantics.
+
+use proptest::prelude::*;
+use zpre_bv::{lits_to_u64, Blaster, TermId, TermStore, Value};
+use zpre_sat::{SolveResult, Solver};
+
+/// A random expression tree over two variables `a`, `b`.
+#[derive(Clone, Debug)]
+enum Expr {
+    A,
+    B,
+    Const(u64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Neg(Box<Expr>),
+    Shl(Box<Expr>, u32),
+    Shr(Box<Expr>, u32),
+    IteUlt(Box<Expr>, Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::A),
+        Just(Expr::B),
+        (0..16u64).prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(a.into(), b.into())),
+            inner.clone().prop_map(|a| Expr::Not(a.into())),
+            inner.clone().prop_map(|a| Expr::Neg(a.into())),
+            (inner.clone(), 0..4u32).prop_map(|(a, by)| Expr::Shl(a.into(), by)),
+            (inner.clone(), 0..4u32).prop_map(|(a, by)| Expr::Shr(a.into(), by)),
+            (inner.clone(), inner.clone(), inner.clone(), inner)
+                .prop_map(|(c1, c2, t, e)| Expr::IteUlt(c1.into(), c2.into(), t.into(), e.into())),
+        ]
+    })
+}
+
+fn build(ts: &mut TermStore, e: &Expr, w: u32) -> TermId {
+    match e {
+        Expr::A => ts.bv_var("a", w),
+        Expr::B => ts.bv_var("b", w),
+        Expr::Const(v) => ts.bv_const(*v, w),
+        Expr::Add(a, b) => {
+            let (x, y) = (build(ts, a, w), build(ts, b, w));
+            ts.bv_add(x, y)
+        }
+        Expr::Sub(a, b) => {
+            let (x, y) = (build(ts, a, w), build(ts, b, w));
+            ts.bv_sub(x, y)
+        }
+        Expr::Mul(a, b) => {
+            let (x, y) = (build(ts, a, w), build(ts, b, w));
+            ts.bv_mul(x, y)
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (build(ts, a, w), build(ts, b, w));
+            ts.bv_and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (build(ts, a, w), build(ts, b, w));
+            ts.bv_or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let (x, y) = (build(ts, a, w), build(ts, b, w));
+            ts.bv_xor(x, y)
+        }
+        Expr::Not(a) => {
+            let x = build(ts, a, w);
+            ts.bv_not(x)
+        }
+        Expr::Neg(a) => {
+            let x = build(ts, a, w);
+            ts.bv_neg(x)
+        }
+        Expr::Shl(a, by) => {
+            let x = build(ts, a, w);
+            ts.bv_shl_const(x, by % w)
+        }
+        Expr::Shr(a, by) => {
+            let x = build(ts, a, w);
+            ts.bv_lshr_const(x, by % w)
+        }
+        Expr::IteUlt(c1, c2, t, e2) => {
+            let (x, y) = (build(ts, c1, w), build(ts, c2, w));
+            let cond = ts.ult(x, y);
+            let (tt, ee) = (build(ts, t, w), build(ts, e2, w));
+            ts.bv_ite(cond, tt, ee)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn circuit_matches_reference_semantics(
+        e in arb_expr(),
+        a_val in 0u64..16,
+        b_val in 0u64..16,
+    ) {
+        const W: u32 = 4;
+        let mut ts = TermStore::new();
+        let out = build(&mut ts, &e, W);
+
+        let mut solver = Solver::new();
+        let mut bl = Blaster::new();
+        let out_bits = bl.blast_bv(&ts, out, &mut solver);
+        for (name, val) in [("a", a_val), ("b", b_val)] {
+            if let Some(bits) = bl.bv_inputs.get(name).cloned() {
+                for (i, &bit) in bits.iter().enumerate() {
+                    let want = (val >> i) & 1 == 1;
+                    solver.add_clause(&[if want { bit } else { !bit }]);
+                }
+            }
+        }
+        prop_assert_eq!(solver.solve(), SolveResult::Sat);
+        let got = lits_to_u64(&out_bits, |l| solver.model_value(l).is_true());
+        let vars = move |n: &str| -> u64 {
+            if n == "a" { a_val } else { b_val }
+        };
+        let expected = match ts.eval(out, &vars, &|_| unreachable!()) {
+            Value::Bv(n) => n,
+            Value::Bool(_) => unreachable!(),
+        };
+        prop_assert_eq!(got, expected, "expr {:?} a={} b={}", e, a_val, b_val);
+    }
+
+    /// Comparison predicates agree with u64 semantics when solved forward.
+    #[test]
+    fn predicates_match_reference(
+        a_val in 0u64..16,
+        b_val in 0u64..16,
+        which in 0usize..5,
+    ) {
+        const W: u32 = 4;
+        let mut ts = TermStore::new();
+        let a = ts.bv_var("a", W);
+        let b = ts.bv_var("b", W);
+        let pred = match which {
+            0 => ts.eq(a, b),
+            1 => ts.ult(a, b),
+            2 => ts.ule(a, b),
+            3 => ts.slt(a, b),
+            _ => ts.sle(a, b),
+        };
+        let mut solver = Solver::new();
+        let mut bl = Blaster::new();
+        let lit = bl.blast_bool(&ts, pred, &mut solver);
+        for (name, val) in [("a", a_val), ("b", b_val)] {
+            for (i, &bit) in bl.bv_inputs[name].clone().iter().enumerate() {
+                let want = (val >> i) & 1 == 1;
+                solver.add_clause(&[if want { bit } else { !bit }]);
+            }
+        }
+        prop_assert_eq!(solver.solve(), SolveResult::Sat);
+        let got = solver.model_value(lit).is_true();
+        let expected = ts
+            .eval(pred, &move |n| if n == "a" { a_val } else { b_val }, &|_| unreachable!())
+            .as_bool();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,291 @@
+//! `zpre-cli` — verify concurrent programs from `.zc` files.
+//!
+//! ```text
+//! zpre-cli verify FILE [--mm sc|tso|pso|all] [--strategy NAME] [--unroll N]
+//!                      [--bmc MAXBOUND] [--budget CONFLICTS] [--seed N] [--stats] [--trace]
+//! zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]
+//! zpre-cli dump   FILE [--mm sc|tso|pso] [--unroll N]
+//! zpre-cli pretty FILE
+//! ```
+//!
+//! `verify` runs the interference-guided SMT pipeline; `oracle` runs the
+//! explicit-state reference checker (exhaustive, for small programs);
+//! `dump` emits the verification condition as SMT-LIB 2;
+//! `pretty` parses and re-prints the program.
+
+use std::process::ExitCode;
+use zpre::{verify, verify_bmc, Strategy, Verdict, VerifyOptions};
+use zpre_prog::interp::{check_sc, Limits, Outcome};
+use zpre_prog::wmm::check_wmm;
+use zpre_prog::{flatten, parse_program, pretty, unroll_program, MemoryModel, Program};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  zpre-cli verify FILE [--mm sc|tso|pso|all] [--strategy NAME] \
+         [--unroll N] [--bmc MAXBOUND] [--budget CONFLICTS] [--seed N] [--stats] [--trace]\n  \
+         zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]\n  \
+         zpre-cli dump FILE [--mm sc|tso|pso] [--unroll N]\n  \
+         zpre-cli pretty FILE\n\nstrategies: baseline zpre- zpre zpre-h2 zpre-h3 \
+         zpre-fixed-true zpre-no-revprop branch-cond"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_strategy(name: &str) -> Option<Strategy> {
+    Strategy::ALL.into_iter().find(|s| s.name() == name)
+}
+
+fn parse_mm(name: &str) -> Option<Vec<MemoryModel>> {
+    match name {
+        "sc" => Some(vec![MemoryModel::Sc]),
+        "tso" => Some(vec![MemoryModel::Tso]),
+        "pso" => Some(vec![MemoryModel::Pso]),
+        "all" => Some(MemoryModel::ALL.to_vec()),
+        _ => None,
+    }
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut program = parse_program(&src).map_err(|e| e.to_string())?;
+    program.name = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "program".to_string());
+    program.validate().map_err(|e| e.to_string())?;
+    Ok(program)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "verify" => cmd_verify(&args[1..]),
+        "oracle" => cmd_oracle(&args[1..]),
+        "dump" => cmd_dump(&args[1..]),
+        "pretty" => cmd_pretty(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_pretty(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    match load(path) {
+        Ok(p) => {
+            print!("{}", pretty::pretty_program(&p));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_dump(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let mut mm = MemoryModel::Sc;
+    let mut unroll = 2u32;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mm" => {
+                i += 1;
+                match parse_mm(&args[i]).as_deref() {
+                    Some([m]) => mm = *m,
+                    _ => return usage(),
+                }
+            }
+            "--unroll" => {
+                i += 1;
+                unroll = args[i].parse().unwrap_or(2);
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    match load(path) {
+        Ok(p) => {
+            let ssa = zpre_prog::to_ssa(&unroll_program(&p, unroll));
+            print!("{}", zpre_encoder::dump_smtlib(&ssa, mm));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_oracle(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let mut mms = vec![MemoryModel::Sc];
+    let mut unroll = 2u32;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mm" => {
+                i += 1;
+                match parse_mm(&args[i]) {
+                    Some(m) => mms = m,
+                    None => return usage(),
+                }
+            }
+            "--unroll" => {
+                i += 1;
+                unroll = args[i].parse().unwrap_or(2);
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let program = match load(path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fp = flatten(&unroll_program(&program, unroll));
+    for mm in mms {
+        let outcome = match mm {
+            MemoryModel::Sc => check_sc(&fp, Limits::default()),
+            _ => check_wmm(&fp, mm, Limits::default()),
+        };
+        let text = match outcome {
+            Outcome::Safe => "safe",
+            Outcome::Unsafe => "unsafe",
+            Outcome::ResourceLimit => "resource-limit",
+        };
+        println!("{}: {} ({} oracle, unroll {})", program.name, text, mm.name(), unroll);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let mut mms = vec![MemoryModel::Sc];
+    let mut strategy = Strategy::Zpre;
+    let mut unroll = 2u32;
+    let mut bmc: Option<u32> = None;
+    let mut budget: Option<u64> = None;
+    let mut seed = 0xC0FFEEu64;
+    let mut show_stats = false;
+    let mut want_trace = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mm" => {
+                i += 1;
+                match parse_mm(&args[i]) {
+                    Some(m) => mms = m,
+                    None => return usage(),
+                }
+            }
+            "--strategy" => {
+                i += 1;
+                match parse_strategy(&args[i]) {
+                    Some(s) => strategy = s,
+                    None => return usage(),
+                }
+            }
+            "--unroll" => {
+                i += 1;
+                unroll = args[i].parse().unwrap_or(2);
+            }
+            "--bmc" => {
+                i += 1;
+                bmc = args[i].parse().ok();
+            }
+            "--budget" => {
+                i += 1;
+                budget = args[i].parse().ok();
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().unwrap_or(seed);
+            }
+            "--stats" => show_stats = true,
+            "--trace" => want_trace = true,
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let program = match load(path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut any_unsafe = false;
+    let mut any_unknown = false;
+    for mm in mms {
+        let opts = VerifyOptions {
+            mm,
+            strategy,
+            unroll_bound: unroll,
+            max_conflicts: budget,
+            timeout: None,
+            seed,
+            validate_models: true,
+            want_trace,
+        };
+        let (verdict, outcome, bound) = if let Some(max_bound) = bmc {
+            let sweep = verify_bmc(&program, max_bound, &opts);
+            let bound = sweep.bound;
+            let (_, last) = sweep.per_bound.into_iter().last().expect("at least one bound");
+            (sweep.verdict, last, Some(bound))
+        } else {
+            let out = verify(&program, &opts);
+            (out.verdict, out, None)
+        };
+        if let Some(trace) = &outcome.trace {
+            print!("{trace}");
+        }
+        let bound_note = bound.map_or(String::new(), |b| format!(" at bound {b}"));
+        println!(
+            "{}: {} under {} with {}{} [{:.2?}]",
+            program.name, verdict, mm, strategy, bound_note, outcome.solve_time
+        );
+        if show_stats {
+            println!(
+                "  events {}  vars {}  (ssa {}, ord {}, rf {}, ws {})",
+                outcome.num_events,
+                outcome.num_solver_vars,
+                outcome.class_counts.ssa,
+                outcome.class_counts.ord,
+                outcome.class_counts.rf,
+                outcome.class_counts.ws
+            );
+            println!(
+                "  decisions {} (guided {})  propagations {}  conflicts {}  restarts {}",
+                outcome.stats.decisions,
+                outcome.stats.guided_decisions,
+                outcome.stats.propagations,
+                outcome.stats.conflicts,
+                outcome.stats.restarts
+            );
+        }
+        any_unsafe |= verdict == Verdict::Unsafe;
+        any_unknown |= verdict == Verdict::Unknown;
+    }
+    if any_unsafe {
+        ExitCode::FAILURE
+    } else if any_unknown {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

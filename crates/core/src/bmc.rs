@@ -1,0 +1,138 @@
+//! The bounded-model-checking driver loop.
+//!
+//! The paper's experimental setup generates one SMT instance per loop
+//! unrolling bound (1..6) and solves each: if the bound is below the
+//! minimal violating depth `k*` the instance is unsatisfiable, at or above
+//! it the instance is satisfiable. This module packages that loop: iterate
+//! bounds upward until a violation is found or the bound budget is
+//! exhausted.
+
+use crate::verifier::{verify, Verdict, VerifyOptions, VerifyOutcome};
+use zpre_prog::Program;
+
+/// Result of a BMC sweep.
+#[derive(Debug)]
+pub struct BmcOutcome {
+    /// Overall verdict: `Unsafe` as soon as some bound is satisfiable,
+    /// `Safe` if every bound up to the maximum is unsatisfiable
+    /// (i.e. *safe up to the bound*), `Unknown` if a bound's budget ran out.
+    pub verdict: Verdict,
+    /// The bound at which the verdict was established (the paper's `k*`
+    /// for `Unsafe`; the maximal bound for `Safe`).
+    pub bound: u32,
+    /// Per-bound outcomes, in increasing bound order.
+    pub per_bound: Vec<(u32, VerifyOutcome)>,
+}
+
+/// Runs BMC with bounds `1..=max_bound` (skipping redundant re-encodings
+/// for loop-free programs, where every bound yields the same instance —
+/// the deduplication the paper applies to its SMT files).
+pub fn verify_bmc(prog: &Program, max_bound: u32, opts: &VerifyOptions) -> BmcOutcome {
+    let mut per_bound = Vec::new();
+    let loop_free = !prog.has_loops();
+    let mut bound = 1;
+    loop {
+        let o = VerifyOptions { unroll_bound: bound, ..opts.clone() };
+        let out = verify(prog, &o);
+        let verdict = out.verdict;
+        per_bound.push((bound, out));
+        match verdict {
+            Verdict::Unsafe => {
+                return BmcOutcome { verdict: Verdict::Unsafe, bound, per_bound };
+            }
+            Verdict::Unknown => {
+                return BmcOutcome { verdict: Verdict::Unknown, bound, per_bound };
+            }
+            Verdict::Safe => {
+                if loop_free || bound >= max_bound {
+                    return BmcOutcome { verdict: Verdict::Safe, bound, per_bound };
+                }
+                bound += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use zpre_prog::build::*;
+    use zpre_prog::MemoryModel;
+
+    /// A loop must run exactly 3 times before the bug is reachable:
+    /// `k* = 3` in the paper's notation.
+    fn needs_three_iterations() -> zpre_prog::Program {
+        ProgramBuilder::new("kstar3")
+            .shared("x", 0)
+            .main(vec![
+                while_(lt(v("x"), c(3)), vec![assign("x", add(v("x"), c(1)))]),
+                assert_(ne(v("x"), c(3))),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn finds_minimal_violating_bound() {
+        let opts = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        let out = verify_bmc(&needs_three_iterations(), 6, &opts);
+        assert_eq!(out.verdict, Verdict::Unsafe);
+        assert_eq!(out.bound, 3, "k* should be 3");
+        // Bounds 1 and 2 were unsat.
+        assert_eq!(out.per_bound.len(), 3);
+        assert_eq!(out.per_bound[0].1.verdict, Verdict::Safe);
+        assert_eq!(out.per_bound[1].1.verdict, Verdict::Safe);
+    }
+
+    #[test]
+    fn safe_up_to_bound() {
+        let opts = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        let out = verify_bmc(&needs_three_iterations(), 2, &opts);
+        assert_eq!(out.verdict, Verdict::Safe);
+        assert_eq!(out.bound, 2);
+    }
+
+    #[test]
+    fn loop_free_programs_solve_once() {
+        let p = ProgramBuilder::new("loopfree")
+            .shared("x", 0)
+            .main(vec![assign("x", c(1)), assert_(eq(v("x"), c(1)))])
+            .build();
+        let opts = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        let out = verify_bmc(&p, 6, &opts);
+        assert_eq!(out.verdict, Verdict::Safe);
+        assert_eq!(out.per_bound.len(), 1, "no duplicate instances for loop-free programs");
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_the_sweep() {
+        let inc = vec![
+            lock("m"),
+            assign("r", v("cnt")),
+            assign("cnt", add(v("r"), c(1))),
+            unlock("m"),
+        ];
+        let p = ProgramBuilder::new("hard")
+            .shared("cnt", 0)
+            .mutex("m")
+            .thread("w1", inc.clone())
+            .thread("w2", inc.clone())
+            .thread("w3", inc)
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                spawn(3),
+                join(1),
+                join(2),
+                join(3),
+                assert_(eq(v("cnt"), c(3))),
+            ])
+            .build();
+        let opts = VerifyOptions {
+            max_conflicts: Some(1),
+            ..VerifyOptions::new(MemoryModel::Sc, Strategy::Baseline)
+        };
+        let out = verify_bmc(&p, 6, &opts);
+        assert_eq!(out.verdict, Verdict::Unknown);
+    }
+}

@@ -1,0 +1,191 @@
+//! Decision-order generation (§4.1 of the paper).
+//!
+//! The frontend names interference variables in a special fashion
+//! (`rf_<rt>_<ri>_<wt>_<wi>` / `ws_…`) and records their class and
+//! `#write` counts; this module turns that metadata into the *decision
+//! order* — a priority list consumed by the enhanced `decide()` (a
+//! [`zpre_sat::PriorityListGuide`] consulted before VSIDS):
+//!
+//! - **H1** — interference variables before everything else (implicit: only
+//!   interference variables enter the list; everything else falls through
+//!   to the solver's default heuristics, exactly as in Fig. 5);
+//! - **H2** — read-from variables before write-serialization variables;
+//! - **H3** — external RF (read/write in different threads) before
+//!   internal RF;
+//! - **H4** — among RF variables, larger `#write` first.
+//!
+//! `ZPRE⁻` applies H1 only (interference variables in registration order);
+//! `ZPRE` applies H1–H4.
+
+use std::cmp::Ordering;
+use zpre_sat::Var;
+use zpre_smt::{VarKind, VarRegistry};
+
+/// Which refinements to apply on top of H1.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Refinements {
+    /// H2: RF variables before WS variables.
+    pub rf_before_ws: bool,
+    /// H3: external RF before internal RF.
+    pub external_first: bool,
+    /// H4: RF variables with more candidate writes first.
+    pub more_writes_first: bool,
+}
+
+impl Refinements {
+    /// All refinements on — the full `ZPRE` order.
+    pub fn all() -> Refinements {
+        Refinements { rf_before_ws: true, external_first: true, more_writes_first: true }
+    }
+
+    /// No refinements — the `ZPRE⁻` order (H1 only).
+    pub fn none() -> Refinements {
+        Refinements { rf_before_ws: false, external_first: false, more_writes_first: false }
+    }
+}
+
+/// The paper's `prior_to(v₁, v₂)`: `true` when `v₁` must be decided before
+/// `v₂`. Both must be interference variables.
+pub fn prior_to(k1: VarKind, k2: VarKind, refinements: Refinements) -> bool {
+    debug_assert!(k1.is_interference() && k2.is_interference());
+    match (k1, k2) {
+        // Case 1: RF variables are prior to WS variables.
+        (VarKind::Rf { .. }, VarKind::Ws) => refinements.rf_before_ws,
+        (VarKind::Ws, VarKind::Rf { .. }) => false,
+        // Cases 2–3: among RF variables.
+        (
+            VarKind::Rf { external: e1, writes: n1 },
+            VarKind::Rf { external: e2, writes: n2 },
+        ) => {
+            if refinements.external_first && e1 != e2 {
+                return e1;
+            }
+            if refinements.more_writes_first && n1 != n2 {
+                return n1 > n2;
+            }
+            false
+        }
+        // Case 4 (default): no priority between WS variables.
+        (VarKind::Ws, VarKind::Ws) => false,
+        _ => false,
+    }
+}
+
+/// Builds the decision order: interference variables sorted by
+/// [`prior_to`], stable in registration order (so `Refinements::none()`
+/// yields exactly the `ZPRE⁻` list). Returns raw variable indices for a
+/// [`zpre_sat::PriorityListGuide`].
+pub fn decision_order(registry: &VarRegistry, refinements: Refinements) -> Vec<u32> {
+    let mut vars: Vec<(Var, VarKind)> = registry
+        .interference_vars()
+        .map(|(v, info)| (v, info.kind))
+        .collect();
+    vars.sort_by(|&(va, ka), &(vb, kb)| {
+        if prior_to(ka, kb, refinements) {
+            Ordering::Less
+        } else if prior_to(kb, ka, refinements) {
+            Ordering::Greater
+        } else {
+            va.index().cmp(&vb.index()) // stable, deterministic
+        }
+    });
+    vars.into_iter().map(|(v, _)| v.index() as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zpre_smt::VarRegistry;
+
+    fn rf(external: bool, writes: u32) -> VarKind {
+        VarKind::Rf { external, writes }
+    }
+
+    #[test]
+    fn rf_prior_to_ws() {
+        let r = Refinements::all();
+        assert!(prior_to(rf(true, 1), VarKind::Ws, r));
+        assert!(!prior_to(VarKind::Ws, rf(true, 1), r));
+    }
+
+    #[test]
+    fn external_prior_to_internal() {
+        let r = Refinements::all();
+        assert!(prior_to(rf(true, 1), rf(false, 9), r));
+        assert!(!prior_to(rf(false, 9), rf(true, 1), r));
+    }
+
+    #[test]
+    fn more_writes_first_within_same_locality() {
+        let r = Refinements::all();
+        assert!(prior_to(rf(true, 5), rf(true, 2), r));
+        assert!(!prior_to(rf(true, 2), rf(true, 5), r));
+        assert!(!prior_to(rf(true, 3), rf(true, 3), r));
+    }
+
+    #[test]
+    fn prior_to_is_a_strict_partial_order() {
+        // Irreflexive and asymmetric over a sample of kinds; transitivity
+        // by exhaustive triples.
+        let kinds = [
+            rf(true, 3),
+            rf(true, 1),
+            rf(false, 3),
+            rf(false, 1),
+            VarKind::Ws,
+        ];
+        let r = Refinements::all();
+        for &a in &kinds {
+            assert!(!prior_to(a, a, r), "irreflexive {a:?}");
+            for &b in &kinds {
+                assert!(
+                    !(prior_to(a, b, r) && prior_to(b, a, r)),
+                    "asymmetric {a:?} {b:?}"
+                );
+                for &c in &kinds {
+                    if prior_to(a, b, r) && prior_to(b, c, r) {
+                        assert!(prior_to(a, c, r), "transitive {a:?} {b:?} {c:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_refinements_keeps_registration_order() {
+        let mut reg = VarRegistry::new();
+        reg.register(Var::new(0), VarKind::Ws, "ws_0");
+        reg.register(Var::new(1), rf(true, 2), "rf_1");
+        reg.register(Var::new(2), VarKind::Ssa, "ssa");
+        reg.register(Var::new(3), rf(false, 1), "rf_3");
+        let order = decision_order(&reg, Refinements::none());
+        assert_eq!(order, vec![0, 1, 3]); // interference only, as registered
+    }
+
+    #[test]
+    fn full_order_sorts_by_heuristics() {
+        let mut reg = VarRegistry::new();
+        reg.register(Var::new(0), VarKind::Ws, "ws_a");
+        reg.register(Var::new(1), rf(false, 4), "rf_int");
+        reg.register(Var::new(2), rf(true, 1), "rf_ext_small");
+        reg.register(Var::new(3), rf(true, 7), "rf_ext_big");
+        reg.register(Var::new(4), VarKind::Ssa, "ssa");
+        let order = decision_order(&reg, Refinements::all());
+        // external big, external small, internal, ws.
+        assert_eq!(order, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn h4_only_orders_by_writes_ignoring_locality() {
+        let mut reg = VarRegistry::new();
+        reg.register(Var::new(0), rf(false, 9), "rf_int_big");
+        reg.register(Var::new(1), rf(true, 2), "rf_ext_small");
+        let refinements = Refinements {
+            rf_before_ws: true,
+            external_first: false,
+            more_writes_first: true,
+        };
+        let order = decision_order(&reg, refinements);
+        assert_eq!(order, vec![0, 1]);
+    }
+}

@@ -1,0 +1,458 @@
+//! The end-to-end verifier: program → BMC unrolling → SSA → partial-order
+//! encoding → interference-guided CDCL(T) solving → verdict.
+//!
+//! This is the `ZPRE` pipeline of the paper with the strategy pluggable
+//! (baseline VSIDS / `ZPRE⁻` / `ZPRE` / ablations). On a `Sat` answer the
+//! extracted concurrent execution is optionally re-validated against the
+//! axioms (EOG acyclicity, read-from/from-read consistency, mutual
+//! exclusion, atomicity, and the violated assertion) — a deep end-to-end
+//! check that the solver, theory, blaster, and encoder agree.
+
+use crate::decision_order::decision_order;
+use crate::strategy::Strategy;
+use std::time::{Duration, Instant};
+use zpre_bv::{lits_to_u64, TermKind};
+use zpre_encoder::{encode, po_pairs, Encoded};
+use zpre_prog::ssa::EventKind;
+use zpre_prog::{to_ssa, unroll_program, MemoryModel, Program, SsaProgram};
+use zpre_sat::{Budget, PriorityListGuide, SolveResult, Solver, Stats};
+use zpre_smt::{ClassCounts, OrderTheory, VarKind};
+
+/// Verification verdict.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// The property holds for all executions within the unroll bound
+    /// (the SMT instance is unsatisfiable) — SV-COMP "true".
+    Safe,
+    /// A violating execution exists (satisfiable) — SV-COMP "false".
+    Unsafe,
+    /// Budget exhausted.
+    Unknown,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Verdict::Safe => "safe",
+            Verdict::Unsafe => "unsafe",
+            Verdict::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Options for a verification run.
+#[derive(Clone, Debug)]
+pub struct VerifyOptions {
+    /// Memory model.
+    pub mm: MemoryModel,
+    /// Solving strategy.
+    pub strategy: Strategy,
+    /// BMC loop unroll bound.
+    pub unroll_bound: u32,
+    /// Deterministic conflict budget (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Wall-clock budget.
+    pub timeout: Option<Duration>,
+    /// Seed for the random decision polarity of interference variables.
+    pub seed: u64,
+    /// Re-validate extracted executions on `Unsafe` answers.
+    pub validate_models: bool,
+    /// Extract a readable counterexample trace on `Unsafe` answers.
+    pub want_trace: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> VerifyOptions {
+        VerifyOptions {
+            mm: MemoryModel::Sc,
+            strategy: Strategy::Zpre,
+            unroll_bound: 2,
+            max_conflicts: None,
+            timeout: None,
+            seed: 0xC0FFEE,
+            validate_models: true,
+            want_trace: false,
+        }
+    }
+}
+
+impl VerifyOptions {
+    /// Convenience constructor.
+    pub fn new(mm: MemoryModel, strategy: Strategy) -> VerifyOptions {
+        VerifyOptions { mm, strategy, ..VerifyOptions::default() }
+    }
+}
+
+/// Result of a verification run, with the search statistics the paper's
+/// Table 2 reports.
+#[derive(Clone, Debug)]
+pub struct VerifyOutcome {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Solver search statistics.
+    pub stats: Stats,
+    /// Time spent in `solve()`.
+    pub solve_time: Duration,
+    /// Time spent unrolling + SSA + encoding.
+    pub encode_time: Duration,
+    /// Number of global events.
+    pub num_events: usize,
+    /// Variable counts per class.
+    pub class_counts: ClassCounts,
+    /// Total solver variables.
+    pub num_solver_vars: usize,
+    /// Counterexample trace (on `Unsafe`, when requested).
+    pub trace: Option<crate::trace::Trace>,
+}
+
+/// Verifies `prog` under `opts`.
+pub fn verify(prog: &Program, opts: &VerifyOptions) -> VerifyOutcome {
+    let t0 = Instant::now();
+    let unrolled = unroll_program(prog, opts.unroll_bound);
+    let ssa = to_ssa(&unrolled);
+    verify_ssa_timed(&ssa, opts, t0)
+}
+
+/// Verifies an already-converted SSA program.
+pub fn verify_ssa(ssa: &SsaProgram, opts: &VerifyOptions) -> VerifyOutcome {
+    verify_ssa_timed(ssa, opts, Instant::now())
+}
+
+fn verify_ssa_timed(ssa: &SsaProgram, opts: &VerifyOptions, t0: Instant) -> VerifyOutcome {
+    let mut theory = OrderTheory::new();
+    if opts.strategy == Strategy::ZpreNoReverseProp {
+        theory.set_propagate_reverse(false);
+    }
+    let guide = PriorityListGuide::new(Vec::new(), opts.seed);
+    let mut solver: Solver<OrderTheory, PriorityListGuide> = Solver::with_parts(theory, guide);
+    let enc = encode(ssa, opts.mm, &mut solver);
+
+    // Install the decision order for the chosen strategy.
+    let order: Vec<u32> = if opts.strategy.uses_interference_order() {
+        decision_order(&enc.registry, opts.strategy.refinements())
+    } else if opts.strategy == Strategy::BranchCond {
+        // Guard variables in event order, deduplicated.
+        let mut seen = std::collections::HashSet::new();
+        enc.guard_lits
+            .iter()
+            .map(|l| l.var().index() as u32)
+            .filter(|v| seen.insert(*v))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut guide = PriorityListGuide::new(order, opts.seed);
+    if opts.strategy == Strategy::ZpreFixedTrue {
+        guide = guide.with_fixed_polarity(true);
+    }
+    solver.guide = guide;
+    solver.set_budget(Budget::with_limits(opts.max_conflicts, opts.timeout));
+
+    let encode_time = t0.elapsed();
+    let t1 = Instant::now();
+    let result = solver.solve();
+    let solve_time = t1.elapsed();
+
+    let verdict = match result {
+        SolveResult::Sat => Verdict::Unsafe,
+        SolveResult::Unsat => Verdict::Safe,
+        SolveResult::Unknown => Verdict::Unknown,
+    };
+    if verdict == Verdict::Unsafe && opts.validate_models {
+        if let Err(msg) = validate_model(ssa, &enc, &solver, opts.mm) {
+            panic!("extracted execution failed validation: {msg}");
+        }
+    }
+    let trace = (verdict == Verdict::Unsafe && opts.want_trace)
+        .then(|| crate::trace::extract_trace(ssa, &enc, &solver, opts.mm));
+
+    VerifyOutcome {
+        verdict,
+        stats: *solver.stats(),
+        solve_time,
+        encode_time,
+        num_events: ssa.events.len(),
+        class_counts: enc.registry.class_counts(),
+        num_solver_vars: solver.num_vars(),
+        trace,
+    }
+}
+
+/// Re-validates the satisfying model as a concrete concurrent execution.
+fn validate_model(
+    ssa: &SsaProgram,
+    enc: &Encoded,
+    solver: &Solver<OrderTheory, PriorityListGuide>,
+    mm: MemoryModel,
+) -> Result<(), String> {
+    let ts = &ssa.store;
+    // Concrete value of a bit-vector input variable by name.
+    let bv_val = |name: &str| -> u64 {
+        enc.blaster
+            .bv_inputs
+            .get(name)
+            .map(|bits| lits_to_u64(bits, |l| solver.model_value(l).is_true()))
+            .unwrap_or(0)
+    };
+    let bool_val = |name: &str| -> bool {
+        enc.blaster
+            .bool_inputs
+            .get(name)
+            .map(|&l| solver.model_value(l).is_true())
+            .unwrap_or(false)
+    };
+    let event_value = |eid: usize| -> u64 {
+        match ssa.events[eid].kind {
+            EventKind::Read { value, .. } | EventKind::Write { value, .. } => {
+                match ts.kind(value) {
+                    TermKind::BvVar { name, .. } => bv_val(name),
+                    k => panic!("event value is not a variable: {k:?}"),
+                }
+            }
+            _ => panic!("value of a non-access event"),
+        }
+    };
+    let guard_of = |eid: usize| solver.model_value(enc.guard_lits[eid]).is_true();
+
+    // 1. Rebuild the event order graph from the model and compute clocks.
+    let n = ssa.events.len();
+    let mut edges = po_pairs(ssa, mm);
+    for (v, info) in enc.registry.iter() {
+        if !matches!(info.kind, VarKind::Ord | VarKind::Ws) {
+            continue;
+        }
+        let Some((a, b)) = solver.theory.atom_nodes(v) else {
+            continue; // cs/atomic selectors are not atoms themselves
+        };
+        if solver.model_var_value(v).is_true() {
+            edges.push((a.0 as usize, b.0 as usize));
+        } else {
+            edges.push((b.0 as usize, a.0 as usize));
+        }
+    }
+    let clocks = kahn_clocks(n, &edges)
+        .ok_or_else(|| "event order graph of the model is cyclic".to_string())?;
+
+    // 2. Read-from consistency.
+    for e in &ssa.events {
+        if !e.kind.is_read() || !guard_of(e.id) {
+            continue;
+        }
+        let var = e.kind.var().expect("read has a variable");
+        let chosen: Vec<_> = enc
+            .rf_vars
+            .iter()
+            .filter(|rf| rf.read == e.id && solver.model_var_value(rf.var).is_true())
+            .collect();
+        if chosen.is_empty() {
+            return Err(format!("executed read {} has no read-from edge", e.id));
+        }
+        for rf in chosen {
+            let w = rf.write;
+            if !guard_of(w) {
+                return Err(format!("read {} reads from unexecuted write {w}", e.id));
+            }
+            if event_value(e.id) != event_value(w) {
+                return Err(format!(
+                    "read {} value {} != write {w} value {}",
+                    e.id,
+                    event_value(e.id),
+                    event_value(w)
+                ));
+            }
+            if clocks[w] >= clocks[e.id] {
+                return Err(format!("read-from order violated: write {w} after read {}", e.id));
+            }
+            // From-read: no other executed write to the same variable
+            // between the write and the read.
+            for other in &ssa.events {
+                if other.kind.is_write()
+                    && other.kind.var() == Some(var)
+                    && other.id != w
+                    && guard_of(other.id)
+                    && clocks[w] < clocks[other.id]
+                    && clocks[other.id] < clocks[e.id]
+                {
+                    return Err(format!(
+                        "write {} intervenes between write {w} and read {}",
+                        other.id, e.id
+                    ));
+                }
+            }
+        }
+    }
+
+    // 3. Mutual exclusion: critical sections on one mutex do not overlap.
+    for (i, &(t1, m1, l1, u1)) in enc.critical_sections.iter().enumerate() {
+        for &(t2, m2, l2, u2) in &enc.critical_sections[i + 1..] {
+            if m1 != m2 || t1 == t2 || !guard_of(l1) || !guard_of(l2) {
+                continue;
+            }
+            let disjoint = clocks[u1] < clocks[l2] || clocks[u2] < clocks[l1];
+            if !disjoint {
+                return Err(format!(
+                    "critical sections {l1}..{u1} and {l2}..{u2} on mutex {m1} overlap"
+                ));
+            }
+        }
+    }
+
+    // 4. Atomicity: no external same-variable access inside a block.
+    for blk in &ssa.atomic_blocks {
+        if !guard_of(blk.begin) {
+            continue;
+        }
+        for e in &ssa.events {
+            if e.thread == blk.thread || !guard_of(e.id) {
+                continue;
+            }
+            let Some(v) = e.kind.var() else { continue };
+            if !blk.vars.contains(&v) {
+                continue;
+            }
+            if clocks[e.id] > clocks[blk.begin] && clocks[e.id] < clocks[blk.end] {
+                return Err(format!(
+                    "event {} intrudes into atomic block {}..{}",
+                    e.id, blk.begin, blk.end
+                ));
+            }
+        }
+    }
+
+    // 5. The error condition really fires: some assertion has a true guard
+    //    and a false condition under the extracted values.
+    let violated = ssa.assertions.iter().any(|&(g, cond)| {
+        ts.eval(g, &bv_val, &bool_val).as_bool() && !ts.eval(cond, &bv_val, &bool_val).as_bool()
+    });
+    if !violated {
+        return Err("model does not violate any assertion".to_string());
+    }
+    Ok(())
+}
+
+/// Kahn's algorithm: returns a clock value per node, or `None` on a cycle.
+fn kahn_clocks(n: usize, edges: &[(usize, usize)]) -> Option<Vec<u32>> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+        indeg[b] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut clocks = vec![0u32; n];
+    let mut seen = 0usize;
+    let mut tick = 0u32;
+    while let Some(x) = queue.pop() {
+        clocks[x] = tick;
+        tick += 1;
+        seen += 1;
+        for &y in &adj[x] {
+            indeg[y] -= 1;
+            if indeg[y] == 0 {
+                queue.push(y);
+            }
+        }
+    }
+    (seen == n).then_some(clocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zpre_prog::build::*;
+
+    fn racy() -> Program {
+        let inc = vec![assign("r", v("cnt")), assign("cnt", add(v("r"), c(1)))];
+        ProgramBuilder::new("race")
+            .shared("cnt", 0)
+            .thread("w1", inc.clone())
+            .thread("w2", inc)
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(eq(v("cnt"), c(2))),
+            ])
+            .build()
+    }
+
+    fn locked() -> Program {
+        let inc = vec![
+            lock("m"),
+            assign("r", v("cnt")),
+            assign("cnt", add(v("r"), c(1))),
+            unlock("m"),
+        ];
+        ProgramBuilder::new("locked")
+            .shared("cnt", 0)
+            .mutex("m")
+            .thread("w1", inc.clone())
+            .thread("w2", inc)
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(eq(v("cnt"), c(2))),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn all_strategies_agree_on_racy() {
+        for mm in MemoryModel::ALL {
+            for strat in Strategy::ALL {
+                let out = verify(&racy(), &VerifyOptions::new(mm, strat));
+                assert_eq!(out.verdict, Verdict::Unsafe, "{mm} {strat}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_on_locked() {
+        for mm in MemoryModel::ALL {
+            for strat in Strategy::MAIN {
+                let out = verify(&locked(), &VerifyOptions::new(mm, strat));
+                assert_eq!(out.verdict, Verdict::Safe, "{mm} {strat}");
+            }
+        }
+    }
+
+    #[test]
+    fn guided_decisions_are_counted() {
+        let out = verify(&racy(), &VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre));
+        // The guide must actually have driven decisions.
+        assert!(out.stats.guided_decisions > 0);
+        let base = verify(&racy(), &VerifyOptions::new(MemoryModel::Sc, Strategy::Baseline));
+        assert_eq!(base.stats.guided_decisions, 0);
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown() {
+        let mut opts = VerifyOptions::new(MemoryModel::Sc, Strategy::Baseline);
+        opts.max_conflicts = Some(1);
+        let out = verify(&locked(), &opts);
+        assert_eq!(out.verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn outcome_carries_instance_metrics() {
+        let out = verify(&racy(), &VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre));
+        assert!(out.num_events > 0);
+        assert!(out.class_counts.rf > 0);
+        assert!(out.class_counts.ws > 0);
+        assert!(out.num_solver_vars > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs_with_same_seed() {
+        let opts = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        let a = verify(&racy(), &opts);
+        let b = verify(&racy(), &opts);
+        assert_eq!(a.stats.decisions, b.stats.decisions);
+        assert_eq!(a.stats.conflicts, b.stats.conflicts);
+        assert_eq!(a.verdict, b.verdict);
+    }
+}

@@ -1,0 +1,667 @@
+//! The verification-condition encoder: Φ = Φ_ssa ∧ Φ_po ∧ Φ_rf ∧ Φ_rf_some
+//! ∧ Φ_ws ∧ Φ_fr ∧ Φ_err (§3.1 of the paper), extended with mutex
+//! critical-section serialization and atomic-section exclusion constraints
+//! (the lock-aware analogue of write serialization; see DESIGN.md).
+//!
+//! The encoding is emitted directly into a CDCL(T) solver whose theory is
+//! the event-order graph:
+//!
+//! - data-path constraints and guards are bit-blasted (Φ_ssa, Φ_err);
+//! - Φ_po becomes *fixed* EOG edges;
+//! - each `clk(e₁) < clk(e₂)` atom becomes a registered two-sided ordering
+//!   atom (`V_ord`);
+//! - each read-from selector `rf` (`V_rf`) gets the paper's clauses
+//!   `rf → value equality`, `rf → order`, `rf → guard(write)`, plus the
+//!   `Φ_rf_some` covering clause per read;
+//! - each write-serialization selector (`V_ws`) *is* a two-sided ordering
+//!   atom over its write pair (true ⇔ first write first), so `¬ws` yields
+//!   the reverse order exactly as in the paper;
+//! - Φ_fr emits `rf ∧ ws ∧ guard(other) → read-before-other` clauses.
+//!
+//! Every created variable is classified in a [`VarRegistry`] under the
+//! paper's taxonomy; interference variables get the paper's name scheme
+//! (`rf_<rt>_<ri>_<wt>_<wi>`), which is how the frontend communicates
+//! thread information to the solver-side decision-order generator.
+
+use crate::memory_model::{po_pairs, PoClosure};
+use std::collections::HashMap;
+use zpre_bv::{Blaster, ClauseSink, TermId, TermKind};
+use zpre_prog::ssa::{EventKind, SsaProgram};
+use zpre_prog::MemoryModel;
+use zpre_sat::{DecisionGuide, Lit, Solver, Var};
+use zpre_smt::{rf_name, ws_name, NodeId, OrderTheory, VarKind, VarRegistry};
+
+/// An emitted read-from selector.
+#[derive(Clone, Copy, Debug)]
+pub struct RfVar {
+    /// The solver variable.
+    pub var: Var,
+    /// Read event id.
+    pub read: usize,
+    /// Write event id.
+    pub write: usize,
+}
+
+/// An emitted write-serialization selector; `var` true ⇔ `first` before
+/// `second`.
+#[derive(Clone, Copy, Debug)]
+pub struct WsVar {
+    /// The solver variable (a two-sided ordering atom).
+    pub var: Var,
+    /// First write event id.
+    pub first: usize,
+    /// Second write event id.
+    pub second: usize,
+}
+
+/// Everything the verifier needs back from the encoding.
+pub struct Encoded {
+    /// Variable classification (drives the decision order).
+    pub registry: VarRegistry,
+    /// The bit-blaster (holds input-bit maps for model extraction).
+    pub blaster: Blaster,
+    /// EOG node of each event (index = event id).
+    pub event_nodes: Vec<NodeId>,
+    /// Guard literal of each event.
+    pub guard_lits: Vec<Lit>,
+    /// Read-from selectors.
+    pub rf_vars: Vec<RfVar>,
+    /// Write-serialization selectors.
+    pub ws_vars: Vec<WsVar>,
+    /// Critical-section and atomic-block serialization selectors
+    /// (documented substitution — the paper's benchmarks model locks via
+    /// these interference-class variables).
+    pub sync_vars: Vec<Var>,
+    /// Mutex critical sections: `(thread, mutex, lock event, unlock event)`.
+    pub critical_sections: Vec<(usize, usize, usize, usize)>,
+    /// The literal asserting the error condition (always asserted true).
+    pub err_lit: Lit,
+    /// `true` when the error condition is statically false (no reachable
+    /// assertion) — the formula is then trivially unsatisfiable.
+    pub trivially_safe: bool,
+}
+
+/// Sink wrapper that classifies every blaster-created variable as `V_ssa`.
+struct RegSink<'a, G: DecisionGuide> {
+    solver: &'a mut Solver<OrderTheory, G>,
+    registry: &'a mut VarRegistry,
+}
+
+impl<G: DecisionGuide> ClauseSink for RegSink<'_, G> {
+    fn new_aux_var(&mut self) -> Var {
+        let v = self.solver.new_var();
+        self.registry.register(v, VarKind::Ssa, format!("aux{}", v.index()));
+        v
+    }
+    fn new_input_var(&mut self, name: &str) -> Var {
+        let v = self.solver.new_var();
+        self.registry.register(v, VarKind::Ssa, name);
+        v
+    }
+    fn add_clause_sink(&mut self, lits: &[Lit]) -> bool {
+        self.solver.add_clause(lits)
+    }
+}
+
+/// Encodes `ssa` under `mm` into `solver`. The solver must be fresh (no
+/// variables yet) and its theory empty.
+pub fn encode<G: DecisionGuide>(
+    ssa: &SsaProgram,
+    mm: MemoryModel,
+    solver: &mut Solver<OrderTheory, G>,
+) -> Encoded {
+    assert_eq!(solver.num_vars(), 0, "encode requires a fresh solver");
+    let mut registry = VarRegistry::new();
+    let mut blaster = Blaster::new();
+    let ts = &ssa.store;
+
+    // --- EOG nodes (one per event) and Φ_po -------------------------------
+    let event_nodes: Vec<NodeId> = ssa.events.iter().map(|_| solver.theory.add_node()).collect();
+    let pairs = po_pairs(ssa, mm);
+    for &(a, b) in &pairs {
+        let ok = solver
+            .theory
+            .add_fixed_edge(event_nodes[a], event_nodes[b]);
+        assert!(ok, "program order must be acyclic");
+    }
+    let closure = PoClosure::new(ssa.events.len(), &pairs);
+
+    // --- Φ_ssa -------------------------------------------------------------
+    {
+        let mut sink = RegSink { solver, registry: &mut registry };
+        for &cst in &ssa.constraints {
+            blaster.assert_true(ts, cst, &mut sink);
+        }
+    }
+
+    // --- Event guards ------------------------------------------------------
+    let guard_lits: Vec<Lit> = {
+        let mut sink = RegSink { solver, registry: &mut registry };
+        ssa.events
+            .iter()
+            .map(|e| blaster.blast_bool(ts, e.guard, &mut sink))
+            .collect()
+    };
+
+    // --- Φ_err --------------------------------------------------------------
+    // err = ⋁ (guard ∧ ¬cond); assert it (SAT ⇔ property violated).
+    let (err_lit, trivially_safe) = {
+        let mut ts2 = ts.clone();
+        let mut err = ts2.fls();
+        for &(g, cond) in &ssa.assertions {
+            let nc = ts2.not(cond);
+            let violated = ts2.and(g, nc);
+            err = ts2.or(err, violated);
+        }
+        let trivially_safe = matches!(ts2.kind(err), TermKind::BoolConst(false));
+        let mut sink = RegSink { solver, registry: &mut registry };
+        let lit = blaster.blast_bool(&ts2, err, &mut sink);
+        sink.add_clause_sink(&[lit]);
+        (lit, trivially_safe)
+    };
+
+    // --- Ordering-atom cache (V_ord) ----------------------------------------
+    // One two-sided atom per unordered node pair; `lit` means a→b.
+    let mut ord_cache: HashMap<(usize, usize), Lit> = HashMap::new();
+    let mut get_ord =
+        |a: usize, b: usize, solver: &mut Solver<OrderTheory, G>, registry: &mut VarRegistry| -> Lit {
+            if let Some(&l) = ord_cache.get(&(a, b)) {
+                return l;
+            }
+            let v = solver.new_var();
+            registry.register(v, VarKind::Ord, format!("ord_{a}_{b}"));
+            solver.theory.register_atom(v, NodeId(a as u32), NodeId(b as u32));
+            solver.mark_theory_var(v);
+            ord_cache.insert((a, b), v.positive());
+            ord_cache.insert((b, a), v.negative());
+            v.positive()
+        };
+
+    // --- Reads, writes per shared variable ----------------------------------
+    let analysis = access_analysis(ssa, &closure);
+    let num_vars = ssa.shared_names.len();
+    let writes_of = &analysis.writes_of;
+    let value_of = |eid: usize| -> TermId {
+        match ssa.events[eid].kind {
+            EventKind::Read { value, .. } | EventKind::Write { value, .. } => value,
+            _ => unreachable!("value of a non-access event"),
+        }
+    };
+
+    // --- Φ_rf and Φ_rf_some ---------------------------------------------------
+    let mut rf_vars: Vec<RfVar> = Vec::new();
+    let mut rf_of_read: Vec<Vec<usize>> = vec![Vec::new(); ssa.events.len()];
+    let _ = num_vars;
+    for reads in &analysis.reads_of {
+        for &r in reads {
+            let candidates = analysis.candidates[r].clone();
+            let writes = candidates.len() as u32;
+            let rev = &ssa.events[r];
+            let mut some_clause: Vec<Lit> = vec![!guard_lits[r]];
+            for &w in &candidates {
+                let wev = &ssa.events[w];
+                let var = solver.new_var();
+                registry.register(
+                    var,
+                    VarKind::Rf { external: wev.thread != rev.thread, writes },
+                    rf_name(rev.thread, rev.pos, wev.thread, wev.pos),
+                );
+                let f = var.positive();
+                // rf → (value_r = value_w)
+                {
+                    let mut sink = RegSink { solver, registry: &mut registry };
+                    blaster.assert_implies_eq(ts, &[f], value_of(r), value_of(w), &mut sink);
+                }
+                // rf → clk(w) < clk(r)   (skip when program order already
+                // guarantees it — the atom would be fixed anyway).
+                if !closure.reaches(w, r) {
+                    let ord = get_ord(w, r, solver, &mut registry);
+                    solver.add_clause(&[!f, ord]);
+                }
+                // rf → guard(w)
+                solver.add_clause(&[!f, guard_lits[w]]);
+                rf_of_read[r].push(rf_vars.len());
+                rf_vars.push(RfVar { var, read: r, write: w });
+                some_clause.push(f);
+            }
+            // Φ_rf_some: an executed read takes its value from some write.
+            solver.add_clause(&some_clause);
+        }
+    }
+
+    // --- Φ_ws ------------------------------------------------------------------
+    let mut ws_vars: Vec<WsVar> = Vec::new();
+    let mut ws_lit: HashMap<(usize, usize), Lit> = HashMap::new();
+    for ws in writes_of.iter() {
+        for i in 0..ws.len() {
+            for j in i + 1..ws.len() {
+                let (w1, w2) = (ws[i], ws[j]);
+                let var = solver.new_var();
+                let (e1, e2) = (&ssa.events[w1], &ssa.events[w2]);
+                registry.register(
+                    var,
+                    VarKind::Ws,
+                    ws_name(e1.thread, e1.pos, e2.thread, e2.pos),
+                );
+                // The ws selector *is* a two-sided ordering atom:
+                // true ⇒ clk(w1)<clk(w2), false ⇒ clk(w2)<clk(w1).
+                solver
+                    .theory
+                    .register_atom(var, event_nodes[w1], event_nodes[w2]);
+                solver.mark_theory_var(var);
+                ws_lit.insert((w1, w2), var.positive());
+                ws_lit.insert((w2, w1), var.negative());
+                ws_vars.push(WsVar { var, first: w1, second: w2 });
+            }
+        }
+    }
+
+    // --- Φ_fr -------------------------------------------------------------------
+    // rf(w,r) ∧ (w before k) ∧ guard(k) → clk(r) < clk(k).
+    for rf in rf_vars.clone() {
+        let v = ssa.events[rf.read].kind.var().expect("read event");
+        for &k in &writes_of[v] {
+            if k == rf.write {
+                continue;
+            }
+            let f = rf.var.positive();
+            let before = ws_lit[&(rf.write, k)];
+            // Skip impossible combinations early: if po forces k before w,
+            // `before` is settled false by theory propagation anyway.
+            let mut clause = vec![!f, !before, !guard_lits[k]];
+            if closure.reaches(rf.read, k) {
+                continue; // order already guaranteed by po
+            }
+            let ord = get_ord(rf.read, k, solver, &mut registry);
+            clause.push(ord);
+            solver.add_clause(&clause);
+        }
+    }
+
+    // --- Mutex critical sections ---------------------------------------------
+    let mut sync_vars: Vec<Var> = Vec::new();
+    let mut critical_sections: Vec<(usize, usize, usize, usize)> = Vec::new();
+    {
+        // Collect critical sections per (thread, mutex) by a per-mutex stack.
+        #[derive(Clone)]
+        struct Cs {
+            thread: usize,
+            mutex: usize,
+            lock: usize,
+            unlock: usize,
+        }
+        let mut sections: Vec<Cs> = Vec::new();
+        for t in 0..ssa.num_threads() {
+            let mut stacks: HashMap<usize, Vec<usize>> = HashMap::new();
+            for e in ssa.thread_events(t) {
+                match e.kind {
+                    EventKind::Lock { mutex } => stacks.entry(mutex).or_default().push(e.id),
+                    EventKind::Unlock { mutex } => {
+                        let lock = stacks
+                            .entry(mutex)
+                            .or_default()
+                            .pop()
+                            .expect("unlock without lock in SSA event stream");
+                        critical_sections.push((t, mutex, lock, e.id));
+                        sections.push(Cs { thread: t, mutex, lock, unlock: e.id });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for i in 0..sections.len() {
+            for j in i + 1..sections.len() {
+                let (a, b) = (sections[i].clone(), sections[j].clone());
+                if a.mutex != b.mutex || a.thread == b.thread {
+                    continue;
+                }
+                let var = solver.new_var();
+                registry.register(
+                    var,
+                    VarKind::Ws,
+                    format!("ws_cs_{}_{}_{}_{}", a.thread, a.lock, b.thread, b.lock),
+                );
+                sync_vars.push(var);
+                let s = var.positive();
+                let (ga, gb) = (guard_lits[a.lock], guard_lits[b.lock]);
+                //  s → clk(unlock_a) < clk(lock_b) ; ¬s → clk(unlock_b) < clk(lock_a)
+                let o1 = get_ord(a.unlock, b.lock, solver, &mut registry);
+                let o2 = get_ord(b.unlock, a.lock, solver, &mut registry);
+                solver.add_clause(&[!ga, !gb, !s, o1]);
+                solver.add_clause(&[!ga, !gb, s, o2]);
+            }
+        }
+    }
+
+    // --- Atomic sections -------------------------------------------------------
+    for (bi, blk) in ssa.atomic_blocks.iter().enumerate() {
+        for e in &ssa.events {
+            if e.thread == blk.thread {
+                continue;
+            }
+            let Some(v) = e.kind.var() else { continue };
+            if !blk.vars.contains(&v) {
+                continue;
+            }
+            let var = solver.new_var();
+            registry.register(
+                var,
+                VarKind::Ws,
+                format!("ws_at_{}_{}_{}", bi, e.thread, e.pos),
+            );
+            sync_vars.push(var);
+            let s = var.positive();
+            let (ge, gb) = (guard_lits[e.id], guard_lits[blk.begin]);
+            // s → e before the block ; ¬s → e after the block.
+            let o1 = get_ord(e.id, blk.begin, solver, &mut registry);
+            let o2 = get_ord(blk.end, e.id, solver, &mut registry);
+            solver.add_clause(&[!ge, !gb, !s, o1]);
+            solver.add_clause(&[!ge, !gb, s, o2]);
+        }
+    }
+
+    Encoded {
+        registry,
+        blaster,
+        event_nodes,
+        guard_lits,
+        rf_vars,
+        ws_vars,
+        sync_vars,
+        critical_sections,
+        err_lit,
+        trivially_safe,
+    }
+}
+
+/// Read/write inventory and read-from candidate sets, shared between the
+/// solver-level encoding and the SMT-LIB dump.
+pub struct AccessAnalysis {
+    /// Write event ids per shared variable.
+    pub writes_of: Vec<Vec<usize>>,
+    /// Read event ids per shared variable.
+    pub reads_of: Vec<Vec<usize>>,
+    /// Read-from candidate writes per *read event id* (empty for
+    /// non-reads): writes not program-order after the read and not provably
+    /// shadowed by an always-executed intermediate write.
+    pub candidates: Vec<Vec<usize>>,
+}
+
+/// Computes the access inventory of `ssa` with respect to the program-order
+/// closure.
+pub fn access_analysis(ssa: &SsaProgram, closure: &PoClosure) -> AccessAnalysis {
+    let ts = &ssa.store;
+    let num_vars = ssa.shared_names.len();
+    let mut writes_of: Vec<Vec<usize>> = vec![Vec::new(); num_vars];
+    let mut reads_of: Vec<Vec<usize>> = vec![Vec::new(); num_vars];
+    for e in &ssa.events {
+        match e.kind {
+            EventKind::Write { var, .. } => writes_of[var].push(e.id),
+            EventKind::Read { var, .. } => reads_of[var].push(e.id),
+            _ => {}
+        }
+    }
+    let always_true_guard = |eid: usize| {
+        matches!(ts.kind(ssa.events[eid].guard), TermKind::BoolConst(true))
+    };
+    let mut candidates: Vec<Vec<usize>> = vec![Vec::new(); ssa.events.len()];
+    for (v, reads) in reads_of.iter().enumerate() {
+        for &r in reads {
+            candidates[r] = writes_of[v]
+                .iter()
+                .copied()
+                .filter(|&w| !closure.reaches(r, w))
+                .filter(|&w| {
+                    !writes_of[v].iter().any(|&w2| {
+                        w2 != w
+                            && always_true_guard(w2)
+                            && closure.reaches(w, w2)
+                            && closure.reaches(w2, r)
+                    })
+                })
+                .collect();
+        }
+    }
+    AccessAnalysis { writes_of, reads_of, candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zpre_prog::build::*;
+    use zpre_prog::{to_ssa, unroll_program, Program};
+    use zpre_sat::{NoGuide, SolveResult};
+    use zpre_smt::ClassCounts;
+
+    fn fig2() -> Program {
+        ProgramBuilder::new("fig2")
+            .shared("x", 0)
+            .shared("y", 0)
+            .shared("m", 0)
+            .shared("n", 0)
+            .thread("t1", vec![assign("x", add(v("y"), c(1))), assign("m", v("y"))])
+            .thread("t2", vec![assign("y", add(v("x"), c(1))), assign("n", v("x"))])
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(not(and(eq(v("m"), c(0)), eq(v("n"), c(0))))),
+            ])
+            .build()
+    }
+
+    fn solve(p: &Program, mm: MemoryModel) -> SolveResult {
+        let u = unroll_program(p, 2);
+        let ssa = to_ssa(&u);
+        let mut solver: Solver<OrderTheory, NoGuide> =
+            Solver::with_parts(OrderTheory::new(), NoGuide);
+        let _enc = encode(&ssa, mm, &mut solver);
+        solver.solve()
+    }
+
+    #[test]
+    fn fig2_safe_under_sc() {
+        // The paper's example: unsat (safe) under SC.
+        assert_eq!(solve(&fig2(), MemoryModel::Sc), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn registry_has_all_classes() {
+        let u = unroll_program(&fig2(), 2);
+        let ssa = to_ssa(&u);
+        let mut solver: Solver<OrderTheory, NoGuide> =
+            Solver::with_parts(OrderTheory::new(), NoGuide);
+        let enc = encode(&ssa, MemoryModel::Sc, &mut solver);
+        let ClassCounts { ssa: nssa, ord, rf, ws, .. } = enc.registry.class_counts();
+        assert!(nssa > 0, "ssa vars");
+        assert!(ord > 0, "ord vars");
+        assert!(rf > 0, "rf vars");
+        assert!(ws > 0, "ws vars");
+        assert_eq!(rf, enc.rf_vars.len());
+        assert_eq!(ws, enc.ws_vars.len());
+    }
+
+    #[test]
+    fn rf_names_follow_paper_recipe() {
+        let u = unroll_program(&fig2(), 2);
+        let ssa = to_ssa(&u);
+        let mut solver: Solver<OrderTheory, NoGuide> =
+            Solver::with_parts(OrderTheory::new(), NoGuide);
+        let enc = encode(&ssa, MemoryModel::Sc, &mut solver);
+        let rf = enc.rf_vars[0];
+        let name = &enc.registry.info(rf.var).unwrap().name;
+        assert!(name.starts_with("rf_"), "{name}");
+        assert_eq!(name.split('_').count(), 5, "{name}");
+    }
+
+    /// Racy counter: SAT (bug) in every memory model.
+    #[test]
+    fn racy_counter_found_unsafe() {
+        let inc = vec![assign("r", v("cnt")), assign("cnt", add(v("r"), c(1)))];
+        let p = ProgramBuilder::new("race")
+            .shared("cnt", 0)
+            .thread("w1", inc.clone())
+            .thread("w2", inc)
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(eq(v("cnt"), c(2))),
+            ])
+            .build();
+        for mm in MemoryModel::ALL {
+            assert_eq!(solve(&p, mm), SolveResult::Sat, "{mm}");
+        }
+    }
+
+    /// Mutex-protected counter: UNSAT (safe) everywhere.
+    #[test]
+    fn locked_counter_safe() {
+        let inc = vec![
+            lock("m"),
+            assign("r", v("cnt")),
+            assign("cnt", add(v("r"), c(1))),
+            unlock("m"),
+        ];
+        let p = ProgramBuilder::new("locked")
+            .shared("cnt", 0)
+            .mutex("m")
+            .thread("w1", inc.clone())
+            .thread("w2", inc)
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(eq(v("cnt"), c(2))),
+            ])
+            .build();
+        for mm in MemoryModel::ALL {
+            assert_eq!(solve(&p, mm), SolveResult::Unsat, "{mm}");
+        }
+    }
+
+    /// Atomic-section counter: UNSAT (safe) everywhere.
+    #[test]
+    fn atomic_counter_safe() {
+        let inc = atomic(vec![assign("r", v("cnt")), assign("cnt", add(v("r"), c(1)))]);
+        let p = ProgramBuilder::new("atomic")
+            .shared("cnt", 0)
+            .thread("w1", inc.clone())
+            .thread("w2", inc)
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(eq(v("cnt"), c(2))),
+            ])
+            .build();
+        for mm in MemoryModel::ALL {
+            assert_eq!(solve(&p, mm), SolveResult::Unsat, "{mm}");
+        }
+    }
+
+    /// Store buffering: safe under SC, buggy under TSO/PSO; fences repair it.
+    #[test]
+    fn store_buffering_across_models() {
+        let mk = |fenced: bool| {
+            let t1 = if fenced {
+                vec![assign("x", c(1)), fence(), assign("r1", v("y"))]
+            } else {
+                vec![assign("x", c(1)), assign("r1", v("y"))]
+            };
+            let t2 = if fenced {
+                vec![assign("y", c(1)), fence(), assign("r2", v("x"))]
+            } else {
+                vec![assign("y", c(1)), assign("r2", v("x"))]
+            };
+            ProgramBuilder::new("sb")
+                .shared("x", 0)
+                .shared("y", 0)
+                .shared("r1", 0)
+                .shared("r2", 0)
+                .thread("t1", t1)
+                .thread("t2", t2)
+                .main(vec![
+                    spawn(1),
+                    spawn(2),
+                    join(1),
+                    join(2),
+                    assert_(not(and(eq(v("r1"), c(0)), eq(v("r2"), c(0))))),
+                ])
+                .build()
+        };
+        assert_eq!(solve(&mk(false), MemoryModel::Sc), SolveResult::Unsat);
+        assert_eq!(solve(&mk(false), MemoryModel::Tso), SolveResult::Sat);
+        assert_eq!(solve(&mk(false), MemoryModel::Pso), SolveResult::Sat);
+        assert_eq!(solve(&mk(true), MemoryModel::Tso), SolveResult::Unsat);
+        assert_eq!(solve(&mk(true), MemoryModel::Pso), SolveResult::Unsat);
+    }
+
+    /// Message passing: safe under SC and TSO, buggy under PSO.
+    #[test]
+    fn message_passing_across_models() {
+        let p = ProgramBuilder::new("mp")
+            .shared("data", 0)
+            .shared("flag", 0)
+            .shared("seen", 0)
+            .shared("val", 0)
+            .thread("producer", vec![assign("data", c(42)), assign("flag", c(1))])
+            .thread(
+                "consumer",
+                vec![assign("seen", v("flag")), assign("val", v("data"))],
+            )
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(or(eq(v("seen"), c(0)), eq(v("val"), c(42)))),
+            ])
+            .build();
+        assert_eq!(solve(&p, MemoryModel::Sc), SolveResult::Unsat);
+        assert_eq!(solve(&p, MemoryModel::Tso), SolveResult::Unsat);
+        assert_eq!(solve(&p, MemoryModel::Pso), SolveResult::Sat);
+    }
+
+    /// Nondeterminism + assume interplay.
+    #[test]
+    fn nondet_and_assume() {
+        let p = ProgramBuilder::new("nd")
+            .shared("x", 0)
+            .main(vec![
+                assign("x", nondet("k")),
+                assume(lt(v("x"), c(4))),
+                assert_(ne(v("x"), c(3))),
+            ])
+            .build();
+        assert_eq!(solve(&p, MemoryModel::Sc), SolveResult::Sat); // x = 3 violates
+        let p2 = ProgramBuilder::new("nd2")
+            .shared("x", 0)
+            .main(vec![
+                assign("x", nondet("k")),
+                assume(lt(v("x"), c(3))),
+                assert_(ne(v("x"), c(3))),
+            ])
+            .build();
+        assert_eq!(solve(&p2, MemoryModel::Sc), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn trivially_safe_flag() {
+        let p = ProgramBuilder::new("noassert")
+            .shared("x", 0)
+            .main(vec![assign("x", c(1))])
+            .build();
+        let u = unroll_program(&p, 1);
+        let ssa = to_ssa(&u);
+        let mut solver: Solver<OrderTheory, NoGuide> =
+            Solver::with_parts(OrderTheory::new(), NoGuide);
+        let enc = encode(&ssa, MemoryModel::Sc, &mut solver);
+        assert!(enc.trivially_safe);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+}

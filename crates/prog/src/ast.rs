@@ -1,0 +1,566 @@
+//! Abstract syntax of the concurrent mini-language.
+//!
+//! The language models the subset of C that the SV-COMP *ConcurrencySafety*
+//! programs exercise after preprocessing: integer (bit-vector) data,
+//! shared/local variables, structured control flow with bounded loops,
+//! pthread-style spawn/join, mutexes, `__VERIFIER_atomic` sections, memory
+//! fences, `assume`/`assert`, and nondeterministic inputs.
+//!
+//! Conventions:
+//! - `threads[0]` is the main thread; other threads run only between the
+//!   `Spawn`/`Join` statements that reference them.
+//! - A variable name appearing in [`Program::shared`] is a shared variable;
+//!   every other name is local to its thread (implicitly zero-initialized).
+//! - All integers have the program's `word_width` (1..=64 bits), with
+//!   wrapping arithmetic and unsigned comparisons.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Integer-sorted expressions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IntExpr {
+    /// Constant (truncated to the program width).
+    Const(u64),
+    /// Variable read (shared or local, resolved by name).
+    Var(String),
+    /// Nondeterministic input (each occurrence is a distinct input,
+    /// identified by name).
+    Nondet(String),
+    /// Wrapping addition.
+    Add(Box<IntExpr>, Box<IntExpr>),
+    /// Wrapping subtraction.
+    Sub(Box<IntExpr>, Box<IntExpr>),
+    /// Wrapping multiplication.
+    Mul(Box<IntExpr>, Box<IntExpr>),
+    /// Bitwise and.
+    BitAnd(Box<IntExpr>, Box<IntExpr>),
+    /// Bitwise or.
+    BitOr(Box<IntExpr>, Box<IntExpr>),
+    /// Bitwise xor.
+    BitXor(Box<IntExpr>, Box<IntExpr>),
+    /// Left shift by a constant.
+    Shl(Box<IntExpr>, u32),
+    /// Logical right shift by a constant.
+    Shr(Box<IntExpr>, u32),
+    /// Conditional expression.
+    Ite(Box<BoolExpr>, Box<IntExpr>, Box<IntExpr>),
+}
+
+/// Boolean-sorted expressions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BoolExpr {
+    /// Constant.
+    Const(bool),
+    /// Nondeterministic Boolean input.
+    Nondet(String),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Equality of integers.
+    Eq(Box<IntExpr>, Box<IntExpr>),
+    /// Disequality of integers.
+    Ne(Box<IntExpr>, Box<IntExpr>),
+    /// Unsigned less-than.
+    Lt(Box<IntExpr>, Box<IntExpr>),
+    /// Unsigned less-or-equal.
+    Le(Box<IntExpr>, Box<IntExpr>),
+    /// Unsigned greater-than.
+    Gt(Box<IntExpr>, Box<IntExpr>),
+    /// Unsigned greater-or-equal.
+    Ge(Box<IntExpr>, Box<IntExpr>),
+}
+
+/// Statements.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// `x := e` — a shared write if `x` is shared, else a local assignment.
+    Assign(String, IntExpr),
+    /// Conditional.
+    If(BoolExpr, Vec<Stmt>, Vec<Stmt>),
+    /// Loop — must be unrolled (see `unroll`) before SSA conversion.
+    While(BoolExpr, Vec<Stmt>),
+    /// Safety property: reachable violation ⇔ the program is unsafe.
+    Assert(BoolExpr),
+    /// Global path constraint (`__VERIFIER_assume`).
+    Assume(BoolExpr),
+    /// Acquire a mutex.
+    Lock(String),
+    /// Release a mutex.
+    Unlock(String),
+    /// Full memory fence.
+    Fence,
+    /// Begin of a `__VERIFIER_atomic` section.
+    AtomicBegin,
+    /// End of a `__VERIFIER_atomic` section.
+    AtomicEnd,
+    /// Start the referenced thread (index into [`Program::threads`]).
+    Spawn(usize),
+    /// Wait for the referenced thread to finish.
+    Join(usize),
+    /// No-op.
+    Skip,
+}
+
+/// One thread's code.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Thread {
+    /// Display name.
+    pub name: String,
+    /// Statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// Display name (benchmark id).
+    pub name: String,
+    /// Bit width of every integer (1..=64).
+    pub word_width: u32,
+    /// Shared variables with their initial values (written by the main
+    /// thread as its first events, as in the paper's running example).
+    pub shared: Vec<(String, u64)>,
+    /// Mutex names.
+    pub mutexes: Vec<String>,
+    /// Threads; index 0 is main.
+    pub threads: Vec<Thread>,
+}
+
+/// Structural validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Spawn/Join references a thread index that does not exist or is main.
+    BadThreadRef(usize),
+    /// Lock/Unlock references an undeclared mutex.
+    UnknownMutex(String),
+    /// A worker thread is not spawned exactly once.
+    BadSpawnCount(usize),
+    /// Spawn/Join appears inside a branch or loop (must be unconditional).
+    ConditionalSpawn,
+    /// A shared variable is declared twice.
+    DuplicateShared(String),
+    /// Width outside 1..=64.
+    BadWidth(u32),
+    /// Main thread spawned or joined itself.
+    MainThreadRef,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::BadThreadRef(i) => write!(f, "spawn/join of unknown thread {i}"),
+            ValidationError::UnknownMutex(m) => write!(f, "unknown mutex {m:?}"),
+            ValidationError::BadSpawnCount(i) => {
+                write!(f, "thread {i} must be spawned exactly once")
+            }
+            ValidationError::ConditionalSpawn => {
+                write!(f, "spawn/join must not appear inside a branch or loop")
+            }
+            ValidationError::DuplicateShared(v) => write!(f, "duplicate shared variable {v:?}"),
+            ValidationError::BadWidth(w) => write!(f, "word width {w} outside 1..=64"),
+            ValidationError::MainThreadRef => write!(f, "spawn/join of the main thread"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Program {
+    /// Index of a shared variable, if `name` is shared.
+    pub fn shared_index(&self, name: &str) -> Option<usize> {
+        self.shared.iter().position(|(n, _)| n == name)
+    }
+
+    /// Index of a mutex.
+    pub fn mutex_index(&self, name: &str) -> Option<usize> {
+        self.mutexes.iter().position(|n| n == name)
+    }
+
+    /// Checks structural well-formedness.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        if !(1..=64).contains(&self.word_width) {
+            return Err(ValidationError::BadWidth(self.word_width));
+        }
+        let mut seen = BTreeSet::new();
+        for (n, _) in &self.shared {
+            if !seen.insert(n.clone()) {
+                return Err(ValidationError::DuplicateShared(n.clone()));
+            }
+        }
+        fn walk(
+            stmts: &[Stmt],
+            prog: &Program,
+            top_level: bool,
+            spawns: &mut Vec<usize>,
+        ) -> Result<(), ValidationError> {
+            for s in stmts {
+                match s {
+                    Stmt::Spawn(i) | Stmt::Join(i) => {
+                        if *i == 0 {
+                            return Err(ValidationError::MainThreadRef);
+                        }
+                        if *i >= prog.threads.len() {
+                            return Err(ValidationError::BadThreadRef(*i));
+                        }
+                        if !top_level {
+                            return Err(ValidationError::ConditionalSpawn);
+                        }
+                        if matches!(s, Stmt::Spawn(_)) {
+                            spawns[*i] += 1;
+                        }
+                    }
+                    Stmt::Lock(m) | Stmt::Unlock(m)
+                        if prog.mutex_index(m).is_none() => {
+                            return Err(ValidationError::UnknownMutex(m.clone()));
+                        }
+                    Stmt::If(_, t, e) => {
+                        walk(t, prog, false, spawns)?;
+                        walk(e, prog, false, spawns)?;
+                    }
+                    Stmt::While(_, b) => walk(b, prog, false, spawns)?,
+                    _ => {}
+                }
+            }
+            Ok(())
+        }
+        let mut spawns = vec![0usize; self.threads.len()];
+        for t in &self.threads {
+            walk(&t.body, self, true, &mut spawns)?;
+        }
+        // Every worker thread must be spawned exactly once (the encoder's
+        // guard-true events and spawn edges rely on this).
+        for (i, &n) in spawns.iter().enumerate().skip(1) {
+            if n != 1 {
+                return Err(ValidationError::BadSpawnCount(i));
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` if any statement (in any thread) is a loop.
+    pub fn has_loops(&self) -> bool {
+        fn any_loop(stmts: &[Stmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                Stmt::While(..) => true,
+                Stmt::If(_, t, e) => any_loop(t) || any_loop(e),
+                _ => false,
+            })
+        }
+        self.threads.iter().any(|t| any_loop(&t.body))
+    }
+}
+
+/// Expression/statement construction helpers — the builder DSL used by the
+/// workload generators and the examples.
+pub mod build {
+    use super::*;
+
+    /// Integer constant.
+    pub fn c(v: u64) -> IntExpr {
+        IntExpr::Const(v)
+    }
+    /// Variable reference.
+    pub fn v(name: &str) -> IntExpr {
+        IntExpr::Var(name.to_string())
+    }
+    /// Nondeterministic integer.
+    pub fn nondet(name: &str) -> IntExpr {
+        IntExpr::Nondet(name.to_string())
+    }
+    /// Addition.
+    pub fn add(a: IntExpr, b: IntExpr) -> IntExpr {
+        IntExpr::Add(Box::new(a), Box::new(b))
+    }
+    /// Subtraction.
+    pub fn sub(a: IntExpr, b: IntExpr) -> IntExpr {
+        IntExpr::Sub(Box::new(a), Box::new(b))
+    }
+    /// Multiplication.
+    pub fn mul(a: IntExpr, b: IntExpr) -> IntExpr {
+        IntExpr::Mul(Box::new(a), Box::new(b))
+    }
+    /// Bitwise and.
+    pub fn band(a: IntExpr, b: IntExpr) -> IntExpr {
+        IntExpr::BitAnd(Box::new(a), Box::new(b))
+    }
+    /// Bitwise or.
+    pub fn bor(a: IntExpr, b: IntExpr) -> IntExpr {
+        IntExpr::BitOr(Box::new(a), Box::new(b))
+    }
+    /// Bitwise xor.
+    pub fn bxor(a: IntExpr, b: IntExpr) -> IntExpr {
+        IntExpr::BitXor(Box::new(a), Box::new(b))
+    }
+    /// Conditional expression.
+    pub fn ite(c: BoolExpr, t: IntExpr, e: IntExpr) -> IntExpr {
+        IntExpr::Ite(Box::new(c), Box::new(t), Box::new(e))
+    }
+    /// Boolean constant.
+    pub fn b(x: bool) -> BoolExpr {
+        BoolExpr::Const(x)
+    }
+    /// Nondeterministic Boolean.
+    pub fn nondet_bool(name: &str) -> BoolExpr {
+        BoolExpr::Nondet(name.to_string())
+    }
+    /// Negation.
+    pub fn not(a: BoolExpr) -> BoolExpr {
+        BoolExpr::Not(Box::new(a))
+    }
+    /// Conjunction.
+    pub fn and(a: BoolExpr, bx: BoolExpr) -> BoolExpr {
+        BoolExpr::And(Box::new(a), Box::new(bx))
+    }
+    /// Disjunction.
+    pub fn or(a: BoolExpr, bx: BoolExpr) -> BoolExpr {
+        BoolExpr::Or(Box::new(a), Box::new(bx))
+    }
+    /// Equality.
+    pub fn eq(a: IntExpr, bx: IntExpr) -> BoolExpr {
+        BoolExpr::Eq(Box::new(a), Box::new(bx))
+    }
+    /// Disequality.
+    pub fn ne(a: IntExpr, bx: IntExpr) -> BoolExpr {
+        BoolExpr::Ne(Box::new(a), Box::new(bx))
+    }
+    /// Unsigned less-than.
+    pub fn lt(a: IntExpr, bx: IntExpr) -> BoolExpr {
+        BoolExpr::Lt(Box::new(a), Box::new(bx))
+    }
+    /// Unsigned less-or-equal.
+    pub fn le(a: IntExpr, bx: IntExpr) -> BoolExpr {
+        BoolExpr::Le(Box::new(a), Box::new(bx))
+    }
+    /// Unsigned greater-than.
+    pub fn gt(a: IntExpr, bx: IntExpr) -> BoolExpr {
+        BoolExpr::Gt(Box::new(a), Box::new(bx))
+    }
+    /// Unsigned greater-or-equal.
+    pub fn ge(a: IntExpr, bx: IntExpr) -> BoolExpr {
+        BoolExpr::Ge(Box::new(a), Box::new(bx))
+    }
+
+    /// Assignment statement.
+    pub fn assign(x: &str, e: IntExpr) -> Stmt {
+        Stmt::Assign(x.to_string(), e)
+    }
+    /// If-then-else.
+    pub fn if_(c: BoolExpr, t: Vec<Stmt>, e: Vec<Stmt>) -> Stmt {
+        Stmt::If(c, t, e)
+    }
+    /// If-then.
+    pub fn when(c: BoolExpr, t: Vec<Stmt>) -> Stmt {
+        Stmt::If(c, t, Vec::new())
+    }
+    /// Bounded loop (unrolled by the front-end).
+    pub fn while_(c: BoolExpr, body: Vec<Stmt>) -> Stmt {
+        Stmt::While(c, body)
+    }
+    /// Assertion.
+    pub fn assert_(c: BoolExpr) -> Stmt {
+        Stmt::Assert(c)
+    }
+    /// Assumption.
+    pub fn assume(c: BoolExpr) -> Stmt {
+        Stmt::Assume(c)
+    }
+    /// Lock acquisition.
+    pub fn lock(m: &str) -> Stmt {
+        Stmt::Lock(m.to_string())
+    }
+    /// Lock release.
+    pub fn unlock(m: &str) -> Stmt {
+        Stmt::Unlock(m.to_string())
+    }
+    /// Full fence.
+    pub fn fence() -> Stmt {
+        Stmt::Fence
+    }
+    /// An atomic section wrapping `body`.
+    pub fn atomic(body: Vec<Stmt>) -> Vec<Stmt> {
+        let mut v = vec![Stmt::AtomicBegin];
+        v.extend(body);
+        v.push(Stmt::AtomicEnd);
+        v
+    }
+    /// Spawn a thread by index.
+    pub fn spawn(i: usize) -> Stmt {
+        Stmt::Spawn(i)
+    }
+    /// Join a thread by index.
+    pub fn join(i: usize) -> Stmt {
+        Stmt::Join(i)
+    }
+
+    /// Fluent program builder.
+    pub struct ProgramBuilder {
+        prog: Program,
+    }
+
+    impl ProgramBuilder {
+        /// Starts a program with the default 8-bit width.
+        pub fn new(name: &str) -> ProgramBuilder {
+            ProgramBuilder {
+                prog: Program {
+                    name: name.to_string(),
+                    word_width: 8,
+                    shared: Vec::new(),
+                    mutexes: Vec::new(),
+                    threads: vec![Thread { name: "main".to_string(), body: Vec::new() }],
+                },
+            }
+        }
+
+        /// Sets the integer width.
+        pub fn width(mut self, w: u32) -> Self {
+            self.prog.word_width = w;
+            self
+        }
+
+        /// Declares a shared variable.
+        pub fn shared(mut self, name: &str, init: u64) -> Self {
+            self.prog.shared.push((name.to_string(), init));
+            self
+        }
+
+        /// Declares a mutex.
+        pub fn mutex(mut self, name: &str) -> Self {
+            self.prog.mutexes.push(name.to_string());
+            self
+        }
+
+        /// Adds a worker thread, returning its index for `spawn`/`join`.
+        pub fn thread(mut self, name: &str, body: Vec<Stmt>) -> Self {
+            self.prog.threads.push(Thread { name: name.to_string(), body });
+            self
+        }
+
+        /// Sets the main thread's body. If it contains no `Spawn`, spawns of
+        /// all worker threads are prepended and joins appended automatically
+        /// (the common benchmark shape).
+        pub fn main(mut self, body: Vec<Stmt>) -> Self {
+            self.prog.threads[0].body = body;
+            self
+        }
+
+        /// Finishes, auto-inserting spawn/join if `main` never spawns.
+        pub fn build(mut self) -> Program {
+            let has_spawn = self.prog.threads[0]
+                .body
+                .iter()
+                .any(|s| matches!(s, Stmt::Spawn(_)));
+            if !has_spawn && self.prog.threads.len() > 1 {
+                let n = self.prog.threads.len();
+                let mut body: Vec<Stmt> = (1..n).map(Stmt::Spawn).collect();
+                let old = std::mem::take(&mut self.prog.threads[0].body);
+                body.extend((1..n).map(Stmt::Join));
+                body.extend(old);
+                self.prog.threads[0].body = body;
+            }
+            self.prog
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    fn two_thread_prog() -> Program {
+        ProgramBuilder::new("example")
+            .shared("x", 0)
+            .shared("y", 0)
+            .thread("t1", vec![assign("x", add(v("y"), c(1))), assign("m", v("y"))])
+            .thread("t2", vec![assign("y", add(v("x"), c(1))), assign("n", v("x"))])
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(not(and(eq(v("m"), c(0)), eq(v("n"), c(0))))),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn validates_ok() {
+        assert_eq!(two_thread_prog().validate(), Ok(()));
+    }
+
+    #[test]
+    fn shared_index_lookup() {
+        let p = two_thread_prog();
+        assert_eq!(p.shared_index("x"), Some(0));
+        assert_eq!(p.shared_index("y"), Some(1));
+        assert_eq!(p.shared_index("m"), None);
+    }
+
+    #[test]
+    fn bad_thread_ref_rejected() {
+        let p = ProgramBuilder::new("bad")
+            .main(vec![spawn(3)])
+            .build();
+        assert_eq!(p.validate(), Err(ValidationError::BadThreadRef(3)));
+    }
+
+    #[test]
+    fn main_self_spawn_rejected() {
+        let p = ProgramBuilder::new("bad")
+            .main(vec![Stmt::Spawn(0)])
+            .build();
+        assert_eq!(p.validate(), Err(ValidationError::MainThreadRef));
+    }
+
+    #[test]
+    fn unknown_mutex_rejected() {
+        let p = ProgramBuilder::new("bad")
+            .thread("t", vec![lock("m")])
+            .build();
+        assert_eq!(p.validate(), Err(ValidationError::UnknownMutex("m".to_string())));
+    }
+
+    #[test]
+    fn duplicate_shared_rejected() {
+        let p = ProgramBuilder::new("bad")
+            .shared("x", 0)
+            .shared("x", 1)
+            .build();
+        assert_eq!(p.validate(), Err(ValidationError::DuplicateShared("x".to_string())));
+    }
+
+    #[test]
+    fn auto_spawn_join_wrapping() {
+        let p = two_thread_prog();
+        // main explicitly spawns, so nothing is auto-inserted.
+        assert_eq!(
+            p.threads[0]
+                .body
+                .iter()
+                .filter(|s| matches!(s, Stmt::Spawn(_)))
+                .count(),
+            2
+        );
+        let q = ProgramBuilder::new("auto")
+            .shared("x", 0)
+            .thread("t1", vec![assign("x", c(1))])
+            .main(vec![assert_(eq(v("x"), c(1)))])
+            .build();
+        assert!(matches!(q.threads[0].body[0], Stmt::Spawn(1)));
+        assert!(matches!(q.threads[0].body[1], Stmt::Join(1)));
+    }
+
+    #[test]
+    fn has_loops_detection() {
+        let mut p = two_thread_prog();
+        assert!(!p.has_loops());
+        p.threads[1]
+            .body
+            .push(while_(lt(v("x"), c(3)), vec![assign("x", add(v("x"), c(1)))]));
+        assert!(p.has_loops());
+    }
+}

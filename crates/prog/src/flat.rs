@@ -1,0 +1,407 @@
+//! Lowering of (unrolled, loop-free) programs to flat micro-instructions.
+//!
+//! The flat form makes every *shared-memory access* an individual
+//! instruction, so the explicit-state interpreters explore interleavings at
+//! exactly the granularity the partial-order encoder models (each
+//! syntactic shared read/write is one event). Expressions in the flat form
+//! are over locals only — shared reads have been hoisted into
+//! [`Instr::LoadShared`] temporaries (left-to-right evaluation order, the
+//! same order the encoder creates read events in).
+
+use crate::ast::{BoolExpr, IntExpr, Program, Stmt};
+
+/// A micro-instruction. All embedded expressions reference locals only.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst := shared[var]` — a global read event.
+    LoadShared {
+        /// Local temp receiving the value.
+        dst: String,
+        /// Shared-variable index.
+        var: usize,
+    },
+    /// `shared[var] := val` — a global write event.
+    StoreShared {
+        /// Shared-variable index.
+        var: usize,
+        /// Value expression (local-only).
+        val: IntExpr,
+    },
+    /// Local assignment.
+    AssignLocal {
+        /// Local name.
+        dst: String,
+        /// Value expression (local-only).
+        val: IntExpr,
+    },
+    /// Nondeterministic integer input.
+    HavocInt {
+        /// Local temp receiving the value.
+        dst: String,
+    },
+    /// Nondeterministic Boolean input (0 or 1).
+    HavocBool {
+        /// Local temp receiving the value.
+        dst: String,
+    },
+    /// Conditional jump: fall through when `cond` holds, else go to `target`.
+    JmpIfFalse {
+        /// Condition (local-only).
+        cond: BoolExpr,
+        /// Jump target when the condition is false.
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target pc.
+        target: usize,
+    },
+    /// Safety check.
+    Assert(BoolExpr),
+    /// Global path constraint; a false assumption silently discards the
+    /// whole execution.
+    Assume(BoolExpr),
+    /// Acquire mutex (blocks while held).
+    Lock(usize),
+    /// Release mutex.
+    Unlock(usize),
+    /// Full memory fence.
+    Fence,
+    /// Begin of an atomic section.
+    AtomicBegin,
+    /// End of an atomic section.
+    AtomicEnd,
+    /// Start thread.
+    Spawn(usize),
+    /// Wait for thread to finish.
+    Join(usize),
+}
+
+/// One thread as flat code; `pc == code.len()` means finished.
+#[derive(Clone, Debug)]
+pub struct FlatThread {
+    /// Display name.
+    pub name: String,
+    /// The instructions.
+    pub code: Vec<Instr>,
+}
+
+/// A lowered program.
+#[derive(Clone, Debug)]
+pub struct FlatProgram {
+    /// Integer width.
+    pub word_width: u32,
+    /// Shared-variable names (index = id).
+    pub shared_names: Vec<String>,
+    /// Initial values of shared variables.
+    pub shared_init: Vec<u64>,
+    /// Number of mutexes.
+    pub num_mutexes: usize,
+    /// Threads; index 0 is main.
+    pub threads: Vec<FlatThread>,
+}
+
+/// Lowers a loop-free program. Panics on loops — call
+/// [`crate::unroll::unroll_program`] first.
+pub fn flatten(prog: &Program) -> FlatProgram {
+    assert!(!prog.has_loops(), "flatten requires a loop-free (unrolled) program");
+    let threads = prog
+        .threads
+        .iter()
+        .map(|t| {
+            let mut lw = Lowerer { prog, code: Vec::new(), tmp: 0 };
+            lw.stmts(&t.body);
+            FlatThread { name: t.name.clone(), code: lw.code }
+        })
+        .collect();
+    FlatProgram {
+        word_width: prog.word_width,
+        shared_names: prog.shared.iter().map(|(n, _)| n.clone()).collect(),
+        shared_init: prog.shared.iter().map(|&(_, v)| v).collect(),
+        num_mutexes: prog.mutexes.len(),
+        threads,
+    }
+}
+
+struct Lowerer<'a> {
+    prog: &'a Program,
+    code: Vec<Instr>,
+    tmp: usize,
+}
+
+impl Lowerer<'_> {
+    fn fresh(&mut self) -> String {
+        self.tmp += 1;
+        format!("%t{}", self.tmp)
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign(x, e) => {
+                let val = self.int(e);
+                match self.prog.shared_index(x) {
+                    Some(var) => self.code.push(Instr::StoreShared { var, val }),
+                    None => self.code.push(Instr::AssignLocal { dst: x.clone(), val }),
+                }
+            }
+            Stmt::If(c, t, e) => {
+                let cond = self.bool(c);
+                let jmp_at = self.code.len();
+                self.code.push(Instr::JmpIfFalse { cond, target: usize::MAX });
+                self.stmts(t);
+                if e.is_empty() {
+                    let end = self.code.len();
+                    self.patch_jmp(jmp_at, end);
+                } else {
+                    let skip_at = self.code.len();
+                    self.code.push(Instr::Jmp { target: usize::MAX });
+                    let else_start = self.code.len();
+                    self.patch_jmp(jmp_at, else_start);
+                    self.stmts(e);
+                    let end = self.code.len();
+                    self.patch_jmp(skip_at, end);
+                }
+            }
+            Stmt::While(..) => unreachable!("loop survived unrolling"),
+            Stmt::Assert(c) => {
+                let cond = self.bool(c);
+                self.code.push(Instr::Assert(cond));
+            }
+            Stmt::Assume(c) => {
+                let cond = self.bool(c);
+                self.code.push(Instr::Assume(cond));
+            }
+            Stmt::Lock(m) => {
+                let i = self.prog.mutex_index(m).expect("validated mutex");
+                self.code.push(Instr::Lock(i));
+            }
+            Stmt::Unlock(m) => {
+                let i = self.prog.mutex_index(m).expect("validated mutex");
+                self.code.push(Instr::Unlock(i));
+            }
+            Stmt::Fence => self.code.push(Instr::Fence),
+            Stmt::AtomicBegin => self.code.push(Instr::AtomicBegin),
+            Stmt::AtomicEnd => self.code.push(Instr::AtomicEnd),
+            Stmt::Spawn(i) => self.code.push(Instr::Spawn(*i)),
+            Stmt::Join(i) => self.code.push(Instr::Join(*i)),
+            Stmt::Skip => {}
+        }
+    }
+
+    fn patch_jmp(&mut self, at: usize, target: usize) {
+        match &mut self.code[at] {
+            Instr::JmpIfFalse { target: t, .. } | Instr::Jmp { target: t } => *t = target,
+            _ => unreachable!("patching a non-jump"),
+        }
+    }
+
+    /// Lowers an integer expression, hoisting shared reads and nondets.
+    fn int(&mut self, e: &IntExpr) -> IntExpr {
+        match e {
+            IntExpr::Const(v) => IntExpr::Const(*v),
+            IntExpr::Var(x) => match self.prog.shared_index(x) {
+                Some(var) => {
+                    let dst = self.fresh();
+                    self.code.push(Instr::LoadShared { dst: dst.clone(), var });
+                    IntExpr::Var(dst)
+                }
+                None => IntExpr::Var(x.clone()),
+            },
+            IntExpr::Nondet(name) => {
+                let dst = format!("%nd_{name}");
+                self.code.push(Instr::HavocInt { dst: dst.clone() });
+                IntExpr::Var(dst)
+            }
+            IntExpr::Add(a, b) => bin(self.int(a), self.int(b), IntExpr::Add),
+            IntExpr::Sub(a, b) => bin(self.int(a), self.int(b), IntExpr::Sub),
+            IntExpr::Mul(a, b) => bin(self.int(a), self.int(b), IntExpr::Mul),
+            IntExpr::BitAnd(a, b) => bin(self.int(a), self.int(b), IntExpr::BitAnd),
+            IntExpr::BitOr(a, b) => bin(self.int(a), self.int(b), IntExpr::BitOr),
+            IntExpr::BitXor(a, b) => bin(self.int(a), self.int(b), IntExpr::BitXor),
+            IntExpr::Shl(a, by) => IntExpr::Shl(Box::new(self.int(a)), *by),
+            IntExpr::Shr(a, by) => IntExpr::Shr(Box::new(self.int(a)), *by),
+            IntExpr::Ite(c, a, b) => {
+                let lc = self.bool(c);
+                let la = self.int(a);
+                let lb = self.int(b);
+                IntExpr::Ite(Box::new(lc), Box::new(la), Box::new(lb))
+            }
+        }
+    }
+
+    /// Lowers a Boolean expression, hoisting shared reads and nondets.
+    fn bool(&mut self, e: &BoolExpr) -> BoolExpr {
+        match e {
+            BoolExpr::Const(v) => BoolExpr::Const(*v),
+            BoolExpr::Nondet(name) => {
+                let dst = format!("%nb_{name}");
+                self.code.push(Instr::HavocBool { dst: dst.clone() });
+                BoolExpr::Ne(
+                    Box::new(IntExpr::Var(dst)),
+                    Box::new(IntExpr::Const(0)),
+                )
+            }
+            BoolExpr::Not(a) => BoolExpr::Not(Box::new(self.bool(a))),
+            BoolExpr::And(a, b) => {
+                BoolExpr::And(Box::new(self.bool(a)), Box::new(self.bool(b)))
+            }
+            BoolExpr::Or(a, b) => BoolExpr::Or(Box::new(self.bool(a)), Box::new(self.bool(b))),
+            BoolExpr::Eq(a, b) => cmp(self.int(a), self.int(b), BoolExpr::Eq),
+            BoolExpr::Ne(a, b) => cmp(self.int(a), self.int(b), BoolExpr::Ne),
+            BoolExpr::Lt(a, b) => cmp(self.int(a), self.int(b), BoolExpr::Lt),
+            BoolExpr::Le(a, b) => cmp(self.int(a), self.int(b), BoolExpr::Le),
+            BoolExpr::Gt(a, b) => cmp(self.int(a), self.int(b), BoolExpr::Gt),
+            BoolExpr::Ge(a, b) => cmp(self.int(a), self.int(b), BoolExpr::Ge),
+        }
+    }
+}
+
+fn bin(
+    a: IntExpr,
+    b: IntExpr,
+    f: fn(Box<IntExpr>, Box<IntExpr>) -> IntExpr,
+) -> IntExpr {
+    f(Box::new(a), Box::new(b))
+}
+
+fn cmp(
+    a: IntExpr,
+    b: IntExpr,
+    f: fn(Box<IntExpr>, Box<IntExpr>) -> BoolExpr,
+) -> BoolExpr {
+    f(Box::new(a), Box::new(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+
+    fn prog_xy() -> Program {
+        ProgramBuilder::new("p")
+            .shared("x", 0)
+            .shared("y", 0)
+            .thread("t1", vec![assign("x", add(v("y"), c(1)))])
+            .main(vec![assert_(eq(v("x"), c(1)))])
+            .build()
+    }
+
+    #[test]
+    fn shared_reads_are_hoisted_left_to_right() {
+        let fp = flatten(&prog_xy());
+        let t1 = &fp.threads[1].code;
+        // read y into a temp, then store x.
+        assert!(matches!(t1[0], Instr::LoadShared { var: 1, .. }));
+        assert!(matches!(t1[1], Instr::StoreShared { var: 0, .. }));
+        // Main: spawn, join, load x, assert.
+        let main = &fp.threads[0].code;
+        assert!(matches!(main[0], Instr::Spawn(1)));
+        assert!(matches!(main[1], Instr::Join(1)));
+        assert!(matches!(main[2], Instr::LoadShared { var: 0, .. }));
+        assert!(matches!(main[3], Instr::Assert(_)));
+    }
+
+    #[test]
+    fn multiple_reads_in_one_expr_are_separate_loads() {
+        let p = ProgramBuilder::new("p")
+            .shared("x", 0)
+            .thread("t", vec![assign("r", add(v("x"), v("x")))])
+            .build();
+        let fp = flatten(&p);
+        let loads = fp.threads[1]
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::LoadShared { .. }))
+            .count();
+        assert_eq!(loads, 2);
+    }
+
+    #[test]
+    fn if_lowering_targets() {
+        let p = ProgramBuilder::new("p")
+            .shared("x", 0)
+            .thread(
+                "t",
+                vec![if_(
+                    eq(v("x"), c(0)),
+                    vec![assign("a", c(1))],
+                    vec![assign("a", c(2))],
+                )],
+            )
+            .build();
+        let fp = flatten(&p);
+        let code = &fp.threads[1].code;
+        // load x; jmp-if-false L_else; a:=1; jmp L_end; L_else: a:=2; L_end.
+        let Instr::JmpIfFalse { target: else_t, .. } = &code[1] else {
+            panic!("expected conditional jump, got {:?}", code[1]);
+        };
+        let Instr::Jmp { target: end_t } = &code[3] else {
+            panic!("expected jump, got {:?}", code[3]);
+        };
+        assert_eq!(*else_t, 4);
+        assert_eq!(*end_t, 5);
+        assert!(matches!(code[4], Instr::AssignLocal { .. }));
+        assert_eq!(code.len(), 5);
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let p = ProgramBuilder::new("p")
+            .shared("x", 0)
+            .thread("t", vec![when(eq(v("x"), c(0)), vec![assign("a", c(1))]), assign("b", c(2))])
+            .build();
+        let fp = flatten(&p);
+        let code = &fp.threads[1].code;
+        let Instr::JmpIfFalse { target, .. } = &code[1] else {
+            panic!()
+        };
+        assert!(matches!(code[*target], Instr::AssignLocal { ref dst, .. } if dst == "b"));
+    }
+
+    #[test]
+    fn nondets_become_havocs() {
+        let p = ProgramBuilder::new("p")
+            .shared("x", 0)
+            .thread("t", vec![assign("x", nondet("n1")), assume(nondet_bool("c1"))])
+            .build();
+        let fp = flatten(&p);
+        let code = &fp.threads[1].code;
+        assert!(matches!(code[0], Instr::HavocInt { .. }));
+        assert!(matches!(code[1], Instr::StoreShared { .. }));
+        assert!(matches!(code[2], Instr::HavocBool { .. }));
+        assert!(matches!(code[3], Instr::Assume(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "loop-free")]
+    fn flatten_rejects_loops() {
+        let p = ProgramBuilder::new("p")
+            .shared("x", 0)
+            .thread("t", vec![while_(lt(v("x"), c(3)), vec![assign("x", add(v("x"), c(1)))])])
+            .build();
+        let _ = flatten(&p);
+    }
+
+    #[test]
+    fn condition_reads_happen_before_branch() {
+        let p = ProgramBuilder::new("p")
+            .shared("x", 0)
+            .shared("y", 0)
+            .thread(
+                "t",
+                vec![if_(eq(v("x"), v("y")), vec![], vec![])],
+            )
+            .build();
+        let fp = flatten(&p);
+        let code = &fp.threads[1].code;
+        assert!(matches!(code[0], Instr::LoadShared { var: 0, .. }));
+        assert!(matches!(code[1], Instr::LoadShared { var: 1, .. }));
+        assert!(matches!(code[2], Instr::JmpIfFalse { .. }));
+    }
+}

@@ -1,0 +1,476 @@
+//! Explicit-state interleaving exploration under sequential consistency.
+//!
+//! This is the reference oracle: it enumerates *all* interleavings of the
+//! flat program at shared-access granularity (each `LoadShared` /
+//! `StoreShared` is one atomic step) and reports whether any assertion can
+//! fail. The SMT pipeline's SC verdicts are cross-validated against it in
+//! the integration tests and property tests.
+
+use crate::ast::{BoolExpr, IntExpr};
+use crate::flat::{FlatProgram, Instr};
+use std::collections::{BTreeMap, HashSet};
+
+/// Result of an exploration.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// No reachable assertion violation.
+    Safe,
+    /// Some interleaving violates an assertion.
+    Unsafe,
+    /// The state or havoc-width limit was exceeded.
+    ResourceLimit,
+}
+
+/// Exploration limits.
+#[derive(Copy, Clone, Debug)]
+pub struct Limits {
+    /// Maximum number of distinct states to visit.
+    pub max_states: usize,
+    /// Maximum word width for which havocs are enumerated exhaustively.
+    pub max_havoc_width: u32,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits { max_states: 2_000_000, max_havoc_width: 4 }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct State {
+    pcs: Vec<usize>,
+    locals: Vec<BTreeMap<String, u64>>,
+    shared: Vec<u64>,
+    mutex: Vec<Option<u8>>,
+    started: Vec<bool>,
+    /// Atomic-section holder and nesting depth.
+    atomic: Option<(u8, u32)>,
+}
+
+/// Evaluates a local-only integer expression.
+pub(crate) fn eval_int(e: &IntExpr, locals: &BTreeMap<String, u64>, width: u32) -> u64 {
+    let mask = |v: u64| crate_truncate(v, width);
+    match e {
+        IntExpr::Const(v) => mask(*v),
+        IntExpr::Var(x) => *locals.get(x).unwrap_or(&0),
+        IntExpr::Nondet(n) => panic!("nondet {n:?} survived lowering"),
+        IntExpr::Add(a, b) => mask(eval_int(a, locals, width).wrapping_add(eval_int(b, locals, width))),
+        IntExpr::Sub(a, b) => mask(eval_int(a, locals, width).wrapping_sub(eval_int(b, locals, width))),
+        IntExpr::Mul(a, b) => mask(eval_int(a, locals, width).wrapping_mul(eval_int(b, locals, width))),
+        IntExpr::BitAnd(a, b) => eval_int(a, locals, width) & eval_int(b, locals, width),
+        IntExpr::BitOr(a, b) => eval_int(a, locals, width) | eval_int(b, locals, width),
+        IntExpr::BitXor(a, b) => eval_int(a, locals, width) ^ eval_int(b, locals, width),
+        IntExpr::Shl(a, by) => mask(eval_int(a, locals, width) << by),
+        IntExpr::Shr(a, by) => eval_int(a, locals, width) >> by,
+        IntExpr::Ite(c, a, b) => {
+            if eval_bool(c, locals, width) {
+                eval_int(a, locals, width)
+            } else {
+                eval_int(b, locals, width)
+            }
+        }
+    }
+}
+
+/// Evaluates a local-only Boolean expression.
+pub(crate) fn eval_bool(e: &BoolExpr, locals: &BTreeMap<String, u64>, width: u32) -> bool {
+    match e {
+        BoolExpr::Const(v) => *v,
+        BoolExpr::Nondet(n) => panic!("nondet {n:?} survived lowering"),
+        BoolExpr::Not(a) => !eval_bool(a, locals, width),
+        BoolExpr::And(a, b) => eval_bool(a, locals, width) && eval_bool(b, locals, width),
+        BoolExpr::Or(a, b) => eval_bool(a, locals, width) || eval_bool(b, locals, width),
+        BoolExpr::Eq(a, b) => eval_int(a, locals, width) == eval_int(b, locals, width),
+        BoolExpr::Ne(a, b) => eval_int(a, locals, width) != eval_int(b, locals, width),
+        BoolExpr::Lt(a, b) => eval_int(a, locals, width) < eval_int(b, locals, width),
+        BoolExpr::Le(a, b) => eval_int(a, locals, width) <= eval_int(b, locals, width),
+        BoolExpr::Gt(a, b) => eval_int(a, locals, width) > eval_int(b, locals, width),
+        BoolExpr::Ge(a, b) => eval_int(a, locals, width) >= eval_int(b, locals, width),
+    }
+}
+
+fn crate_truncate(v: u64, width: u32) -> u64 {
+    if width == 64 {
+        v
+    } else {
+        v & ((1u64 << width) - 1)
+    }
+}
+
+/// Explores all SC interleavings of `fp`.
+pub fn check_sc(fp: &FlatProgram, limits: Limits) -> Outcome {
+    let nt = fp.threads.len();
+    let init = State {
+        pcs: vec![0; nt],
+        locals: vec![BTreeMap::new(); nt],
+        shared: fp.shared_init.clone(),
+        mutex: vec![None; fp.num_mutexes],
+        started: {
+            let mut s = vec![false; nt];
+            s[0] = true;
+            s
+        },
+        atomic: None,
+    };
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut stack = vec![init.clone()];
+    visited.insert(init);
+    while let Some(st) = stack.pop() {
+        if visited.len() > limits.max_states {
+            return Outcome::ResourceLimit;
+        }
+        for t in 0..nt {
+            if !enabled(fp, &st, t) {
+                continue;
+            }
+            match step(fp, &st, t, limits) {
+                StepResult::Violation => return Outcome::Unsafe,
+                StepResult::LimitExceeded => return Outcome::ResourceLimit,
+                StepResult::Successors(succs) => {
+                    for s in succs {
+                        if visited.insert(s.clone()) {
+                            stack.push(s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Outcome::Safe
+}
+
+fn finished(fp: &FlatProgram, st: &State, t: usize) -> bool {
+    st.started[t] && st.pcs[t] >= fp.threads[t].code.len()
+}
+
+fn enabled(fp: &FlatProgram, st: &State, t: usize) -> bool {
+    if !st.started[t] || st.pcs[t] >= fp.threads[t].code.len() {
+        return false;
+    }
+    if let Some((holder, _)) = st.atomic {
+        if holder as usize != t {
+            return false;
+        }
+    }
+    match &fp.threads[t].code[st.pcs[t]] {
+        Instr::Lock(m) => st.mutex[*m].is_none(),
+        Instr::Join(i) => finished(fp, st, *i),
+        _ => true,
+    }
+}
+
+enum StepResult {
+    Successors(Vec<State>),
+    Violation,
+    LimitExceeded,
+}
+
+fn step(fp: &FlatProgram, st: &State, t: usize, limits: Limits) -> StepResult {
+    let w = fp.word_width;
+    let instr = &fp.threads[t].code[st.pcs[t]];
+    let mut next = st.clone();
+    next.pcs[t] += 1;
+    match instr {
+        Instr::LoadShared { dst, var } => {
+            next.locals[t].insert(dst.clone(), st.shared[*var]);
+        }
+        Instr::StoreShared { var, val } => {
+            next.shared[*var] = eval_int(val, &st.locals[t], w);
+        }
+        Instr::AssignLocal { dst, val } => {
+            let v = eval_int(val, &st.locals[t], w);
+            next.locals[t].insert(dst.clone(), v);
+        }
+        Instr::HavocInt { dst } => {
+            if w > limits.max_havoc_width {
+                return StepResult::LimitExceeded;
+            }
+            let succs = (0..(1u64 << w))
+                .map(|v| {
+                    let mut s = next.clone();
+                    s.locals[t].insert(dst.clone(), v);
+                    s
+                })
+                .collect();
+            return StepResult::Successors(succs);
+        }
+        Instr::HavocBool { dst } => {
+            let succs = (0..2u64)
+                .map(|v| {
+                    let mut s = next.clone();
+                    s.locals[t].insert(dst.clone(), v);
+                    s
+                })
+                .collect();
+            return StepResult::Successors(succs);
+        }
+        Instr::JmpIfFalse { cond, target } => {
+            if !eval_bool(cond, &st.locals[t], w) {
+                next.pcs[t] = *target;
+            }
+        }
+        Instr::Jmp { target } => {
+            next.pcs[t] = *target;
+        }
+        Instr::Assert(cond) => {
+            if !eval_bool(cond, &st.locals[t], w) {
+                return StepResult::Violation;
+            }
+        }
+        Instr::Assume(cond) => {
+            if !eval_bool(cond, &st.locals[t], w) {
+                // Infeasible execution: discard this branch entirely.
+                return StepResult::Successors(Vec::new());
+            }
+        }
+        Instr::Lock(m) => {
+            debug_assert!(st.mutex[*m].is_none());
+            next.mutex[*m] = Some(t as u8);
+        }
+        Instr::Unlock(m) => {
+            if st.mutex[*m] != Some(t as u8) {
+                // Unlock of a mutex not held by this thread: undefined
+                // behaviour — treat the execution as discarded.
+                return StepResult::Successors(Vec::new());
+            }
+            next.mutex[*m] = None;
+        }
+        Instr::Fence => {}
+        Instr::AtomicBegin => {
+            next.atomic = match st.atomic {
+                None => Some((t as u8, 1)),
+                Some((h, d)) => {
+                    debug_assert_eq!(h as usize, t);
+                    Some((h, d + 1))
+                }
+            };
+        }
+        Instr::AtomicEnd => {
+            next.atomic = match st.atomic {
+                Some((h, 1)) => {
+                    debug_assert_eq!(h as usize, t);
+                    None
+                }
+                Some((h, d)) => Some((h, d - 1)),
+                None => None,
+            };
+        }
+        Instr::Spawn(i) => {
+            next.started[*i] = true;
+        }
+        Instr::Join(_) => {} // enabledness already checked
+    }
+    StepResult::Successors(vec![next])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+    use crate::flat::flatten;
+    use crate::unroll::unroll_program;
+
+    fn check(p: &crate::ast::Program) -> Outcome {
+        let u = unroll_program(p, 4);
+        check_sc(&flatten(&u), Limits::default())
+    }
+
+    #[test]
+    fn sequential_assert_holds() {
+        let p = ProgramBuilder::new("seq")
+            .shared("x", 0)
+            .main(vec![assign("x", c(5)), assert_(eq(v("x"), c(5)))])
+            .build();
+        assert_eq!(check(&p), Outcome::Safe);
+    }
+
+    #[test]
+    fn sequential_assert_fails() {
+        let p = ProgramBuilder::new("seq-bad")
+            .shared("x", 0)
+            .main(vec![assign("x", c(5)), assert_(eq(v("x"), c(6)))])
+            .build();
+        assert_eq!(check(&p), Outcome::Unsafe);
+    }
+
+    /// The paper's running example (Fig. 2): two threads incrementing each
+    /// other's variable; `m == 0 && n == 0` is unreachable under SC.
+    #[test]
+    fn paper_example_is_safe_under_sc() {
+        // m and n must be shared so main can observe them in the assertion.
+        let p = ProgramBuilder::new("fig2")
+            .shared("x", 0)
+            .shared("y", 0)
+            .shared("m", 0)
+            .shared("n", 0)
+            .thread("t1", vec![assign("x", add(v("y"), c(1))), assign("m", v("y"))])
+            .thread("t2", vec![assign("y", add(v("x"), c(1))), assign("n", v("x"))])
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(not(and(eq(v("m"), c(0)), eq(v("n"), c(0))))),
+            ])
+            .build();
+        assert_eq!(check(&p), Outcome::Safe);
+    }
+
+    /// Unprotected counter increments race: final value can be 1.
+    #[test]
+    fn racy_increment_is_unsafe() {
+        let inc = vec![assign("r", v("c")), assign("c", add(v("r"), c(1)))];
+        let p = ProgramBuilder::new("race")
+            .shared("c", 0)
+            .thread("w1", inc.clone())
+            .thread("w2", inc)
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(eq(v("c"), c(2))),
+            ])
+            .build();
+        assert_eq!(check(&p), Outcome::Unsafe);
+    }
+
+    /// The same counter protected by a mutex is safe.
+    #[test]
+    fn locked_increment_is_safe() {
+        let inc = vec![
+            lock("m"),
+            assign("r", v("c")),
+            assign("c", add(v("r"), c(1))),
+            unlock("m"),
+        ];
+        let p = ProgramBuilder::new("locked")
+            .shared("c", 0)
+            .mutex("m")
+            .thread("w1", inc.clone())
+            .thread("w2", inc)
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(eq(v("c"), c(2))),
+            ])
+            .build();
+        assert_eq!(check(&p), Outcome::Safe);
+    }
+
+    /// Atomic sections restore atomicity like locks do.
+    #[test]
+    fn atomic_increment_is_safe() {
+        let mut body = atomic(vec![assign("r", v("c")), assign("c", add(v("r"), c(1)))]);
+        let mut body2 = body.clone();
+        let p = ProgramBuilder::new("atomic")
+            .shared("c", 0)
+            .thread("w1", std::mem::take(&mut body))
+            .thread("w2", std::mem::take(&mut body2))
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(eq(v("c"), c(2))),
+            ])
+            .build();
+        assert_eq!(check(&p), Outcome::Safe);
+    }
+
+    /// Store-buffering litmus: under SC, both registers zero is impossible.
+    #[test]
+    fn store_buffering_safe_under_sc() {
+        let p = ProgramBuilder::new("sb")
+            .shared("x", 0)
+            .shared("y", 0)
+            .shared("r1", 0)
+            .shared("r2", 0)
+            .thread("t1", vec![assign("x", c(1)), assign("r1", v("y"))])
+            .thread("t2", vec![assign("y", c(1)), assign("r2", v("x"))])
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(not(and(eq(v("r1"), c(0)), eq(v("r2"), c(0))))),
+            ])
+            .build();
+        assert_eq!(check(&p), Outcome::Safe);
+    }
+
+    /// Nondeterministic input: assert can fail for some value.
+    #[test]
+    fn nondet_violation_found() {
+        let p = ProgramBuilder::new("nd")
+            .width(3)
+            .shared("x", 0)
+            .main(vec![
+                assign("x", nondet("n")),
+                assume(lt(v("x"), c(5))),
+                assert_(ne(v("x"), c(3))),
+            ])
+            .build();
+        assert_eq!(check(&p), Outcome::Unsafe);
+    }
+
+    /// The assumption excludes the violating value.
+    #[test]
+    fn assume_prunes_violation() {
+        let p = ProgramBuilder::new("nd2")
+            .width(3)
+            .shared("x", 0)
+            .main(vec![
+                assign("x", nondet("n")),
+                assume(lt(v("x"), c(3))),
+                assert_(ne(v("x"), c(5))),
+            ])
+            .build();
+        assert_eq!(check(&p), Outcome::Safe);
+    }
+
+    /// Loop with unrolling: counting to 3 then asserting equals 3.
+    #[test]
+    fn unrolled_loop_counts() {
+        let p = ProgramBuilder::new("loop")
+            .shared("x", 0)
+            .main(vec![
+                while_(lt(v("x"), c(3)), vec![assign("x", add(v("x"), c(1)))]),
+                assert_(eq(v("x"), c(3))),
+            ])
+            .build();
+        assert_eq!(check(&p), Outcome::Safe);
+    }
+
+    /// Insufficient unroll bound: the unwinding assumption prunes all
+    /// executions, so nothing is reported (vacuously safe).
+    #[test]
+    fn short_unroll_is_vacuously_safe() {
+        let p = ProgramBuilder::new("loop")
+            .shared("x", 0)
+            .main(vec![
+                while_(lt(v("x"), c(3)), vec![assign("x", add(v("x"), c(1)))]),
+                assert_(eq(v("x"), c(99))),
+            ])
+            .build();
+        let u = unroll_program(&p, 1);
+        assert_eq!(check_sc(&flatten(&u), Limits::default()), Outcome::Safe);
+        // With a sufficient bound the violation shows.
+        let u3 = unroll_program(&p, 3);
+        assert_eq!(check_sc(&flatten(&u3), Limits::default()), Outcome::Unsafe);
+    }
+
+    #[test]
+    fn state_limit_reported() {
+        let p = ProgramBuilder::new("big")
+            .width(8)
+            .shared("x", 0)
+            .main(vec![assign("x", nondet("n")), assert_(lt(v("x"), c(255)))])
+            .build();
+        // width 8 > max_havoc_width 4
+        let u = unroll_program(&p, 1);
+        assert_eq!(check_sc(&flatten(&u), Limits::default()), Outcome::ResourceLimit);
+    }
+}

@@ -1,0 +1,37 @@
+//! # zpre-prog — concurrent program IR, BMC front-end, reference checkers
+//!
+//! The program-side substrate of the `zpre` stack:
+//!
+//! - [`ast`] — a concurrent mini-language covering what the SV-COMP
+//!   *ConcurrencySafety* programs exercise (threads, mutexes, atomics,
+//!   fences, bounded loops, nondeterminism, assume/assert), plus a builder
+//!   DSL for the workload generators;
+//! - [`unroll`] — bounded loop unrolling with unwinding assumptions (the
+//!   BMC step of §5);
+//! - [`ssa`] — SSA conversion by symbolic execution: global events with
+//!   guards and SSA value variables, the input to the partial-order encoder;
+//! - [`flat`] + [`interp`] — lowering to shared-access-granular
+//!   micro-instructions and an exhaustive explicit-state SC checker, the
+//!   *oracle* the SMT pipeline is cross-validated against;
+//! - [`wmm`] — operational TSO/PSO store-buffer checkers for litmus-level
+//!   cross-validation of the weak-memory encodings;
+//! - [`pretty`] — C-like pretty-printing.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod flat;
+pub mod interp;
+pub mod parse;
+pub mod pretty;
+pub mod ssa;
+pub mod unroll;
+pub mod wmm;
+
+pub use ast::{build, BoolExpr, IntExpr, Program, Stmt, Thread};
+pub use flat::{flatten, FlatProgram, Instr};
+pub use interp::{check_sc, Limits, Outcome};
+pub use parse::{parse_program, ParseError};
+pub use ssa::{to_ssa, AtomicBlock, Event, EventKind, SsaProgram};
+pub use unroll::unroll_program;
+pub use wmm::{check_wmm, MemoryModel};

@@ -1,0 +1,781 @@
+//! Parser for the concrete syntax produced by [`crate::pretty`] — lets
+//! benchmarks live in `.zc` text files and drives the `zpre-cli` tool.
+//!
+//! ```text
+//! // program racy-counter (width 8)
+//! shared int cnt = 0;
+//! mutex m;
+//!
+//! thread main {
+//!   spawn(w1);
+//!   spawn(w2);
+//!   join(w1);
+//!   join(w2);
+//!   assert(cnt == 2);
+//! }
+//!
+//! thread w1 { r = cnt; cnt = r + 1; }
+//! thread w2 { r = cnt; cnt = r + 1; }
+//! ```
+//!
+//! Threads are referenced by name in `spawn`/`join` (the pretty-printer's
+//! `thread_<i>` form is accepted too). The first thread named `main` — or
+//! simply the first thread — becomes thread 0.
+
+use crate::ast::{BoolExpr, IntExpr, Program, Stmt, Thread};
+use std::fmt;
+
+/// Parse errors with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    Punct(&'static str),
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+const PUNCTS: &[&str] = &[
+    "<<", ">>", "==", "!=", "<=", ">=", "&&", "||", "=", ";", "(", ")", "{", "}", "+", "-", "*",
+    "&", "|", "^", "<", ">", "!", "?", ":", ",",
+];
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut out = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line_no = lineno + 1;
+        let code = match line.find("//") {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        let bytes = code.as_bytes();
+        let mut i = 0;
+        'outer: while i < bytes.len() {
+            let ch = bytes[i] as char;
+            if ch.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if ch.is_ascii_digit() {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                let text = &code[start..i];
+                let value = if let Some(hex) = text.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    text.parse()
+                }
+                .map_err(|_| ParseError {
+                    line: line_no,
+                    message: format!("bad integer literal {text:?}"),
+                })?;
+                out.push((Tok::Int(value), line_no));
+                continue;
+            }
+            if ch.is_ascii_alphabetic() || ch == '_' || ch == '%' {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Ident(code[start..i].to_string()), line_no));
+                continue;
+            }
+            for p in PUNCTS {
+                if code[i..].starts_with(p) {
+                    out.push((Tok::Punct(p), line_no));
+                    i += p.len();
+                    continue 'outer;
+                }
+            }
+            return Err(ParseError {
+                line: line_no,
+                message: format!("unexpected character {ch:?}"),
+            });
+        }
+    }
+    Ok(out)
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        // Errors are raised right after consuming (or failing to consume)
+        // a token, so the previous position names the offending line.
+        let at = self.pos.saturating_sub(1).min(self.toks.len().saturating_sub(1));
+        self.toks.get(at).map_or(0, |&(_, l)| l)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line(), message: message.into() }
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Punct(q)) if q == p => Ok(()),
+            other => Err(ParseError {
+                line: self.line(),
+                message: format!("expected {p:?}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s == kw => Ok(()),
+            other => Err(ParseError {
+                line: self.line(),
+                message: format!("expected keyword {kw:?}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(ParseError {
+                line: self.line(),
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn try_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Untyped expression, sorted during lowering.
+#[derive(Clone, Debug)]
+enum UExpr {
+    Int(u64),
+    Var(String),
+    Nondet(String),
+    NondetBool(String),
+    Un(&'static str, Box<UExpr>),
+    Bin(&'static str, Box<UExpr>, Box<UExpr>),
+    Shift(&'static str, Box<UExpr>, u32),
+    Ite(Box<UExpr>, Box<UExpr>, Box<UExpr>),
+}
+
+/// Statement with unresolved spawn/join targets.
+#[derive(Clone, Debug)]
+enum RawStmt {
+    Plain(Stmt),
+    If(UExpr, Vec<RawStmt>, Vec<RawStmt>),
+    While(UExpr, Vec<RawStmt>),
+    Assign(String, UExpr),
+    Assert(UExpr),
+    Assume(UExpr),
+    Spawn(String),
+    Join(String),
+}
+
+/// Parses a whole program from source text.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut lx = Lexer { toks: lex(src)?, pos: 0 };
+    let mut width = 8u32;
+    let mut shared: Vec<(String, u64)> = Vec::new();
+    let mut mutexes: Vec<String> = Vec::new();
+    let mut raw_threads: Vec<(String, Vec<RawStmt>)> = Vec::new();
+
+    while let Some(tok) = lx.peek() {
+        match tok {
+            Tok::Ident(kw) if kw == "width" => {
+                lx.next();
+                match lx.next() {
+                    Some(Tok::Int(w)) => width = w as u32,
+                    other => return Err(lx.err(format!("expected width value, got {other:?}"))),
+                }
+                lx.eat_punct(";")?;
+            }
+            Tok::Ident(kw) if kw == "shared" => {
+                lx.next();
+                lx.eat_keyword("int")?;
+                let name = lx.ident()?;
+                lx.eat_punct("=")?;
+                let init = match lx.next() {
+                    Some(Tok::Int(v)) => v,
+                    other => return Err(lx.err(format!("expected initializer, got {other:?}"))),
+                };
+                lx.eat_punct(";")?;
+                shared.push((name, init));
+            }
+            Tok::Ident(kw) if kw == "mutex" => {
+                lx.next();
+                mutexes.push(lx.ident()?);
+                lx.eat_punct(";")?;
+            }
+            Tok::Ident(kw) if kw == "thread" => {
+                lx.next();
+                let name = lx.ident()?;
+                lx.eat_punct("{")?;
+                let body = parse_block_body(&mut lx)?;
+                raw_threads.push((name, body));
+            }
+            other => return Err(lx.err(format!("expected declaration, found {other:?}"))),
+        }
+    }
+
+    if raw_threads.is_empty() {
+        return Err(ParseError { line: 0, message: "program has no threads".into() });
+    }
+    // `main` first (if present).
+    if let Some(main_at) = raw_threads.iter().position(|(n, _)| n == "main") {
+        raw_threads.swap(0, main_at);
+    }
+    let names: Vec<String> = raw_threads.iter().map(|(n, _)| n.clone()).collect();
+    let resolve = |target: &str, line: usize| -> Result<usize, ParseError> {
+        if let Some(i) = names.iter().position(|n| n == target) {
+            return Ok(i);
+        }
+        if let Some(num) = target.strip_prefix("thread_") {
+            if let Ok(i) = num.parse::<usize>() {
+                if i < names.len() {
+                    return Ok(i);
+                }
+            }
+        }
+        Err(ParseError { line, message: format!("unknown thread {target:?}") })
+    };
+
+    let mut threads = Vec::new();
+    for (name, raw) in &raw_threads {
+        let body = lower_stmts(raw, &resolve)?;
+        threads.push(Thread { name: name.clone(), body });
+    }
+    let program = Program { name: "parsed".to_string(), word_width: width, shared, mutexes, threads };
+    Ok(program)
+}
+
+fn parse_block(lx: &mut Lexer) -> Result<Vec<RawStmt>, ParseError> {
+    lx.eat_punct("{")?;
+    parse_block_body(lx)
+}
+
+/// Parses statements until the matching `}` (already past the `{`).
+fn parse_block_body(lx: &mut Lexer) -> Result<Vec<RawStmt>, ParseError> {
+    let mut out = Vec::new();
+    loop {
+        if lx.try_punct("}") {
+            return Ok(out);
+        }
+        if lx.peek().is_none() {
+            return Err(lx.err("unterminated block"));
+        }
+        out.push(parse_stmt(lx)?);
+    }
+}
+
+fn parse_stmt(lx: &mut Lexer) -> Result<RawStmt, ParseError> {
+    if lx.try_punct(";") {
+        return Ok(RawStmt::Plain(Stmt::Skip));
+    }
+    let Some(Tok::Ident(head)) = lx.peek().cloned() else {
+        return Err(lx.err("expected statement"));
+    };
+    match head.as_str() {
+        "if" => {
+            lx.next();
+            lx.eat_punct("(")?;
+            let cond = parse_expr(lx)?;
+            lx.eat_punct(")")?;
+            let then_b = parse_block(lx)?;
+            let else_b = if matches!(lx.peek(), Some(Tok::Ident(s)) if s == "else") {
+                lx.next();
+                parse_block(lx)?
+            } else {
+                Vec::new()
+            };
+            Ok(RawStmt::If(cond, then_b, else_b))
+        }
+        "while" => {
+            lx.next();
+            lx.eat_punct("(")?;
+            let cond = parse_expr(lx)?;
+            lx.eat_punct(")")?;
+            let body = parse_block(lx)?;
+            Ok(RawStmt::While(cond, body))
+        }
+        "assert" | "assume" => {
+            lx.next();
+            lx.eat_punct("(")?;
+            let cond = parse_expr(lx)?;
+            lx.eat_punct(")")?;
+            lx.eat_punct(";")?;
+            Ok(if head == "assert" {
+                RawStmt::Assert(cond)
+            } else {
+                RawStmt::Assume(cond)
+            })
+        }
+        "lock" | "unlock" | "spawn" | "join" => {
+            lx.next();
+            lx.eat_punct("(")?;
+            let target = lx.ident()?;
+            lx.eat_punct(")")?;
+            lx.eat_punct(";")?;
+            Ok(match head.as_str() {
+                "lock" => RawStmt::Plain(Stmt::Lock(target)),
+                "unlock" => RawStmt::Plain(Stmt::Unlock(target)),
+                "spawn" => RawStmt::Spawn(target),
+                _ => RawStmt::Join(target),
+            })
+        }
+        "fence" | "atomic_begin" | "atomic_end" => {
+            lx.next();
+            lx.eat_punct("(")?;
+            lx.eat_punct(")")?;
+            lx.eat_punct(";")?;
+            Ok(RawStmt::Plain(match head.as_str() {
+                "fence" => Stmt::Fence,
+                "atomic_begin" => Stmt::AtomicBegin,
+                _ => Stmt::AtomicEnd,
+            }))
+        }
+        _ => {
+            // assignment: IDENT = expr ;
+            let name = lx.ident()?;
+            lx.eat_punct("=")?;
+            let value = parse_expr(lx)?;
+            lx.eat_punct(";")?;
+            Ok(RawStmt::Assign(name, value))
+        }
+    }
+}
+
+// Precedence climbing: ternary > or > and > cmp > bitor > bitxor > bitand >
+// shift > add > mul > unary > primary.
+fn parse_expr(lx: &mut Lexer) -> Result<UExpr, ParseError> {
+    let cond = parse_or(lx)?;
+    if lx.try_punct("?") {
+        let t = parse_expr(lx)?;
+        lx.eat_punct(":")?;
+        let e = parse_expr(lx)?;
+        return Ok(UExpr::Ite(cond.into(), t.into(), e.into()));
+    }
+    Ok(cond)
+}
+
+fn parse_or(lx: &mut Lexer) -> Result<UExpr, ParseError> {
+    let mut left = parse_and(lx)?;
+    while lx.try_punct("||") {
+        let right = parse_and(lx)?;
+        left = UExpr::Bin("||", left.into(), right.into());
+    }
+    Ok(left)
+}
+
+fn parse_and(lx: &mut Lexer) -> Result<UExpr, ParseError> {
+    let mut left = parse_cmp(lx)?;
+    while lx.try_punct("&&") {
+        let right = parse_cmp(lx)?;
+        left = UExpr::Bin("&&", left.into(), right.into());
+    }
+    Ok(left)
+}
+
+fn parse_cmp(lx: &mut Lexer) -> Result<UExpr, ParseError> {
+    let left = parse_bitor(lx)?;
+    for op in ["==", "!=", "<=", ">=", "<", ">"] {
+        if lx.try_punct(op) {
+            let right = parse_bitor(lx)?;
+            return Ok(UExpr::Bin(
+                match op {
+                    "==" => "==",
+                    "!=" => "!=",
+                    "<=" => "<=",
+                    ">=" => ">=",
+                    "<" => "<",
+                    _ => ">",
+                },
+                left.into(),
+                right.into(),
+            ));
+        }
+    }
+    Ok(left)
+}
+
+fn parse_bitor(lx: &mut Lexer) -> Result<UExpr, ParseError> {
+    let mut left = parse_bitxor(lx)?;
+    while lx.try_punct("|") {
+        let right = parse_bitxor(lx)?;
+        left = UExpr::Bin("|", left.into(), right.into());
+    }
+    Ok(left)
+}
+
+fn parse_bitxor(lx: &mut Lexer) -> Result<UExpr, ParseError> {
+    let mut left = parse_bitand(lx)?;
+    while lx.try_punct("^") {
+        let right = parse_bitand(lx)?;
+        left = UExpr::Bin("^", left.into(), right.into());
+    }
+    Ok(left)
+}
+
+fn parse_bitand(lx: &mut Lexer) -> Result<UExpr, ParseError> {
+    let mut left = parse_shift(lx)?;
+    while lx.try_punct("&") {
+        let right = parse_shift(lx)?;
+        left = UExpr::Bin("&", left.into(), right.into());
+    }
+    Ok(left)
+}
+
+fn parse_shift(lx: &mut Lexer) -> Result<UExpr, ParseError> {
+    let mut left = parse_add(lx)?;
+    loop {
+        let op = if lx.try_punct("<<") {
+            "<<"
+        } else if lx.try_punct(">>") {
+            ">>"
+        } else {
+            break;
+        };
+        match lx.next() {
+            Some(Tok::Int(by)) => left = UExpr::Shift(op, left.into(), by as u32),
+            other => {
+                return Err(lx.err(format!("shift amount must be a constant, got {other:?}")))
+            }
+        }
+    }
+    Ok(left)
+}
+
+fn parse_add(lx: &mut Lexer) -> Result<UExpr, ParseError> {
+    let mut left = parse_mul(lx)?;
+    loop {
+        let op = if lx.try_punct("+") {
+            "+"
+        } else if lx.try_punct("-") {
+            "-"
+        } else {
+            break;
+        };
+        let right = parse_mul(lx)?;
+        left = UExpr::Bin(op, left.into(), right.into());
+    }
+    Ok(left)
+}
+
+fn parse_mul(lx: &mut Lexer) -> Result<UExpr, ParseError> {
+    let mut left = parse_unary(lx)?;
+    while lx.try_punct("*") {
+        let right = parse_unary(lx)?;
+        left = UExpr::Bin("*", left.into(), right.into());
+    }
+    Ok(left)
+}
+
+fn parse_unary(lx: &mut Lexer) -> Result<UExpr, ParseError> {
+    if lx.try_punct("!") {
+        let inner = parse_unary(lx)?;
+        return Ok(UExpr::Un("!", inner.into()));
+    }
+    parse_primary(lx)
+}
+
+fn parse_primary(lx: &mut Lexer) -> Result<UExpr, ParseError> {
+    match lx.next() {
+        Some(Tok::Int(v)) => Ok(UExpr::Int(v)),
+        Some(Tok::Punct("(")) => {
+            let e = parse_expr(lx)?;
+            lx.eat_punct(")")?;
+            Ok(e)
+        }
+        Some(Tok::Ident(name)) => match name.as_str() {
+            "true" => Ok(UExpr::Int(1)),
+            "false" => Ok(UExpr::Int(0)),
+            "nondet" | "nondet_bool" => {
+                lx.eat_punct("(")?;
+                let id = lx.ident()?;
+                lx.eat_punct(")")?;
+                Ok(if name == "nondet" {
+                    UExpr::Nondet(id)
+                } else {
+                    UExpr::NondetBool(id)
+                })
+            }
+            _ => Ok(UExpr::Var(name)),
+        },
+        other => Err(lx.err(format!("expected expression, found {other:?}"))),
+    }
+}
+
+// ---- lowering: untyped → Int/Bool sorts ----
+
+fn lower_stmts(
+    raw: &[RawStmt],
+    resolve: &dyn Fn(&str, usize) -> Result<usize, ParseError>,
+) -> Result<Vec<Stmt>, ParseError> {
+    raw.iter().map(|s| lower_stmt(s, resolve)).collect()
+}
+
+fn lower_stmt(
+    raw: &RawStmt,
+    resolve: &dyn Fn(&str, usize) -> Result<usize, ParseError>,
+) -> Result<Stmt, ParseError> {
+    Ok(match raw {
+        RawStmt::Plain(s) => s.clone(),
+        RawStmt::Assign(x, e) => Stmt::Assign(x.clone(), as_int(e)?),
+        RawStmt::If(c, t, e) => Stmt::If(
+            as_bool(c)?,
+            lower_stmts(t, resolve)?,
+            lower_stmts(e, resolve)?,
+        ),
+        RawStmt::While(c, b) => Stmt::While(as_bool(c)?, lower_stmts(b, resolve)?),
+        RawStmt::Assert(c) => Stmt::Assert(as_bool(c)?),
+        RawStmt::Assume(c) => Stmt::Assume(as_bool(c)?),
+        RawStmt::Spawn(t) => Stmt::Spawn(resolve(t, 0)?),
+        RawStmt::Join(t) => Stmt::Join(resolve(t, 0)?),
+    })
+}
+
+fn type_err(msg: &str) -> ParseError {
+    ParseError { line: 0, message: msg.to_string() }
+}
+
+fn as_int(e: &UExpr) -> Result<IntExpr, ParseError> {
+    Ok(match e {
+        UExpr::Int(v) => IntExpr::Const(*v),
+        UExpr::Var(x) => IntExpr::Var(x.clone()),
+        UExpr::Nondet(n) => IntExpr::Nondet(n.clone()),
+        UExpr::NondetBool(_) => {
+            return Err(type_err("nondet_bool used where an integer is expected"))
+        }
+        UExpr::Un(op, _) => return Err(type_err(&format!("operator {op} is not integer-sorted"))),
+        UExpr::Shift(op, a, by) => {
+            let a = Box::new(as_int(a)?);
+            if *op == "<<" {
+                IntExpr::Shl(a, *by)
+            } else {
+                IntExpr::Shr(a, *by)
+            }
+        }
+        UExpr::Bin(op, a, b) => {
+            let (x, y) = (Box::new(as_int(a)?), Box::new(as_int(b)?));
+            match *op {
+                "+" => IntExpr::Add(x, y),
+                "-" => IntExpr::Sub(x, y),
+                "*" => IntExpr::Mul(x, y),
+                "&" => IntExpr::BitAnd(x, y),
+                "|" => IntExpr::BitOr(x, y),
+                "^" => IntExpr::BitXor(x, y),
+                other => {
+                    return Err(type_err(&format!(
+                        "operator {other} is Boolean-sorted but used as an integer"
+                    )))
+                }
+            }
+        }
+        UExpr::Ite(c, t, e2) => IntExpr::Ite(
+            Box::new(as_bool(c)?),
+            Box::new(as_int(t)?),
+            Box::new(as_int(e2)?),
+        ),
+    })
+}
+
+fn as_bool(e: &UExpr) -> Result<BoolExpr, ParseError> {
+    Ok(match e {
+        UExpr::Int(0) => BoolExpr::Const(false),
+        UExpr::Int(_) => BoolExpr::Const(true),
+        UExpr::NondetBool(n) => BoolExpr::Nondet(n.clone()),
+        UExpr::Var(_) | UExpr::Nondet(_) => {
+            // C-style truthiness: e != 0.
+            BoolExpr::Ne(Box::new(as_int(e)?), Box::new(IntExpr::Const(0)))
+        }
+        UExpr::Un("!", a) => BoolExpr::Not(Box::new(as_bool(a)?)),
+        UExpr::Un(op, _) => return Err(type_err(&format!("unknown unary operator {op}"))),
+        UExpr::Bin(op, a, b) => match *op {
+            "&&" => BoolExpr::And(Box::new(as_bool(a)?), Box::new(as_bool(b)?)),
+            "||" => BoolExpr::Or(Box::new(as_bool(a)?), Box::new(as_bool(b)?)),
+            "==" => BoolExpr::Eq(Box::new(as_int(a)?), Box::new(as_int(b)?)),
+            "!=" => BoolExpr::Ne(Box::new(as_int(a)?), Box::new(as_int(b)?)),
+            "<" => BoolExpr::Lt(Box::new(as_int(a)?), Box::new(as_int(b)?)),
+            "<=" => BoolExpr::Le(Box::new(as_int(a)?), Box::new(as_int(b)?)),
+            ">" => BoolExpr::Gt(Box::new(as_int(a)?), Box::new(as_int(b)?)),
+            ">=" => BoolExpr::Ge(Box::new(as_int(a)?), Box::new(as_int(b)?)),
+            other => {
+                // integer expression in boolean position: e != 0
+                let _ = other;
+                BoolExpr::Ne(Box::new(as_int(e)?), Box::new(IntExpr::Const(0)))
+            }
+        },
+        UExpr::Shift(..) => BoolExpr::Ne(Box::new(as_int(e)?), Box::new(IntExpr::Const(0))),
+        UExpr::Ite(..) => BoolExpr::Ne(Box::new(as_int(e)?), Box::new(IntExpr::Const(0))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+
+    #[test]
+    fn parses_the_racy_counter() {
+        let src = r#"
+            // racy counter
+            shared int cnt = 0;
+            thread main {
+              spawn(w1); spawn(w2); join(w1); join(w2);
+              assert(cnt == 2);
+            }
+            thread w1 { r = cnt; cnt = r + 1; }
+            thread w2 { r = cnt; cnt = r + 1; }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(p.threads.len(), 3);
+        assert_eq!(p.threads[0].name, "main");
+        assert_eq!(p.shared, vec![("cnt".to_string(), 0)]);
+        assert!(matches!(p.threads[0].body[0], Stmt::Spawn(1)));
+        assert!(matches!(p.threads[0].body[3], Stmt::Join(2)));
+    }
+
+    #[test]
+    fn width_and_mutex_declarations() {
+        let src = r#"
+            width 16;
+            shared int x = 3;
+            mutex m;
+            thread main { lock(m); x = x * 2; unlock(m); assert(x == 6); }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.word_width, 16);
+        assert_eq!(p.mutexes, vec!["m".to_string()]);
+        assert!(matches!(p.threads[0].body[0], Stmt::Lock(_)));
+    }
+
+    #[test]
+    fn control_flow_and_operators() {
+        let src = r#"
+            shared int x = 0;
+            thread main {
+              while (x < 3) { x = x + 1; }
+              if (x == 3) { x = x << 1; } else { x = 0; }
+              assume(x >= 0);
+              assert((x & 7) != 5 && !(x > 100) || x == 6);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert!(p.has_loops());
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn nondet_and_ternary() {
+        let src = r#"
+            width 4;
+            shared int x = 0;
+            thread main {
+              x = nondet(k);
+              x = x < 8 ? x : 0;
+              assert(x != 9);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.validate(), Ok(()));
+        let body = &p.threads[0].body;
+        assert!(matches!(&body[0], Stmt::Assign(_, IntExpr::Nondet(n)) if n == "k"));
+        assert!(matches!(&body[1], Stmt::Assign(_, IntExpr::Ite(..))));
+    }
+
+    #[test]
+    fn fences_and_atomics() {
+        let src = r#"
+            shared int x = 0;
+            thread main { spawn(t); join(t); }
+            thread t { atomic_begin(); x = 1; fence(); atomic_end(); }
+        "#;
+        let p = parse_program(src).unwrap();
+        let body = &p.threads[1].body;
+        assert!(matches!(body[0], Stmt::AtomicBegin));
+        assert!(matches!(body[2], Stmt::Fence));
+        assert!(matches!(body[3], Stmt::AtomicEnd));
+    }
+
+    #[test]
+    fn pretty_roundtrip() {
+        // A builder program survives pretty → parse → pretty.
+        let p = ProgramBuilder::new("rt")
+            .shared("x", 0)
+            .shared("y", 2)
+            .mutex("m")
+            .thread(
+                "t1",
+                vec![
+                    lock("m"),
+                    if_(lt(v("x"), c(3)), vec![assign("x", add(v("x"), c(1)))], vec![assign("y", c(0))]),
+                    unlock("m"),
+                ],
+            )
+            .main(vec![spawn(1), join(1), assert_(ne(v("x"), c(9)))])
+            .build();
+        let text = crate::pretty::pretty_program(&p);
+        let q = parse_program(&text).unwrap();
+        assert_eq!(q.validate(), Ok(()));
+        assert_eq!(q.shared, p.shared);
+        assert_eq!(q.mutexes, p.mutexes);
+        assert_eq!(q.threads.len(), p.threads.len());
+        // Second roundtrip is a fixpoint.
+        let text2 = crate::pretty::pretty_program(&q);
+        let r = parse_program(&text2).unwrap();
+        assert_eq!(r.threads, q.threads);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "shared int x = 0;\nthread main {\n  x = ;\n}\n";
+        let err = parse_program(src).unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn unknown_thread_reference_is_rejected() {
+        let src = "shared int x = 0;\nthread main { spawn(ghost); }\n";
+        assert!(parse_program(src).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Pretty-printing of programs (C-like surface syntax) for logs and docs.
+
+use crate::ast::{BoolExpr, IntExpr, Program, Stmt};
+use std::fmt::Write;
+
+/// Renders a program in a C-like concrete syntax.
+pub fn pretty_program(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// program {}", p.name);
+    let _ = writeln!(out, "width {};", p.word_width);
+    for (n, init) in &p.shared {
+        let _ = writeln!(out, "shared int {n} = {init};");
+    }
+    for m in &p.mutexes {
+        let _ = writeln!(out, "mutex {m};");
+    }
+    let names: Vec<&str> = p.threads.iter().map(|t| t.name.as_str()).collect();
+    for t in &p.threads {
+        let _ = writeln!(out, "\nthread {} {{", t.name);
+        for s in &t.body {
+            write_stmt(&mut out, s, 1, &names);
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, level: usize, names: &[&str]) {
+    indent(out, level);
+    match s {
+        Stmt::Assign(x, e) => {
+            let _ = writeln!(out, "{x} = {};", int_str(e));
+        }
+        Stmt::If(c, t, e) => {
+            let _ = writeln!(out, "if ({}) {{", bool_str(c));
+            for x in t {
+                write_stmt(out, x, level + 1, names);
+            }
+            if e.is_empty() {
+                indent(out, level);
+                let _ = writeln!(out, "}}");
+            } else {
+                indent(out, level);
+                let _ = writeln!(out, "}} else {{");
+                for x in e {
+                    write_stmt(out, x, level + 1, names);
+                }
+                indent(out, level);
+                let _ = writeln!(out, "}}");
+            }
+        }
+        Stmt::While(c, b) => {
+            let _ = writeln!(out, "while ({}) {{", bool_str(c));
+            for x in b {
+                write_stmt(out, x, level + 1, names);
+            }
+            indent(out, level);
+            let _ = writeln!(out, "}}");
+        }
+        Stmt::Assert(c) => {
+            let _ = writeln!(out, "assert({});", bool_str(c));
+        }
+        Stmt::Assume(c) => {
+            let _ = writeln!(out, "assume({});", bool_str(c));
+        }
+        Stmt::Lock(m) => {
+            let _ = writeln!(out, "lock({m});");
+        }
+        Stmt::Unlock(m) => {
+            let _ = writeln!(out, "unlock({m});");
+        }
+        Stmt::Fence => {
+            let _ = writeln!(out, "fence();");
+        }
+        Stmt::AtomicBegin => {
+            let _ = writeln!(out, "atomic_begin();");
+        }
+        Stmt::AtomicEnd => {
+            let _ = writeln!(out, "atomic_end();");
+        }
+        Stmt::Spawn(i) => {
+            let _ = writeln!(out, "spawn({});", names.get(*i).copied().unwrap_or("thread_?"));
+        }
+        Stmt::Join(i) => {
+            let _ = writeln!(out, "join({});", names.get(*i).copied().unwrap_or("thread_?"));
+        }
+        Stmt::Skip => {
+            let _ = writeln!(out, ";");
+        }
+    }
+}
+
+fn int_str(e: &IntExpr) -> String {
+    match e {
+        IntExpr::Const(v) => v.to_string(),
+        IntExpr::Var(x) => x.clone(),
+        IntExpr::Nondet(n) => format!("nondet({n})"),
+        IntExpr::Add(a, b) => format!("({} + {})", int_str(a), int_str(b)),
+        IntExpr::Sub(a, b) => format!("({} - {})", int_str(a), int_str(b)),
+        IntExpr::Mul(a, b) => format!("({} * {})", int_str(a), int_str(b)),
+        IntExpr::BitAnd(a, b) => format!("({} & {})", int_str(a), int_str(b)),
+        IntExpr::BitOr(a, b) => format!("({} | {})", int_str(a), int_str(b)),
+        IntExpr::BitXor(a, b) => format!("({} ^ {})", int_str(a), int_str(b)),
+        IntExpr::Shl(a, by) => format!("({} << {by})", int_str(a)),
+        IntExpr::Shr(a, by) => format!("({} >> {by})", int_str(a)),
+        IntExpr::Ite(c, a, b) => {
+            format!("({} ? {} : {})", bool_str(c), int_str(a), int_str(b))
+        }
+    }
+}
+
+fn bool_str(e: &BoolExpr) -> String {
+    match e {
+        BoolExpr::Const(v) => v.to_string(),
+        BoolExpr::Nondet(n) => format!("nondet_bool({n})"),
+        BoolExpr::Not(a) => format!("!({})", bool_str(a)),
+        BoolExpr::And(a, b) => format!("({} && {})", bool_str(a), bool_str(b)),
+        BoolExpr::Or(a, b) => format!("({} || {})", bool_str(a), bool_str(b)),
+        BoolExpr::Eq(a, b) => format!("({} == {})", int_str(a), int_str(b)),
+        BoolExpr::Ne(a, b) => format!("({} != {})", int_str(a), int_str(b)),
+        BoolExpr::Lt(a, b) => format!("({} < {})", int_str(a), int_str(b)),
+        BoolExpr::Le(a, b) => format!("({} <= {})", int_str(a), int_str(b)),
+        BoolExpr::Gt(a, b) => format!("({} > {})", int_str(a), int_str(b)),
+        BoolExpr::Ge(a, b) => format!("({} >= {})", int_str(a), int_str(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+
+    #[test]
+    fn renders_all_constructs() {
+        let p = ProgramBuilder::new("demo")
+            .shared("x", 0)
+            .mutex("m")
+            .thread(
+                "t1",
+                vec![
+                    lock("m"),
+                    if_(
+                        lt(v("x"), c(3)),
+                        vec![assign("x", add(v("x"), c(1)))],
+                        vec![Stmt::Skip],
+                    ),
+                    unlock("m"),
+                    fence(),
+                    assert_(ne(v("x"), c(9))),
+                    assume(ge(v("x"), c(0))),
+                ],
+            )
+            .build();
+        let s = pretty_program(&p);
+        for needle in [
+            "shared int x = 0;",
+            "mutex m;",
+            "lock(m);",
+            "if ((x < 3))",
+            "(x + 1)",
+            "} else {",
+            "unlock(m);",
+            "fence();",
+            "assert((x != 9));",
+            "assume((x >= 0));",
+            "spawn(t1);",
+            "join(t1);",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn renders_loops_and_nondet() {
+        let p = ProgramBuilder::new("demo2")
+            .shared("x", 0)
+            .main(vec![
+                while_(lt(v("x"), c(3)), vec![assign("x", nondet("k"))]),
+                assert_(eq(ite(lt(v("x"), c(2)), c(1), c(0)), c(0))),
+            ])
+            .build();
+        let s = pretty_program(&p);
+        assert!(s.contains("while ((x < 3))"));
+        assert!(s.contains("nondet(k)"));
+        assert!(s.contains("? 1 : 0"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Bounded loop unrolling — the BMC front-end step.
+//!
+//! Every `while (c) body` is replaced by `k` nested `if (c) { body … }`
+//! with an innermost *unwinding assumption* `assume(!c)`, exactly the
+//! transformation the paper describes in §5 ("a program can be converted to
+//! a loop-free one by replacing every loop with a nested if-statement").
+//! With the unwinding assumption, an `unsat` verdict means *correct up to
+//! bound k*; a `sat` verdict is a genuine counterexample.
+
+use crate::ast::{BoolExpr, Program, Stmt};
+
+/// Unrolls every loop in `prog` to depth `bound`, returning a loop-free
+/// program. `bound = 0` replaces loops by their unwinding assumption alone.
+pub fn unroll_program(prog: &Program, bound: u32) -> Program {
+    let mut out = prog.clone();
+    for t in &mut out.threads {
+        t.body = unroll_stmts(&t.body, bound);
+    }
+    out.name = format!("{}@k{}", prog.name, bound);
+    debug_assert!(!out.has_loops());
+    out
+}
+
+fn unroll_stmts(stmts: &[Stmt], bound: u32) -> Vec<Stmt> {
+    stmts.iter().map(|s| unroll_stmt(s, bound)).collect()
+}
+
+fn unroll_stmt(stmt: &Stmt, bound: u32) -> Stmt {
+    match stmt {
+        Stmt::While(c, body) => unroll_loop(c, body, bound),
+        Stmt::If(c, t, e) => {
+            Stmt::If(c.clone(), unroll_stmts(t, bound), unroll_stmts(e, bound))
+        }
+        other => other.clone(),
+    }
+}
+
+fn unroll_loop(cond: &BoolExpr, body: &[Stmt], k: u32) -> Stmt {
+    if k == 0 {
+        // Unwinding assumption: executions needing more iterations are
+        // excluded from this bounded model.
+        return Stmt::Assume(BoolExpr::Not(Box::new(cond.clone())));
+    }
+    let mut once = unroll_stmts(body, k); // nested loops unroll to the same bound
+    // Each unrolled copy must draw fresh nondeterministic inputs: suffix the
+    // nondet names with the remaining iteration count.
+    for s in &mut once {
+        rename_nondets_stmt(s, k);
+    }
+    once.push(unroll_loop(cond, body, k - 1));
+    Stmt::If(cond.clone(), once, vec![Stmt::Assume(BoolExpr::Not(Box::new(cond.clone())))])
+}
+
+fn rename_nondets_stmt(s: &mut Stmt, k: u32) {
+    match s {
+        Stmt::Assign(_, e) => rename_nondets_int(e, k),
+        Stmt::If(c, t, e) => {
+            rename_nondets_bool(c, k);
+            for x in t.iter_mut().chain(e.iter_mut()) {
+                rename_nondets_stmt(x, k);
+            }
+        }
+        Stmt::While(c, b) => {
+            rename_nondets_bool(c, k);
+            for x in b {
+                rename_nondets_stmt(x, k);
+            }
+        }
+        Stmt::Assert(c) | Stmt::Assume(c) => rename_nondets_bool(c, k),
+        _ => {}
+    }
+}
+
+fn rename_nondets_int(e: &mut crate::ast::IntExpr, k: u32) {
+    use crate::ast::IntExpr::*;
+    match e {
+        Nondet(name) => *name = format!("{name}@{k}"),
+        Add(a, b) | Sub(a, b) | Mul(a, b) | BitAnd(a, b) | BitOr(a, b) | BitXor(a, b) => {
+            rename_nondets_int(a, k);
+            rename_nondets_int(b, k);
+        }
+        Shl(a, _) | Shr(a, _) => rename_nondets_int(a, k),
+        Ite(c, a, b) => {
+            rename_nondets_bool(c, k);
+            rename_nondets_int(a, k);
+            rename_nondets_int(b, k);
+        }
+        Const(_) | Var(_) => {}
+    }
+}
+
+fn rename_nondets_bool(e: &mut BoolExpr, k: u32) {
+    use crate::ast::BoolExpr::*;
+    match e {
+        Nondet(name) => *name = format!("{name}@{k}"),
+        Not(a) => rename_nondets_bool(a, k),
+        And(a, b) | Or(a, b) => {
+            rename_nondets_bool(a, k);
+            rename_nondets_bool(b, k);
+        }
+        Eq(a, b) | Ne(a, b) | Lt(a, b) | Le(a, b) | Gt(a, b) | Ge(a, b) => {
+            rename_nondets_int(a, k);
+            rename_nondets_int(b, k);
+        }
+        Const(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+    use crate::ast::Thread;
+
+    fn counting_loop() -> Program {
+        Program {
+            name: "loop".to_string(),
+            word_width: 8,
+            shared: vec![("x".to_string(), 0)],
+            mutexes: vec![],
+            threads: vec![Thread {
+                name: "main".to_string(),
+                body: vec![while_(lt(v("x"), c(3)), vec![assign("x", add(v("x"), c(1)))])],
+            }],
+        }
+    }
+
+    #[test]
+    fn unrolled_program_is_loop_free() {
+        let p = counting_loop();
+        assert!(p.has_loops());
+        for k in 0..5 {
+            let u = unroll_program(&p, k);
+            assert!(!u.has_loops(), "bound {k}");
+        }
+    }
+
+    #[test]
+    fn zero_bound_is_assumption_only() {
+        let u = unroll_program(&counting_loop(), 0);
+        assert!(matches!(&u.threads[0].body[0], Stmt::Assume(BoolExpr::Not(_))));
+    }
+
+    #[test]
+    fn depth_matches_bound() {
+        fn nesting_depth(s: &Stmt) -> u32 {
+            match s {
+                Stmt::If(_, t, _) => 1 + t.iter().map(nesting_depth).max().unwrap_or(0),
+                _ => 0,
+            }
+        }
+        for k in 1..6 {
+            let u = unroll_program(&counting_loop(), k);
+            assert_eq!(nesting_depth(&u.threads[0].body[0]), k, "bound {k}");
+        }
+    }
+
+    #[test]
+    fn each_level_has_unwinding_assumption_on_exit() {
+        let u = unroll_program(&counting_loop(), 2);
+        // Outermost if: else branch is the unwinding assumption.
+        let Stmt::If(_, then_b, else_b) = &u.threads[0].body[0] else {
+            panic!("expected if");
+        };
+        assert!(matches!(else_b[0], Stmt::Assume(_)));
+        // The then branch ends with the next unrolling level.
+        assert!(matches!(then_b.last(), Some(Stmt::If(..))));
+    }
+
+    #[test]
+    fn name_records_bound() {
+        let u = unroll_program(&counting_loop(), 3);
+        assert_eq!(u.name, "loop@k3");
+    }
+
+    #[test]
+    fn nested_loops_unroll() {
+        let p = Program {
+            name: "nested".to_string(),
+            word_width: 8,
+            shared: vec![("x".to_string(), 0)],
+            mutexes: vec![],
+            threads: vec![Thread {
+                name: "main".to_string(),
+                body: vec![while_(
+                    lt(v("x"), c(2)),
+                    vec![while_(lt(v("y"), c(2)), vec![assign("y", add(v("y"), c(1)))])],
+                )],
+            }],
+        };
+        let u = unroll_program(&p, 2);
+        assert!(!u.has_loops());
+    }
+}

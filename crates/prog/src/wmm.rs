@@ -1,0 +1,496 @@
+//! Explicit-state exploration under weak memory models (TSO, PSO).
+//!
+//! Operational store-buffer semantics:
+//!
+//! - **TSO** (x86-style): one FIFO store buffer per thread. A store enqueues
+//!   into the buffer; a load reads the newest matching entry of its own
+//!   buffer (store forwarding) or memory; a nondeterministic *flush* step
+//!   commits the oldest entry of any thread's buffer to memory. Fences,
+//!   lock operations and atomic-section boundaries drain the executing
+//!   thread's buffer (they are only enabled when it is empty).
+//! - **PSO** (SPARC partial store order): one FIFO buffer *per thread and
+//!   variable*, so stores to different variables commit in any order.
+//!
+//! A thread counts as finished (for `join`) only when its code is done
+//! *and* its buffers have drained, matching the synchronizing semantics of
+//! `pthread_join`.
+//!
+//! Note: these operational models include store-to-load forwarding; the
+//! axiomatic po-relaxation encoding of the paper agrees with them on the
+//! standard litmus families (SB, MP, LB, S, R, 2+2W, IRIW) used in the
+//! test-suite, which is the cross-validation contract.
+
+use crate::flat::{FlatProgram, Instr};
+use crate::interp::{eval_bool, eval_int, Limits, Outcome};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// Memory model selector (shared with the encoder).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MemoryModel {
+    /// Sequential consistency.
+    Sc,
+    /// Total store order.
+    Tso,
+    /// Partial store order.
+    Pso,
+}
+
+impl MemoryModel {
+    /// All three models, in the paper's order.
+    pub const ALL: [MemoryModel; 3] = [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso];
+
+    /// Lower-case name as used in file names and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryModel::Sc => "sc",
+            MemoryModel::Tso => "tso",
+            MemoryModel::Pso => "pso",
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name().to_uppercase())
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct WState {
+    pcs: Vec<usize>,
+    locals: Vec<BTreeMap<String, u64>>,
+    shared: Vec<u64>,
+    mutex: Vec<Option<u8>>,
+    started: Vec<bool>,
+    atomic: Option<(u8, u32)>,
+    /// Per-thread, per-variable FIFO buffers. Under TSO the per-variable
+    /// split still encodes a single FIFO because an extra `fifo_order`
+    /// sequence tracks global store order per thread.
+    buffers: Vec<BTreeMap<usize, VecDeque<u64>>>,
+    /// TSO only: per-thread queue of variable ids in store order; flushes
+    /// must follow it. Empty and unused under PSO.
+    fifo_order: Vec<VecDeque<usize>>,
+}
+
+/// Explores all interleavings (including buffer flush steps) of `fp` under
+/// the given weak memory model. Use [`crate::interp::check_sc`] for SC.
+pub fn check_wmm(fp: &FlatProgram, mm: MemoryModel, limits: Limits) -> Outcome {
+    assert!(mm != MemoryModel::Sc, "use check_sc for sequential consistency");
+    let nt = fp.threads.len();
+    let init = WState {
+        pcs: vec![0; nt],
+        locals: vec![BTreeMap::new(); nt],
+        shared: fp.shared_init.clone(),
+        mutex: vec![None; fp.num_mutexes],
+        started: {
+            let mut s = vec![false; nt];
+            s[0] = true;
+            s
+        },
+        atomic: None,
+        buffers: vec![BTreeMap::new(); nt],
+        fifo_order: vec![VecDeque::new(); nt],
+    };
+    let mut visited: HashSet<WState> = HashSet::new();
+    let mut stack = vec![init.clone()];
+    visited.insert(init);
+    while let Some(st) = stack.pop() {
+        if visited.len() > limits.max_states {
+            return Outcome::ResourceLimit;
+        }
+        // 1. Flush transitions.
+        for t in 0..nt {
+            if let Some((h, _)) = st.atomic {
+                if h as usize != t {
+                    continue; // buffers of other threads are frozen
+                }
+            }
+            for s in flush_successors(&st, t, mm) {
+                if visited.insert(s.clone()) {
+                    stack.push(s);
+                }
+            }
+        }
+        // 2. Instruction transitions.
+        for t in 0..nt {
+            if !enabled(fp, &st, t, mm) {
+                continue;
+            }
+            match step(fp, &st, t, mm, limits) {
+                StepResult::Violation => return Outcome::Unsafe,
+                StepResult::LimitExceeded => return Outcome::ResourceLimit,
+                StepResult::Successors(succs) => {
+                    for s in succs {
+                        if visited.insert(s.clone()) {
+                            stack.push(s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Outcome::Safe
+}
+
+fn buffer_empty(st: &WState, t: usize) -> bool {
+    st.buffers[t].values().all(|q| q.is_empty())
+}
+
+fn flush_successors(st: &WState, t: usize, mm: MemoryModel) -> Vec<WState> {
+    match mm {
+        MemoryModel::Tso => {
+            let Some(&var) = st.fifo_order[t].front() else {
+                return Vec::new();
+            };
+            let mut s = st.clone();
+            s.fifo_order[t].pop_front();
+            let q = s.buffers[t].get_mut(&var).expect("fifo order tracks buffers");
+            let val = q.pop_front().expect("fifo order tracks buffers");
+            if q.is_empty() {
+                s.buffers[t].remove(&var);
+            }
+            s.shared[var] = val;
+            vec![s]
+        }
+        MemoryModel::Pso => {
+            // Any variable's oldest entry may commit.
+            st.buffers[t]
+                .keys()
+                .copied()
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|var| {
+                    let mut s = st.clone();
+                    let q = s.buffers[t].get_mut(&var).expect("key exists");
+                    let val = q.pop_front().expect("non-empty queue");
+                    if q.is_empty() {
+                        s.buffers[t].remove(&var);
+                    }
+                    s.shared[var] = val;
+                    s
+                })
+                .collect()
+        }
+        MemoryModel::Sc => unreachable!(),
+    }
+}
+
+fn finished(fp: &FlatProgram, st: &WState, t: usize) -> bool {
+    st.started[t] && st.pcs[t] >= fp.threads[t].code.len() && buffer_empty(st, t)
+}
+
+fn enabled(fp: &FlatProgram, st: &WState, t: usize, _mm: MemoryModel) -> bool {
+    if !st.started[t] || st.pcs[t] >= fp.threads[t].code.len() {
+        return false;
+    }
+    if let Some((holder, _)) = st.atomic {
+        if holder as usize != t {
+            return false;
+        }
+    }
+    match &fp.threads[t].code[st.pcs[t]] {
+        // Synchronizing operations drain the buffer first. Spawn and join
+        // are fences too (pthread create/join synchronize memory).
+        Instr::Fence | Instr::AtomicBegin | Instr::AtomicEnd | Instr::Spawn(_) => {
+            buffer_empty(st, t)
+        }
+        Instr::Lock(m) => buffer_empty(st, t) && st.mutex[*m].is_none(),
+        Instr::Unlock(_) => buffer_empty(st, t),
+        Instr::Join(i) => buffer_empty(st, t) && finished(fp, st, *i),
+        _ => true,
+    }
+}
+
+enum StepResult {
+    Successors(Vec<WState>),
+    Violation,
+    LimitExceeded,
+}
+
+fn step(
+    fp: &FlatProgram,
+    st: &WState,
+    t: usize,
+    mm: MemoryModel,
+    limits: Limits,
+) -> StepResult {
+    let w = fp.word_width;
+    let instr = &fp.threads[t].code[st.pcs[t]];
+    let mut next = st.clone();
+    next.pcs[t] += 1;
+    match instr {
+        Instr::LoadShared { dst, var } => {
+            // Store forwarding: newest buffered value for `var`, else memory.
+            let val = st.buffers[t]
+                .get(var)
+                .and_then(|q| q.back().copied())
+                .unwrap_or(st.shared[*var]);
+            next.locals[t].insert(dst.clone(), val);
+        }
+        Instr::StoreShared { var, val } => {
+            let v = eval_int(val, &st.locals[t], w);
+            next.buffers[t].entry(*var).or_default().push_back(v);
+            if mm == MemoryModel::Tso {
+                next.fifo_order[t].push_back(*var);
+            }
+        }
+        Instr::AssignLocal { dst, val } => {
+            let v = eval_int(val, &st.locals[t], w);
+            next.locals[t].insert(dst.clone(), v);
+        }
+        Instr::HavocInt { dst } => {
+            if w > limits.max_havoc_width {
+                return StepResult::LimitExceeded;
+            }
+            return StepResult::Successors(
+                (0..(1u64 << w))
+                    .map(|v| {
+                        let mut s = next.clone();
+                        s.locals[t].insert(dst.clone(), v);
+                        s
+                    })
+                    .collect(),
+            );
+        }
+        Instr::HavocBool { dst } => {
+            return StepResult::Successors(
+                (0..2u64)
+                    .map(|v| {
+                        let mut s = next.clone();
+                        s.locals[t].insert(dst.clone(), v);
+                        s
+                    })
+                    .collect(),
+            );
+        }
+        Instr::JmpIfFalse { cond, target } => {
+            if !eval_bool(cond, &st.locals[t], w) {
+                next.pcs[t] = *target;
+            }
+        }
+        Instr::Jmp { target } => next.pcs[t] = *target,
+        Instr::Assert(cond) => {
+            if !eval_bool(cond, &st.locals[t], w) {
+                return StepResult::Violation;
+            }
+        }
+        Instr::Assume(cond) => {
+            if !eval_bool(cond, &st.locals[t], w) {
+                return StepResult::Successors(Vec::new());
+            }
+        }
+        Instr::Lock(m) => {
+            debug_assert!(st.mutex[*m].is_none());
+            next.mutex[*m] = Some(t as u8);
+        }
+        Instr::Unlock(m) => {
+            if st.mutex[*m] != Some(t as u8) {
+                return StepResult::Successors(Vec::new());
+            }
+            next.mutex[*m] = None;
+        }
+        Instr::Fence => {} // enabledness required an empty buffer
+        Instr::AtomicBegin => {
+            next.atomic = match st.atomic {
+                None => Some((t as u8, 1)),
+                Some((h, d)) => Some((h, d + 1)),
+            };
+        }
+        Instr::AtomicEnd => {
+            next.atomic = match st.atomic {
+                Some((h, 1)) => {
+                    debug_assert_eq!(h as usize, t);
+                    None
+                }
+                Some((h, d)) => Some((h, d - 1)),
+                None => None,
+            };
+        }
+        Instr::Spawn(i) => next.started[*i] = true,
+        Instr::Join(_) => {}
+    }
+    StepResult::Successors(vec![next])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+    use crate::ast::Program;
+    use crate::flat::flatten;
+    use crate::unroll::unroll_program;
+
+    fn check(p: &Program, mm: MemoryModel) -> Outcome {
+        let u = unroll_program(p, 3);
+        check_wmm(&flatten(&u), mm, Limits::default())
+    }
+
+    /// SB (store buffering): W x / R y || W y / R x. Both reads zero is
+    /// possible under TSO and PSO, impossible under SC.
+    fn sb(with_fences: bool) -> Program {
+        let t1 = if with_fences {
+            vec![assign("x", c(1)), fence(), assign("r1", v("y"))]
+        } else {
+            vec![assign("x", c(1)), assign("r1", v("y"))]
+        };
+        let t2 = if with_fences {
+            vec![assign("y", c(1)), fence(), assign("r2", v("x"))]
+        } else {
+            vec![assign("y", c(1)), assign("r2", v("x"))]
+        };
+        ProgramBuilder::new("sb")
+            .shared("x", 0)
+            .shared("y", 0)
+            .shared("r1", 0)
+            .shared("r2", 0)
+            .thread("t1", t1)
+            .thread("t2", t2)
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(not(and(eq(v("r1"), c(0)), eq(v("r2"), c(0))))),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn sb_unsafe_under_tso_and_pso() {
+        assert_eq!(check(&sb(false), MemoryModel::Tso), Outcome::Unsafe);
+        assert_eq!(check(&sb(false), MemoryModel::Pso), Outcome::Unsafe);
+    }
+
+    #[test]
+    fn sb_with_fences_safe_everywhere() {
+        assert_eq!(check(&sb(true), MemoryModel::Tso), Outcome::Safe);
+        assert_eq!(check(&sb(true), MemoryModel::Pso), Outcome::Safe);
+    }
+
+    /// MP (message passing): W data; W flag || R flag; R data.
+    /// Safe under TSO (stores commit in order), unsafe under PSO.
+    fn mp() -> Program {
+        ProgramBuilder::new("mp")
+            .shared("data", 0)
+            .shared("flag", 0)
+            .shared("seen", 0)
+            .shared("val", 0)
+            .thread("producer", vec![assign("data", c(42)), assign("flag", c(1))])
+            .thread(
+                "consumer",
+                vec![assign("seen", v("flag")), assign("val", v("data"))],
+            )
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(or(eq(v("seen"), c(0)), eq(v("val"), c(42)))),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn mp_safe_under_tso_unsafe_under_pso() {
+        assert_eq!(check(&mp(), MemoryModel::Tso), Outcome::Safe);
+        assert_eq!(check(&mp(), MemoryModel::Pso), Outcome::Unsafe);
+    }
+
+    #[test]
+    fn mp_with_fence_safe_under_pso() {
+        let p = ProgramBuilder::new("mp-f")
+            .shared("data", 0)
+            .shared("flag", 0)
+            .shared("seen", 0)
+            .shared("val", 0)
+            .thread(
+                "producer",
+                vec![assign("data", c(42)), fence(), assign("flag", c(1))],
+            )
+            .thread(
+                "consumer",
+                vec![assign("seen", v("flag")), assign("val", v("data"))],
+            )
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(or(eq(v("seen"), c(0)), eq(v("val"), c(42)))),
+            ])
+            .build();
+        assert_eq!(check(&p, MemoryModel::Pso), Outcome::Safe);
+    }
+
+    /// Store forwarding: a thread always sees its own latest store.
+    #[test]
+    fn store_forwarding_within_thread() {
+        let p = ProgramBuilder::new("fwd")
+            .shared("x", 0)
+            .shared("r", 0)
+            .thread("t", vec![assign("x", c(7)), assign("r", v("x"))])
+            .main(vec![spawn(1), join(1), assert_(eq(v("r"), c(7)))])
+            .build();
+        assert_eq!(check(&p, MemoryModel::Tso), Outcome::Safe);
+        assert_eq!(check(&p, MemoryModel::Pso), Outcome::Safe);
+    }
+
+    /// Join drains the joined thread's buffer: main observes its writes.
+    #[test]
+    fn join_synchronizes_buffers() {
+        let p = ProgramBuilder::new("join-sync")
+            .shared("x", 0)
+            .thread("t", vec![assign("x", c(9))])
+            .main(vec![spawn(1), join(1), assert_(eq(v("x"), c(9)))])
+            .build();
+        assert_eq!(check(&p, MemoryModel::Tso), Outcome::Safe);
+        assert_eq!(check(&p, MemoryModel::Pso), Outcome::Safe);
+    }
+
+    /// Locks drain buffers: mutual exclusion gives SC-like behaviour.
+    #[test]
+    fn locked_sections_are_sc_under_wmm() {
+        let inc = vec![
+            lock("m"),
+            assign("r", v("cnt")),
+            assign("cnt", add(v("r"), c(1))),
+            unlock("m"),
+        ];
+        let p = ProgramBuilder::new("locked")
+            .shared("cnt", 0)
+            .mutex("m")
+            .thread("w1", inc.clone())
+            .thread("w2", inc)
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(eq(v("cnt"), c(2))),
+            ])
+            .build();
+        assert_eq!(check(&p, MemoryModel::Tso), Outcome::Safe);
+        assert_eq!(check(&p, MemoryModel::Pso), Outcome::Safe);
+    }
+
+    /// 2+2W: W x=1; W y=2 || W y=1; W x=2 — both final values 1 requires
+    /// write reordering: impossible under TSO (W→W kept), possible in PSO.
+    #[test]
+    fn two_plus_two_w() {
+        let p = ProgramBuilder::new("2+2w")
+            .shared("x", 0)
+            .shared("y", 0)
+            .thread("t1", vec![assign("x", c(1)), assign("y", c(2))])
+            .thread("t2", vec![assign("y", c(1)), assign("x", c(2))])
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(not(and(eq(v("x"), c(1)), eq(v("y"), c(1))))),
+            ])
+            .build();
+        assert_eq!(check(&p, MemoryModel::Tso), Outcome::Safe);
+        assert_eq!(check(&p, MemoryModel::Pso), Outcome::Unsafe);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property test: pretty-printing followed by parsing is the identity on
+//! program structure (names, declarations, statements).
+
+use proptest::prelude::*;
+use zpre_prog::build::*;
+use zpre_prog::{parse_program, pretty::pretty_program, BoolExpr, IntExpr, Program, Stmt};
+
+fn arb_int(depth: u32) -> BoxedStrategy<IntExpr> {
+    let leaf = prop_oneof![
+        (0..16u64).prop_map(IntExpr::Const),
+        prop_oneof![Just("x"), Just("y"), Just("loc")].prop_map(|n| IntExpr::Var(n.to_string())),
+        Just(IntExpr::Nondet("nd1".to_string())),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_int(depth - 1);
+    prop_oneof![
+        leaf,
+        (inner.clone(), inner.clone()).prop_map(|(a, b)| IntExpr::Add(a.into(), b.into())),
+        (inner.clone(), inner.clone()).prop_map(|(a, b)| IntExpr::Sub(a.into(), b.into())),
+        (inner.clone(), inner.clone()).prop_map(|(a, b)| IntExpr::Mul(a.into(), b.into())),
+        (inner.clone(), inner.clone()).prop_map(|(a, b)| IntExpr::BitAnd(a.into(), b.into())),
+        (inner.clone(), inner.clone()).prop_map(|(a, b)| IntExpr::BitXor(a.into(), b.into())),
+        (inner.clone(), 1..3u32).prop_map(|(a, by)| IntExpr::Shl(a.into(), by)),
+        (arb_bool(depth - 1), inner.clone(), inner)
+            .prop_map(|(c, a, b)| IntExpr::Ite(c.into(), a.into(), b.into())),
+    ]
+    .boxed()
+}
+
+fn arb_bool(depth: u32) -> BoxedStrategy<BoolExpr> {
+    let ints = arb_int(depth.saturating_sub(1));
+    let leaf = prop_oneof![
+        (ints.clone(), ints.clone()).prop_map(|(a, b)| BoolExpr::Eq(a.into(), b.into())),
+        (ints.clone(), ints.clone()).prop_map(|(a, b)| BoolExpr::Ne(a.into(), b.into())),
+        (ints.clone(), ints.clone()).prop_map(|(a, b)| BoolExpr::Lt(a.into(), b.into())),
+        (ints.clone(), ints).prop_map(|(a, b)| BoolExpr::Ge(a.into(), b.into())),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_bool(depth - 1);
+    prop_oneof![
+        leaf,
+        inner.clone().prop_map(|a| BoolExpr::Not(a.into())),
+        (inner.clone(), inner.clone()).prop_map(|(a, b)| BoolExpr::And(a.into(), b.into())),
+        (inner.clone(), inner).prop_map(|(a, b)| BoolExpr::Or(a.into(), b.into())),
+    ]
+    .boxed()
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let simple = prop_oneof![
+        (prop_oneof![Just("x"), Just("y"), Just("loc")], arb_int(1))
+            .prop_map(|(n, e)| Stmt::Assign(n.to_string(), e)),
+        arb_bool(1).prop_map(Stmt::Assert),
+        arb_bool(1).prop_map(Stmt::Assume),
+        Just(Stmt::Lock("m".to_string())),
+        Just(Stmt::Unlock("m".to_string())),
+        Just(Stmt::Fence),
+        Just(Stmt::Skip),
+    ];
+    if depth == 0 {
+        return simple.boxed();
+    }
+    let body = prop::collection::vec(arb_stmt(depth - 1), 0..3);
+    prop_oneof![
+        simple,
+        (arb_bool(1), body.clone(), body.clone())
+            .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+        (arb_bool(1), body).prop_map(|(c, b)| Stmt::While(c, b)),
+    ]
+    .boxed()
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(arb_stmt(2), 1..5),
+        prop::collection::vec(arb_stmt(2), 1..5),
+    )
+        .prop_map(|(t1, main_tail)| {
+            let mut main = vec![spawn(1), join(1)];
+            main.extend(main_tail);
+            ProgramBuilder::new("prop")
+                .width(8)
+                .shared("x", 3)
+                .shared("y", 0)
+                .mutex("m")
+                .thread("t1", t1)
+                .main(main)
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// pretty ∘ parse ∘ pretty = pretty (structural fixpoint), and the
+    /// parsed program preserves declarations and thread structure.
+    #[test]
+    fn pretty_parse_roundtrip(program in arb_program()) {
+        let text = pretty_program(&program);
+        let parsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("{e}\n--- source ---\n{text}"));
+        prop_assert_eq!(&parsed.shared, &program.shared);
+        prop_assert_eq!(&parsed.mutexes, &program.mutexes);
+        prop_assert_eq!(parsed.word_width, program.word_width);
+        prop_assert_eq!(parsed.threads.len(), program.threads.len());
+        // Fixpoint after one roundtrip.
+        let text2 = pretty_program(&parsed);
+        let parsed2 = parse_program(&text2).expect("second parse");
+        prop_assert_eq!(&parsed2.threads, &parsed.threads);
+    }
+}

@@ -1,0 +1,176 @@
+//! DIMACS CNF reading and writing.
+//!
+//! Used by the test-suite to exchange instances with reference tools and to
+//! dump the CNF produced by the bit-blaster for offline inspection.
+
+use crate::lit::{Lit, Var};
+use std::fmt::Write as _;
+
+/// A parsed CNF: number of variables and clauses over [`Lit`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf {
+    /// Declared variable count (variables are `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// Errors from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader,
+    /// A token was not an integer.
+    BadToken(String),
+    /// A literal referenced a variable beyond the declared count.
+    VarOutOfRange(i64),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing or malformed 'p cnf' header"),
+            ParseError::BadToken(t) => write!(f, "bad token {t:?}"),
+            ParseError::VarOutOfRange(v) => write!(f, "literal {v} out of declared range"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses DIMACS CNF text. Comment lines (`c ...`) are skipped; `%`/`0`
+/// trailer lines produced by some generators are tolerated.
+pub fn parse(text: &str) -> Result<Cnf, ParseError> {
+    let mut num_vars: Option<usize> = None;
+    let mut clauses = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('%') {
+            // SATLIB-style end-of-file trailer ("%" then "0"): stop parsing.
+            break;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("cnf") {
+                return Err(ParseError::BadHeader);
+            }
+            let v = it
+                .next()
+                .and_then(|t| t.parse::<usize>().ok())
+                .ok_or(ParseError::BadHeader)?;
+            let _c = it
+                .next()
+                .and_then(|t| t.parse::<usize>().ok())
+                .ok_or(ParseError::BadHeader)?;
+            num_vars = Some(v);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let n: i64 = tok
+                .parse()
+                .map_err(|_| ParseError::BadToken(tok.to_string()))?;
+            if n == 0 {
+                clauses.push(std::mem::take(&mut current));
+                continue;
+            }
+            let nv = num_vars.ok_or(ParseError::BadHeader)?;
+            let idx = n.unsigned_abs() as usize - 1;
+            if idx >= nv {
+                return Err(ParseError::VarOutOfRange(n));
+            }
+            current.push(Var::new(idx as u32).lit(n > 0));
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    Ok(Cnf { num_vars: num_vars.ok_or(ParseError::BadHeader)?, clauses })
+}
+
+/// Serializes a CNF to DIMACS text.
+pub fn write(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars, cnf.clauses.len());
+    for clause in &cnf.clauses {
+        for &lit in clause {
+            let n = lit.var().index() as i64 + 1;
+            let _ = write!(out, "{} ", if lit.sign() { n } else { -n });
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+/// Loads a CNF into a fresh solver, allocating `num_vars` variables.
+/// Returns the solver and whether all clauses were accepted (false means the
+/// instance is trivially unsatisfiable at the root).
+pub fn load(cnf: &Cnf) -> (crate::Solver, bool) {
+    let mut s = crate::Solver::new();
+    for _ in 0..cnf.num_vars {
+        s.new_var();
+    }
+    let mut ok = true;
+    for clause in &cnf.clauses {
+        ok &= s.add_clause(clause);
+    }
+    (s, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn roundtrip() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let again = parse(&write(&cnf)).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn multiline_clause_and_trailer() {
+        let text = "p cnf 2 1\n1\n-2 0\n%\n0\n";
+        let cnf = parse(text).unwrap();
+        assert_eq!(cnf.clauses, vec![vec![
+            Var::new(0).positive(),
+            Var::new(1).negative(),
+        ]]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert_eq!(parse("p dnf 1 1\n1 0\n"), Err(ParseError::BadHeader));
+        assert_eq!(parse("1 0\n"), Err(ParseError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(parse("p cnf 1 1\n2 0\n"), Err(ParseError::VarOutOfRange(2))));
+    }
+
+    #[test]
+    fn load_and_solve() {
+        let cnf = parse("p cnf 2 3\n1 2 0\n-1 2 0\n1 -2 0\n").unwrap();
+        let (mut s, ok) = load(&cnf);
+        assert!(ok);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(Var::new(0).positive()).is_true());
+        assert!(s.model_value(Var::new(1).positive()).is_true());
+    }
+
+    #[test]
+    fn load_unsat() {
+        let cnf = parse("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        let (mut s, ok) = load(&cnf);
+        assert!(!ok || s.solve() == SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

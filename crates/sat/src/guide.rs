@@ -1,0 +1,222 @@
+//! Pluggable decision guides — the hook the paper's *enhanced `decide()`*
+//! (Fig. 5 of the paper) plugs into.
+//!
+//! Before falling back to its default VSIDS + phase-saving heuristic, the
+//! solver asks the installed [`DecisionGuide`] for the next decision. The
+//! ZPRE guide (in the `zpre` core crate) answers with the first unassigned
+//! interference variable under the generated decision order; once all
+//! interference variables are assigned it answers `None` and the default
+//! heuristics take over — exactly the paper's enhanced DPLL(T) loop.
+
+use crate::lit::{LBool, Lit};
+
+/// A read-only view of the current variable assignment.
+#[derive(Copy, Clone)]
+pub struct AssignView<'a> {
+    assigns: &'a [LBool],
+}
+
+impl<'a> AssignView<'a> {
+    pub(crate) fn new(assigns: &'a [LBool]) -> AssignView<'a> {
+        AssignView { assigns }
+    }
+
+    /// Value of variable with dense index `var_index`.
+    #[inline]
+    pub fn var_value(&self, var_index: usize) -> LBool {
+        self.assigns[var_index]
+    }
+
+    /// Value of a literal.
+    #[inline]
+    pub fn lit_value(&self, lit: Lit) -> LBool {
+        self.assigns[lit.var().index()].xor_sign(!lit.sign())
+    }
+
+    /// Number of variables in the solver.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+}
+
+/// A decision heuristic consulted before the solver's built-in VSIDS.
+pub trait DecisionGuide {
+    /// Returns the next decision literal, or `None` to defer to VSIDS.
+    /// The returned literal's variable must be unassigned.
+    fn next_decision(&mut self, view: AssignView<'_>) -> Option<Lit>;
+
+    /// A new decision level was opened (after the decision was enqueued).
+    fn on_new_level(&mut self) {}
+
+    /// The solver backtracked to `level`.
+    fn on_backtrack(&mut self, level: u32) {
+        let _ = level;
+    }
+
+    /// The solver restarted (backtracked to the root level).
+    fn on_restart(&mut self) {}
+}
+
+/// The default guide: always defers to VSIDS.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoGuide;
+
+impl DecisionGuide for NoGuide {
+    fn next_decision(&mut self, _view: AssignView<'_>) -> Option<Lit> {
+        None
+    }
+}
+
+/// A guide driven by an explicit priority list of variables.
+///
+/// `next_decision` returns the first unassigned variable of the list, with a
+/// polarity chosen by a seeded xorshift RNG (the paper assigns interference
+/// variables "a random Boolean value"). A cursor with per-level snapshots
+/// makes the scan amortized O(1) per decision.
+#[derive(Debug, Clone)]
+pub struct PriorityListGuide {
+    /// Variable indices in decision-priority order (highest priority first).
+    order: Vec<u32>,
+    /// Scan cursor: everything before it is assigned at the current level.
+    cursor: usize,
+    /// Cursor snapshots, one per open decision level.
+    saved: Vec<usize>,
+    /// xorshift64* state for polarity choice.
+    rng_state: u64,
+    /// If `Some(p)`, always use polarity `p` instead of random (ablation).
+    fixed_polarity: Option<bool>,
+}
+
+impl PriorityListGuide {
+    /// Creates a guide deciding `order` (highest priority first) with random
+    /// polarities drawn from `seed`.
+    pub fn new(order: Vec<u32>, seed: u64) -> PriorityListGuide {
+        PriorityListGuide {
+            order,
+            cursor: 0,
+            saved: Vec::new(),
+            // xorshift must not start at 0.
+            rng_state: seed | 1,
+            fixed_polarity: None,
+        }
+    }
+
+    /// Forces a fixed decision polarity instead of a random one.
+    pub fn with_fixed_polarity(mut self, polarity: bool) -> PriorityListGuide {
+        self.fixed_polarity = Some(polarity);
+        self
+    }
+
+    /// The priority list (for inspection/tests).
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    fn next_bool(&mut self) -> bool {
+        // xorshift64* — tiny, deterministic, good enough for polarity noise.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 63) & 1 == 1
+    }
+}
+
+impl DecisionGuide for PriorityListGuide {
+    fn next_decision(&mut self, view: AssignView<'_>) -> Option<Lit> {
+        while self.cursor < self.order.len() {
+            let v = self.order[self.cursor] as usize;
+            if view.var_value(v).is_undef() {
+                let polarity = self.fixed_polarity.unwrap_or_else(|| self.next_bool());
+                return Some(crate::lit::Var::new(v as u32).lit(polarity));
+            }
+            self.cursor += 1;
+        }
+        None
+    }
+
+    fn on_new_level(&mut self) {
+        self.saved.push(self.cursor);
+    }
+
+    fn on_backtrack(&mut self, level: u32) {
+        let level = level as usize;
+        if level < self.saved.len() {
+            self.cursor = self.saved[level];
+            self.saved.truncate(level);
+        }
+    }
+
+    fn on_restart(&mut self) {
+        self.cursor = 0;
+        self.saved.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn view(assigns: &[LBool]) -> AssignView<'_> {
+        AssignView::new(assigns)
+    }
+
+    #[test]
+    fn no_guide_defers() {
+        let assigns = vec![LBool::Undef; 4];
+        assert!(NoGuide.next_decision(view(&assigns)).is_none());
+    }
+
+    #[test]
+    fn priority_guide_picks_first_unassigned() {
+        let mut assigns = vec![LBool::Undef; 4];
+        let mut g = PriorityListGuide::new(vec![2, 0, 3], 7).with_fixed_polarity(true);
+        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(2).positive()));
+        assigns[2] = LBool::True;
+        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(0).positive()));
+        assigns[0] = LBool::False;
+        assigns[3] = LBool::True;
+        assert_eq!(g.next_decision(view(&assigns)), None);
+    }
+
+    #[test]
+    fn cursor_restores_on_backtrack() {
+        let mut assigns = vec![LBool::Undef; 3];
+        let mut g = PriorityListGuide::new(vec![0, 1, 2], 7).with_fixed_polarity(false);
+        // level 0 decision: var 0
+        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(0).negative()));
+        assigns[0] = LBool::False;
+        g.on_new_level();
+        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(1).negative()));
+        assigns[1] = LBool::False;
+        g.on_new_level();
+        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(2).negative()));
+        // Backtrack to level 1: vars 1,2 unassigned again.
+        assigns[1] = LBool::Undef;
+        assigns[2] = LBool::Undef;
+        g.on_backtrack(1);
+        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(1).negative()));
+    }
+
+    #[test]
+    fn restart_rescans_from_front() {
+        let mut assigns = vec![LBool::Undef; 2];
+        let mut g = PriorityListGuide::new(vec![0, 1], 7).with_fixed_polarity(true);
+        assigns[0] = LBool::True;
+        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(1).positive()));
+        assigns[0] = LBool::Undef;
+        g.on_restart();
+        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(0).positive()));
+    }
+
+    #[test]
+    fn random_polarity_is_deterministic_per_seed() {
+        let assigns = vec![LBool::Undef; 1];
+        let mut g1 = PriorityListGuide::new(vec![0], 42);
+        let mut g2 = PriorityListGuide::new(vec![0], 42);
+        assert_eq!(g1.next_decision(view(&assigns)), g2.next_decision(view(&assigns)));
+    }
+}

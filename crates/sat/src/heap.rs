@@ -1,0 +1,243 @@
+//! Indexed binary max-heap over variable activities (the VSIDS order heap).
+//!
+//! Supports O(log n) insert/pop and, crucially, O(log n) *decrease/increase
+//! key* for an arbitrary variable via an index table — needed because VSIDS
+//! bumps activities of variables that are already enqueued.
+
+use crate::lit::Var;
+
+/// Max-heap of variables keyed by an external activity array.
+#[derive(Default, Clone)]
+pub struct ActivityHeap {
+    /// Heap of variable indices.
+    heap: Vec<u32>,
+    /// `pos[v] == u32::MAX` when v is not in the heap, else its heap slot.
+    pos: Vec<u32>,
+}
+
+const NOT_IN_HEAP: u32 = u32::MAX;
+
+impl ActivityHeap {
+    /// Creates an empty heap.
+    pub fn new() -> ActivityHeap {
+        ActivityHeap::default()
+    }
+
+    /// Extends the index table to cover variables `0..n`.
+    pub fn grow_to(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, NOT_IN_HEAP);
+        }
+    }
+
+    /// Number of enqueued variables.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no variable is enqueued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// `true` when `v` is currently enqueued.
+    #[inline]
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos
+            .get(v.index())
+            .is_some_and(|&p| p != NOT_IN_HEAP)
+    }
+
+    /// Inserts `v` (no-op if already present).
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.grow_to(v.index() + 1);
+        if self.contains(v) {
+            return;
+        }
+        let slot = self.heap.len() as u32;
+        self.heap.push(v.index() as u32);
+        self.pos[v.index()] = slot;
+        self.sift_up(slot as usize, activity);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.pos[top as usize] = NOT_IN_HEAP;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var::new(top))
+    }
+
+    /// Restores the heap property around `v` after its activity increased.
+    pub fn bumped(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.pos.get(v.index()) {
+            if p != NOT_IN_HEAP {
+                self.sift_up(p as usize, activity);
+            }
+        }
+    }
+
+    /// Rebuilds the heap from scratch (used after a global activity rescale,
+    /// which preserves order, so this is normally unnecessary — kept for
+    /// defensive rebuilds).
+    pub fn rebuild(&mut self, activity: &[f64]) {
+        let n = self.heap.len();
+        for i in (0..n / 2).rev() {
+            self.sift_down(i, activity);
+        }
+    }
+
+    #[inline]
+    fn better(&self, a: u32, b: u32, activity: &[f64]) -> bool {
+        let (aa, ab) = (activity[a as usize], activity[b as usize]);
+        aa > ab || (aa == ab && a < b)
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        let x = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let p = self.heap[parent];
+            if self.better(x, p, activity) {
+                self.heap[i] = p;
+                self.pos[p as usize] = i as u32;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = x;
+        self.pos[x as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        let x = self.heap[i];
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < n && self.better(self.heap[right], self.heap[left], activity) {
+                right
+            } else {
+                left
+            };
+            let c = self.heap[child];
+            if self.better(c, x, activity) {
+                self.heap[i] = c;
+                self.pos[c as usize] = i as u32;
+                i = child;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = x;
+        self.pos[x as usize] = i as u32;
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self, activity: &[f64]) {
+        for i in 1..self.heap.len() {
+            let parent = (i - 1) / 2;
+            assert!(
+                !self.better(self.heap[i], self.heap[parent], activity),
+                "heap property violated at {i}"
+            );
+        }
+        for (i, &v) in self.heap.iter().enumerate() {
+            assert_eq!(self.pos[v as usize], i as u32, "pos table out of sync");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        for i in 0..4 {
+            h.insert(Var::new(i), &activity);
+        }
+        h.check_invariants(&activity);
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let activity = vec![1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        h.insert(Var::new(0), &activity);
+        h.insert(Var::new(0), &activity);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn bump_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::new();
+        for i in 0..3 {
+            h.insert(Var::new(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.bumped(Var::new(0), &activity);
+        h.check_invariants(&activity);
+        assert_eq!(h.pop(&activity), Some(Var::new(0)));
+    }
+
+    #[test]
+    fn ties_break_by_lower_index() {
+        let activity = vec![1.0; 5];
+        let mut h = ActivityHeap::new();
+        for i in (0..5).rev() {
+            h.insert(Var::new(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn interleaved_ops_keep_invariants() {
+        // Deterministic pseudo-random stress of insert/pop/bump.
+        let mut activity = vec![0.0f64; 64];
+        let mut h = ActivityHeap::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2000 {
+            let v = Var::new((next() % 64) as u32);
+            match next() % 3 {
+                0 => h.insert(v, &activity),
+                1 => {
+                    activity[v.index()] += (next() % 100) as f64;
+                    h.bumped(v, &activity);
+                }
+                _ => {
+                    h.pop(&activity);
+                }
+            }
+            h.check_invariants(&activity);
+        }
+    }
+}

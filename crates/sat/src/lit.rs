@@ -1,0 +1,249 @@
+//! Variables, literals and the three-valued assignment domain.
+//!
+//! A [`Var`] is a dense index into the solver's variable tables. A [`Lit`]
+//! packs a variable and a sign into a single `u32` (`var << 1 | sign`), the
+//! classic MiniSat layout, so that watch lists and assignment tables can be
+//! indexed directly by `lit.code()`.
+
+use std::fmt;
+
+/// A propositional variable, densely numbered from 0.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Var {
+        Var(index)
+    }
+
+    /// The dense index of this variable.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub const fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub const fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// The literal of this variable with the given sign (`true` = positive).
+    #[inline]
+    pub const fn lit(self, sign: bool) -> Lit {
+        Lit::new(self, sign)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable with a sign. Positive sign means the variable
+/// itself, negative sign its negation.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable and a sign (`true` = positive).
+    #[inline]
+    pub const fn new(var: Var, sign: bool) -> Lit {
+        Lit(var.0 << 1 | sign as u32)
+    }
+
+    /// Reconstructs a literal from its packed code (inverse of [`Lit::code`]).
+    #[inline]
+    pub const fn from_code(code: u32) -> Lit {
+        Lit(code)
+    }
+
+    /// The packed code of this literal, suitable for dense indexing.
+    #[inline]
+    pub const fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub const fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if this is the positive literal of its variable.
+    #[inline]
+    pub const fn sign(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The negation of this literal.
+    #[inline]
+    #[must_use]
+    pub const fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        self.negate()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}v{}", if self.sign() { "" } else { "!" }, self.0 >> 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Three-valued assignment: true, false or unassigned.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+#[repr(u8)]
+pub enum LBool {
+    /// Assigned true.
+    True = 0,
+    /// Assigned false.
+    False = 1,
+    /// Not assigned.
+    #[default]
+    Undef = 2,
+}
+
+impl LBool {
+    /// Converts a `bool` into the corresponding defined value.
+    #[inline]
+    pub const fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// `true` iff this value is [`LBool::Undef`].
+    #[inline]
+    pub const fn is_undef(self) -> bool {
+        matches!(self, LBool::Undef)
+    }
+
+    /// `true` iff this value is [`LBool::True`].
+    #[inline]
+    pub const fn is_true(self) -> bool {
+        matches!(self, LBool::True)
+    }
+
+    /// `true` iff this value is [`LBool::False`].
+    #[inline]
+    pub const fn is_false(self) -> bool {
+        matches!(self, LBool::False)
+    }
+
+    /// The value of the *negation*: true↦false, false↦true, undef↦undef.
+    #[inline]
+    #[must_use]
+    pub const fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+
+    /// XORs a defined value with a sign; undef stays undef. `xor_sign(false)`
+    /// is the identity used to evaluate a positive literal, `xor_sign(true)`
+    /// evaluates a negated one.
+    #[inline]
+    #[must_use]
+    pub const fn xor_sign(self, flip: bool) -> LBool {
+        if flip {
+            self.negate()
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_packing_roundtrip() {
+        for idx in [0u32, 1, 2, 17, 1 << 20] {
+            let v = Var::new(idx);
+            let p = v.positive();
+            let n = v.negative();
+            assert_eq!(p.var(), v);
+            assert_eq!(n.var(), v);
+            assert!(p.sign());
+            assert!(!n.sign());
+            assert_eq!(!p, n);
+            assert_eq!(!n, p);
+            assert_eq!(!!p, p);
+            assert_eq!(Lit::from_code(p.code() as u32), p);
+        }
+    }
+
+    #[test]
+    fn lit_codes_are_dense_and_disjoint() {
+        let a = Var::new(0);
+        let b = Var::new(1);
+        let codes = [
+            a.negative().code(),
+            a.positive().code(),
+            b.negative().code(),
+            b.positive().code(),
+        ];
+        assert_eq!(codes, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn lbool_negation_table() {
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::False.negate(), LBool::True);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::from_bool(false), LBool::False);
+    }
+
+    #[test]
+    fn lbool_xor_sign_evaluates_literals() {
+        // A variable assigned true makes its positive literal true and its
+        // negative literal false.
+        let val = LBool::True;
+        assert!(val.xor_sign(false).is_true());
+        assert!(val.xor_sign(true).is_false());
+        assert!(LBool::Undef.xor_sign(true).is_undef());
+    }
+
+    #[test]
+    fn var_lit_constructor_matches_sign() {
+        let v = Var::new(5);
+        assert_eq!(v.lit(true), v.positive());
+        assert_eq!(v.lit(false), v.negative());
+    }
+}

@@ -1,0 +1,1491 @@
+//! The CDCL(T) search engine.
+//!
+//! A MiniSat-lineage conflict-driven clause-learning solver with:
+//!
+//! - two-watched-literal propagation with blocker literals;
+//! - first-UIP conflict analysis with recursive clause minimization;
+//! - VSIDS variable activities with phase saving;
+//! - LBD-aware learnt-clause database reduction and arena compaction;
+//! - Luby restarts;
+//! - a background [`Theory`] (DPLL(T)) asserted eagerly in trail order; and
+//! - a pluggable [`DecisionGuide`] consulted *before* VSIDS — the hook used
+//!   by the interference-relation decision order of the paper.
+
+use crate::clause::{CRef, ClauseDb};
+use crate::guide::{AssignView, DecisionGuide, NoGuide};
+use crate::lit::{LBool, Lit, Var};
+use crate::proof::Proof;
+use crate::stats::{Budget, Stats};
+use crate::theory::{NoTheory, Theory, TheoryOut};
+
+/// Final verdict of a [`Solver::solve`] run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying, theory-consistent assignment was found.
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The budget (conflicts or wall clock) was exhausted.
+    Unknown,
+}
+
+/// Why a variable is assigned.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Reason {
+    /// Not assigned, or a decision.
+    None,
+    /// Implied by a clause (the implied literal is at position 0).
+    Clause(CRef),
+    /// Implied by the theory; explanation fetched lazily via
+    /// [`Theory::explain`].
+    Theory,
+}
+
+#[derive(Copy, Clone)]
+struct Watcher {
+    cref: CRef,
+    blocker: Lit,
+}
+
+/// A conflict found during propagation, as a clause of false literals.
+struct Conflict {
+    /// All literals are false under the current assignment.
+    lits: Vec<Lit>,
+}
+
+/// Outcome of a decision attempt.
+enum DecideOutcome {
+    /// A new decision was enqueued.
+    Decided,
+    /// Every variable is assigned.
+    AllAssigned,
+    /// An assumption is falsified; the core has been computed.
+    AssumptionConflict,
+}
+
+const RESCALE_LIMIT: f64 = 1e100;
+const CLA_RESCALE_LIMIT: f32 = 1e20;
+
+/// Restart scheduling policy.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum RestartStrategy {
+    /// Luby sequence times the base interval (the default).
+    Luby,
+    /// Geometric growth: interval multiplied by `factor` per restart.
+    Geometric {
+        /// Growth factor (> 1.0).
+        factor: f64,
+    },
+    /// Never restart.
+    Never,
+}
+
+/// Tunable solver parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct SolverConfig {
+    /// VSIDS variable-activity decay (0 < d < 1); smaller = more aggressive.
+    pub var_decay: f64,
+    /// Learnt-clause activity decay.
+    pub clause_decay: f32,
+    /// Restart policy.
+    pub restart: RestartStrategy,
+    /// Conflicts before the first restart.
+    pub restart_base: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart: RestartStrategy::Luby,
+            restart_base: 100,
+        }
+    }
+}
+
+/// The CDCL(T) solver, parameterized by a background theory `T` and a
+/// decision guide `G`.
+pub struct Solver<T: Theory = NoTheory, G: DecisionGuide = NoGuide> {
+    /// The background theory (public: clients register atoms on it).
+    pub theory: T,
+    /// The decision guide (public: clients may inspect/replace it).
+    pub guide: G,
+
+    db: ClauseDb,
+    watches: Vec<Vec<Watcher>>,
+
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    phase: Vec<bool>,
+    is_theory_atom: Vec<bool>,
+
+    trail: Vec<Lit>,
+    trail_lim: Vec<u32>,
+    qhead: usize,
+
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: crate::heap::ActivityHeap,
+    cla_inc: f32,
+
+    ok: bool,
+    model: Vec<LBool>,
+
+    // analyze scratch
+    seen: Vec<u8>,
+    analyze_toclear: Vec<Lit>,
+    analyze_stack: Vec<Lit>,
+    lbd_stamp: Vec<u32>,
+    lbd_counter: u32,
+
+    max_learnts: f64,
+    restart_count: u64,
+
+    stats: Stats,
+    budget: Budget,
+    theory_out: TheoryOut,
+    proof: Option<Proof>,
+    /// Subset of the last call's assumptions responsible for `Unsat`.
+    assumption_core: Vec<Lit>,
+    config: SolverConfig,
+}
+
+impl Solver<NoTheory, NoGuide> {
+    /// Creates a plain SAT solver (no theory, no guide).
+    pub fn new() -> Self {
+        Solver::with_parts(NoTheory, NoGuide)
+    }
+}
+
+impl Default for Solver<NoTheory, NoGuide> {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl<T: Theory, G: DecisionGuide> Solver<T, G> {
+    /// Creates a solver around a theory and a decision guide.
+    pub fn with_parts(theory: T, guide: G) -> Self {
+        Solver {
+            theory,
+            guide,
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            phase: Vec::new(),
+            is_theory_atom: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: crate::heap::ActivityHeap::new(),
+            cla_inc: 1.0,
+            ok: true,
+            model: Vec::new(),
+            seen: Vec::new(),
+            analyze_toclear: Vec::new(),
+            analyze_stack: Vec::new(),
+            lbd_stamp: Vec::new(),
+            lbd_counter: 0,
+            max_learnts: 0.0,
+            restart_count: 0,
+            stats: Stats::default(),
+            budget: Budget::default(),
+            theory_out: TheoryOut::default(),
+            proof: None,
+            assumption_core: Vec::new(),
+            config: SolverConfig::default(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(Reason::None);
+        self.phase.push(false);
+        self.is_theory_atom.push(false);
+        self.activity.push(0.0);
+        self.seen.push(0);
+        self.lbd_stamp.push(0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Marks `v` so its assignments are forwarded to the theory.
+    pub fn mark_theory_var(&mut self, v: Var) {
+        self.is_theory_atom[v.index()] = true;
+    }
+
+    /// Sets the solving budget (conflict cap / deadline).
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Overrides the tunable parameters (decays, restart policy). Call
+    /// before `solve`.
+    pub fn set_config(&mut self, config: SolverConfig) {
+        assert!(config.var_decay > 0.0 && config.var_decay < 1.0);
+        assert!(config.clause_decay > 0.0 && config.clause_decay < 1.0);
+        if let RestartStrategy::Geometric { factor } = config.restart {
+            assert!(factor > 1.0, "geometric factor must exceed 1");
+        }
+        self.config = config;
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    fn restart_limit(&self) -> u64 {
+        match self.config.restart {
+            RestartStrategy::Luby => Self::luby(self.restart_count) * self.config.restart_base,
+            RestartStrategy::Geometric { factor } => {
+                (self.config.restart_base as f64 * factor.powi(self.restart_count as i32)) as u64
+            }
+            RestartStrategy::Never => u64::MAX,
+        }
+    }
+
+    /// Enables DRAT proof logging (propositional solving only — theory
+    /// lemmas are not RUP-checkable; see [`crate::proof`]).
+    pub fn enable_proof_logging(&mut self) {
+        self.proof = Some(Proof::default());
+    }
+
+    /// Takes the recorded proof, leaving logging enabled with a fresh log.
+    pub fn take_proof(&mut self) -> Option<Proof> {
+        self.proof.take().inspect(|_| self.proof = Some(Proof::default()))
+    }
+
+    fn proof_add(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.add(lits);
+        }
+    }
+
+    fn proof_delete(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.delete(lits);
+        }
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Current value of a literal.
+    #[inline]
+    pub fn value(&self, lit: Lit) -> LBool {
+        self.assigns[lit.var().index()].xor_sign(!lit.sign())
+    }
+
+    /// Current value of a variable.
+    #[inline]
+    pub fn var_value(&self, v: Var) -> LBool {
+        self.assigns[v.index()]
+    }
+
+    /// Value of a literal in the model of the last `Sat` answer.
+    pub fn model_value(&self, lit: Lit) -> LBool {
+        self.model[lit.var().index()].xor_sign(!lit.sign())
+    }
+
+    /// Value of a variable in the model of the last `Sat` answer.
+    pub fn model_var_value(&self, v: Var) -> LBool {
+        self.model[v.index()]
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause. Returns `false` if the formula became trivially
+    /// unsatisfiable (conflicting units at the root level).
+    ///
+    /// Must be called at decision level 0 (i.e. before `solve`, or between
+    /// incremental solves — this solver is single-shot per `solve` call but
+    /// clauses may be added after a result to continue).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        if !self.ok {
+            return false;
+        }
+        // Normalize: sort, dedup, drop false lits, detect tautology/sat.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        let mut w = 0;
+        for i in 0..c.len() {
+            let l = c[i];
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return true; // tautology: v ∨ ¬v
+            }
+            match self.value(l) {
+                LBool::True => return true, // satisfied at root
+                LBool::False => {}          // drop
+                LBool::Undef => {
+                    c[w] = l;
+                    w += 1;
+                }
+            }
+        }
+        c.truncate(w);
+        // Record root-level strengthenings (dropped false/duplicate
+        // literals yield a RUP-derivable subset of the input clause).
+        if c.len() < lits.len() {
+            self.proof_add(&c.clone());
+        }
+        match c.len() {
+            0 => {
+                if lits.is_empty() {
+                    // Not covered by the strengthening emission above.
+                    self.proof_add(&[]);
+                }
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], Reason::None);
+                true
+            }
+            _ => {
+                let cr = self.db.add(&c, false);
+                self.attach(cr);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, cr: CRef) {
+        let lits = self.db.lits(cr);
+        let (w0, w1) = (lits[0], lits[1]);
+        self.watches[(!w0).code()].push(Watcher { cref: cr, blocker: w1 });
+        self.watches[(!w1).code()].push(Watcher { cref: cr, blocker: w0 });
+    }
+
+    /// Assigns `lit` true. Returns `false` if it is already false.
+    fn enqueue(&mut self, lit: Lit, reason: Reason) -> bool {
+        match self.value(lit) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => {
+                let v = lit.var().index();
+                self.assigns[v] = LBool::from_bool(lit.sign());
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.phase[v] = lit.sign();
+                if !matches!(reason, Reason::None) {
+                    self.stats.propagations += 1;
+                }
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation + eager theory assertion, to fixpoint.
+    fn propagate(&mut self) -> Option<Conflict> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+
+            if let Some(confl) = self.propagate_bool(p) {
+                self.qhead = self.trail.len();
+                return Some(confl);
+            }
+            if self.is_theory_atom[p.var().index()] {
+                if let Some(confl) = self.assert_to_theory(p) {
+                    self.qhead = self.trail.len();
+                    return Some(confl);
+                }
+            }
+        }
+        None
+    }
+
+    /// Processes the Boolean watch list of the newly-true literal `p`.
+    fn propagate_bool(&mut self, p: Lit) -> Option<Conflict> {
+        let mut ws = std::mem::take(&mut self.watches[p.code()]);
+        let mut kept = 0usize;
+        let mut conflict = None;
+        let mut i = 0usize;
+        'watchers: while i < ws.len() {
+            let w = ws[i];
+            i += 1;
+            // Fast path: blocker already true.
+            if self.value(w.blocker).is_true() {
+                ws[kept] = w;
+                kept += 1;
+                continue;
+            }
+            let cr = w.cref;
+            // Make sure the false watched literal (!p) is at position 1.
+            {
+                let lits = self.db.lits_mut(cr);
+                if lits[0] == !p {
+                    lits.swap(0, 1);
+                }
+                debug_assert_eq!(lits[1], !p);
+            }
+            let first = self.db.lits(cr)[0];
+            if first != w.blocker && self.value(first).is_true() {
+                // Satisfied; re-watch with the true literal as blocker.
+                ws[kept] = Watcher { cref: cr, blocker: first };
+                kept += 1;
+                continue;
+            }
+            // Look for a replacement watch among lits[2..].
+            let len = self.db.len(cr);
+            for k in 2..len {
+                let lk = self.db.lits(cr)[k];
+                if !self.value(lk).is_false() {
+                    self.db.lits_mut(cr).swap(1, k);
+                    self.watches[(!lk).code()].push(Watcher { cref: cr, blocker: first });
+                    continue 'watchers;
+                }
+            }
+            // No replacement: clause is unit or conflicting.
+            ws[kept] = Watcher { cref: cr, blocker: first };
+            kept += 1;
+            if self.value(first).is_false() {
+                // Conflict: copy remaining watchers back before reporting.
+                conflict = Some(Conflict { lits: self.db.lits(cr).to_vec() });
+                break;
+            }
+            let ok = self.enqueue(first, Reason::Clause(cr));
+            debug_assert!(ok);
+        }
+        // Retain unprocessed watchers (after a conflict) and survivors.
+        ws.copy_within(i.., kept);
+        ws.truncate(kept + ws.len() - i);
+        self.watches[p.code()] = ws;
+        conflict
+    }
+
+    /// Forwards `p` to the theory and integrates its reaction.
+    fn assert_to_theory(&mut self, p: Lit) -> Option<Conflict> {
+        let mut out = std::mem::take(&mut self.theory_out);
+        out.clear();
+        let result = self.theory.assert_lit(p, &mut out);
+        let confl = match result {
+            Err(tc) => {
+                self.stats.theory_conflicts += 1;
+                Some(Conflict { lits: tc.lits.iter().map(|&l| !l).collect() })
+            }
+            Ok(()) => {
+                let mut found = None;
+                for &q in &out.propagations {
+                    match self.value(q) {
+                        LBool::True => {}
+                        LBool::Undef => {
+                            self.stats.theory_propagations += 1;
+                            let ok = self.enqueue(q, Reason::Theory);
+                            debug_assert!(ok);
+                        }
+                        LBool::False => {
+                            // Propagation of a false literal: the explanation
+                            // clause (q ∨ ¬a₁ ∨ … ∨ ¬aₖ) is falsified.
+                            self.stats.theory_conflicts += 1;
+                            let ants = self.theory.explain(q);
+                            let mut lits = vec![q];
+                            lits.extend(ants.iter().map(|&a| !a));
+                            found = Some(Conflict { lits });
+                            break;
+                        }
+                    }
+                }
+                found
+            }
+        };
+        self.theory_out = out;
+        confl
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len() as u32);
+        self.theory.new_level();
+        self.guide.on_new_level();
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let lim = self.trail_lim[target as usize] as usize;
+        for i in (lim..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = Reason::None;
+            // phase[] keeps the last assigned polarity (phase saving).
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = lim;
+        self.theory.backtrack_to(target);
+        self.guide.on_backtrack(target);
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= self.config.var_decay;
+    }
+
+    fn bump_clause(&mut self, cr: CRef) {
+        let a = self.db.activity(cr) + self.cla_inc;
+        self.db.set_activity(cr, a);
+        if a > CLA_RESCALE_LIMIT {
+            for c in self.db.iter().collect::<Vec<_>>() {
+                if self.db.is_learnt(c) {
+                    let ca = self.db.activity(c);
+                    self.db.set_activity(c, ca * 1e-20);
+                }
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_clause_activity(&mut self) {
+        self.cla_inc /= self.config.clause_decay;
+    }
+
+    /// The literals of the reason for `p` being true, *excluding* `p`
+    /// (they are all currently false). Bumps clause activity as a side
+    /// effect, as in MiniSat.
+    fn reason_lits(&mut self, p: Lit, buf: &mut Vec<Lit>) {
+        buf.clear();
+        match self.reason[p.var().index()] {
+            Reason::None => {}
+            Reason::Clause(cr) => {
+                if self.db.is_learnt(cr) {
+                    self.bump_clause(cr);
+                }
+                let lits = self.db.lits(cr);
+                debug_assert_eq!(lits[0], p, "implied literal must sit at position 0");
+                buf.extend_from_slice(&lits[1..]);
+            }
+            Reason::Theory => {
+                let ants = self.theory.explain(p);
+                buf.extend(ants.iter().map(|&a| !a));
+            }
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first), the backjump level, and the clause LBD.
+    fn analyze(&mut self, conflict: Conflict) -> (Vec<Lit>, u32, u32) {
+        let current = self.decision_level();
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot 0 = UIP
+        let mut counter = 0u32;
+        let mut index = self.trail.len();
+        let mut clause: Vec<Lit> = conflict.lits;
+        let mut reason_buf: Vec<Lit> = Vec::new();
+        let uip;
+
+        loop {
+            #[allow(clippy::needless_range_loop)] // `clause` is swapped below
+            for i in 0..clause.len() {
+                let q = clause[i];
+                debug_assert!(self.value(q).is_false());
+                let v = q.var();
+                if self.seen[v.index()] == 0 && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = 1;
+                    self.analyze_toclear.push(q);
+                    self.bump_var(v);
+                    if self.level[v.index()] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            debug_assert!(counter > 0, "conflict must involve the current level");
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] != 0 {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            // Consume pl: resolve it away (MiniSat clears its mark here so
+            // that clause minimization sees exactly the learnt-clause vars).
+            self.seen[pl.var().index()] = 0;
+            counter -= 1;
+            if counter == 0 {
+                uip = pl;
+                break;
+            }
+            self.reason_lits(pl, &mut reason_buf);
+            std::mem::swap(&mut clause, &mut reason_buf);
+        }
+        learnt[0] = !uip;
+
+        // Recursive minimization of the non-asserting literals.
+        let abstract_levels = learnt[1..]
+            .iter()
+            .fold(0u32, |acc, l| acc | Self::abstract_level(self.level[l.var().index()]));
+        let mut j = 1;
+        for i in 1..learnt.len() {
+            let l = learnt[i];
+            let keep = match self.reason[l.var().index()] {
+                Reason::None => true,
+                _ => !self.lit_redundant(l, abstract_levels),
+            };
+            if keep {
+                learnt[j] = l;
+                j += 1;
+            } else {
+                self.stats.minimized_lits += 1;
+            }
+        }
+        learnt.truncate(j);
+
+        // Find backjump level = max level among learnt[1..]; move it to slot 1.
+        let mut back_level = 0;
+        if learnt.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            back_level = self.level[learnt[1].var().index()];
+        }
+
+        // LBD: number of distinct decision levels in the learnt clause.
+        self.lbd_counter += 1;
+        let stamp = self.lbd_counter;
+        let mut lbd = 0u32;
+        for &l in &learnt {
+            let lv = self.level[l.var().index()] as usize;
+            if self.lbd_stamp.len() <= lv {
+                self.lbd_stamp.resize(lv + 1, 0);
+            }
+            if self.lbd_stamp[lv] != stamp {
+                self.lbd_stamp[lv] = stamp;
+                lbd += 1;
+            }
+        }
+
+        // Clear the seen[] marks.
+        for &l in &self.analyze_toclear {
+            self.seen[l.var().index()] = 0;
+        }
+        self.analyze_toclear.clear();
+
+        (learnt, back_level, lbd)
+    }
+
+    #[inline]
+    fn abstract_level(level: u32) -> u32 {
+        1 << (level & 31)
+    }
+
+    /// MiniSat's `litRedundant`: can `l` be removed from the learnt clause
+    /// because it is implied by other marked literals?
+    fn lit_redundant(&mut self, l: Lit, abstract_levels: u32) -> bool {
+        self.analyze_stack.clear();
+        self.analyze_stack.push(l);
+        let top = self.analyze_toclear.len();
+        let mut reason_buf: Vec<Lit> = Vec::new();
+        while let Some(q) = self.analyze_stack.pop() {
+            // Stack literals come from clause bodies, so they are false; the
+            // reason of the variable implies the *true* literal ¬q.
+            debug_assert!(self.value(q).is_false());
+            debug_assert!(!matches!(self.reason[q.var().index()], Reason::None));
+            self.reason_lits(!q, &mut reason_buf);
+            let antecedents = reason_buf.clone();
+            for a in antecedents {
+                let v = a.var();
+                if self.seen[v.index()] == 0 && self.level[v.index()] > 0 {
+                    let has_reason = !matches!(self.reason[v.index()], Reason::None);
+                    if has_reason
+                        && Self::abstract_level(self.level[v.index()]) & abstract_levels != 0
+                    {
+                        self.seen[v.index()] = 1;
+                        self.analyze_stack.push(a);
+                        self.analyze_toclear.push(a);
+                    } else {
+                        for &x in &self.analyze_toclear[top..] {
+                            self.seen[x.var().index()] = 0;
+                        }
+                        self.analyze_toclear.truncate(top);
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Installs a learnt clause and asserts its UIP literal.
+    fn record_learnt(&mut self, learnt: Vec<Lit>, lbd: u32) {
+        self.proof_add(&learnt);
+        self.stats.learnt_clauses += 1;
+        self.stats.learnt_literals += learnt.len() as u64;
+        if learnt.len() == 1 {
+            debug_assert_eq!(self.decision_level(), 0);
+            let ok = self.enqueue(learnt[0], Reason::None);
+            debug_assert!(ok);
+        } else {
+            let cr = self.db.add(&learnt, true);
+            self.db.set_lbd(cr, lbd);
+            self.db.set_activity(cr, self.cla_inc);
+            self.attach(cr);
+            let ok = self.enqueue(learnt[0], Reason::Clause(cr));
+            debug_assert!(ok);
+        }
+    }
+
+    /// Halves the learnt-clause database, keeping low-LBD and active clauses,
+    /// then compacts the arena.
+    fn reduce_db(&mut self) {
+        self.stats.reductions += 1;
+        let mut learnts: Vec<CRef> = self
+            .db
+            .iter()
+            .filter(|&c| self.db.is_learnt(c) && !self.locked(c))
+            .collect();
+        // Sort worst-first: high LBD, then low activity.
+        learnts.sort_by(|&a, &b| {
+            self.db
+                .lbd(b)
+                .cmp(&self.db.lbd(a))
+                .then(
+                    self.db
+                        .activity(a)
+                        .partial_cmp(&self.db.activity(b))
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        });
+        let target = learnts.len() / 2;
+        let mut removed = 0;
+        for &c in learnts.iter() {
+            if removed >= target {
+                break;
+            }
+            if self.db.lbd(c) <= 2 {
+                continue; // glue clauses are kept forever
+            }
+            let lits = self.db.lits(c).to_vec();
+            self.proof_delete(&lits);
+            self.detach(c);
+            self.db.delete(c);
+            removed += 1;
+        }
+        // Compact when a third of the arena is garbage.
+        if self.db.wasted() * 3 > self.db.arena_len() {
+            self.garbage_collect();
+        }
+    }
+
+    fn locked(&self, cr: CRef) -> bool {
+        let first = self.db.lits(cr)[0];
+        self.value(first).is_true() && self.reason[first.var().index()] == Reason::Clause(cr)
+    }
+
+    fn detach(&mut self, cr: CRef) {
+        let lits = self.db.lits(cr);
+        let (w0, w1) = (lits[0], lits[1]);
+        for w in [w0, w1] {
+            let list = &mut self.watches[(!w).code()];
+            let pos = list
+                .iter()
+                .position(|x| x.cref == cr)
+                .expect("watched clause present in watch list");
+            list.swap_remove(pos);
+        }
+    }
+
+    fn garbage_collect(&mut self) {
+        let mut relocs: std::collections::HashMap<CRef, CRef> = std::collections::HashMap::new();
+        self.db.collect(|old, new| {
+            relocs.insert(old, new);
+        });
+        for list in &mut self.watches {
+            for w in list.iter_mut() {
+                w.cref = relocs[&w.cref];
+            }
+        }
+        for r in &mut self.reason {
+            if let Reason::Clause(cr) = r {
+                if let Some(&n) = relocs.get(cr) {
+                    *cr = n;
+                } else {
+                    // The clause was deleted; this can only happen for
+                    // unlocked reasons of unassigned vars — reset defensively.
+                    *r = Reason::None;
+                }
+            }
+        }
+    }
+
+    /// Picks and enqueues the next decision. Returns `false` when every
+    /// variable is assigned. Assumptions (if any) are asserted first, one
+    /// decision level each; a falsified assumption aborts the search via
+    /// [`Self::analyze_final`].
+    fn decide(&mut self, assumptions: &[Lit]) -> DecideOutcome {
+        // 0. Pending assumptions take the next decision levels.
+        while (self.decision_level() as usize) < assumptions.len() {
+            let a = assumptions[self.decision_level() as usize];
+            match self.value(a) {
+                LBool::True => {
+                    // Already implied: open an empty level to keep the
+                    // level↔assumption correspondence.
+                    self.new_decision_level();
+                }
+                LBool::False => {
+                    self.analyze_final(!a);
+                    return DecideOutcome::AssumptionConflict;
+                }
+                LBool::Undef => {
+                    self.stats.decisions += 1;
+                    self.new_decision_level();
+                    let ok = self.enqueue(a, Reason::None);
+                    debug_assert!(ok);
+                    return DecideOutcome::Decided;
+                }
+            }
+        }
+        // 1. The guide (the paper's enhanced decide()).
+        let guided = self.guide.next_decision(AssignView::new(&self.assigns));
+        if let Some(lit) = guided {
+            debug_assert!(self.value(lit).is_undef(), "guide returned an assigned var");
+            self.stats.decisions += 1;
+            self.stats.guided_decisions += 1;
+            self.new_decision_level();
+            let ok = self.enqueue(lit, Reason::None);
+            debug_assert!(ok);
+            return DecideOutcome::Decided;
+        }
+        // 2. VSIDS with phase saving.
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.var_value(v).is_undef() {
+                self.stats.decisions += 1;
+                self.new_decision_level();
+                let ok = self.enqueue(v.lit(self.phase[v.index()]), Reason::None);
+                debug_assert!(ok);
+                return DecideOutcome::Decided;
+            }
+        }
+        DecideOutcome::AllAssigned
+    }
+
+    /// MiniSat's `analyzeFinal`: computes which assumptions imply the
+    /// falsified literal `p`, filling [`Self::assumption_core`] with the
+    /// conflicting subset (as the original assumption literals).
+    fn analyze_final(&mut self, p: Lit) {
+        self.assumption_core.clear();
+        self.assumption_core.push(!p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = 1;
+        let mut reason_buf = Vec::new();
+        let start = self.trail_lim[0] as usize;
+        for i in (start..self.trail.len()).rev() {
+            let q = self.trail[i];
+            let x = q.var();
+            if self.seen[x.index()] == 0 {
+                continue;
+            }
+            if matches!(self.reason[x.index()], Reason::None) {
+                debug_assert!(self.level[x.index()] > 0);
+                // A decision inside the assumption prefix is an assumption;
+                // it is on the trail in exactly the polarity it was given.
+                self.assumption_core.push(q);
+            } else {
+                self.reason_lits(q, &mut reason_buf);
+                for l in reason_buf.clone() {
+                    if self.level[l.var().index()] > 0 {
+                        self.seen[l.var().index()] = 1;
+                    }
+                }
+            }
+            self.seen[x.index()] = 0;
+        }
+        self.seen[p.var().index()] = 0;
+    }
+
+    fn luby(mut x: u64) -> u64 {
+        // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+        let mut size: u64 = 1;
+        let mut seq: u32 = 0;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        while size - 1 != x {
+            size = (size - 1) / 2;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    /// Runs the CDCL(T) search to completion or budget exhaustion.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// The subset of the last `solve_with_assumptions` call's assumptions
+    /// that was responsible for an `Unsat` answer (empty when the formula
+    /// is unsatisfiable regardless of assumptions).
+    pub fn assumption_core(&self) -> &[Lit] {
+        &self.assumption_core
+    }
+
+    /// Solves under the given assumption literals: they are asserted as the
+    /// first decisions and retracted afterwards, enabling incremental use.
+    /// On `Unsat`, [`Self::assumption_core`] names a conflicting subset.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.assumption_core.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.budget.start();
+        if self.max_learnts == 0.0 {
+            self.max_learnts = (self.db.num_problem() as f64 / 3.0).max(2000.0);
+        }
+        let mut conflicts_since_restart: u64 = 0;
+        let mut restart_limit = self.restart_limit();
+
+        loop {
+            let conflict = match self.propagate() {
+                Some(c) => Some(c),
+                None => {
+                    match self.decide(assumptions) {
+                        DecideOutcome::AssumptionConflict => {
+                            self.cancel_until(0);
+                            return SolveResult::Unsat;
+                        }
+                        DecideOutcome::Decided => None,
+                        DecideOutcome::AllAssigned => {
+                        // Complete assignment: theory final check.
+                        let mut out = std::mem::take(&mut self.theory_out);
+                        out.clear();
+                        let r = self.theory.final_check(&mut out);
+                        // Eager theories do not propagate in final check.
+                        debug_assert!(out.propagations.is_empty());
+                        self.theory_out = out;
+                        match r {
+                            Ok(()) => {
+                                self.model = self.assigns.clone();
+                                self.cancel_until(0);
+                                return SolveResult::Sat;
+                            }
+                            Err(tc) => {
+                                self.stats.theory_conflicts += 1;
+                                Some(Conflict {
+                                    lits: tc.lits.iter().map(|&l| !l).collect(),
+                                })
+                            }
+                        }
+                        }
+                    }
+                }
+            };
+
+            match conflict {
+                Some(confl) => {
+                    self.stats.conflicts += 1;
+                    conflicts_since_restart += 1;
+                    if self.decision_level() == 0 {
+                        self.proof_add(&[]);
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                    let (learnt, back_level, lbd) = self.analyze(confl);
+                    self.cancel_until(back_level);
+                    self.record_learnt(learnt, lbd);
+                    self.decay_var_activity();
+                    self.decay_clause_activity();
+                    if self.budget.exhausted(self.stats.conflicts) {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+                None => {
+                    if conflicts_since_restart >= restart_limit {
+                        self.stats.restarts += 1;
+                        self.restart_count += 1;
+                        restart_limit = self.restart_limit();
+                        conflicts_since_restart = 0;
+                        self.cancel_until(0);
+                        self.guide.on_restart();
+                        continue;
+                    }
+                    if self.db.num_learnt() as f64 >= self.max_learnts {
+                        self.max_learnts *= 1.2;
+                        self.reduce_db();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn single_unit() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert!(s.add_clause(&[v.positive()]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(v.positive()).is_true());
+    }
+
+    #[test]
+    fn conflicting_units_are_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert!(s.add_clause(&[v.positive()]));
+        assert!(!s.add_clause(&[v.negative()]) || s.solve() == SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        // v0, v0→v1, v1→v2, v2→v3
+        assert!(s.add_clause(&[v[0].positive()]));
+        assert!(s.add_clause(&[v[0].negative(), v[1].positive()]));
+        assert!(s.add_clause(&[v[1].negative(), v[2].positive()]));
+        assert!(s.add_clause(&[v[2].negative(), v[3].positive()]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for vi in &v {
+            assert!(s.model_value(vi.positive()).is_true());
+        }
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // Two pigeons, one hole: p0h0 ∧ p1h0 impossible with at-most-one.
+        let mut s = Solver::new();
+        let p0 = s.new_var();
+        let p1 = s.new_var();
+        assert!(s.add_clause(&[p0.positive()]));
+        assert!(s.add_clause(&[p1.positive()]));
+        assert!(!s.add_clause(&[p0.negative(), p1.negative()]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // PHP(3,2): each pigeon in some hole; no two pigeons share a hole.
+        let mut s = Solver::new();
+        let n_p = 3;
+        let n_h = 2;
+        let x: Vec<Vec<Var>> = (0..n_p).map(|_| vars(&mut s, n_h)).collect();
+        for p in 0..n_p {
+            let clause: Vec<Lit> = (0..n_h).map(|h| x[p][h].positive()).collect();
+            assert!(s.add_clause(&clause));
+        }
+        for h in 0..n_h {
+            for p1 in 0..n_p {
+                for p2 in p1 + 1..n_p {
+                    assert!(s.add_clause(&[x[p1][h].negative(), x[p2][h].negative()]));
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts >= 1);
+    }
+
+    #[test]
+    fn xor_chain_sat_with_model_check() {
+        // x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, x2 ⊕ x0 = 0 — consistent.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        let xor1 = |s: &mut Solver, a: Var, b: Var| {
+            // a ⊕ b = 1  ⇔  (a∨b) ∧ (¬a∨¬b)
+            assert!(s.add_clause(&[a.positive(), b.positive()]));
+            assert!(s.add_clause(&[a.negative(), b.negative()]));
+        };
+        let xnor = |s: &mut Solver, a: Var, b: Var| {
+            assert!(s.add_clause(&[a.positive(), b.negative()]));
+            assert!(s.add_clause(&[a.negative(), b.positive()]));
+        };
+        xor1(&mut s, v[0], v[1]);
+        xor1(&mut s, v[1], v[2]);
+        xnor(&mut s, v[2], v[0]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m: Vec<bool> = v.iter().map(|&x| s.model_value(x.positive()).is_true()).collect();
+        assert!(m[0] != m[1]);
+        assert!(m[1] != m[2]);
+        assert!(m[2] == m[0]);
+    }
+
+    #[test]
+    fn xor_cycle_odd_unsat() {
+        // x0⊕x1=1, x1⊕x2=1, x2⊕x0=1 has odd parity — unsat.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+            assert!(s.add_clause(&[v[a].positive(), v[b].positive()]));
+            assert!(s.add_clause(&[v[a].negative(), v[b].negative()]));
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        assert!(s.add_clause(&[v[0].positive(), v[0].positive()]));
+        assert!(s.add_clause(&[v[1].positive(), v[1].negative()])); // tautology
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(v[0].positive()).is_true());
+    }
+
+    #[test]
+    fn budget_conflict_cap_reports_unknown() {
+        // PHP(8,7) is hard enough to exceed a 3-conflict budget.
+        let mut s = Solver::new();
+        let n_p = 8;
+        let n_h = 7;
+        let x: Vec<Vec<Var>> = (0..n_p).map(|_| vars(&mut s, n_h)).collect();
+        for p in 0..n_p {
+            let clause: Vec<Lit> = (0..n_h).map(|h| x[p][h].positive()).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..n_h {
+            for p1 in 0..n_p {
+                for p2 in p1 + 1..n_p {
+                    s.add_clause(&[x[p1][h].negative(), x[p2][h].negative()]);
+                }
+            }
+        }
+        s.set_budget(Budget::with_max_conflicts(3));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 6);
+        for i in 0..5 {
+            s.add_clause(&[v[i].negative(), v[i + 1].positive()]);
+        }
+        s.add_clause(&[v[0].positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.stats().propagations >= 5);
+        // No conflicts in a Horn chain.
+        assert_eq!(s.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn model_is_cleared_and_reusable_after_more_clauses() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0].positive(), v[1].positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Forbid the found model and solve again; eventually unsat after
+        // forbidding all four assignments.
+        for _ in 0..4 {
+            let block: Vec<Lit> = v
+                .iter()
+                .map(|&x| {
+                    if s.model_value(x.positive()).is_true() {
+                        x.negative()
+                    } else {
+                        x.positive()
+                    }
+                })
+                .collect();
+            if !s.add_clause(&block) {
+                break;
+            }
+            if s.solve() == SolveResult::Unsat {
+                break;
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let seq: Vec<u64> = (0..15).map(Solver::<NoTheory, NoGuide>::luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn random_3sat_smoke() {
+        // Deterministic pseudo-random 3-SAT instances near the phase
+        // transition; verify models of SAT answers.
+        let mut state = 0xdeadbeefcafef00du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..30 {
+            let n = 20 + (round % 5);
+            let m = (n as f64 * 4.2) as usize;
+            let mut s = Solver::new();
+            let v = vars(&mut s, n);
+            let mut clauses = Vec::new();
+            let mut ok = true;
+            for _ in 0..m {
+                let mut c = Vec::new();
+                while c.len() < 3 {
+                    let vi = (next() % n as u64) as usize;
+                    let sign = next() & 1 == 1;
+                    let lit = v[vi].lit(sign);
+                    if !c.contains(&lit) && !c.contains(&!lit) {
+                        c.push(lit);
+                    }
+                }
+                clauses.push(c.clone());
+                ok &= s.add_clause(&c);
+            }
+            let r = if ok { s.solve() } else { SolveResult::Unsat };
+            if r == SolveResult::Sat {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| s.model_value(l).is_true()),
+                        "model violates a clause"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod assumption_tests {
+    use super::*;
+
+    #[test]
+    fn sat_under_assumptions_and_unsat_under_others() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        // a → b
+        s.add_clause(&[a.negative(), b.positive()]);
+        assert_eq!(s.solve_with_assumptions(&[a.positive()]), SolveResult::Sat);
+        assert!(s.model_value(b.positive()).is_true());
+        // a ∧ ¬b is contradictory.
+        assert_eq!(
+            s.solve_with_assumptions(&[a.positive(), b.negative()]),
+            SolveResult::Unsat
+        );
+        let core = s.assumption_core().to_vec();
+        assert!(!core.is_empty());
+        assert!(core.iter().all(|l| [a.positive(), b.negative()].contains(l)));
+        // The solver is reusable afterwards.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn core_is_a_conflicting_subset() {
+        let mut s = Solver::new();
+        let v: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        // v0 ∧ v1 → ⊥ via chain; v2, v3 irrelevant.
+        s.add_clause(&[v[0].negative(), v[1].negative()]);
+        assert_eq!(
+            s.solve_with_assumptions(&[
+                v[2].positive(),
+                v[0].positive(),
+                v[3].positive(),
+                v[1].positive(),
+            ]),
+            SolveResult::Unsat
+        );
+        let core = s.assumption_core().to_vec();
+        // The core must mention only the genuinely conflicting assumptions.
+        assert!(core.contains(&v[0].positive()) || core.contains(&v[1].positive()));
+        assert!(!core.contains(&v[2].positive()));
+        assert!(!core.contains(&v[3].positive()));
+    }
+
+    #[test]
+    fn globally_unsat_gives_empty_core() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a.positive()]);
+        s.add_clause(&[a.negative()]);
+        assert_eq!(s.solve_with_assumptions(&[a.positive()]), SolveResult::Unsat);
+        assert!(s.assumption_core().is_empty());
+    }
+
+    #[test]
+    fn incremental_blocking_enumerates_models() {
+        // Enumerate all models of (a ∨ b) via assumption-free solving with
+        // blocking clauses — exercises solver reuse after Unsat answers.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        let mut models = 0;
+        while s.solve() == SolveResult::Sat {
+            models += 1;
+            let block: Vec<Lit> = [a, b]
+                .iter()
+                .map(|&v| {
+                    if s.model_value(v.positive()).is_true() {
+                        v.negative()
+                    } else {
+                        v.positive()
+                    }
+                })
+                .collect();
+            if !s.add_clause(&block) {
+                break;
+            }
+            assert!(models <= 3, "only three models exist");
+        }
+        assert_eq!(models, 3);
+    }
+
+    #[test]
+    fn assumptions_already_implied_are_free() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive()]); // a is a unit fact
+        assert_eq!(
+            s.solve_with_assumptions(&[a.positive(), b.positive()]),
+            SolveResult::Sat
+        );
+        assert!(s.model_value(b.positive()).is_true());
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod config_tests {
+    use super::*;
+
+    fn hard_instance(s: &mut Solver) {
+        // PHP(7,6): forces many conflicts so restart policies diverge.
+        let n_p = 7;
+        let n_h = 6;
+        let x: Vec<Vec<Var>> = (0..n_p)
+            .map(|_| (0..n_h).map(|_| s.new_var()).collect())
+            .collect();
+        for p in 0..n_p {
+            let clause: Vec<Lit> = (0..n_h).map(|h| x[p][h].positive()).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..n_h {
+            for p1 in 0..n_p {
+                for p2 in p1 + 1..n_p {
+                    s.add_clause(&[x[p1][h].negative(), x[p2][h].negative()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_restart_policies_solve_correctly() {
+        for restart in [
+            RestartStrategy::Luby,
+            RestartStrategy::Geometric { factor: 1.5 },
+            RestartStrategy::Never,
+        ] {
+            let mut s = Solver::new();
+            s.set_config(SolverConfig { restart, ..SolverConfig::default() });
+            hard_instance(&mut s);
+            assert_eq!(s.solve(), SolveResult::Unsat, "{restart:?}");
+            if restart == RestartStrategy::Never {
+                assert_eq!(s.stats().restarts, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn clause_database_reduction_kicks_in_on_hard_instances() {
+        // PHP(8,7) produces tens of thousands of learnt clauses — enough to
+        // cross the reduction threshold and exercise arena compaction.
+        let mut s = Solver::new();
+        let n_p = 8;
+        let n_h = 7;
+        let x: Vec<Vec<Var>> = (0..n_p)
+            .map(|_| (0..n_h).map(|_| s.new_var()).collect())
+            .collect();
+        for p in 0..n_p {
+            let clause: Vec<Lit> = (0..n_h).map(|h| x[p][h].positive()).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..n_h {
+            for p1 in 0..n_p {
+                for p2 in p1 + 1..n_p {
+                    s.add_clause(&[x[p1][h].negative(), x[p2][h].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(
+            s.stats().reductions >= 1 || s.stats().learnt_clauses < 2000,
+            "expected a learnt-DB reduction: {} learnt, {} reductions",
+            s.stats().learnt_clauses,
+            s.stats().reductions
+        );
+    }
+
+    #[test]
+    fn decay_is_configurable() {
+        let mut s = Solver::new();
+        s.set_config(SolverConfig { var_decay: 0.8, ..SolverConfig::default() });
+        hard_instance(&mut s);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric factor")]
+    fn bad_geometric_factor_rejected() {
+        let mut s = Solver::new();
+        s.set_config(SolverConfig {
+            restart: RestartStrategy::Geometric { factor: 0.5 },
+            ..SolverConfig::default()
+        });
+    }
+}

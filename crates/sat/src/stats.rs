@@ -1,0 +1,152 @@
+//! Search statistics and resource budgets.
+//!
+//! The statistics mirror what Table 2 of the paper reports (decisions,
+//! propagations, conflicts) plus bookkeeping useful for diagnosing the
+//! solver itself. The budget supports both a deterministic conflict cap
+//! (reproducible "timeouts") and a wall-clock deadline.
+
+use std::time::{Duration, Instant};
+
+/// Counters accumulated during search.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of decisions (guided + VSIDS).
+    pub decisions: u64,
+    /// Decisions answered by the installed [`crate::DecisionGuide`].
+    pub guided_decisions: u64,
+    /// Implied assignments (Boolean unit propagation + theory propagation).
+    pub propagations: u64,
+    /// Conflicts encountered (Boolean + theory).
+    pub conflicts: u64,
+    /// Conflicts raised by the theory.
+    pub theory_conflicts: u64,
+    /// Literals assigned by theory propagation.
+    pub theory_propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses recorded.
+    pub learnt_clauses: u64,
+    /// Total literals across learnt clauses (after minimization).
+    pub learnt_literals: u64,
+    /// Literals removed by clause minimization.
+    pub minimized_lits: u64,
+    /// Learnt-database reductions.
+    pub reductions: u64,
+}
+
+impl Stats {
+    /// Component-wise sum, for aggregating across tasks.
+    pub fn accumulate(&mut self, other: &Stats) {
+        self.decisions += other.decisions;
+        self.guided_decisions += other.guided_decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.theory_conflicts += other.theory_conflicts;
+        self.theory_propagations += other.theory_propagations;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.learnt_literals += other.learnt_literals;
+        self.minimized_lits += other.minimized_lits;
+        self.reductions += other.reductions;
+    }
+}
+
+/// Resource limits for a `solve` call. An exhausted budget makes the solver
+/// return [`crate::SolveResult::Unknown`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Budget {
+    /// Absolute cap on total conflicts (deterministic "timeout").
+    pub max_conflicts: Option<u64>,
+    /// Wall-clock allowance, measured from [`Budget::start`].
+    pub timeout: Option<Duration>,
+    deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// No limits.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Limits total conflicts to `n`.
+    pub fn with_max_conflicts(n: u64) -> Budget {
+        Budget { max_conflicts: Some(n), ..Budget::default() }
+    }
+
+    /// Limits wall-clock time.
+    pub fn with_timeout(t: Duration) -> Budget {
+        Budget { timeout: Some(t), ..Budget::default() }
+    }
+
+    /// Combines a conflict cap and a wall-clock limit.
+    pub fn with_limits(max_conflicts: Option<u64>, timeout: Option<Duration>) -> Budget {
+        Budget { max_conflicts, timeout, deadline: None }
+    }
+
+    /// Arms the wall-clock deadline. Called by the solver at the start of
+    /// `solve`; idempotent only in the sense that re-calling re-arms.
+    pub fn start(&mut self) {
+        self.deadline = self.timeout.map(|t| Instant::now() + t);
+    }
+
+    /// `true` once either limit is hit.
+    pub fn exhausted(&self, conflicts: u64) -> bool {
+        if let Some(max) = self.max_conflicts {
+            if conflicts >= max {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let mut b = Budget::unlimited();
+        b.start();
+        assert!(!b.exhausted(u64::MAX - 1));
+    }
+
+    #[test]
+    fn conflict_cap() {
+        let mut b = Budget::with_max_conflicts(10);
+        b.start();
+        assert!(!b.exhausted(9));
+        assert!(b.exhausted(10));
+        assert!(b.exhausted(11));
+    }
+
+    #[test]
+    fn deadline_in_past_exhausts() {
+        let mut b = Budget::with_timeout(Duration::from_nanos(1));
+        b.start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(b.exhausted(0));
+    }
+
+    #[test]
+    fn timeout_not_armed_until_start() {
+        let b = Budget::with_timeout(Duration::from_nanos(1));
+        // Without start() there is no deadline.
+        assert!(!b.exhausted(0));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = Stats { decisions: 1, conflicts: 2, ..Stats::default() };
+        let b = Stats { decisions: 10, propagations: 5, ..Stats::default() };
+        a.accumulate(&b);
+        assert_eq!(a.decisions, 11);
+        assert_eq!(a.conflicts, 2);
+        assert_eq!(a.propagations, 5);
+    }
+}

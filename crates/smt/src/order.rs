@@ -1,0 +1,556 @@
+//! The event-order theory: incremental acyclicity of the event order graph.
+//!
+//! The partial-order encoding of a multi-threaded program (§3.1 of the
+//! paper) reduces every `clk(e₁) < clk(e₂)` atom to an edge in the *event
+//! order graph* (EOG). A (partial) assignment to the ordering atoms is
+//! theory-consistent iff the EOG is acyclic — a symbolic concurrent
+//! execution is valid iff a total order of its events exists (§3.3).
+//!
+//! This module implements that theory for the DPLL(T) loop of `zpre-sat`:
+//!
+//! - *fixed edges* model the program order Φ_po (asserted before solving,
+//!   never retracted);
+//! - each registered *atom* `v ↦ (a, b)` contributes the edge `a→b` when
+//!   `v` is assigned true and the reverse edge `b→a` when assigned false
+//!   (clock values are total, so ¬(a<b) ⇔ b<a for distinct events);
+//! - every asserted edge runs an incremental cycle check (DFS from the edge
+//!   head); on a cycle the theory reports the asserting literals of the
+//!   cycle's edges as the conflict — a minimal explanation;
+//! - asserting `a→b` eagerly propagates `¬atom(b,a)` when such an atom
+//!   exists (cheap one-step transitivity), which prunes 2-cycles before the
+//!   SAT core ever branches on them. This can be disabled for ablation.
+
+use std::collections::HashMap;
+use zpre_sat::{Lit, Theory, TheoryConflict, TheoryOut, Var};
+
+/// A node of the event order graph (an event, or a virtual fence /
+/// spawn / join node).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An outgoing edge: target node and the literal that asserted it
+/// (`None` for fixed program-order edges).
+#[derive(Copy, Clone, Debug)]
+struct Edge {
+    to: NodeId,
+    tag: Option<Lit>,
+}
+
+/// Undoable theory operations.
+enum Op {
+    /// An edge was appended to `adj[from]`.
+    Edge { from: NodeId },
+    /// An explanation was inserted for a propagated literal.
+    Expl { lit: Lit },
+}
+
+/// The order theory. Implements [`zpre_sat::Theory`].
+pub struct OrderTheory {
+    /// Out-adjacency lists.
+    adj: Vec<Vec<Edge>>,
+    /// Atom registry: solver var → (a, b), true ⇒ a→b, false ⇒ b→a.
+    atoms: HashMap<u32, (NodeId, NodeId)>,
+    /// For an ordered pair (a, b), every literal that means "edge a→b".
+    /// (Usually one, but duplicate atoms over the same pair stay linked.)
+    edge_atoms: HashMap<(NodeId, NodeId), Vec<Lit>>,
+    /// Eager explanations for literals we propagated.
+    expl: HashMap<u32, Vec<Lit>>,
+    /// Undo trail.
+    ops: Vec<Op>,
+    /// `ops` length at each open decision level.
+    levels: Vec<usize>,
+    /// DFS scratch: visit stamps.
+    stamp: Vec<u32>,
+    stamp_counter: u32,
+    /// DFS scratch: parent edge (predecessor node, tag) per node.
+    parent: Vec<(NodeId, Option<Lit>)>,
+    /// DFS scratch: explicit stack.
+    dfs_stack: Vec<NodeId>,
+    /// Whether the fixed edges already contain a cycle.
+    fixed_cycle: bool,
+    /// Enable one-step reverse propagation (ablation toggle).
+    propagate_reverse: bool,
+    /// Number of cycle checks performed (diagnostics).
+    pub cycle_checks: u64,
+    /// Number of cycles detected (theory conflicts raised).
+    pub cycles_found: u64,
+}
+
+impl Default for OrderTheory {
+    fn default() -> Self {
+        OrderTheory::new()
+    }
+}
+
+impl OrderTheory {
+    /// Creates an empty theory.
+    pub fn new() -> OrderTheory {
+        OrderTheory {
+            adj: Vec::new(),
+            atoms: HashMap::new(),
+            edge_atoms: HashMap::new(),
+            expl: HashMap::new(),
+            ops: Vec::new(),
+            levels: Vec::new(),
+            stamp: Vec::new(),
+            stamp_counter: 0,
+            parent: Vec::new(),
+            dfs_stack: Vec::new(),
+            fixed_cycle: false,
+            propagate_reverse: true,
+            cycle_checks: 0,
+            cycles_found: 0,
+        }
+    }
+
+    /// Disables one-step reverse propagation (for the ablation study).
+    pub fn set_propagate_reverse(&mut self, on: bool) {
+        self.propagate_reverse = on;
+    }
+
+    /// Allocates a fresh EOG node.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.adj.len() as u32);
+        self.adj.push(Vec::new());
+        self.stamp.push(0);
+        self.parent.push((id, None));
+        id
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a fixed (program-order) edge `a→b`. Must be called before
+    /// solving. Returns `false` if this closes a cycle among fixed edges —
+    /// an encoding bug the caller should surface.
+    pub fn add_fixed_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a == b || self.find_path(b, a).is_some() {
+            self.fixed_cycle = true;
+            return false;
+        }
+        self.adj[a.index()].push(Edge { to: b, tag: None });
+        // Fixed edges added at the root level are never undone, but keep the
+        // trail consistent if the caller adds them mid-search by accident.
+        self.ops.push(Op::Edge { from: a });
+        true
+    }
+
+    /// Registers a solver variable as the ordering atom for `(a, b)`:
+    /// the variable true means `clk(a) < clk(b)`, false means the reverse.
+    ///
+    /// The caller must also mark the variable on the solver with
+    /// [`zpre_sat::Solver::mark_theory_var`].
+    pub fn register_atom(&mut self, var: Var, a: NodeId, b: NodeId) {
+        debug_assert_ne!(a, b, "ordering atom over a single event");
+        self.atoms.insert(var.index() as u32, (a, b));
+        self.edge_atoms.entry((a, b)).or_default().push(var.positive());
+        self.edge_atoms.entry((b, a)).or_default().push(var.negative());
+    }
+
+    /// The pair registered for `var`, if any.
+    pub fn atom_nodes(&self, var: Var) -> Option<(NodeId, NodeId)> {
+        self.atoms.get(&(var.index() as u32)).copied()
+    }
+
+    /// `true` if the fixed edges alone are cyclic.
+    pub fn has_fixed_cycle(&self) -> bool {
+        self.fixed_cycle
+    }
+
+    /// `true` if `to` is currently reachable from `from`.
+    pub fn reachable(&mut self, from: NodeId, to: NodeId) -> bool {
+        from == to || self.find_path(from, to).is_some()
+    }
+
+    /// DFS from `from` looking for `to`; on success returns the asserting
+    /// literals of the path's edges (fixed edges contribute nothing).
+    fn find_path(&mut self, from: NodeId, to: NodeId) -> Option<Vec<Lit>> {
+        self.cycle_checks += 1;
+        self.stamp_counter += 1;
+        let stamp = self.stamp_counter;
+        self.dfs_stack.clear();
+        self.dfs_stack.push(from);
+        self.stamp[from.index()] = stamp;
+        while let Some(n) = self.dfs_stack.pop() {
+            for e in &self.adj[n.index()] {
+                if self.stamp[e.to.index()] == stamp {
+                    continue;
+                }
+                self.stamp[e.to.index()] = stamp;
+                self.parent[e.to.index()] = (n, e.tag);
+                if e.to == to {
+                    // Reconstruct the path from `to` back to `from`.
+                    let mut lits = Vec::new();
+                    let mut cur = to;
+                    while cur != from {
+                        let (pred, tag) = self.parent[cur.index()];
+                        if let Some(l) = tag {
+                            lits.push(l);
+                        }
+                        cur = pred;
+                    }
+                    return Some(lits);
+                }
+                self.dfs_stack.push(e.to);
+            }
+        }
+        None
+    }
+
+    /// Current topological order of all nodes, if the graph is acyclic.
+    /// Used for model extraction (concrete clock values).
+    pub fn topological_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.adj.len();
+        let mut indeg = vec![0usize; n];
+        for edges in &self.adj {
+            for e in edges {
+                indeg[e.to.index()] += 1;
+            }
+        }
+        let mut queue: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|x| indeg[x.index()] == 0)
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(x) = queue.pop() {
+            out.push(x);
+            for e in &self.adj[x.index()] {
+                indeg[e.to.index()] -= 1;
+                if indeg[e.to.index()] == 0 {
+                    queue.push(e.to);
+                }
+            }
+        }
+        (out.len() == n).then_some(out)
+    }
+
+    /// Clock value per node derived from [`Self::topological_order`]:
+    /// `clock[v]` is the position of node `v`. `None` if cyclic.
+    pub fn clock_values(&self) -> Option<Vec<u32>> {
+        let order = self.topological_order()?;
+        let mut clock = vec![0u32; self.adj.len()];
+        for (i, n) in order.iter().enumerate() {
+            clock[n.index()] = i as u32;
+        }
+        Some(clock)
+    }
+}
+
+impl Theory for OrderTheory {
+    fn assert_lit(&mut self, lit: Lit, out: &mut TheoryOut) -> Result<(), TheoryConflict> {
+        let Some(&(a, b)) = self.atoms.get(&(lit.var().index() as u32)) else {
+            return Ok(()); // not an ordering atom
+        };
+        let (from, to) = if lit.sign() { (a, b) } else { (b, a) };
+
+        // Would the new edge close a cycle? A path to→…→from plus the new
+        // edge from→to is a cycle.
+        if let Some(mut path_lits) = self.find_path(to, from) {
+            self.cycles_found += 1;
+            path_lits.push(lit);
+            // All literals are true; their conjunction is inconsistent.
+            return Err(TheoryConflict { lits: path_lits });
+        }
+
+        self.adj[from.index()].push(Edge { to, tag: Some(lit) });
+        self.ops.push(Op::Edge { from });
+
+        if self.propagate_reverse {
+            let mut implied: Vec<Lit> = Vec::new();
+            // Other atoms over the same pair are implied true...
+            if let Some(same) = self.edge_atoms.get(&(from, to)) {
+                implied.extend(same.iter().copied().filter(|&l| l != lit));
+            }
+            // ...and the reverse edge is now impossible (one-step
+            // transitivity; longer cycles are left to the cycle check).
+            if let Some(rev) = self.edge_atoms.get(&(to, from)) {
+                implied.extend(rev.iter().map(|&l| !l).filter(|&l| l != lit));
+            }
+            for q in implied {
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    self.expl.entry(q.code() as u32)
+                {
+                    e.insert(vec![lit]);
+                    self.ops.push(Op::Expl { lit: q });
+                    out.propagations.push(q);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn new_level(&mut self) {
+        self.levels.push(self.ops.len());
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        let target = level as usize;
+        if target >= self.levels.len() {
+            return;
+        }
+        let keep = self.levels[target];
+        self.levels.truncate(target);
+        while self.ops.len() > keep {
+            match self.ops.pop().expect("ops length checked") {
+                Op::Edge { from } => {
+                    self.adj[from.index()].pop();
+                }
+                Op::Expl { lit } => {
+                    self.expl.remove(&(lit.code() as u32));
+                }
+            }
+        }
+    }
+
+    fn explain(&mut self, lit: Lit) -> Vec<Lit> {
+        self.expl
+            .get(&(lit.code() as u32))
+            .cloned()
+            .expect("explanation requested for a literal the theory did not propagate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zpre_sat::{SolveResult, Solver};
+
+    #[test]
+    fn fixed_edges_detect_cycles() {
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let c = t.add_node();
+        assert!(t.add_fixed_edge(a, b));
+        assert!(t.add_fixed_edge(b, c));
+        assert!(!t.add_fixed_edge(c, a));
+        assert!(t.has_fixed_cycle());
+    }
+
+    #[test]
+    fn self_edge_is_a_cycle() {
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        assert!(!t.add_fixed_edge(a, a));
+    }
+
+    #[test]
+    fn reachability() {
+        let mut t = OrderTheory::new();
+        let n: Vec<NodeId> = (0..4).map(|_| t.add_node()).collect();
+        t.add_fixed_edge(n[0], n[1]);
+        t.add_fixed_edge(n[1], n[2]);
+        assert!(t.reachable(n[0], n[2]));
+        assert!(!t.reachable(n[2], n[0]));
+        assert!(!t.reachable(n[0], n[3]));
+        assert!(t.reachable(n[3], n[3]));
+    }
+
+    #[test]
+    fn assert_edge_conflict_has_minimal_explanation() {
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let c = t.add_node();
+        t.add_fixed_edge(a, b);
+        let mut out = TheoryOut::default();
+        // atom v0: b < c ; atom v1: c < a
+        let v0 = Var::new(0);
+        let v1 = Var::new(1);
+        t.register_atom(v0, b, c);
+        t.register_atom(v1, c, a);
+        t.new_level();
+        assert!(t.assert_lit(v0.positive(), &mut out).is_ok());
+        let err = t.assert_lit(v1.positive(), &mut out).unwrap_err();
+        // Cycle a→b→c→a: asserting lits are v0 and v1 (fixed edge has none).
+        let mut lits = err.lits.clone();
+        lits.sort();
+        assert_eq!(lits, vec![v0.positive(), v1.positive()]);
+    }
+
+    #[test]
+    fn reverse_atom_is_propagated() {
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let v0 = Var::new(0);
+        let v1 = Var::new(1);
+        t.register_atom(v0, a, b);
+        t.register_atom(v1, b, a);
+        let mut out = TheoryOut::default();
+        t.new_level();
+        assert!(t.assert_lit(v0.positive(), &mut out).is_ok());
+        // Edge a→b now exists; atom v1 (b→a when true) must become false.
+        assert_eq!(out.propagations, vec![v1.negative()]);
+        assert_eq!(t.explain(v1.negative()), vec![v0.positive()]);
+    }
+
+    #[test]
+    fn no_reverse_propagation_when_disabled() {
+        let mut t = OrderTheory::new();
+        t.set_propagate_reverse(false);
+        let a = t.add_node();
+        let b = t.add_node();
+        let v0 = Var::new(0);
+        let v1 = Var::new(1);
+        t.register_atom(v0, a, b);
+        t.register_atom(v1, b, a);
+        let mut out = TheoryOut::default();
+        t.new_level();
+        assert!(t.assert_lit(v0.positive(), &mut out).is_ok());
+        assert!(out.propagations.is_empty());
+    }
+
+    #[test]
+    fn backtracking_removes_edges_and_explanations() {
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let v0 = Var::new(0);
+        let v1 = Var::new(1);
+        t.register_atom(v0, a, b);
+        t.register_atom(v1, b, a);
+        let mut out = TheoryOut::default();
+        t.new_level();
+        assert!(t.assert_lit(v0.positive(), &mut out).is_ok());
+        assert!(t.reachable(a, b));
+        t.backtrack_to(0);
+        assert!(!t.reachable(a, b));
+        // After undo the reverse edge may be asserted without conflict.
+        out.clear();
+        t.new_level();
+        assert!(t.assert_lit(v1.positive(), &mut out).is_ok());
+        assert!(t.reachable(b, a));
+    }
+
+    #[test]
+    fn negative_assignment_means_reverse_edge() {
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let v0 = Var::new(0);
+        t.register_atom(v0, a, b);
+        let mut out = TheoryOut::default();
+        t.new_level();
+        assert!(t.assert_lit(v0.negative(), &mut out).is_ok());
+        assert!(t.reachable(b, a));
+        assert!(!t.reachable(a, b));
+    }
+
+    #[test]
+    fn topological_order_and_clocks() {
+        let mut t = OrderTheory::new();
+        let n: Vec<NodeId> = (0..4).map(|_| t.add_node()).collect();
+        t.add_fixed_edge(n[0], n[1]);
+        t.add_fixed_edge(n[1], n[2]);
+        t.add_fixed_edge(n[0], n[3]);
+        let clock = t.clock_values().expect("acyclic");
+        assert!(clock[n[0].index()] < clock[n[1].index()]);
+        assert!(clock[n[1].index()] < clock[n[2].index()]);
+        assert!(clock[n[0].index()] < clock[n[3].index()]);
+    }
+
+    #[test]
+    fn topological_order_none_when_cyclic() {
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        t.add_fixed_edge(a, b);
+        // Force a cycle directly through the adjacency (bypassing the check
+        // is not possible through the public API, so emulate via atoms).
+        let v0 = Var::new(0);
+        t.register_atom(v0, b, a);
+        let mut out = TheoryOut::default();
+        t.new_level();
+        // b→a would close the cycle — the theory refuses it.
+        assert!(t.assert_lit(v0.positive(), &mut out).is_err());
+        // Graph stays acyclic, topological order exists.
+        assert!(t.topological_order().is_some());
+    }
+
+    /// End-to-end: the order theory inside the CDCL(T) loop.
+    #[test]
+    fn dpllt_finds_total_order() {
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let c = t.add_node();
+        let mut s: Solver<OrderTheory> = Solver::with_parts(t, zpre_sat::NoGuide);
+        let vab = s.new_var();
+        let vbc = s.new_var();
+        let vca = s.new_var();
+        s.theory.register_atom(vab, a, b);
+        s.theory.register_atom(vbc, b, c);
+        s.theory.register_atom(vca, c, a);
+        for v in [vab, vbc, vca] {
+            s.mark_theory_var(v);
+        }
+        // No boolean constraints: any acyclic orientation works.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // The model must be an acyclic orientation: check by re-asserting.
+        let mut check = OrderTheory::new();
+        let ca = check.add_node();
+        let cb = check.add_node();
+        let cc = check.add_node();
+        let pairs = [(vab, ca, cb), (vbc, cb, cc), (vca, cc, ca)];
+        for (v, x, y) in pairs {
+            let (f, t_) = if s.model_var_value(v).is_true() { (x, y) } else { (y, x) };
+            assert!(!check.reachable(t_, f), "model orientation must stay acyclic");
+            assert!(check.add_fixed_edge(f, t_));
+        }
+    }
+
+    /// Forcing all three edges of a triangle must be UNSAT.
+    #[test]
+    fn dpllt_cycle_is_unsat() {
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let c = t.add_node();
+        let mut s: Solver<OrderTheory> = Solver::with_parts(t, zpre_sat::NoGuide);
+        let vab = s.new_var();
+        let vbc = s.new_var();
+        let vca = s.new_var();
+        s.theory.register_atom(vab, a, b);
+        s.theory.register_atom(vbc, b, c);
+        s.theory.register_atom(vca, c, a);
+        for v in [vab, vbc, vca] {
+            s.mark_theory_var(v);
+            s.add_clause(&[v.positive()]);
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// A long chain with one boolean selector per edge direction; forcing a
+    /// back edge makes it UNSAT through theory conflicts only.
+    #[test]
+    fn dpllt_chain_with_back_edge() {
+        const N: usize = 12;
+        let mut t = OrderTheory::new();
+        let nodes: Vec<NodeId> = (0..N).map(|_| t.add_node()).collect();
+        for w in nodes.windows(2) {
+            t.add_fixed_edge(w[0], w[1]);
+        }
+        let first = nodes[0];
+        let last = nodes[N - 1];
+        let mut s: Solver<OrderTheory> = Solver::with_parts(t, zpre_sat::NoGuide);
+        let back = s.new_var();
+        s.theory.register_atom(back, last, first);
+        s.mark_theory_var(back);
+        // back=true ⇒ last<first ⇒ cycle. back must be false.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_var_value(back).is_false());
+        // Now force it true: UNSAT.
+        s.add_clause(&[back.positive()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,160 @@
+//! The `ext` family: larger synthetic programs — flag-chained pipelines
+//! and datapath-heavy reduction kernels.
+
+use crate::task::{Expected, Scale, Subcat, Task};
+use crate::util::harness_program;
+use zpre_prog::build::*;
+
+
+/// A pipeline of `stages` threads. Stage `i` busy-waits (bounded) for
+/// `flag_{i-1}`, computes `v_i = v_{i-1} + i`, publishes `flag_i`.
+/// With fences between the data write and the flag write the chain is an
+/// MP-chain: safe everywhere; without fences it breaks under PSO.
+fn pipeline(stages: usize, fenced: bool) -> Task {
+    let name = format!(
+        "ext/pipeline-{}{}",
+        stages,
+        if fenced { "-fence" } else { "" }
+    );
+    let mut shared: Vec<(String, u64)> = vec![("v0".to_string(), 1), ("flag0".to_string(), 1)];
+    for i in 1..=stages {
+        shared.push((format!("v{i}"), 0));
+        shared.push((format!("flag{i}"), 0));
+    }
+    let mut threads = Vec::new();
+    for i in 1..=stages {
+        let (fprev, vprev) = (format!("flag{}", i - 1), format!("v{}", i - 1));
+        let (fcur, vcur) = (format!("flag{i}"), format!("v{i}"));
+        let seen = format!("seen{i}");
+        let mut body = vec![
+            // Bounded spin on the previous stage's flag.
+            assign(&seen, v(&fprev)),
+            while_(eq(v(&seen), c(0)), vec![assign(&seen, v(&fprev))]),
+            assign(&vcur, add(v(&vprev), c(i as u64))),
+        ];
+        if fenced {
+            body.push(fence());
+        }
+        body.push(assign(&fcur, c(1)));
+        threads.push((format!("stage{i}"), body));
+    }
+    // v_n = 1 + 1 + 2 + … + n.
+    let expect = 1 + (stages * (stages + 1) / 2) as u64;
+    let last_flag = format!("flag{stages}");
+    let last_v = format!("v{stages}");
+    let shared_refs: Vec<(&str, u64)> = shared.iter().map(|(n, i)| (n.as_str(), *i)).collect();
+    let prog = harness_program(
+        &name,
+        8,
+        &shared_refs,
+        &[],
+        threads,
+        or(eq(v(&last_flag), c(0)), eq(v(&last_v), c(expect))),
+    );
+    let expected = if fenced {
+        Expected::safe_all()
+    } else {
+        Expected::of(true, true, false)
+    };
+    Task::new(&name, Subcat::Ext, prog, 2, expected)
+}
+
+/// Datapath-heavy reduction: each worker computes a small polynomial of its
+/// id and adds it to a shared accumulator under a lock. The final assertion
+/// checks the exact sum — lots of SSA bits for the solver to chew on, which
+/// is exactly where interference-first decisions pay off.
+fn reduce(workers: usize, correct: bool) -> Task {
+    reduce_w(workers, correct, 8)
+}
+
+/// [`reduce`] with an explicit word width (wider = heavier data path).
+fn reduce_w(workers: usize, correct: bool, width: u32) -> Task {
+    let name = format!(
+        "ext/reduce-{}{}{}",
+        workers,
+        if width == 8 { String::new() } else { format!("-w{width}") },
+        if correct { "" } else { "-bad" }
+    );
+    let mut threads = Vec::new();
+    let mut total: u64 = 0;
+    for w in 0..workers {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let ww = w as u64 + 2;
+        let contrib = (ww * ww + 3 * ww) & mask;
+        total = (total + contrib) & mask;
+        let r = format!("r{w}");
+        let p = format!("p{w}");
+        threads.push((
+            format!("w{w}"),
+            vec![
+                // p = w² + 3w computed from a nondet-free expression chain.
+                assign(&p, add(mul(c(ww), c(ww)), mul(c(3), c(ww)))),
+                lock("m"),
+                assign(&r, v("sum")),
+                assign("sum", add(v(&r), v(&p))),
+                unlock("m"),
+            ],
+        ));
+    }
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let target = if correct { total } else { (total + 1) & mask };
+    let prog = harness_program(
+        &name,
+        width,
+        &[("sum", 0)],
+        &["m"],
+        threads,
+        eq(v("sum"), c(target)),
+    );
+    let expected = if correct {
+        Expected::safe_all()
+    } else {
+        Expected::unsafe_all()
+    };
+    Task::new(&name, Subcat::Ext, prog, 1, expected)
+}
+
+/// All `ext` tasks.
+pub fn tasks(scale: Scale) -> Vec<Task> {
+    match scale {
+        Scale::Quick => vec![pipeline(2, true), reduce(2, true)],
+        Scale::Full => vec![
+            pipeline(2, false),
+            pipeline(2, true),
+            pipeline(3, false),
+            pipeline(3, true),
+            pipeline(4, false),
+            pipeline(4, true),
+            reduce(2, true),
+            reduce(2, false),
+            reduce(3, true),
+            reduce(3, false),
+            reduce(4, true),
+            reduce_w(3, true, 16),
+            reduce_w(3, false, 16),
+            reduce_w(4, true, 16),
+            reduce_w(3, true, 32),
+            reduce_w(3, false, 32),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_validate() {
+        for t in tasks(Scale::Full) {
+            assert_eq!(t.program.validate(), Ok(()), "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn reduce_totals_are_consistent() {
+        // reduce(2): contributions (2²+6)=10, (3²+9)=18 → 28.
+        let t = reduce(2, true);
+        let s = zpre_prog::pretty::pretty_program(&t.program);
+        assert!(s.contains("(sum == 28)"), "{s}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # zpre-workloads — synthetic SV-COMP *ConcurrencySafety*-style suite
+//!
+//! The paper evaluates on 1070 C programs from SV-COMP 2019's
+//! *ConcurrencySafety* category; that corpus cannot be shipped or parsed
+//! here, so this crate generates structurally equivalent programs per
+//! subcategory (see DESIGN.md for the substitution note): weak-memory
+//! litmus sweeps (`wmm`, the dominant family), mutex/counter programs
+//! (`pthread`), atomic sections (`atomic`), pipelines and reductions
+//! (`ext`), Peterson/Dekker (`lit`), nondeterministic inputs (`nondet`),
+//! token rings (`divine`), driver-style races (`ldv-races`,
+//! `driver-races`) and parallel sums (`C-DAC`).
+//!
+//! Every generator knows its ground-truth verdict per memory model by
+//! construction, and the small instances are cross-validated against the
+//! explicit-state oracles in `zpre-prog` by this crate's tests.
+
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod cdac;
+pub mod divine;
+pub mod driver;
+pub mod ext;
+pub mod ldv;
+pub mod lit;
+pub mod nondet;
+pub mod pthread;
+pub mod stress;
+pub mod suite;
+pub mod task;
+pub mod util;
+pub mod wmm;
+
+pub use suite::{oracle_suite, subcategory, suite};
+pub use task::{Expected, Scale, Subcat, Task};

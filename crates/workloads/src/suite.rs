@@ -1,0 +1,87 @@
+//! The assembled benchmark suite.
+
+use crate::task::{Scale, Subcat, Task};
+use crate::{atomic, cdac, divine, driver, ext, ldv, lit, nondet, pthread, stress, wmm};
+
+/// All tasks of every family at the given scale. The family proportions
+/// loosely mirror the SV-COMP *ConcurrencySafety* category the paper
+/// evaluates on — `wmm` dominates.
+pub fn suite(scale: Scale) -> Vec<Task> {
+    let mut out = Vec::new();
+    out.extend(wmm::tasks(scale));
+    out.extend(pthread::tasks(scale));
+    out.extend(atomic::tasks(scale));
+    out.extend(ext::tasks(scale));
+    out.extend(lit::tasks(scale));
+    out.extend(nondet::tasks(scale));
+    out.extend(divine::tasks(scale));
+    out.extend(ldv::tasks(scale));
+    out.extend(driver::tasks(scale));
+    out.extend(cdac::tasks(scale));
+    out.extend(stress::tasks(scale));
+    out
+}
+
+/// Tasks of one subcategory.
+pub fn subcategory(scale: Scale, subcat: Subcat) -> Vec<Task> {
+    suite(scale).into_iter().filter(|t| t.subcat == subcat).collect()
+}
+
+/// Small-state tasks suitable for the explicit-state oracles (used by the
+/// cross-validation tests): the quick suite plus the litmus oracle set.
+pub fn oracle_suite() -> Vec<Task> {
+    let mut out = suite(Scale::Quick);
+    out.extend(wmm::oracle_tasks());
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out.dedup_by(|a, b| a.name == b.name);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_suite_has_every_subcategory() {
+        let tasks = suite(Scale::Full);
+        for sc in Subcat::ALL {
+            assert!(
+                tasks.iter().any(|t| t.subcat == sc),
+                "missing subcategory {sc}"
+            );
+        }
+    }
+
+    #[test]
+    fn wmm_dominates_like_the_paper() {
+        let tasks = suite(Scale::Full);
+        let wmm_count = tasks.iter().filter(|t| t.subcat == Subcat::Wmm).count();
+        for sc in Subcat::ALL {
+            if sc != Subcat::Wmm {
+                let n = tasks.iter().filter(|t| t.subcat == sc).count();
+                assert!(wmm_count > n, "{sc} outnumbers wmm");
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_globally_unique() {
+        let tasks = suite(Scale::Full);
+        let names: std::collections::BTreeSet<&str> =
+            tasks.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names.len(), tasks.len());
+    }
+
+    #[test]
+    fn all_programs_validate() {
+        for t in suite(Scale::Full) {
+            assert_eq!(t.program.validate(), Ok(()), "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn full_suite_size() {
+        let n = suite(Scale::Full).len();
+        assert!(n >= 100, "full suite has only {n} tasks");
+    }
+}

@@ -1,0 +1,183 @@
+//! Benchmark task descriptors.
+
+use zpre::Verdict;
+use zpre_prog::{MemoryModel, Program};
+
+/// Benchmark subcategory, mirroring the SV-COMP *ConcurrencySafety*
+/// families the paper evaluates on (§5, "Benchmarks").
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Subcat {
+    /// pthread-style worker/mutex programs.
+    Pthread,
+    /// `__VERIFIER_atomic` section programs.
+    Atomic,
+    /// Weak-memory litmus tests (the paper's dominant family, 898/1084).
+    Wmm,
+    /// Larger synthetic programs (the `ext` family).
+    Ext,
+    /// Classic mutual-exclusion algorithms (`lit`: Dekker, Peterson, …).
+    Lit,
+    /// Nondeterministic-input programs.
+    Nondet,
+    /// Token-ring style programs (the `divine` family).
+    Divine,
+    /// Linux-driver style races (`ldv-races`).
+    LdvRaces,
+    /// Device/driver register races (`driver-races`).
+    DriverRaces,
+    /// Parallel-computation kernels (`C-DAC`).
+    Cdac,
+    /// Seeded pseudo-random programs (unstructured interference).
+    Stress,
+}
+
+impl Subcat {
+    /// All subcategories in display order.
+    pub const ALL: [Subcat; 11] = [
+        Subcat::Pthread,
+        Subcat::Atomic,
+        Subcat::Wmm,
+        Subcat::Ext,
+        Subcat::Lit,
+        Subcat::Nondet,
+        Subcat::Divine,
+        Subcat::LdvRaces,
+        Subcat::DriverRaces,
+        Subcat::Cdac,
+        Subcat::Stress,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Subcat::Pthread => "pthread",
+            Subcat::Atomic => "atomic",
+            Subcat::Wmm => "wmm",
+            Subcat::Ext => "ext",
+            Subcat::Lit => "lit",
+            Subcat::Nondet => "nondet",
+            Subcat::Divine => "divine",
+            Subcat::LdvRaces => "ldv-races",
+            Subcat::DriverRaces => "driver-races",
+            Subcat::Cdac => "C-DAC",
+            Subcat::Stress => "stress",
+        }
+    }
+}
+
+impl std::fmt::Display for Subcat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Known ground-truth verdict per memory model (`true` = safe), if the
+/// generator knows it by construction.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Expected {
+    /// Under sequential consistency.
+    pub sc: Option<bool>,
+    /// Under total store order.
+    pub tso: Option<bool>,
+    /// Under partial store order.
+    pub pso: Option<bool>,
+}
+
+impl Expected {
+    /// Safe under every model.
+    pub fn safe_all() -> Expected {
+        Expected { sc: Some(true), tso: Some(true), pso: Some(true) }
+    }
+
+    /// Unsafe under every model.
+    pub fn unsafe_all() -> Expected {
+        Expected { sc: Some(false), tso: Some(false), pso: Some(false) }
+    }
+
+    /// Explicit per-model verdicts.
+    pub fn of(sc: bool, tso: bool, pso: bool) -> Expected {
+        Expected { sc: Some(sc), tso: Some(tso), pso: Some(pso) }
+    }
+
+    /// Unknown everywhere.
+    pub fn unknown() -> Expected {
+        Expected::default()
+    }
+
+    /// The expectation for one memory model.
+    pub fn get(&self, mm: MemoryModel) -> Option<bool> {
+        match mm {
+            MemoryModel::Sc => self.sc,
+            MemoryModel::Tso => self.tso,
+            MemoryModel::Pso => self.pso,
+        }
+    }
+
+    /// `true` if `verdict` is consistent with the expectation under `mm`.
+    pub fn matches(&self, mm: MemoryModel, verdict: Verdict) -> bool {
+        match (self.get(mm), verdict) {
+            (None, _) | (_, Verdict::Unknown) => true,
+            (Some(safe), v) => (v == Verdict::Safe) == safe,
+        }
+    }
+}
+
+/// One benchmark task.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// Unique name, e.g. `wmm/sb-3`.
+    pub name: String,
+    /// Subcategory.
+    pub subcat: Subcat,
+    /// The program (with loops; unrolled by the verifier).
+    pub program: Program,
+    /// BMC unroll bound for this task.
+    pub unroll_bound: u32,
+    /// Known verdicts, if any.
+    pub expected: Expected,
+}
+
+impl Task {
+    /// Creates a task.
+    pub fn new(
+        name: impl Into<String>,
+        subcat: Subcat,
+        program: Program,
+        unroll_bound: u32,
+        expected: Expected,
+    ) -> Task {
+        Task { name: name.into(), subcat, program, unroll_bound, expected }
+    }
+}
+
+/// Suite size selector.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// A handful of tasks per family — CI-friendly.
+    Quick,
+    /// The full laptop-scale sweep used by the benchmark harness.
+    Full,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_matching() {
+        let e = Expected::of(true, true, false);
+        assert!(e.matches(MemoryModel::Sc, Verdict::Safe));
+        assert!(!e.matches(MemoryModel::Sc, Verdict::Unsafe));
+        assert!(e.matches(MemoryModel::Pso, Verdict::Unsafe));
+        assert!(!e.matches(MemoryModel::Pso, Verdict::Safe));
+        assert!(e.matches(MemoryModel::Tso, Verdict::Unknown));
+        assert!(Expected::unknown().matches(MemoryModel::Sc, Verdict::Safe));
+    }
+
+    #[test]
+    fn subcat_names_are_unique() {
+        let names: std::collections::BTreeSet<&str> =
+            Subcat::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), Subcat::ALL.len());
+    }
+}

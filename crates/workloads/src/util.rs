@@ -1,0 +1,90 @@
+//! Shared scaffolding for the workload generators.
+
+use zpre_prog::build::*;
+use zpre_prog::{BoolExpr, Program, Stmt};
+
+/// Builds the standard benchmark shape: declare shared variables, spawn all
+/// worker threads, join them, assert `property` in main.
+pub fn harness_program(
+    name: &str,
+    width: u32,
+    shared: &[(&str, u64)],
+    mutexes: &[&str],
+    workers: Vec<(String, Vec<Stmt>)>,
+    property: BoolExpr,
+) -> Program {
+    let mut b = ProgramBuilder::new(name).width(width);
+    for &(n, init) in shared {
+        b = b.shared(n, init);
+    }
+    for &m in mutexes {
+        b = b.mutex(m);
+    }
+    let n = workers.len();
+    for (wname, body) in workers {
+        b = b.thread(&wname, body);
+    }
+    let mut main_body: Vec<Stmt> = (1..=n).map(spawn).collect();
+    main_body.extend((1..=n).map(join));
+    main_body.push(assert_(property));
+    b.main(main_body).build()
+}
+
+/// Ballast: `count` extra shared variables with a write in one thread and a
+/// read in the other. They do not influence the property but add
+/// interference variables (rf/ws selectors) to scale the instance.
+pub struct Ballast {
+    /// Extra shared declarations.
+    pub shared: Vec<(String, u64)>,
+    /// Statements appended to the writer thread.
+    pub writer: Vec<Stmt>,
+    /// Statements appended to the reader thread.
+    pub reader: Vec<Stmt>,
+}
+
+/// Generates `count` ballast variables with the given name `prefix`.
+pub fn ballast(prefix: &str, count: usize) -> Ballast {
+    let mut shared = Vec::new();
+    let mut writer = Vec::new();
+    let mut reader = Vec::new();
+    for i in 0..count {
+        let var = format!("{prefix}{i}");
+        shared.push((var.clone(), 0));
+        // The writer stores twice (creating a ws pair), the reader loads.
+        writer.push(assign(&var, c(i as u64 + 1)));
+        writer.push(assign(&var, c(i as u64 + 2)));
+        reader.push(assign(&format!("{prefix}r{i}"), v(&var)));
+    }
+    Ballast { shared, writer, reader }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zpre_prog::Stmt;
+
+    #[test]
+    fn harness_shape() {
+        let p = harness_program(
+            "t",
+            8,
+            &[("x", 0)],
+            &["m"],
+            vec![("w".to_string(), vec![assign("x", c(1))])],
+            eq(v("x"), c(1)),
+        );
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(p.threads.len(), 2);
+        assert!(matches!(p.threads[0].body[0], Stmt::Spawn(1)));
+        assert!(matches!(p.threads[0].body[1], Stmt::Join(1)));
+        assert!(matches!(p.threads[0].body[2], Stmt::Assert(_)));
+    }
+
+    #[test]
+    fn ballast_counts() {
+        let b = ballast("z", 3);
+        assert_eq!(b.shared.len(), 3);
+        assert_eq!(b.writer.len(), 6);
+        assert_eq!(b.reader.len(), 3);
+    }
+}

@@ -1,0 +1,85 @@
+//! Weak-memory litmus tour: run the classic litmus shapes under SC, TSO and
+//! PSO, with and without fences, and print the verdict matrix — the
+//! behaviour table that distinguishes the three memory models.
+//!
+//! ```sh
+//! cargo run --release -p zpre --example litmus_wmm
+//! ```
+
+use zpre::prelude::*;
+
+/// Builds one litmus program from its two thread bodies and property.
+fn litmus(
+    name: &str,
+    shared: &[(&str, u64)],
+    t1: Vec<Stmt>,
+    t2: Vec<Stmt>,
+    property: zpre_prog::BoolExpr,
+) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    for &(n, init) in shared {
+        b = b.shared(n, init);
+    }
+    b.thread("t1", t1)
+        .thread("t2", t2)
+        .main(vec![spawn(1), spawn(2), join(1), join(2), assert_(property)])
+        .build()
+}
+
+fn main() {
+    let mut programs: Vec<Program> = Vec::new();
+
+    for fenced in [false, true] {
+        let f: Vec<Stmt> = if fenced { vec![fence()] } else { vec![] };
+        let tag = if fenced { "+fence" } else { "" };
+
+        // SB — store buffering: both threads may read the old values when
+        // their stores are still buffered.
+        programs.push(litmus(
+            &format!("SB{tag}"),
+            &[("x", 0), ("y", 0), ("r1", 0), ("r2", 0)],
+            [assign("x", c(1))].into_iter().chain(f.clone()).chain([assign("r1", v("y"))]).collect(),
+            [assign("y", c(1))].into_iter().chain(f.clone()).chain([assign("r2", v("x"))]).collect(),
+            not(and(eq(v("r1"), c(0)), eq(v("r2"), c(0)))),
+        ));
+
+        // MP — message passing: the flag must not overtake the data.
+        programs.push(litmus(
+            &format!("MP{tag}"),
+            &[("data", 0), ("flag", 0), ("seen", 0), ("val", 0)],
+            [assign("data", c(42))].into_iter().chain(f.clone()).chain([assign("flag", c(1))]).collect(),
+            vec![assign("seen", v("flag")), assign("val", v("data"))],
+            or(eq(v("seen"), c(0)), eq(v("val"), c(42))),
+        ));
+
+        // LB — load buffering: forbidden in every store-buffer model.
+        programs.push(litmus(
+            &format!("LB{tag}"),
+            &[("x", 0), ("y", 0), ("r1", 0), ("r2", 0)],
+            [assign("r1", v("y"))].into_iter().chain(f.clone()).chain([assign("x", c(1))]).collect(),
+            [assign("r2", v("x"))].into_iter().chain(f.clone()).chain([assign("y", c(1))]).collect(),
+            not(and(eq(v("r1"), c(1)), eq(v("r2"), c(1)))),
+        ));
+
+        // 2+2W — write reordering: only PSO lets both variables end at 1.
+        programs.push(litmus(
+            &format!("2+2W{tag}"),
+            &[("x", 0), ("y", 0)],
+            [assign("x", c(1))].into_iter().chain(f.clone()).chain([assign("y", c(2))]).collect(),
+            [assign("y", c(1))].into_iter().chain(f.clone()).chain([assign("x", c(2))]).collect(),
+            not(and(eq(v("x"), c(1)), eq(v("y"), c(1)))),
+        ));
+    }
+
+    println!("{:<10} {:>8} {:>8} {:>8}   (safe = forbidden outcome unreachable)", "litmus", "SC", "TSO", "PSO");
+    for p in &programs {
+        let mut row = format!("{:<10}", p.name);
+        for mm in MemoryModel::ALL {
+            let out = verify(p, &VerifyOptions::new(mm, Strategy::Zpre));
+            row.push_str(&format!(" {:>8}", out.verdict.to_string()));
+        }
+        println!("{row}");
+    }
+    println!("\nExpected: SB unsafe under TSO+PSO; MP and 2+2W unsafe under PSO;");
+    println!("LB safe everywhere; every fenced variant safe everywhere.");
+}

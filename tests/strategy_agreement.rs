@@ -1,0 +1,67 @@
+//! Heuristics must never change satisfiability: every strategy (baseline,
+//! ZPRE⁻, ZPRE, and all ablations) must return the same verdict on every
+//! task under every memory model.
+
+use zpre::{verify, Strategy, Verdict, VerifyOptions};
+use zpre_prog::MemoryModel;
+use zpre_workloads::{suite, Scale};
+
+#[test]
+fn all_strategies_agree_on_the_quick_suite() {
+    for task in suite(Scale::Quick) {
+        for mm in MemoryModel::ALL {
+            let verdicts: Vec<(Strategy, Verdict)> = Strategy::ALL
+                .iter()
+                .map(|&s| {
+                    let opts = VerifyOptions {
+                        unroll_bound: task.unroll_bound,
+                        ..VerifyOptions::new(mm, s)
+                    };
+                    (s, verify(&task.program, &opts).verdict)
+                })
+                .collect();
+            let first = verdicts[0].1;
+            assert_ne!(first, Verdict::Unknown, "{} {mm} did not finish", task.name);
+            for (s, v) in &verdicts {
+                assert_eq!(*v, first, "{} {mm}: {s} disagrees", task.name);
+            }
+            // ... and with the generator's ground truth.
+            assert!(
+                task.expected.matches(mm, first),
+                "{} {mm}: verdict {first:?} contradicts ground truth",
+                task.name
+            );
+        }
+    }
+}
+
+#[test]
+fn verdicts_are_seed_independent() {
+    // The random polarity must not affect the answer.
+    for task in suite(Scale::Quick).into_iter().take(6) {
+        for seed in [0u64, 7, 0xFEED] {
+            let opts = VerifyOptions {
+                unroll_bound: task.unroll_bound,
+                seed,
+                ..VerifyOptions::new(MemoryModel::Tso, Strategy::Zpre)
+            };
+            let v = verify(&task.program, &opts).verdict;
+            assert!(task.expected.matches(MemoryModel::Tso, v), "{} seed {seed}", task.name);
+        }
+    }
+}
+
+#[test]
+fn guided_strategies_actually_guide() {
+    // On interference-rich tasks, ZPRE's guide must answer decisions.
+    let task = suite(Scale::Quick)
+        .into_iter()
+        .find(|t| t.name.contains("counter"))
+        .expect("counter task in quick suite");
+    let opts = VerifyOptions {
+        unroll_bound: task.unroll_bound,
+        ..VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre)
+    };
+    let out = verify(&task.program, &opts);
+    assert!(out.stats.guided_decisions > 0, "guide never consulted");
+}
