@@ -30,7 +30,11 @@ fn bench_subcategories(c: &mut Criterion) {
                     ..VerifyOptions::new(mm, strategy)
                 };
                 group.bench_function(
-                    format!("{}/{}", task.subcat.name().replace('/', "_"), strategy.name()),
+                    format!(
+                        "{}/{}",
+                        task.subcat.name().replace('/', "_"),
+                        strategy.name()
+                    ),
                     |b| b.iter(|| black_box(verify(&task.program, &opts).verdict)),
                 );
             }

@@ -6,7 +6,6 @@
 //! `unsat` to proofs ("true" tasks); a `TO` is a budget exhaustion.
 
 use crate::runner::TaskResult;
-use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 
 fn by_strategy<'a>(
@@ -27,7 +26,10 @@ pub fn both_solved<'a>(
     mm: &str,
     strategies: &[&str],
 ) -> BTreeSet<&'a str> {
-    let maps: Vec<_> = strategies.iter().map(|s| by_strategy(results, mm, s)).collect();
+    let maps: Vec<_> = strategies
+        .iter()
+        .map(|s| by_strategy(results, mm, s))
+        .collect();
     let mut tasks: BTreeSet<&str> = results
         .iter()
         .filter(|r| r.mm == mm)
@@ -38,7 +40,7 @@ pub fn both_solved<'a>(
 }
 
 /// One row of Table 1: accumulated both-solved CPU time split by verdict.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Memory model.
     pub mm: String,
@@ -110,7 +112,7 @@ pub fn table1(results: &[TaskResult], mms: &[&str]) -> Vec<Table1Row> {
 }
 
 /// One row of Table 2: search-procedure statistics.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Memory model.
     pub mm: String,
@@ -169,7 +171,7 @@ pub fn table2(results: &[TaskResult], mms: &[&str]) -> Vec<Table2Row> {
 }
 
 /// One strategy's column block in Table 3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Strategy {
     /// Strategy name.
     pub strategy: String,
@@ -182,7 +184,7 @@ pub struct Table3Strategy {
 }
 
 /// One row of Table 3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Memory model.
     pub mm: String,
@@ -265,15 +267,16 @@ pub fn fig_subcats(results: &[TaskResult], mm: &str) -> Vec<(String, f64, f64, f
     }
     crate::runner::subcat_order()
         .into_iter()
-        .filter_map(|s| {
-            per.get(s)
-                .map(|&(b, z)| (s.to_string(), b, z, ratio(b, z)))
-        })
+        .filter_map(|s| per.get(s).map(|&(b, z)| (s.to_string(), b, z, ratio(b, z))))
         .collect()
 }
 
 /// Ablation summary: `(strategy, total_s_on_common, timeouts, solved)`.
-pub fn ablation(results: &[TaskResult], mm: &str, strategies: &[&str]) -> Vec<(String, f64, usize, usize)> {
+pub fn ablation(
+    results: &[TaskResult],
+    mm: &str,
+    strategies: &[&str],
+) -> Vec<(String, f64, usize, usize)> {
     let solved = both_solved(results, mm, strategies);
     strategies
         .iter()
@@ -291,6 +294,62 @@ pub fn ablation(results: &[TaskResult], mm: &str, strategies: &[&str]) -> Vec<(S
 /// generator's ground truth (must be empty for a sound pipeline).
 pub fn mismatches(results: &[TaskResult]) -> Vec<&TaskResult> {
     results.iter().filter(|r| !r.expected_ok).collect()
+}
+
+/// Summary of a portfolio run: per-strategy win counts and cancellation
+/// latencies across all `strategy == "portfolio"` rows.
+#[derive(Debug, Clone)]
+pub struct PortfolioSummary {
+    /// Portfolio rows considered.
+    pub rows: usize,
+    /// Rows with a definitive verdict (a winner exists).
+    pub decided: usize,
+    /// Win count per member name, descending by count then by name.
+    pub wins: Vec<(String, usize)>,
+    /// Mean cancellation latency in milliseconds over rows that cancelled
+    /// losers (`None` when no row did).
+    pub mean_cancel_latency_ms: Option<f64>,
+    /// Maximum cancellation latency in milliseconds.
+    pub max_cancel_latency_ms: Option<f64>,
+}
+
+/// Aggregates all portfolio rows into a [`PortfolioSummary`].
+pub fn portfolio_summary(results: &[TaskResult]) -> PortfolioSummary {
+    let rows: Vec<&TaskResult> = results
+        .iter()
+        .filter(|r| r.strategy == "portfolio")
+        .collect();
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for r in &rows {
+        if let Some(w) = &r.winner {
+            *counts.entry(w.as_str()).or_insert(0) += 1;
+        }
+    }
+    let decided = counts.values().sum();
+    let mut wins: Vec<(String, usize)> = counts
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    wins.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let latencies: Vec<f64> = rows.iter().filter_map(|r| r.cancel_latency_ms).collect();
+    let (mean, max) = if latencies.is_empty() {
+        (None, None)
+    } else {
+        (
+            Some(latencies.iter().sum::<f64>() / latencies.len() as f64),
+            latencies
+                .iter()
+                .cloned()
+                .fold(None, |m: Option<f64>, l| Some(m.map_or(l, |m| m.max(l)))),
+        )
+    };
+    PortfolioSummary {
+        rows: rows.len(),
+        decided,
+        wins,
+        mean_cancel_latency_ms: mean,
+        max_cancel_latency_ms: max,
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +370,8 @@ mod tests {
             conflicts: 5,
             guided_decisions: 0,
             expected_ok: true,
+            winner: None,
+            cancel_latency_ms: None,
         }
     }
 
@@ -377,6 +438,29 @@ mod tests {
         ];
         let pts = fig_scatter(&rs, "sc");
         assert_eq!(pts, vec![("a".to_string(), 5.0, 2.0)]);
+    }
+
+    #[test]
+    fn portfolio_summary_counts_wins_and_latency() {
+        let mut a = mk("a", "sc", "portfolio", "safe", 1.0);
+        a.winner = Some("zpre".into());
+        a.cancel_latency_ms = Some(2.0);
+        let mut b = mk("b", "sc", "portfolio", "unsafe", 1.0);
+        b.winner = Some("zpre".into());
+        b.cancel_latency_ms = Some(6.0);
+        let mut c = mk("c", "sc", "portfolio", "safe", 1.0);
+        c.winner = Some("baseline".into());
+        let d = mk("d", "sc", "portfolio", "unknown", 1.0);
+        let other = mk("a", "sc", "zpre", "safe", 1.0);
+        let s = portfolio_summary(&[a, b, c, d, other]);
+        assert_eq!(s.rows, 4);
+        assert_eq!(s.decided, 3);
+        assert_eq!(
+            s.wins,
+            vec![("zpre".to_string(), 2), ("baseline".to_string(), 1)]
+        );
+        assert!((s.mean_cancel_latency_ms.unwrap() - 4.0).abs() < 1e-9);
+        assert!((s.max_cancel_latency_ms.unwrap() - 6.0).abs() < 1e-9);
     }
 
     #[test]

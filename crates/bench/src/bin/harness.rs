@@ -10,6 +10,7 @@
 //!   fig6 fig7 fig8      per-task scatter (SC, TSO, PSO)
 //!   fig9 fig10 fig11    per-subcategory totals (SC, TSO, PSO)
 //!   ablation   heuristic stack + polarity + propagation ablations
+//!   portfolio  strategy race: win counts, cancellation latency, agreement
 //!   validate   verdict consistency against generator ground truth
 //!   all        everything above
 //! ```
@@ -21,8 +22,8 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use zpre::Strategy;
 use zpre_bench::{
-    ablation, ascii, fig_scatter, fig_subcats, mismatches, run_suite, table1, table2, table3,
-    to_csv, RunConfig, TaskResult,
+    ablation, ascii, fig_scatter, fig_subcats, mismatches, portfolio_summary, run_suite,
+    run_suite_portfolio, table1, table2, table3, to_csv, to_json, RunConfig, TaskResult,
 };
 use zpre_prog::MemoryModel;
 use zpre_workloads::{suite, Scale};
@@ -68,20 +69,35 @@ fn main() {
     }
     if experiments.is_empty() {
         eprintln!("usage: harness [--scale quick|full] [--budget N] [--seed N] [--out DIR] <experiment>...");
-        eprintln!("experiments: table1 table2 table3 fig6..fig11 ablation validate all");
+        eprintln!("experiments: table1 table2 table3 fig6..fig11 ablation portfolio validate all");
         std::process::exit(2);
     }
     if experiments.iter().any(|e| e == "all") {
         experiments = [
-            "validate", "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "fig11", "ablation",
+            "validate",
+            "table1",
+            "table2",
+            "table3",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "ablation",
+            "portfolio",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
 
-    let cfg = RunConfig { scale, max_conflicts: budget, seed, ..RunConfig::default() };
+    let cfg = RunConfig {
+        scale,
+        max_conflicts: budget,
+        seed,
+        ..RunConfig::default()
+    };
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
     // Which strategies are needed?
@@ -109,16 +125,19 @@ fn main() {
         budget
     );
     let t0 = std::time::Instant::now();
-    let results = run_suite(&tasks, &MemoryModel::ALL, &strategies, &cfg);
+    let mut results = run_suite(&tasks, &MemoryModel::ALL, &strategies, &cfg);
+    if experiments.iter().any(|e| e == "portfolio") {
+        eprintln!(
+            "racing the portfolio over {} tasks x 3 memory models...",
+            tasks.len()
+        );
+        results.extend(run_suite_portfolio(&tasks, &MemoryModel::ALL, &cfg));
+    }
     eprintln!("suite finished in {:.1}s", t0.elapsed().as_secs_f64());
 
     // Persist raw data.
     std::fs::write(out_dir.join("raw.csv"), to_csv(&results)).expect("write raw.csv");
-    std::fs::write(
-        out_dir.join("raw.json"),
-        serde_json::to_string_pretty(&results).expect("serialize"),
-    )
-    .expect("write raw.json");
+    std::fs::write(out_dir.join("raw.json"), to_json(&results)).expect("write raw.json");
 
     for exp in &experiments {
         println!("\n================ {exp} ================");
@@ -127,13 +146,26 @@ fn main() {
             "table1" => print_table1(&results),
             "table2" => print_table2(&results),
             "table3" => print_table3(&results),
-            "fig6" => print_fig_scatter(&results, "sc", "Figure 6: ZPRE vs baseline in SC", &out_dir),
-            "fig7" => print_fig_scatter(&results, "tso", "Figure 7: ZPRE vs baseline in TSO", &out_dir),
-            "fig8" => print_fig_scatter(&results, "pso", "Figure 8: ZPRE vs baseline in PSO", &out_dir),
+            "fig6" => {
+                print_fig_scatter(&results, "sc", "Figure 6: ZPRE vs baseline in SC", &out_dir)
+            }
+            "fig7" => print_fig_scatter(
+                &results,
+                "tso",
+                "Figure 7: ZPRE vs baseline in TSO",
+                &out_dir,
+            ),
+            "fig8" => print_fig_scatter(
+                &results,
+                "pso",
+                "Figure 8: ZPRE vs baseline in PSO",
+                &out_dir,
+            ),
             "fig9" => print_fig_subcats(&results, "sc", "Figure 9: subcategory time in SC"),
             "fig10" => print_fig_subcats(&results, "tso", "Figure 10: subcategory time in TSO"),
             "fig11" => print_fig_subcats(&results, "pso", "Figure 11: subcategory time in PSO"),
             "ablation" => print_ablation(&results),
+            "portfolio" => print_portfolio(&results),
             "probe" => print_probe(&results),
             other => eprintln!("unknown experiment {other:?}"),
         }
@@ -142,7 +174,10 @@ fn main() {
 
 /// Slowest tasks by baseline time, with the ZPRE comparison.
 fn print_probe(results: &[TaskResult]) {
-    let mut rows: Vec<&TaskResult> = results.iter().filter(|r| r.strategy == "baseline").collect();
+    let mut rows: Vec<&TaskResult> = results
+        .iter()
+        .filter(|r| r.strategy == "baseline")
+        .collect();
     rows.sort_by(|a, b| b.solve_ms.partial_cmp(&a.solve_ms).unwrap());
     println!(
         "{:<34} {:>4} {:>10} {:>10} {:>8} {:>9}",
@@ -168,7 +203,9 @@ fn print_validate(results: &[TaskResult]) {
     let bad = mismatches(results);
     let mut counts: BTreeMap<(&str, &str), usize> = BTreeMap::new();
     for r in results {
-        *counts.entry((r.mm.as_str(), r.verdict.as_str())).or_default() += 1;
+        *counts
+            .entry((r.mm.as_str(), r.verdict.as_str()))
+            .or_default() += 1;
     }
     println!("verdict counts per memory model:");
     for ((mm, verdict), n) in &counts {
@@ -274,6 +311,49 @@ fn print_fig_scatter(results: &[TaskResult], mm: &str, title: &str, out_dir: &st
 fn print_fig_subcats(results: &[TaskResult], mm: &str, title: &str) {
     let rows = fig_subcats(results, mm);
     println!("{}", ascii::subcat_bars(&rows, title));
+}
+
+fn print_portfolio(results: &[TaskResult]) {
+    let s = portfolio_summary(results);
+    println!("Portfolio race over {} (task, memory model) pairs", s.rows);
+    println!("  decided: {} ({} unknown)", s.decided, s.rows - s.decided);
+    println!("  wins per member:");
+    for (name, n) in &s.wins {
+        println!("    {name:<16} {n}");
+    }
+    match (s.mean_cancel_latency_ms, s.max_cancel_latency_ms) {
+        (Some(mean), Some(max)) => {
+            println!("  cancellation latency: mean {mean:.2} ms, max {max:.2} ms");
+        }
+        _ => println!("  cancellation latency: no losers were cancelled"),
+    }
+    // Agreement: every decided portfolio verdict must match single-strategy
+    // ZPRE on the same (task, mm) when ZPRE is decided too.
+    let mut checked = 0usize;
+    let mut disagreements = 0usize;
+    for p in results
+        .iter()
+        .filter(|r| r.strategy == "portfolio" && r.solved())
+    {
+        if let Some(z) = results
+            .iter()
+            .find(|r| r.strategy == "zpre" && r.task == p.task && r.mm == p.mm && r.solved())
+        {
+            checked += 1;
+            if z.verdict != p.verdict {
+                disagreements += 1;
+                println!(
+                    "  DISAGREEMENT {} {}: portfolio={} zpre={}",
+                    p.task, p.mm, p.verdict, z.verdict
+                );
+            }
+        }
+    }
+    println!(
+        "  agreement with zpre: {}/{} checked pairs",
+        checked - disagreements,
+        checked
+    );
 }
 
 fn print_ablation(results: &[TaskResult]) {

@@ -13,4 +13,7 @@ pub mod ascii;
 pub mod runner;
 
 pub use aggregate::*;
-pub use runner::{run_one, run_suite, to_csv, RunConfig, TaskResult};
+pub use runner::{
+    run_one, run_one_portfolio, run_suite, run_suite_portfolio, to_csv, to_json, RunConfig,
+    TaskResult,
+};

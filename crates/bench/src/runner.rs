@@ -1,9 +1,8 @@
 //! Parallel execution of the benchmark suite.
 
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
-use zpre::{verify, Strategy, Verdict, VerifyOptions};
+use zpre::{verify, verify_portfolio, PortfolioOptions, Strategy, Verdict, VerifyOptions};
 use zpre_prog::MemoryModel;
 use zpre_workloads::{Scale, Subcat, Task};
 
@@ -36,7 +35,7 @@ impl Default for RunConfig {
 }
 
 /// One measurement: a task solved under one memory model with one strategy.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TaskResult {
     /// Task name.
     pub task: String,
@@ -63,6 +62,11 @@ pub struct TaskResult {
     /// `true` when the verdict matches the generator's ground truth (or the
     /// ground truth is unknown / the verdict is unknown).
     pub expected_ok: bool,
+    /// Portfolio rows only: name of the member whose verdict won the race.
+    pub winner: Option<String>,
+    /// Portfolio rows only: milliseconds from the winner's cancellation
+    /// signal until the last loser actually stopped.
+    pub cancel_latency_ms: Option<f64>,
 }
 
 impl TaskResult {
@@ -112,19 +116,15 @@ pub fn run_one(task: &Task, mm: MemoryModel, strategy: Strategy, cfg: &RunConfig
         seed: cfg.seed,
         validate_models: cfg.validate,
         want_trace: false,
+        cancel: None,
     };
     let out = verify(&task.program, &opts);
-    let verdict = match out.verdict {
-        Verdict::Safe => "safe",
-        Verdict::Unsafe => "unsafe",
-        Verdict::Unknown => "unknown",
-    };
     TaskResult {
         task: task.name.clone(),
         subcat: task.subcat.name().to_string(),
         mm: mm.name().to_string(),
         strategy: strategy.name().to_string(),
-        verdict: verdict.to_string(),
+        verdict: verdict_str(out.verdict).to_string(),
         solve_ms: out.solve_time.as_secs_f64() * 1e3,
         encode_ms: out.encode_time.as_secs_f64() * 1e3,
         decisions: out.stats.decisions,
@@ -132,17 +132,79 @@ pub fn run_one(task: &Task, mm: MemoryModel, strategy: Strategy, cfg: &RunConfig
         conflicts: out.stats.conflicts,
         guided_decisions: out.stats.guided_decisions,
         expected_ok: task.expected.matches(mm, out.verdict),
+        winner: None,
+        cancel_latency_ms: None,
     }
+}
+
+fn verdict_str(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Safe => "safe",
+        Verdict::Unsafe => "unsafe",
+        Verdict::Unknown => "unknown",
+    }
+}
+
+/// Runs a single (task, memory model) measurement with the default
+/// portfolio racing the main strategies. The row's `strategy` column is
+/// `"portfolio"`; solver statistics come from the winning member.
+pub fn run_one_portfolio(task: &Task, mm: MemoryModel, cfg: &RunConfig) -> TaskResult {
+    let base = VerifyOptions {
+        mm,
+        strategy: Strategy::Zpre,
+        unroll_bound: task.unroll_bound,
+        max_conflicts: Some(cfg.max_conflicts),
+        timeout: cfg.timeout,
+        seed: cfg.seed,
+        validate_models: cfg.validate,
+        want_trace: false,
+        cancel: None,
+    };
+    let folio = verify_portfolio(&task.program, &PortfolioOptions::new(base));
+    let out = &folio.outcome;
+    TaskResult {
+        task: task.name.clone(),
+        subcat: task.subcat.name().to_string(),
+        mm: mm.name().to_string(),
+        strategy: "portfolio".to_string(),
+        verdict: verdict_str(out.verdict).to_string(),
+        solve_ms: out.solve_time.as_secs_f64() * 1e3,
+        encode_ms: out.encode_time.as_secs_f64() * 1e3,
+        decisions: out.stats.decisions,
+        propagations: out.stats.propagations,
+        conflicts: out.stats.conflicts,
+        guided_decisions: out.stats.guided_decisions,
+        expected_ok: task.expected.matches(mm, out.verdict),
+        winner: folio.winner.clone(),
+        cancel_latency_ms: folio.cancel_latency.map(|d| d.as_secs_f64() * 1e3),
+    }
+}
+
+/// Runs `tasks × mms` through the portfolio engine in parallel. Each job
+/// already saturates several cores with its member threads, so jobs run
+/// sequentially within rayon's outer parallelism.
+pub fn run_suite_portfolio(
+    tasks: &[Task],
+    mms: &[MemoryModel],
+    cfg: &RunConfig,
+) -> Vec<TaskResult> {
+    let mut results = Vec::new();
+    for t in tasks {
+        for &mm in mms {
+            results.push(run_one_portfolio(t, mm, cfg));
+        }
+    }
+    results
 }
 
 /// Serializes results as CSV.
 pub fn to_csv(results: &[TaskResult]) -> String {
     let mut out = String::from(
-        "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok\n",
+        "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok,winner,cancel_latency_ms\n",
     );
     for r in results {
         out.push_str(&format!(
-            "{},{},{},{},{},{:.3},{:.3},{},{},{},{},{}\n",
+            "{},{},{},{},{},{:.3},{:.3},{},{},{},{},{},{},{}\n",
             r.task,
             r.subcat,
             r.mm,
@@ -154,9 +216,43 @@ pub fn to_csv(results: &[TaskResult]) -> String {
             r.propagations,
             r.conflicts,
             r.guided_decisions,
-            r.expected_ok
+            r.expected_ok,
+            r.winner.as_deref().unwrap_or(""),
+            r.cancel_latency_ms
+                .map_or(String::new(), |l| format!("{l:.3}"))
         ));
     }
+    out
+}
+
+/// Serializes results as pretty-printed JSON (hand-rolled: the build
+/// environment has no registry access, so serde is not available).
+pub fn to_json(results: &[TaskResult]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\n    \"task\": \"{}\",\n    \"subcat\": \"{}\",\n    \"mm\": \"{}\",\n    \"strategy\": \"{}\",\n    \"verdict\": \"{}\",\n    \"solve_ms\": {:.3},\n    \"encode_ms\": {:.3},\n    \"decisions\": {},\n    \"propagations\": {},\n    \"conflicts\": {},\n    \"guided_decisions\": {},\n    \"expected_ok\": {},\n    \"winner\": {},\n    \"cancel_latency_ms\": {}\n  }}{}\n",
+            esc(&r.task),
+            esc(&r.subcat),
+            esc(&r.mm),
+            esc(&r.strategy),
+            esc(&r.verdict),
+            r.solve_ms,
+            r.encode_ms,
+            r.decisions,
+            r.propagations,
+            r.conflicts,
+            r.guided_decisions,
+            r.expected_ok,
+            r.winner.as_deref().map_or("null".to_string(), |w| format!("\"{}\"", esc(w))),
+            r.cancel_latency_ms.map_or("null".to_string(), |l| format!("{l:.3}")),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push(']');
     out
 }
 
@@ -173,7 +269,10 @@ mod tests {
     #[test]
     fn quick_run_produces_consistent_results() {
         let tasks: Vec<Task> = suite(Scale::Quick).into_iter().take(4).collect();
-        let cfg = RunConfig { scale: Scale::Quick, ..RunConfig::default() };
+        let cfg = RunConfig {
+            scale: Scale::Quick,
+            ..RunConfig::default()
+        };
         let results = run_suite(
             &tasks,
             &[MemoryModel::Sc],
@@ -182,7 +281,11 @@ mod tests {
         );
         assert_eq!(results.len(), tasks.len() * 2);
         for r in &results {
-            assert!(r.expected_ok, "{} {} {} got {}", r.task, r.mm, r.strategy, r.verdict);
+            assert!(
+                r.expected_ok,
+                "{} {} {} got {}",
+                r.task, r.mm, r.strategy, r.verdict
+            );
         }
         // Baseline and ZPRE agree on every verdict.
         for t in &tasks {

@@ -167,13 +167,7 @@ impl Blaster {
 
     // ---- adders ----
 
-    fn full_adder(
-        &mut self,
-        a: Lit,
-        b: Lit,
-        cin: Lit,
-        sink: &mut impl ClauseSink,
-    ) -> (Lit, Lit) {
+    fn full_adder(&mut self, a: Lit, b: Lit, cin: Lit, sink: &mut impl ClauseSink) -> (Lit, Lit) {
         let axb = self.gate_xor(a, b, sink);
         let sum = self.gate_xor(axb, cin, sink);
         let ab = self.gate_and(a, b, sink);
@@ -213,12 +207,7 @@ impl Blaster {
     // ---- entry points ----
 
     /// Blasts a Boolean-sorted term to a literal.
-    pub fn blast_bool(
-        &mut self,
-        ts: &TermStore,
-        t: TermId,
-        sink: &mut impl ClauseSink,
-    ) -> Lit {
+    pub fn blast_bool(&mut self, ts: &TermStore, t: TermId, sink: &mut impl ClauseSink) -> Lit {
         if let Some(&l) = self.bool_memo.get(&t) {
             return l;
         }
@@ -308,12 +297,7 @@ impl Blaster {
     }
 
     /// Blasts a bit-vector-sorted term to its bits (LSB first).
-    pub fn blast_bv(
-        &mut self,
-        ts: &TermStore,
-        t: TermId,
-        sink: &mut impl ClauseSink,
-    ) -> Vec<Lit> {
+    pub fn blast_bv(&mut self, ts: &TermStore, t: TermId, sink: &mut impl ClauseSink) -> Vec<Lit> {
         if let Some(bits) = self.bv_memo.get(&t) {
             return bits.clone();
         }
@@ -395,9 +379,7 @@ impl Blaster {
                 let w = ba.len();
                 let zero = self.lit_false(sink);
                 // Shift-add: start with a & replicate(b[0]).
-                let mut acc: Vec<Lit> = (0..w)
-                    .map(|j| self.gate_and(ba[j], bb[0], sink))
-                    .collect();
+                let mut acc: Vec<Lit> = (0..w).map(|j| self.gate_and(ba[j], bb[0], sink)).collect();
                 for i in 1..w {
                     let row: Vec<Lit> = (0..w)
                         .map(|j| {
@@ -543,7 +525,14 @@ mod tests {
                 check_binop(3, a, b, build);
             }
         }
-        for &(a, b) in &[(0, 0), (255, 1), (128, 128), (170, 85), (200, 100), (255, 255)] {
+        for &(a, b) in &[
+            (0, 0),
+            (255, 1),
+            (128, 128),
+            (170, 85),
+            (200, 100),
+            (255, 255),
+        ] {
             check_binop(8, a, b, build);
         }
     }

@@ -29,9 +29,22 @@ pub fn free_vars(ts: &TermStore, roots: &[TermId]) -> BTreeMap<String, u32> {
             }
             BoolConst(_) | BvConst { .. } => {}
             Not(a) | BvNeg(a) | BvNot(a) | BvShlConst(a, _) | BvLshrConst(a, _) => stack.push(*a),
-            And(a, b) | Or(a, b) | Xor(a, b) | Implies(a, b) | Iff(a, b) | BvAdd(a, b)
-            | BvSub(a, b) | BvMul(a, b) | BvAnd(a, b) | BvOr(a, b) | BvXor(a, b) | Eq(a, b)
-            | Ult(a, b) | Ule(a, b) | Slt(a, b) | Sle(a, b) => {
+            And(a, b)
+            | Or(a, b)
+            | Xor(a, b)
+            | Implies(a, b)
+            | Iff(a, b)
+            | BvAdd(a, b)
+            | BvSub(a, b)
+            | BvMul(a, b)
+            | BvAnd(a, b)
+            | BvOr(a, b)
+            | BvXor(a, b)
+            | Eq(a, b)
+            | Ult(a, b)
+            | Ule(a, b)
+            | Slt(a, b)
+            | Sle(a, b) => {
                 stack.push(*a);
                 stack.push(*b);
             }

@@ -302,7 +302,13 @@ impl TermStore {
     /// Fresh-by-name bit-vector variable.
     pub fn bv_var(&mut self, name: impl Into<String>, width: u32) -> TermId {
         assert!((1..=64).contains(&width), "width out of range");
-        self.intern(TermKind::BvVar { name: name.into(), width }, Sort::Bv(width))
+        self.intern(
+            TermKind::BvVar {
+                name: name.into(),
+                width,
+            },
+            Sort::Bv(width),
+        )
     }
 
     /// Wrapping addition.
@@ -625,7 +631,10 @@ mod tests {
             }
         };
         assert_eq!(ts.eval(sum, &vars, &no_bool), Value::Bv((200 + 100) & 0xff));
-        assert_eq!(ts.eval(prod, &vars, &no_bool), Value::Bv((200 * 100) & 0xff));
+        assert_eq!(
+            ts.eval(prod, &vars, &no_bool),
+            Value::Bv((200 * 100) & 0xff)
+        );
         assert_eq!(ts.eval(diff, &vars, &no_bool), Value::Bv(100));
     }
 

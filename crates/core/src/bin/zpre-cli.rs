@@ -1,27 +1,31 @@
 //! `zpre-cli` — verify concurrent programs from `.zc` files.
 //!
 //! ```text
-//! zpre-cli verify FILE [--mm sc|tso|pso|all] [--strategy NAME] [--unroll N]
-//!                      [--bmc MAXBOUND] [--budget CONFLICTS] [--seed N] [--stats] [--trace]
+//! zpre-cli verify FILE [--mm sc|tso|pso|all] [--strategy NAME] [--portfolio]
+//!                      [--unroll N] [--bmc MAXBOUND] [--budget CONFLICTS]
+//!                      [--seed N] [--stats] [--trace]
 //! zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]
 //! zpre-cli dump   FILE [--mm sc|tso|pso] [--unroll N]
 //! zpre-cli pretty FILE
 //! ```
 //!
-//! `verify` runs the interference-guided SMT pipeline; `oracle` runs the
-//! explicit-state reference checker (exhaustive, for small programs);
-//! `dump` emits the verification condition as SMT-LIB 2;
+//! `verify` runs the interference-guided SMT pipeline (`--portfolio` races
+//! the main strategies plus a polarity-varied ZPRE, first verdict wins);
+//! `oracle` runs the explicit-state reference checker (exhaustive, for
+//! small programs); `dump` emits the verification condition as SMT-LIB 2;
 //! `pretty` parses and re-prints the program.
 
 use std::process::ExitCode;
-use zpre::{verify, verify_bmc, Strategy, Verdict, VerifyOptions};
+use zpre::{
+    verify, verify_bmc, verify_portfolio, PortfolioOptions, Strategy, Verdict, VerifyOptions,
+};
 use zpre_prog::interp::{check_sc, Limits, Outcome};
 use zpre_prog::wmm::check_wmm;
 use zpre_prog::{flatten, parse_program, pretty, unroll_program, MemoryModel, Program};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  zpre-cli verify FILE [--mm sc|tso|pso|all] [--strategy NAME] \
+        "usage:\n  zpre-cli verify FILE [--mm sc|tso|pso|all] [--strategy NAME] [--portfolio] \
          [--unroll N] [--bmc MAXBOUND] [--budget CONFLICTS] [--seed N] [--stats] [--trace]\n  \
          zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]\n  \
          zpre-cli dump FILE [--mm sc|tso|pso] [--unroll N]\n  \
@@ -165,7 +169,13 @@ fn cmd_oracle(args: &[String]) -> ExitCode {
             Outcome::Unsafe => "unsafe",
             Outcome::ResourceLimit => "resource-limit",
         };
-        println!("{}: {} ({} oracle, unroll {})", program.name, text, mm.name(), unroll);
+        println!(
+            "{}: {} ({} oracle, unroll {})",
+            program.name,
+            text,
+            mm.name(),
+            unroll
+        );
     }
     ExitCode::SUCCESS
 }
@@ -182,6 +192,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     let mut seed = 0xC0FFEEu64;
     let mut show_stats = false;
     let mut want_trace = false;
+    let mut portfolio = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -217,9 +228,14 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             }
             "--stats" => show_stats = true,
             "--trace" => want_trace = true,
+            "--portfolio" => portfolio = true,
             _ => return usage(),
         }
         i += 1;
+    }
+    if portfolio && bmc.is_some() {
+        eprintln!("--portfolio cannot be combined with --bmc");
+        return usage();
     }
     let program = match load(path) {
         Ok(p) => p,
@@ -241,11 +257,45 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             seed,
             validate_models: true,
             want_trace,
+            cancel: None,
         };
+        if portfolio {
+            let folio = verify_portfolio(&program, &PortfolioOptions::new(opts));
+            let verdict = folio.verdict();
+            if let Some(trace) = &folio.outcome.trace {
+                print!("{trace}");
+            }
+            let winner = folio.winner.as_deref().unwrap_or("none");
+            println!(
+                "{}: {} under {} with portfolio (winner {}) [{:.2?}]",
+                program.name, verdict, mm, winner, folio.outcome.solve_time
+            );
+            if show_stats {
+                for m in &folio.members {
+                    println!(
+                        "  {:<16} {:<8} [{:.2?}]{}",
+                        m.name,
+                        m.verdict.to_string(),
+                        m.time,
+                        if m.cancelled { " (cancelled)" } else { "" }
+                    );
+                }
+                if let Some(latency) = folio.cancel_latency {
+                    println!("  cancellation latency {latency:.2?}");
+                }
+            }
+            any_unsafe |= verdict == Verdict::Unsafe;
+            any_unknown |= verdict == Verdict::Unknown;
+            continue;
+        }
         let (verdict, outcome, bound) = if let Some(max_bound) = bmc {
             let sweep = verify_bmc(&program, max_bound, &opts);
             let bound = sweep.bound;
-            let (_, last) = sweep.per_bound.into_iter().last().expect("at least one bound");
+            let (_, last) = sweep
+                .per_bound
+                .into_iter()
+                .last()
+                .expect("at least one bound");
             (sweep.verdict, last, Some(bound))
         } else {
             let out = verify(&program, &opts);

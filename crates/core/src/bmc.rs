@@ -32,20 +32,35 @@ pub fn verify_bmc(prog: &Program, max_bound: u32, opts: &VerifyOptions) -> BmcOu
     let loop_free = !prog.has_loops();
     let mut bound = 1;
     loop {
-        let o = VerifyOptions { unroll_bound: bound, ..opts.clone() };
+        let o = VerifyOptions {
+            unroll_bound: bound,
+            ..opts.clone()
+        };
         let out = verify(prog, &o);
         let verdict = out.verdict;
         per_bound.push((bound, out));
         match verdict {
             Verdict::Unsafe => {
-                return BmcOutcome { verdict: Verdict::Unsafe, bound, per_bound };
+                return BmcOutcome {
+                    verdict: Verdict::Unsafe,
+                    bound,
+                    per_bound,
+                };
             }
             Verdict::Unknown => {
-                return BmcOutcome { verdict: Verdict::Unknown, bound, per_bound };
+                return BmcOutcome {
+                    verdict: Verdict::Unknown,
+                    bound,
+                    per_bound,
+                };
             }
             Verdict::Safe => {
                 if loop_free || bound >= max_bound {
-                    return BmcOutcome { verdict: Verdict::Safe, bound, per_bound };
+                    return BmcOutcome {
+                        verdict: Verdict::Safe,
+                        bound,
+                        per_bound,
+                    };
                 }
                 bound += 1;
             }
@@ -101,7 +116,11 @@ mod tests {
         let opts = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
         let out = verify_bmc(&p, 6, &opts);
         assert_eq!(out.verdict, Verdict::Safe);
-        assert_eq!(out.per_bound.len(), 1, "no duplicate instances for loop-free programs");
+        assert_eq!(
+            out.per_bound.len(),
+            1,
+            "no duplicate instances for loop-free programs"
+        );
     }
 
     #[test]

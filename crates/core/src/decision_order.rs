@@ -17,7 +17,6 @@
 //! `ZPRE⁻` applies H1 only (interference variables in registration order);
 //! `ZPRE` applies H1–H4.
 
-use std::cmp::Ordering;
 use zpre_sat::Var;
 use zpre_smt::{VarKind, VarRegistry};
 
@@ -35,12 +34,20 @@ pub struct Refinements {
 impl Refinements {
     /// All refinements on — the full `ZPRE` order.
     pub fn all() -> Refinements {
-        Refinements { rf_before_ws: true, external_first: true, more_writes_first: true }
+        Refinements {
+            rf_before_ws: true,
+            external_first: true,
+            more_writes_first: true,
+        }
     }
 
     /// No refinements — the `ZPRE⁻` order (H1 only).
     pub fn none() -> Refinements {
-        Refinements { rf_before_ws: false, external_first: false, more_writes_first: false }
+        Refinements {
+            rf_before_ws: false,
+            external_first: false,
+            more_writes_first: false,
+        }
     }
 }
 
@@ -54,8 +61,14 @@ pub fn prior_to(k1: VarKind, k2: VarKind, refinements: Refinements) -> bool {
         (VarKind::Ws, VarKind::Rf { .. }) => false,
         // Cases 2–3: among RF variables.
         (
-            VarKind::Rf { external: e1, writes: n1 },
-            VarKind::Rf { external: e2, writes: n2 },
+            VarKind::Rf {
+                external: e1,
+                writes: n1,
+            },
+            VarKind::Rf {
+                external: e2,
+                writes: n2,
+            },
         ) => {
             if refinements.external_first && e1 != e2 {
                 return e1;
@@ -80,14 +93,28 @@ pub fn decision_order(registry: &VarRegistry, refinements: Refinements) -> Vec<u
         .interference_vars()
         .map(|(v, info)| (v, info.kind))
         .collect();
-    vars.sort_by(|&(va, ka), &(vb, kb)| {
-        if prior_to(ka, kb, refinements) {
-            Ordering::Less
-        } else if prior_to(kb, ka, refinements) {
-            Ordering::Greater
-        } else {
-            va.index().cmp(&vb.index()) // stable, deterministic
-        }
+    // `prior_to` is a strict *partial* order, so comparing incomparable
+    // pairs by index does not give `sort_by` the total order it requires
+    // (e.g. under H4-only, rf(w=5, idx 100) < rf(w=2, idx 1) < ws(idx 50)
+    // < rf(w=5, idx 100) is a cycle). Instead sort by a tiered key — kind
+    // tier, locality, descending writes, index — which is total by
+    // construction and linearly extends `prior_to` for every refinement
+    // combination: inactive refinements contribute a constant, and
+    // incomparable pairs fall through to the registration index.
+    vars.sort_by_key(|&(v, k)| {
+        let (tier, locality, writes_rank) = match k {
+            VarKind::Rf { external, writes } => (
+                0u8,
+                u8::from(refinements.external_first && !external),
+                if refinements.more_writes_first {
+                    u32::MAX - writes
+                } else {
+                    0
+                },
+            ),
+            _ => (u8::from(refinements.rf_before_ws), 0, 0),
+        };
+        (tier, locality, writes_rank, v.index())
     });
     vars.into_iter().map(|(v, _)| v.index() as u32).collect()
 }
@@ -173,6 +200,91 @@ mod tests {
         let order = decision_order(&reg, Refinements::all());
         // external big, external small, internal, ws.
         assert_eq!(order, vec![3, 2, 1, 0]);
+    }
+
+    /// Every `Refinements` combination, one randomized registry each: the
+    /// produced order must be a permutation of the interference variables
+    /// that linearly extends `prior_to` (no pair may appear in an order the
+    /// partial order forbids). Regression for the old non-total `sort_by`
+    /// comparator, which could panic or mis-order under partial refinement
+    /// combinations.
+    #[test]
+    fn every_refinement_combo_linearly_extends_prior_to() {
+        let all_combos = (0..8).map(|bits| Refinements {
+            rf_before_ws: bits & 1 != 0,
+            external_first: bits & 2 != 0,
+            more_writes_first: bits & 4 != 0,
+        });
+        for (combo_idx, refinements) in all_combos.enumerate() {
+            // Deterministic xorshift64* stream per combination.
+            let mut state: u64 = 0x9E37_79B9 + combo_idx as u64;
+            let mut next = move || {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            };
+            let mut reg = VarRegistry::new();
+            let mut kinds: Vec<Option<VarKind>> = Vec::new();
+            for i in 0..60u32 {
+                let kind = match next() % 4 {
+                    0 => VarKind::Ws,
+                    1 => VarKind::Ssa,
+                    _ => rf(next() % 2 == 0, (next() % 6) as u32),
+                };
+                reg.register(Var::new(i), kind, format!("v{i}"));
+                kinds.push(if kind.is_interference() {
+                    Some(kind)
+                } else {
+                    None
+                });
+            }
+            let order = decision_order(&reg, refinements);
+            // Permutation of exactly the interference variables.
+            let mut expected: Vec<u32> = (0..60).filter(|&i| kinds[i as usize].is_some()).collect();
+            let mut got = order.clone();
+            got.sort_unstable();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "combo {refinements:?} lost/duplicated vars");
+            // Linear extension: no later element may be prior to an
+            // earlier one.
+            for i in 0..order.len() {
+                for j in (i + 1)..order.len() {
+                    let (ka, kb) = (
+                        kinds[order[i] as usize].unwrap(),
+                        kinds[order[j] as usize].unwrap(),
+                    );
+                    assert!(
+                        !prior_to(kb, ka, refinements),
+                        "combo {refinements:?}: {kb:?} (pos {j}) is prior_to \
+                         {ka:?} (pos {i}) but ordered after it"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The exact cycle from the issue report: under H4-only (plus
+    /// `rf_before_ws: false`), the old comparator had
+    /// rf(w=5) < rf(w=2) < ws < rf(w=5). The tiered key must order the two
+    /// RF variables by writes regardless of where WS lands.
+    #[test]
+    fn h4_only_cycle_from_issue_is_ordered_consistently() {
+        let refinements = Refinements {
+            rf_before_ws: false,
+            external_first: false,
+            more_writes_first: true,
+        };
+        let mut reg = VarRegistry::new();
+        reg.register(Var::new(1), rf(false, 2), "rf_small");
+        reg.register(Var::new(50), VarKind::Ws, "ws");
+        reg.register(Var::new(100), rf(false, 5), "rf_big");
+        let order = decision_order(&reg, refinements);
+        let pos = |v: u32| order.iter().position(|&x| x == v).unwrap();
+        assert!(
+            pos(100) < pos(1),
+            "rf with more writes must precede rf with fewer: {order:?}"
+        );
     }
 
     #[test]

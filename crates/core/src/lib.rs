@@ -44,19 +44,27 @@
 
 pub mod bmc;
 pub mod decision_order;
+pub mod portfolio;
 pub mod strategy;
 pub mod trace;
 pub mod verifier;
 
 pub use bmc::{verify_bmc, BmcOutcome};
 pub use decision_order::{decision_order, prior_to, Refinements};
+pub use portfolio::{
+    verify_portfolio, verify_ssa_portfolio, MemberResult, PortfolioMember, PortfolioOptions,
+    PortfolioOutcome,
+};
 pub use strategy::Strategy;
 pub use trace::{Trace, TraceStep};
 pub use verifier::{verify, verify_ssa, Verdict, VerifyOptions, VerifyOutcome};
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
-    pub use crate::{verify, Strategy, Verdict, VerifyOptions, VerifyOutcome};
+    pub use crate::{
+        verify, verify_portfolio, PortfolioOptions, PortfolioOutcome, Strategy, Verdict,
+        VerifyOptions, VerifyOutcome,
+    };
     pub use zpre_prog::build::*;
     pub use zpre_prog::{MemoryModel, Program, Stmt};
 }

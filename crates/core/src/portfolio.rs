@@ -1,0 +1,343 @@
+//! Portfolio verification: race several strategies, first verdict wins.
+//!
+//! Table 3 of the paper (and `experiments_output.txt`) shows the three main
+//! strategies routinely differing by 3x on the same task, and single
+//! heuristics can be exponentially unlucky on adversarial instances. A
+//! portfolio hedges both: every member solves the *same* [`SsaProgram`]
+//! under its own strategy/seed on its own scoped thread, the first
+//! definitive ([`Verdict::Safe`] / [`Verdict::Unsafe`]) answer wins, and a
+//! shared [`CancelToken`] stops the losers within a bounded work stride
+//! (see `zpre_sat::Budget`).
+//!
+//! Determinism notes: the *verdict* is deterministic (every member solves
+//! the same instance and strategy agreement is an invariant, cross-checked
+//! here), but the *winner* and the statistics are race-dependent. Each
+//! member's deterministic conflict cap is untouched by cancellation — a
+//! member that exhausts `max_conflicts` reports `Unknown` exactly as in a
+//! single-strategy run.
+
+use crate::strategy::Strategy;
+use crate::verifier::{verify_ssa, Verdict, VerifyOptions, VerifyOutcome};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+use zpre_prog::{to_ssa, unroll_program, Program, SsaProgram};
+use zpre_sat::CancelToken;
+
+/// One racing configuration.
+#[derive(Clone, Debug)]
+pub struct PortfolioMember {
+    /// Display name (strategy name, suffixed when seed-varied).
+    pub name: String,
+    /// The solving strategy.
+    pub strategy: Strategy,
+    /// Seed for the random decision polarities.
+    pub seed: u64,
+}
+
+impl PortfolioMember {
+    /// A member running `strategy` with `seed`, named after the strategy.
+    pub fn new(strategy: Strategy, seed: u64) -> PortfolioMember {
+        PortfolioMember {
+            name: strategy.name().to_string(),
+            strategy,
+            seed,
+        }
+    }
+}
+
+/// Options for a portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioOptions {
+    /// Shared per-member options: memory model, unroll bound, budgets,
+    /// validation. The `strategy` / `seed` fields are overridden per
+    /// member, and `cancel` is replaced by the portfolio's internal token —
+    /// though when set, an external trip still stops the whole portfolio.
+    pub base: VerifyOptions,
+    /// The racing members, in result order.
+    pub members: Vec<PortfolioMember>,
+}
+
+impl PortfolioOptions {
+    /// The default portfolio over `base`: ZPRE, ZPRE⁻, and the baseline on
+    /// `base.seed`, plus a polarity-varied ZPRE (different seed) to hedge
+    /// unlucky random polarities.
+    pub fn new(base: VerifyOptions) -> PortfolioOptions {
+        let seed = base.seed;
+        let varied = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let members = vec![
+            PortfolioMember::new(Strategy::Zpre, seed),
+            PortfolioMember::new(Strategy::ZpreMinus, seed),
+            PortfolioMember::new(Strategy::Baseline, seed),
+            PortfolioMember {
+                name: format!("{}#2", Strategy::Zpre.name()),
+                strategy: Strategy::Zpre,
+                seed: varied,
+            },
+        ];
+        PortfolioOptions { base, members }
+    }
+}
+
+/// What one member did during the race.
+#[derive(Clone, Debug)]
+pub struct MemberResult {
+    /// The member's display name.
+    pub name: String,
+    /// Its strategy.
+    pub strategy: Strategy,
+    /// Its verdict: `Unknown` for cancelled losers and budget exhaustion.
+    pub verdict: Verdict,
+    /// Its wall-clock time (encode + solve) inside the race.
+    pub time: Duration,
+    /// `true` when the member was still running as the winner finished
+    /// (its `Unknown` is a cancellation, not a budget exhaustion).
+    pub cancelled: bool,
+}
+
+/// Result of a portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// The winning member's full outcome (or, when no member was
+    /// definitive, the first member's `Unknown` outcome).
+    pub outcome: VerifyOutcome,
+    /// Winning member's name; `None` when every member returned `Unknown`.
+    pub winner: Option<String>,
+    /// Per-member results in `PortfolioOptions::members` order.
+    pub members: Vec<MemberResult>,
+    /// Time from the winning verdict until the last loser stopped — the
+    /// observable cancellation latency. `None` without a winner.
+    pub cancel_latency: Option<Duration>,
+}
+
+impl PortfolioOutcome {
+    /// The verdict of the race.
+    pub fn verdict(&self) -> Verdict {
+        self.outcome.verdict
+    }
+}
+
+/// Unrolls + SSA-converts `prog` once, then races the portfolio over it.
+pub fn verify_portfolio(prog: &Program, opts: &PortfolioOptions) -> PortfolioOutcome {
+    let unrolled = unroll_program(prog, opts.base.unroll_bound);
+    let ssa = to_ssa(&unrolled);
+    verify_ssa_portfolio(&ssa, opts)
+}
+
+/// Races all members over the same SSA program on scoped threads.
+///
+/// # Panics
+///
+/// Panics when two definitive members disagree: strategies are
+/// answer-equivalent by construction, so a disagreement is a solver bug
+/// that must not be masked by racing.
+pub fn verify_ssa_portfolio(ssa: &SsaProgram, opts: &PortfolioOptions) -> PortfolioOutcome {
+    assert!(
+        !opts.members.is_empty(),
+        "portfolio needs at least one member"
+    );
+    let token = CancelToken::new();
+    let external = opts.base.cancel.clone();
+    let (tx, rx) = mpsc::channel::<(usize, VerifyOutcome, Duration)>();
+
+    let mut slots: Vec<Option<(VerifyOutcome, Duration)>> = vec![None; opts.members.len()];
+    let mut first_definitive: Option<usize> = None;
+    let mut cancelled_at: Option<Instant> = None;
+    let mut cancel_latency: Option<Duration> = None;
+
+    std::thread::scope(|scope| {
+        for (i, member) in opts.members.iter().enumerate() {
+            let tx = tx.clone();
+            let mut member_opts = opts.base.clone();
+            member_opts.strategy = member.strategy;
+            member_opts.seed = member.seed;
+            member_opts.cancel = Some(token.clone());
+            scope.spawn(move || {
+                let t0 = Instant::now();
+                let outcome = verify_ssa(ssa, &member_opts);
+                // The receiver hangs up after processing every member, so a
+                // send can only fail if the scope is already unwinding.
+                let _ = tx.send((i, outcome, t0.elapsed()));
+            });
+        }
+        drop(tx);
+
+        loop {
+            // Poll with a timeout so an external cancellation (a token in
+            // `base.cancel`, tripped by a caller) propagates to members
+            // mid-race instead of only between results.
+            let (i, outcome, elapsed) = match rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(msg) => msg,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if external.as_ref().is_some_and(CancelToken::is_cancelled) {
+                        token.cancel();
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            };
+            if outcome.verdict != Verdict::Unknown && first_definitive.is_none() {
+                first_definitive = Some(i);
+                token.cancel();
+                cancelled_at = Some(Instant::now());
+            }
+            slots[i] = Some((outcome, elapsed));
+        }
+        // All members have returned; the losers' stop latency is the time
+        // since the winner tripped the token.
+        cancel_latency = cancelled_at.map(|t| t.elapsed());
+    });
+
+    let results: Vec<(VerifyOutcome, Duration)> = slots
+        .into_iter()
+        .map(|s| s.expect("every member reports exactly once"))
+        .collect();
+
+    // Cross-check: every definitive verdict must agree with the winner's.
+    if let Some(win) = first_definitive {
+        let winner_verdict = results[win].0.verdict;
+        for (member, (outcome, _)) in opts.members.iter().zip(&results) {
+            assert!(
+                outcome.verdict == Verdict::Unknown || outcome.verdict == winner_verdict,
+                "portfolio members disagree: {} says {}, {} says {}",
+                opts.members[win].name,
+                winner_verdict,
+                member.name,
+                outcome.verdict,
+            );
+        }
+    }
+
+    let winner_index = first_definitive.unwrap_or(0);
+    let members = opts
+        .members
+        .iter()
+        .zip(&results)
+        .map(|(member, (outcome, elapsed))| MemberResult {
+            name: member.name.clone(),
+            strategy: member.strategy,
+            verdict: outcome.verdict,
+            time: *elapsed,
+            cancelled: outcome.verdict == Verdict::Unknown && first_definitive.is_some(),
+        })
+        .collect();
+
+    PortfolioOutcome {
+        outcome: results[winner_index].0.clone(),
+        winner: first_definitive.map(|i| opts.members[i].name.clone()),
+        members,
+        cancel_latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zpre_prog::build::*;
+    use zpre_prog::MemoryModel;
+
+    fn racy() -> Program {
+        let inc = vec![assign("r", v("cnt")), assign("cnt", add(v("r"), c(1)))];
+        ProgramBuilder::new("race")
+            .shared("cnt", 0)
+            .thread("w1", inc.clone())
+            .thread("w2", inc)
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(eq(v("cnt"), c(2))),
+            ])
+            .build()
+    }
+
+    fn locked() -> Program {
+        let inc = vec![
+            lock("m"),
+            assign("r", v("cnt")),
+            assign("cnt", add(v("r"), c(1))),
+            unlock("m"),
+        ];
+        ProgramBuilder::new("locked")
+            .shared("cnt", 0)
+            .mutex("m")
+            .thread("w1", inc.clone())
+            .thread("w2", inc)
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(eq(v("cnt"), c(2))),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn portfolio_matches_single_strategy_verdicts() {
+        for mm in MemoryModel::ALL {
+            let base = VerifyOptions::new(mm, Strategy::Zpre);
+            let single = crate::verifier::verify(&racy(), &base);
+            let folio = verify_portfolio(&racy(), &PortfolioOptions::new(base));
+            assert_eq!(folio.verdict(), single.verdict, "{mm}");
+            assert_eq!(folio.verdict(), Verdict::Unsafe, "{mm}");
+            assert!(
+                folio.winner.is_some(),
+                "{mm}: someone must win a solvable race"
+            );
+            assert_eq!(folio.members.len(), 4);
+        }
+    }
+
+    #[test]
+    fn portfolio_proves_safety() {
+        let base = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        let folio = verify_portfolio(&locked(), &PortfolioOptions::new(base));
+        assert_eq!(folio.verdict(), Verdict::Safe);
+        let winner = folio.winner.as_deref().expect("definitive verdict");
+        assert!(folio.members.iter().any(|m| m.name == winner));
+    }
+
+    #[test]
+    fn exhausted_members_report_unknown_without_winner() {
+        // A 0-conflict budget exhausts every member deterministically.
+        let mut base = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        base.max_conflicts = Some(0);
+        let folio = verify_portfolio(&locked(), &PortfolioOptions::new(base));
+        assert_eq!(folio.verdict(), Verdict::Unknown);
+        assert!(folio.winner.is_none());
+        assert!(folio.cancel_latency.is_none());
+        assert!(folio
+            .members
+            .iter()
+            .all(|m| m.verdict == Verdict::Unknown && !m.cancelled));
+    }
+
+    #[test]
+    fn external_token_stops_the_whole_portfolio() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut base = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        base.cancel = Some(token);
+        let folio = verify_portfolio(&racy(), &PortfolioOptions::new(base));
+        // Pre-tripped external token: the internal token is tripped on the
+        // first poll, so no member may report a definitive verdict late
+        // enough to matter; either outcome must still be consistent.
+        if folio.winner.is_none() {
+            assert_eq!(folio.verdict(), Verdict::Unknown);
+        }
+    }
+
+    #[test]
+    fn single_member_portfolio_degenerates_to_plain_verify() {
+        let base = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        let opts = PortfolioOptions {
+            base: base.clone(),
+            members: vec![PortfolioMember::new(Strategy::Zpre, base.seed)],
+        };
+        let folio = verify_portfolio(&racy(), &opts);
+        let single = crate::verifier::verify(&racy(), &base);
+        assert_eq!(folio.verdict(), single.verdict);
+        assert_eq!(folio.winner.as_deref(), Some(Strategy::Zpre.name()));
+    }
+}

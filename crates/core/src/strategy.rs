@@ -77,9 +77,9 @@ impl Strategy {
                 external_first: true,
                 more_writes_first: false,
             },
-            Strategy::Zpre
-            | Strategy::ZpreFixedTrue
-            | Strategy::ZpreNoReverseProp => Refinements::all(),
+            Strategy::Zpre | Strategy::ZpreFixedTrue | Strategy::ZpreNoReverseProp => {
+                Refinements::all()
+            }
             Strategy::Baseline | Strategy::BranchCond => Refinements::none(),
         }
     }

@@ -47,7 +47,11 @@ impl fmt::Display for Trace {
                 .reads_from
                 .map(|w| format!("  [rf: e{w}]"))
                 .unwrap_or_default();
-            writeln!(f, "  {:>3}. [{}] {}{}", s.clock, s.thread_name, s.action, rf)?;
+            writeln!(
+                f,
+                "  {:>3}. [{}] {}{}",
+                s.clock, s.thread_name, s.action, rf
+            )?;
         }
         Ok(())
     }
@@ -108,28 +112,26 @@ pub(crate) fn extract_trace(
         .map(|e| {
             let var_name = |v: usize| ssa.shared_names[v].clone();
             let (action, reads_from) = match &e.kind {
-                EventKind::Write { var, .. } => {
-                    (format!("W {} = {}", var_name(*var), event_value(e.id)), None)
-                }
+                EventKind::Write { var, .. } => (
+                    format!("W {} = {}", var_name(*var), event_value(e.id)),
+                    None,
+                ),
                 EventKind::Read { var, .. } => {
                     let rf = enc
                         .rf_vars
                         .iter()
-                        .find(|rf| {
-                            rf.read == e.id && solver.model_var_value(rf.var).is_true()
-                        })
+                        .find(|rf| rf.read == e.id && solver.model_var_value(rf.var).is_true())
                         .map(|rf| rf.write);
-                    (
-                        format!("R {} -> {}", var_name(*var), event_value(e.id)),
-                        rf,
-                    )
+                    (format!("R {} -> {}", var_name(*var), event_value(e.id)), rf)
                 }
                 EventKind::Lock { mutex } => (format!("lock(m{mutex})"), None),
                 EventKind::Unlock { mutex } => (format!("unlock(m{mutex})"), None),
                 EventKind::Fence => ("fence".to_string(), None),
                 EventKind::AtomicBegin { .. } => ("atomic_begin".to_string(), None),
                 EventKind::AtomicEnd { .. } => ("atomic_end".to_string(), None),
-                EventKind::Spawn { child } => (format!("spawn({})", ssa.thread_names[*child]), None),
+                EventKind::Spawn { child } => {
+                    (format!("spawn({})", ssa.thread_names[*child]), None)
+                }
                 EventKind::Join { child } => (format!("join({})", ssa.thread_names[*child]), None),
             };
             TraceStep {
@@ -154,8 +156,7 @@ fn kahn_clocks_stable(n: usize, edges: &[(usize, usize)]) -> Option<Vec<u32>> {
         adj[a].push(b);
         indeg[b] += 1;
     }
-    let mut ready: std::collections::BTreeSet<usize> =
-        (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut ready: std::collections::BTreeSet<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
     let mut clocks = vec![0u32; n];
     let mut tick = 0u32;
     let mut seen = 0usize;
@@ -176,7 +177,7 @@ fn kahn_clocks_stable(n: usize, edges: &[(usize, usize)]) -> Option<Vec<u32>> {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{verify, Strategy, Verdict, VerifyOptions};
     use zpre_prog::build::*;
 

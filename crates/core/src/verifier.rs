@@ -15,7 +15,7 @@ use zpre_bv::{lits_to_u64, TermKind};
 use zpre_encoder::{encode, po_pairs, Encoded};
 use zpre_prog::ssa::EventKind;
 use zpre_prog::{to_ssa, unroll_program, MemoryModel, Program, SsaProgram};
-use zpre_sat::{Budget, PriorityListGuide, SolveResult, Solver, Stats};
+use zpre_sat::{Budget, CancelToken, PriorityListGuide, SolveResult, Solver, Stats};
 use zpre_smt::{ClassCounts, OrderTheory, VarKind};
 
 /// Verification verdict.
@@ -60,6 +60,10 @@ pub struct VerifyOptions {
     pub validate_models: bool,
     /// Extract a readable counterexample trace on `Unsafe` answers.
     pub want_trace: bool,
+    /// Shared cooperative-cancellation token: tripping it makes the solve
+    /// return [`Verdict::Unknown`] within a bounded work stride. This is
+    /// how [`crate::portfolio`] stops losing strategies.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for VerifyOptions {
@@ -73,6 +77,7 @@ impl Default for VerifyOptions {
             seed: 0xC0FFEE,
             validate_models: true,
             want_trace: false,
+            cancel: None,
         }
     }
 }
@@ -80,7 +85,11 @@ impl Default for VerifyOptions {
 impl VerifyOptions {
     /// Convenience constructor.
     pub fn new(mm: MemoryModel, strategy: Strategy) -> VerifyOptions {
-        VerifyOptions { mm, strategy, ..VerifyOptions::default() }
+        VerifyOptions {
+            mm,
+            strategy,
+            ..VerifyOptions::default()
+        }
     }
 }
 
@@ -147,7 +156,11 @@ fn verify_ssa_timed(ssa: &SsaProgram, opts: &VerifyOptions, t0: Instant) -> Veri
         guide = guide.with_fixed_polarity(true);
     }
     solver.guide = guide;
-    solver.set_budget(Budget::with_limits(opts.max_conflicts, opts.timeout));
+    let mut budget = Budget::with_limits(opts.max_conflicts, opts.timeout);
+    if let Some(token) = &opts.cancel {
+        budget = budget.with_cancel(token.clone());
+    }
+    solver.set_budget(budget);
 
     let encode_time = t0.elapsed();
     let t1 = Instant::now();
@@ -262,7 +275,10 @@ fn validate_model(
                 ));
             }
             if clocks[w] >= clocks[e.id] {
-                return Err(format!("read-from order violated: write {w} after read {}", e.id));
+                return Err(format!(
+                    "read-from order violated: write {w} after read {}",
+                    e.id
+                ));
             }
             // From-read: no other executed write to the same variable
             // between the write and the read.
@@ -422,10 +438,16 @@ mod tests {
 
     #[test]
     fn guided_decisions_are_counted() {
-        let out = verify(&racy(), &VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre));
+        let out = verify(
+            &racy(),
+            &VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre),
+        );
         // The guide must actually have driven decisions.
         assert!(out.stats.guided_decisions > 0);
-        let base = verify(&racy(), &VerifyOptions::new(MemoryModel::Sc, Strategy::Baseline));
+        let base = verify(
+            &racy(),
+            &VerifyOptions::new(MemoryModel::Sc, Strategy::Baseline),
+        );
         assert_eq!(base.stats.guided_decisions, 0);
     }
 
@@ -439,7 +461,10 @@ mod tests {
 
     #[test]
     fn outcome_carries_instance_metrics() {
-        let out = verify(&racy(), &VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre));
+        let out = verify(
+            &racy(),
+            &VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre),
+        );
         assert!(out.num_events > 0);
         assert!(out.class_counts.rf > 0);
         assert!(out.class_counts.ws > 0);

@@ -90,7 +90,8 @@ struct RegSink<'a, G: DecisionGuide> {
 impl<G: DecisionGuide> ClauseSink for RegSink<'_, G> {
     fn new_aux_var(&mut self) -> Var {
         let v = self.solver.new_var();
-        self.registry.register(v, VarKind::Ssa, format!("aux{}", v.index()));
+        self.registry
+            .register(v, VarKind::Ssa, format!("aux{}", v.index()));
         v
     }
     fn new_input_var(&mut self, name: &str) -> Var {
@@ -116,19 +117,24 @@ pub fn encode<G: DecisionGuide>(
     let ts = &ssa.store;
 
     // --- EOG nodes (one per event) and Φ_po -------------------------------
-    let event_nodes: Vec<NodeId> = ssa.events.iter().map(|_| solver.theory.add_node()).collect();
+    let event_nodes: Vec<NodeId> = ssa
+        .events
+        .iter()
+        .map(|_| solver.theory.add_node())
+        .collect();
     let pairs = po_pairs(ssa, mm);
     for &(a, b) in &pairs {
-        let ok = solver
-            .theory
-            .add_fixed_edge(event_nodes[a], event_nodes[b]);
+        let ok = solver.theory.add_fixed_edge(event_nodes[a], event_nodes[b]);
         assert!(ok, "program order must be acyclic");
     }
     let closure = PoClosure::new(ssa.events.len(), &pairs);
 
     // --- Φ_ssa -------------------------------------------------------------
     {
-        let mut sink = RegSink { solver, registry: &mut registry };
+        let mut sink = RegSink {
+            solver,
+            registry: &mut registry,
+        };
         for &cst in &ssa.constraints {
             blaster.assert_true(ts, cst, &mut sink);
         }
@@ -136,7 +142,10 @@ pub fn encode<G: DecisionGuide>(
 
     // --- Event guards ------------------------------------------------------
     let guard_lits: Vec<Lit> = {
-        let mut sink = RegSink { solver, registry: &mut registry };
+        let mut sink = RegSink {
+            solver,
+            registry: &mut registry,
+        };
         ssa.events
             .iter()
             .map(|e| blaster.blast_bool(ts, e.guard, &mut sink))
@@ -154,7 +163,10 @@ pub fn encode<G: DecisionGuide>(
             err = ts2.or(err, violated);
         }
         let trivially_safe = matches!(ts2.kind(err), TermKind::BoolConst(false));
-        let mut sink = RegSink { solver, registry: &mut registry };
+        let mut sink = RegSink {
+            solver,
+            registry: &mut registry,
+        };
         let lit = blaster.blast_bool(&ts2, err, &mut sink);
         sink.add_clause_sink(&[lit]);
         (lit, trivially_safe)
@@ -163,19 +175,24 @@ pub fn encode<G: DecisionGuide>(
     // --- Ordering-atom cache (V_ord) ----------------------------------------
     // One two-sided atom per unordered node pair; `lit` means a→b.
     let mut ord_cache: HashMap<(usize, usize), Lit> = HashMap::new();
-    let mut get_ord =
-        |a: usize, b: usize, solver: &mut Solver<OrderTheory, G>, registry: &mut VarRegistry| -> Lit {
-            if let Some(&l) = ord_cache.get(&(a, b)) {
-                return l;
-            }
-            let v = solver.new_var();
-            registry.register(v, VarKind::Ord, format!("ord_{a}_{b}"));
-            solver.theory.register_atom(v, NodeId(a as u32), NodeId(b as u32));
-            solver.mark_theory_var(v);
-            ord_cache.insert((a, b), v.positive());
-            ord_cache.insert((b, a), v.negative());
-            v.positive()
-        };
+    let mut get_ord = |a: usize,
+                       b: usize,
+                       solver: &mut Solver<OrderTheory, G>,
+                       registry: &mut VarRegistry|
+     -> Lit {
+        if let Some(&l) = ord_cache.get(&(a, b)) {
+            return l;
+        }
+        let v = solver.new_var();
+        registry.register(v, VarKind::Ord, format!("ord_{a}_{b}"));
+        solver
+            .theory
+            .register_atom(v, NodeId(a as u32), NodeId(b as u32));
+        solver.mark_theory_var(v);
+        ord_cache.insert((a, b), v.positive());
+        ord_cache.insert((b, a), v.negative());
+        v.positive()
+    };
 
     // --- Reads, writes per shared variable ----------------------------------
     let analysis = access_analysis(ssa, &closure);
@@ -203,13 +220,19 @@ pub fn encode<G: DecisionGuide>(
                 let var = solver.new_var();
                 registry.register(
                     var,
-                    VarKind::Rf { external: wev.thread != rev.thread, writes },
+                    VarKind::Rf {
+                        external: wev.thread != rev.thread,
+                        writes,
+                    },
                     rf_name(rev.thread, rev.pos, wev.thread, wev.pos),
                 );
                 let f = var.positive();
                 // rf → (value_r = value_w)
                 {
-                    let mut sink = RegSink { solver, registry: &mut registry };
+                    let mut sink = RegSink {
+                        solver,
+                        registry: &mut registry,
+                    };
                     blaster.assert_implies_eq(ts, &[f], value_of(r), value_of(w), &mut sink);
                 }
                 // rf → clk(w) < clk(r)   (skip when program order already
@@ -221,7 +244,11 @@ pub fn encode<G: DecisionGuide>(
                 // rf → guard(w)
                 solver.add_clause(&[!f, guard_lits[w]]);
                 rf_of_read[r].push(rf_vars.len());
-                rf_vars.push(RfVar { var, read: r, write: w });
+                rf_vars.push(RfVar {
+                    var,
+                    read: r,
+                    write: w,
+                });
                 some_clause.push(f);
             }
             // Φ_rf_some: an executed read takes its value from some write.
@@ -251,7 +278,11 @@ pub fn encode<G: DecisionGuide>(
                 solver.mark_theory_var(var);
                 ws_lit.insert((w1, w2), var.positive());
                 ws_lit.insert((w2, w1), var.negative());
-                ws_vars.push(WsVar { var, first: w1, second: w2 });
+                ws_vars.push(WsVar {
+                    var,
+                    first: w1,
+                    second: w2,
+                });
             }
         }
     }
@@ -303,7 +334,12 @@ pub fn encode<G: DecisionGuide>(
                             .pop()
                             .expect("unlock without lock in SSA event stream");
                         critical_sections.push((t, mutex, lock, e.id));
-                        sections.push(Cs { thread: t, mutex, lock, unlock: e.id });
+                        sections.push(Cs {
+                            thread: t,
+                            mutex,
+                            lock,
+                            unlock: e.id,
+                        });
                     }
                     _ => {}
                 }
@@ -401,9 +437,8 @@ pub fn access_analysis(ssa: &SsaProgram, closure: &PoClosure) -> AccessAnalysis 
             _ => {}
         }
     }
-    let always_true_guard = |eid: usize| {
-        matches!(ts.kind(ssa.events[eid].guard), TermKind::BoolConst(true))
-    };
+    let always_true_guard =
+        |eid: usize| matches!(ts.kind(ssa.events[eid].guard), TermKind::BoolConst(true));
     let mut candidates: Vec<Vec<usize>> = vec![Vec::new(); ssa.events.len()];
     for (v, reads) in reads_of.iter().enumerate() {
         for &r in reads {
@@ -422,7 +457,11 @@ pub fn access_analysis(ssa: &SsaProgram, closure: &PoClosure) -> AccessAnalysis 
                 .collect();
         }
     }
-    AccessAnalysis { writes_of, reads_of, candidates }
+    AccessAnalysis {
+        writes_of,
+        reads_of,
+        candidates,
+    }
 }
 
 #[cfg(test)]
@@ -439,8 +478,14 @@ mod tests {
             .shared("y", 0)
             .shared("m", 0)
             .shared("n", 0)
-            .thread("t1", vec![assign("x", add(v("y"), c(1))), assign("m", v("y"))])
-            .thread("t2", vec![assign("y", add(v("x"), c(1))), assign("n", v("x"))])
+            .thread(
+                "t1",
+                vec![assign("x", add(v("y"), c(1))), assign("m", v("y"))],
+            )
+            .thread(
+                "t2",
+                vec![assign("y", add(v("x"), c(1))), assign("n", v("x"))],
+            )
             .main(vec![
                 spawn(1),
                 spawn(2),
@@ -473,7 +518,13 @@ mod tests {
         let mut solver: Solver<OrderTheory, NoGuide> =
             Solver::with_parts(OrderTheory::new(), NoGuide);
         let enc = encode(&ssa, MemoryModel::Sc, &mut solver);
-        let ClassCounts { ssa: nssa, ord, rf, ws, .. } = enc.registry.class_counts();
+        let ClassCounts {
+            ssa: nssa,
+            ord,
+            rf,
+            ws,
+            ..
+        } = enc.registry.class_counts();
         assert!(nssa > 0, "ssa vars");
         assert!(ord > 0, "ord vars");
         assert!(rf > 0, "rf vars");
@@ -546,7 +597,10 @@ mod tests {
     /// Atomic-section counter: UNSAT (safe) everywhere.
     #[test]
     fn atomic_counter_safe() {
-        let inc = atomic(vec![assign("r", v("cnt")), assign("cnt", add(v("r"), c(1)))]);
+        let inc = atomic(vec![
+            assign("r", v("cnt")),
+            assign("cnt", add(v("r"), c(1))),
+        ]);
         let p = ProgramBuilder::new("atomic")
             .shared("cnt", 0)
             .thread("w1", inc.clone())
@@ -609,7 +663,10 @@ mod tests {
             .shared("flag", 0)
             .shared("seen", 0)
             .shared("val", 0)
-            .thread("producer", vec![assign("data", c(42)), assign("flag", c(1))])
+            .thread(
+                "producer",
+                vec![assign("data", c(42)), assign("flag", c(1))],
+            )
             .thread(
                 "consumer",
                 vec![assign("seen", v("flag")), assign("val", v("data"))],

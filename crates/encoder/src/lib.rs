@@ -22,5 +22,5 @@ pub mod memory_model;
 pub mod smtlib;
 
 pub use encode::{access_analysis, encode, AccessAnalysis, Encoded, RfVar, WsVar};
-pub use smtlib::dump_smtlib;
 pub use memory_model::{po_pairs, preserved, PoClosure};
+pub use smtlib::dump_smtlib;

@@ -199,7 +199,7 @@ mod tests {
     fn tso_relaxes_write_read_different_var() {
         let ssa = to_ssa(&prog());
         let evs = t1_events(&ssa); // [W x, R y, W z, R x]
-        // W x → R y : different vars, relaxed.
+                                   // W x → R y : different vars, relaxed.
         assert!(!preserved(MemoryModel::Tso, &evs[0], &evs[1]));
         // W x → W z : write-write, kept under TSO.
         assert!(preserved(MemoryModel::Tso, &evs[0], &evs[2]));
@@ -234,8 +234,8 @@ mod tests {
         let evs: Vec<_> = ssa.thread_events(1).cloned().collect(); // W x, F, R y
         assert!(preserved(MemoryModel::Pso, &evs[0], &evs[1])); // W→fence
         assert!(preserved(MemoryModel::Pso, &evs[1], &evs[2])); // fence→R
-        // The relaxed pair W x → R y is restored via the fence *path*; the
-        // direct pair stays relaxed (path transitivity covers it).
+                                                                // The relaxed pair W x → R y is restored via the fence *path*; the
+                                                                // direct pair stays relaxed (path transitivity covers it).
         assert!(!preserved(MemoryModel::Pso, &evs[0], &evs[2]));
         // Closure sees the path.
         let pairs = po_pairs(&ssa, MemoryModel::Pso);

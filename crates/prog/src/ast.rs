@@ -213,10 +213,9 @@ impl Program {
                             spawns[*i] += 1;
                         }
                     }
-                    Stmt::Lock(m) | Stmt::Unlock(m)
-                        if prog.mutex_index(m).is_none() => {
-                            return Err(ValidationError::UnknownMutex(m.clone()));
-                        }
+                    Stmt::Lock(m) | Stmt::Unlock(m) if prog.mutex_index(m).is_none() => {
+                        return Err(ValidationError::UnknownMutex(m.clone()));
+                    }
                     Stmt::If(_, t, e) => {
                         walk(t, prog, false, spawns)?;
                         walk(e, prog, false, spawns)?;
@@ -410,7 +409,10 @@ pub mod build {
                     word_width: 8,
                     shared: Vec::new(),
                     mutexes: Vec::new(),
-                    threads: vec![Thread { name: "main".to_string(), body: Vec::new() }],
+                    threads: vec![Thread {
+                        name: "main".to_string(),
+                        body: Vec::new(),
+                    }],
                 },
             }
         }
@@ -435,7 +437,10 @@ pub mod build {
 
         /// Adds a worker thread, returning its index for `spawn`/`join`.
         pub fn thread(mut self, name: &str, body: Vec<Stmt>) -> Self {
-            self.prog.threads.push(Thread { name: name.to_string(), body });
+            self.prog.threads.push(Thread {
+                name: name.to_string(),
+                body,
+            });
             self
         }
 
@@ -475,8 +480,14 @@ mod tests {
         ProgramBuilder::new("example")
             .shared("x", 0)
             .shared("y", 0)
-            .thread("t1", vec![assign("x", add(v("y"), c(1))), assign("m", v("y"))])
-            .thread("t2", vec![assign("y", add(v("x"), c(1))), assign("n", v("x"))])
+            .thread(
+                "t1",
+                vec![assign("x", add(v("y"), c(1))), assign("m", v("y"))],
+            )
+            .thread(
+                "t2",
+                vec![assign("y", add(v("x"), c(1))), assign("n", v("x"))],
+            )
             .main(vec![
                 spawn(1),
                 spawn(2),
@@ -502,9 +513,7 @@ mod tests {
 
     #[test]
     fn bad_thread_ref_rejected() {
-        let p = ProgramBuilder::new("bad")
-            .main(vec![spawn(3)])
-            .build();
+        let p = ProgramBuilder::new("bad").main(vec![spawn(3)]).build();
         assert_eq!(p.validate(), Err(ValidationError::BadThreadRef(3)));
     }
 
@@ -521,7 +530,10 @@ mod tests {
         let p = ProgramBuilder::new("bad")
             .thread("t", vec![lock("m")])
             .build();
-        assert_eq!(p.validate(), Err(ValidationError::UnknownMutex("m".to_string())));
+        assert_eq!(
+            p.validate(),
+            Err(ValidationError::UnknownMutex("m".to_string()))
+        );
     }
 
     #[test]
@@ -530,7 +542,10 @@ mod tests {
             .shared("x", 0)
             .shared("x", 1)
             .build();
-        assert_eq!(p.validate(), Err(ValidationError::DuplicateShared("x".to_string())));
+        assert_eq!(
+            p.validate(),
+            Err(ValidationError::DuplicateShared("x".to_string()))
+        );
     }
 
     #[test]
@@ -558,9 +573,10 @@ mod tests {
     fn has_loops_detection() {
         let mut p = two_thread_prog();
         assert!(!p.has_loops());
-        p.threads[1]
-            .body
-            .push(while_(lt(v("x"), c(3)), vec![assign("x", add(v("x"), c(1)))]));
+        p.threads[1].body.push(while_(
+            lt(v("x"), c(3)),
+            vec![assign("x", add(v("x"), c(1)))],
+        ));
         assert!(p.has_loops());
     }
 }

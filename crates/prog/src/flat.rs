@@ -104,14 +104,24 @@ pub struct FlatProgram {
 /// Lowers a loop-free program. Panics on loops — call
 /// [`crate::unroll::unroll_program`] first.
 pub fn flatten(prog: &Program) -> FlatProgram {
-    assert!(!prog.has_loops(), "flatten requires a loop-free (unrolled) program");
+    assert!(
+        !prog.has_loops(),
+        "flatten requires a loop-free (unrolled) program"
+    );
     let threads = prog
         .threads
         .iter()
         .map(|t| {
-            let mut lw = Lowerer { prog, code: Vec::new(), tmp: 0 };
+            let mut lw = Lowerer {
+                prog,
+                code: Vec::new(),
+                tmp: 0,
+            };
             lw.stmts(&t.body);
-            FlatThread { name: t.name.clone(), code: lw.code }
+            FlatThread {
+                name: t.name.clone(),
+                code: lw.code,
+            }
         })
         .collect();
     FlatProgram {
@@ -147,13 +157,19 @@ impl Lowerer<'_> {
                 let val = self.int(e);
                 match self.prog.shared_index(x) {
                     Some(var) => self.code.push(Instr::StoreShared { var, val }),
-                    None => self.code.push(Instr::AssignLocal { dst: x.clone(), val }),
+                    None => self.code.push(Instr::AssignLocal {
+                        dst: x.clone(),
+                        val,
+                    }),
                 }
             }
             Stmt::If(c, t, e) => {
                 let cond = self.bool(c);
                 let jmp_at = self.code.len();
-                self.code.push(Instr::JmpIfFalse { cond, target: usize::MAX });
+                self.code.push(Instr::JmpIfFalse {
+                    cond,
+                    target: usize::MAX,
+                });
                 self.stmts(t);
                 if e.is_empty() {
                     let end = self.code.len();
@@ -208,7 +224,10 @@ impl Lowerer<'_> {
             IntExpr::Var(x) => match self.prog.shared_index(x) {
                 Some(var) => {
                     let dst = self.fresh();
-                    self.code.push(Instr::LoadShared { dst: dst.clone(), var });
+                    self.code.push(Instr::LoadShared {
+                        dst: dst.clone(),
+                        var,
+                    });
                     IntExpr::Var(dst)
                 }
                 None => IntExpr::Var(x.clone()),
@@ -242,15 +261,10 @@ impl Lowerer<'_> {
             BoolExpr::Nondet(name) => {
                 let dst = format!("%nb_{name}");
                 self.code.push(Instr::HavocBool { dst: dst.clone() });
-                BoolExpr::Ne(
-                    Box::new(IntExpr::Var(dst)),
-                    Box::new(IntExpr::Const(0)),
-                )
+                BoolExpr::Ne(Box::new(IntExpr::Var(dst)), Box::new(IntExpr::Const(0)))
             }
             BoolExpr::Not(a) => BoolExpr::Not(Box::new(self.bool(a))),
-            BoolExpr::And(a, b) => {
-                BoolExpr::And(Box::new(self.bool(a)), Box::new(self.bool(b)))
-            }
+            BoolExpr::And(a, b) => BoolExpr::And(Box::new(self.bool(a)), Box::new(self.bool(b))),
             BoolExpr::Or(a, b) => BoolExpr::Or(Box::new(self.bool(a)), Box::new(self.bool(b))),
             BoolExpr::Eq(a, b) => cmp(self.int(a), self.int(b), BoolExpr::Eq),
             BoolExpr::Ne(a, b) => cmp(self.int(a), self.int(b), BoolExpr::Ne),
@@ -262,19 +276,11 @@ impl Lowerer<'_> {
     }
 }
 
-fn bin(
-    a: IntExpr,
-    b: IntExpr,
-    f: fn(Box<IntExpr>, Box<IntExpr>) -> IntExpr,
-) -> IntExpr {
+fn bin(a: IntExpr, b: IntExpr, f: fn(Box<IntExpr>, Box<IntExpr>) -> IntExpr) -> IntExpr {
     f(Box::new(a), Box::new(b))
 }
 
-fn cmp(
-    a: IntExpr,
-    b: IntExpr,
-    f: fn(Box<IntExpr>, Box<IntExpr>) -> BoolExpr,
-) -> BoolExpr {
+fn cmp(a: IntExpr, b: IntExpr, f: fn(Box<IntExpr>, Box<IntExpr>) -> BoolExpr) -> BoolExpr {
     f(Box::new(a), Box::new(b))
 }
 
@@ -354,7 +360,13 @@ mod tests {
     fn if_without_else_falls_through() {
         let p = ProgramBuilder::new("p")
             .shared("x", 0)
-            .thread("t", vec![when(eq(v("x"), c(0)), vec![assign("a", c(1))]), assign("b", c(2))])
+            .thread(
+                "t",
+                vec![
+                    when(eq(v("x"), c(0)), vec![assign("a", c(1))]),
+                    assign("b", c(2)),
+                ],
+            )
             .build();
         let fp = flatten(&p);
         let code = &fp.threads[1].code;
@@ -368,7 +380,10 @@ mod tests {
     fn nondets_become_havocs() {
         let p = ProgramBuilder::new("p")
             .shared("x", 0)
-            .thread("t", vec![assign("x", nondet("n1")), assume(nondet_bool("c1"))])
+            .thread(
+                "t",
+                vec![assign("x", nondet("n1")), assume(nondet_bool("c1"))],
+            )
             .build();
         let fp = flatten(&p);
         let code = &fp.threads[1].code;
@@ -383,7 +398,13 @@ mod tests {
     fn flatten_rejects_loops() {
         let p = ProgramBuilder::new("p")
             .shared("x", 0)
-            .thread("t", vec![while_(lt(v("x"), c(3)), vec![assign("x", add(v("x"), c(1)))])])
+            .thread(
+                "t",
+                vec![while_(
+                    lt(v("x"), c(3)),
+                    vec![assign("x", add(v("x"), c(1)))],
+                )],
+            )
             .build();
         let _ = flatten(&p);
     }
@@ -393,10 +414,7 @@ mod tests {
         let p = ProgramBuilder::new("p")
             .shared("x", 0)
             .shared("y", 0)
-            .thread(
-                "t",
-                vec![if_(eq(v("x"), v("y")), vec![], vec![])],
-            )
+            .thread("t", vec![if_(eq(v("x"), v("y")), vec![], vec![])])
             .build();
         let fp = flatten(&p);
         let code = &fp.threads[1].code;

@@ -32,7 +32,10 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Limits {
-        Limits { max_states: 2_000_000, max_havoc_width: 4 }
+        Limits {
+            max_states: 2_000_000,
+            max_havoc_width: 4,
+        }
     }
 }
 
@@ -54,9 +57,15 @@ pub(crate) fn eval_int(e: &IntExpr, locals: &BTreeMap<String, u64>, width: u32) 
         IntExpr::Const(v) => mask(*v),
         IntExpr::Var(x) => *locals.get(x).unwrap_or(&0),
         IntExpr::Nondet(n) => panic!("nondet {n:?} survived lowering"),
-        IntExpr::Add(a, b) => mask(eval_int(a, locals, width).wrapping_add(eval_int(b, locals, width))),
-        IntExpr::Sub(a, b) => mask(eval_int(a, locals, width).wrapping_sub(eval_int(b, locals, width))),
-        IntExpr::Mul(a, b) => mask(eval_int(a, locals, width).wrapping_mul(eval_int(b, locals, width))),
+        IntExpr::Add(a, b) => {
+            mask(eval_int(a, locals, width).wrapping_add(eval_int(b, locals, width)))
+        }
+        IntExpr::Sub(a, b) => {
+            mask(eval_int(a, locals, width).wrapping_sub(eval_int(b, locals, width)))
+        }
+        IntExpr::Mul(a, b) => {
+            mask(eval_int(a, locals, width).wrapping_mul(eval_int(b, locals, width)))
+        }
         IntExpr::BitAnd(a, b) => eval_int(a, locals, width) & eval_int(b, locals, width),
         IntExpr::BitOr(a, b) => eval_int(a, locals, width) | eval_int(b, locals, width),
         IntExpr::BitXor(a, b) => eval_int(a, locals, width) ^ eval_int(b, locals, width),
@@ -303,8 +312,14 @@ mod tests {
             .shared("y", 0)
             .shared("m", 0)
             .shared("n", 0)
-            .thread("t1", vec![assign("x", add(v("y"), c(1))), assign("m", v("y"))])
-            .thread("t2", vec![assign("y", add(v("x"), c(1))), assign("n", v("x"))])
+            .thread(
+                "t1",
+                vec![assign("x", add(v("y"), c(1))), assign("m", v("y"))],
+            )
+            .thread(
+                "t2",
+                vec![assign("y", add(v("x"), c(1))), assign("n", v("x"))],
+            )
             .main(vec![
                 spawn(1),
                 spawn(2),
@@ -471,6 +486,9 @@ mod tests {
             .build();
         // width 8 > max_havoc_width 4
         let u = unroll_program(&p, 1);
-        assert_eq!(check_sc(&flatten(&u), Limits::default()), Outcome::ResourceLimit);
+        assert_eq!(
+            check_sc(&flatten(&u), Limits::default()),
+            Outcome::ResourceLimit
+        );
     }
 }

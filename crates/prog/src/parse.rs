@@ -131,7 +131,10 @@ impl Lexer {
     fn line(&self) -> usize {
         // Errors are raised right after consuming (or failing to consume)
         // a token, so the previous position names the offending line.
-        let at = self.pos.saturating_sub(1).min(self.toks.len().saturating_sub(1));
+        let at = self
+            .pos
+            .saturating_sub(1)
+            .min(self.toks.len().saturating_sub(1));
         self.toks.get(at).map_or(0, |&(_, l)| l)
     }
 
@@ -142,7 +145,10 @@ impl Lexer {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: message.into() }
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn eat_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
@@ -213,7 +219,10 @@ enum RawStmt {
 
 /// Parses a whole program from source text.
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
-    let mut lx = Lexer { toks: lex(src)?, pos: 0 };
+    let mut lx = Lexer {
+        toks: lex(src)?,
+        pos: 0,
+    };
     let mut width = 8u32;
     let mut shared: Vec<(String, u64)> = Vec::new();
     let mut mutexes: Vec<String> = Vec::new();
@@ -258,7 +267,10 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     }
 
     if raw_threads.is_empty() {
-        return Err(ParseError { line: 0, message: "program has no threads".into() });
+        return Err(ParseError {
+            line: 0,
+            message: "program has no threads".into(),
+        });
     }
     // `main` first (if present).
     if let Some(main_at) = raw_threads.iter().position(|(n, _)| n == "main") {
@@ -276,15 +288,27 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
                 }
             }
         }
-        Err(ParseError { line, message: format!("unknown thread {target:?}") })
+        Err(ParseError {
+            line,
+            message: format!("unknown thread {target:?}"),
+        })
     };
 
     let mut threads = Vec::new();
     for (name, raw) in &raw_threads {
         let body = lower_stmts(raw, &resolve)?;
-        threads.push(Thread { name: name.clone(), body });
+        threads.push(Thread {
+            name: name.clone(),
+            body,
+        });
     }
-    let program = Program { name: "parsed".to_string(), word_width: width, shared, mutexes, threads };
+    let program = Program {
+        name: "parsed".to_string(),
+        word_width: width,
+        shared,
+        mutexes,
+        threads,
+    };
     Ok(program)
 }
 
@@ -476,9 +500,7 @@ fn parse_shift(lx: &mut Lexer) -> Result<UExpr, ParseError> {
         };
         match lx.next() {
             Some(Tok::Int(by)) => left = UExpr::Shift(op, left.into(), by as u32),
-            other => {
-                return Err(lx.err(format!("shift amount must be a constant, got {other:?}")))
-            }
+            other => return Err(lx.err(format!("shift amount must be a constant, got {other:?}"))),
         }
     }
     Ok(left)
@@ -574,7 +596,10 @@ fn lower_stmt(
 }
 
 fn type_err(msg: &str) -> ParseError {
-    ParseError { line: 0, message: msg.to_string() }
+    ParseError {
+        line: 0,
+        message: msg.to_string(),
+    }
 }
 
 fn as_int(e: &UExpr) -> Result<IntExpr, ParseError> {
@@ -748,7 +773,11 @@ mod tests {
                 "t1",
                 vec![
                     lock("m"),
-                    if_(lt(v("x"), c(3)), vec![assign("x", add(v("x"), c(1)))], vec![assign("y", c(0))]),
+                    if_(
+                        lt(v("x"), c(3)),
+                        vec![assign("x", add(v("x"), c(1)))],
+                        vec![assign("y", c(0))],
+                    ),
                     unlock("m"),
                 ],
             )

@@ -85,10 +85,18 @@ fn write_stmt(out: &mut String, s: &Stmt, level: usize, names: &[&str]) {
             let _ = writeln!(out, "atomic_end();");
         }
         Stmt::Spawn(i) => {
-            let _ = writeln!(out, "spawn({});", names.get(*i).copied().unwrap_or("thread_?"));
+            let _ = writeln!(
+                out,
+                "spawn({});",
+                names.get(*i).copied().unwrap_or("thread_?")
+            );
         }
         Stmt::Join(i) => {
-            let _ = writeln!(out, "join({});", names.get(*i).copied().unwrap_or("thread_?"));
+            let _ = writeln!(
+                out,
+                "join({});",
+                names.get(*i).copied().unwrap_or("thread_?")
+            );
         }
         Stmt::Skip => {
             let _ = writeln!(out, ";");

@@ -176,7 +176,14 @@ pub fn to_ssa(prog: &Program) -> SsaProgram {
         let wvar = cx.fresh_value(name, 0);
         let def = cx.ts.eq(wvar, val);
         cx.constraints.push(def);
-        cx.push_event(0, tru, EventKind::Write { var: i, value: wvar });
+        cx.push_event(
+            0,
+            tru,
+            EventKind::Write {
+                var: i,
+                value: wvar,
+            },
+        );
     }
     for (tid, thread) in prog.threads.iter().enumerate() {
         let mut ex = Exec {
@@ -222,7 +229,13 @@ impl Cx<'_> {
         let id = self.events.len();
         let pos = self.pos[thread];
         self.pos[thread] += 1;
-        self.events.push(Event { id, thread, pos, guard, kind });
+        self.events.push(Event {
+            id,
+            thread,
+            pos,
+            guard,
+            kind,
+        });
         id
     }
 
@@ -325,15 +338,14 @@ impl Exec<'_, '_> {
                     .push_event(self.thread, self.guard, EventKind::Unlock { mutex });
             }
             Stmt::Fence => {
-                self.cx.push_event(self.thread, self.guard, EventKind::Fence);
+                self.cx
+                    .push_event(self.thread, self.guard, EventKind::Fence);
             }
             Stmt::AtomicBegin => {
                 let block = self.cx.atomic_blocks.len();
-                let id = self.cx.push_event(
-                    self.thread,
-                    self.guard,
-                    EventKind::AtomicBegin { block },
-                );
+                let id =
+                    self.cx
+                        .push_event(self.thread, self.guard, EventKind::AtomicBegin { block });
                 self.cx.atomic_blocks.push(AtomicBlock {
                     thread: self.thread,
                     begin: id,
@@ -347,11 +359,9 @@ impl Exec<'_, '_> {
                     .open_atomics
                     .pop()
                     .expect("AtomicEnd without matching AtomicBegin");
-                let id = self.cx.push_event(
-                    self.thread,
-                    self.guard,
-                    EventKind::AtomicEnd { block },
-                );
+                let id =
+                    self.cx
+                        .push_event(self.thread, self.guard, EventKind::AtomicEnd { block });
                 self.cx.atomic_blocks[block].end = id;
             }
             Stmt::Spawn(i) => {
@@ -490,8 +500,14 @@ mod tests {
             .shared("y", 0)
             .shared("m", 0)
             .shared("n", 0)
-            .thread("t1", vec![assign("x", add(v("y"), c(1))), assign("m", v("y"))])
-            .thread("t2", vec![assign("y", add(v("x"), c(1))), assign("n", v("x"))])
+            .thread(
+                "t1",
+                vec![assign("x", add(v("y"), c(1))), assign("m", v("y"))],
+            )
+            .thread(
+                "t2",
+                vec![assign("y", add(v("x"), c(1))), assign("n", v("x"))],
+            )
             .main(vec![
                 spawn(1),
                 spawn(2),
@@ -576,7 +592,11 @@ mod tests {
             .thread(
                 "t",
                 vec![
-                    if_(eq(v("x"), c(0)), vec![assign("a", c(1))], vec![assign("a", c(2))]),
+                    if_(
+                        eq(v("x"), c(0)),
+                        vec![assign("a", c(1))],
+                        vec![assign("a", c(2))],
+                    ),
                     assign("x", v("a")),
                 ],
             )
@@ -595,10 +615,7 @@ mod tests {
         let p = ProgramBuilder::new("a")
             .shared("x", 0)
             .shared("y", 0)
-            .thread(
-                "t",
-                atomic(vec![assign("x", c(1)), assign("r", v("y"))]),
-            )
+            .thread("t", atomic(vec![assign("x", c(1)), assign("r", v("y"))]))
             .build();
         let ssa = to_ssa(&p);
         assert_eq!(ssa.atomic_blocks.len(), 1);
@@ -634,7 +651,10 @@ mod tests {
     fn rejects_loops() {
         let p = ProgramBuilder::new("l")
             .shared("x", 0)
-            .main(vec![while_(lt(v("x"), c(3)), vec![assign("x", add(v("x"), c(1)))])])
+            .main(vec![while_(
+                lt(v("x"), c(3)),
+                vec![assign("x", add(v("x"), c(1)))],
+            )])
             .build();
         let _ = to_ssa(&p);
     }

@@ -28,9 +28,7 @@ fn unroll_stmts(stmts: &[Stmt], bound: u32) -> Vec<Stmt> {
 fn unroll_stmt(stmt: &Stmt, bound: u32) -> Stmt {
     match stmt {
         Stmt::While(c, body) => unroll_loop(c, body, bound),
-        Stmt::If(c, t, e) => {
-            Stmt::If(c.clone(), unroll_stmts(t, bound), unroll_stmts(e, bound))
-        }
+        Stmt::If(c, t, e) => Stmt::If(c.clone(), unroll_stmts(t, bound), unroll_stmts(e, bound)),
         other => other.clone(),
     }
 }
@@ -42,13 +40,17 @@ fn unroll_loop(cond: &BoolExpr, body: &[Stmt], k: u32) -> Stmt {
         return Stmt::Assume(BoolExpr::Not(Box::new(cond.clone())));
     }
     let mut once = unroll_stmts(body, k); // nested loops unroll to the same bound
-    // Each unrolled copy must draw fresh nondeterministic inputs: suffix the
-    // nondet names with the remaining iteration count.
+                                          // Each unrolled copy must draw fresh nondeterministic inputs: suffix the
+                                          // nondet names with the remaining iteration count.
     for s in &mut once {
         rename_nondets_stmt(s, k);
     }
     once.push(unroll_loop(cond, body, k - 1));
-    Stmt::If(cond.clone(), once, vec![Stmt::Assume(BoolExpr::Not(Box::new(cond.clone())))])
+    Stmt::If(
+        cond.clone(),
+        once,
+        vec![Stmt::Assume(BoolExpr::Not(Box::new(cond.clone())))],
+    )
 }
 
 fn rename_nondets_stmt(s: &mut Stmt, k: u32) {
@@ -120,7 +122,10 @@ mod tests {
             mutexes: vec![],
             threads: vec![Thread {
                 name: "main".to_string(),
-                body: vec![while_(lt(v("x"), c(3)), vec![assign("x", add(v("x"), c(1)))])],
+                body: vec![while_(
+                    lt(v("x"), c(3)),
+                    vec![assign("x", add(v("x"), c(1)))],
+                )],
             }],
         }
     }
@@ -138,7 +143,10 @@ mod tests {
     #[test]
     fn zero_bound_is_assumption_only() {
         let u = unroll_program(&counting_loop(), 0);
-        assert!(matches!(&u.threads[0].body[0], Stmt::Assume(BoolExpr::Not(_))));
+        assert!(matches!(
+            &u.threads[0].body[0],
+            Stmt::Assume(BoolExpr::Not(_))
+        ));
     }
 
     #[test]
@@ -184,7 +192,10 @@ mod tests {
                 name: "main".to_string(),
                 body: vec![while_(
                     lt(v("x"), c(2)),
-                    vec![while_(lt(v("y"), c(2)), vec![assign("y", add(v("y"), c(1)))])],
+                    vec![while_(
+                        lt(v("y"), c(2)),
+                        vec![assign("y", add(v("y"), c(1)))],
+                    )],
                 )],
             }],
         };

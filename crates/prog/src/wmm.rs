@@ -75,7 +75,10 @@ struct WState {
 /// Explores all interleavings (including buffer flush steps) of `fp` under
 /// the given weak memory model. Use [`crate::interp::check_sc`] for SC.
 pub fn check_wmm(fp: &FlatProgram, mm: MemoryModel, limits: Limits) -> Outcome {
-    assert!(mm != MemoryModel::Sc, "use check_sc for sequential consistency");
+    assert!(
+        mm != MemoryModel::Sc,
+        "use check_sc for sequential consistency"
+    );
     let nt = fp.threads.len();
     let init = WState {
         pcs: vec![0; nt],
@@ -144,7 +147,9 @@ fn flush_successors(st: &WState, t: usize, mm: MemoryModel) -> Vec<WState> {
             };
             let mut s = st.clone();
             s.fifo_order[t].pop_front();
-            let q = s.buffers[t].get_mut(&var).expect("fifo order tracks buffers");
+            let q = s.buffers[t]
+                .get_mut(&var)
+                .expect("fifo order tracks buffers");
             let val = q.pop_front().expect("fifo order tracks buffers");
             if q.is_empty() {
                 s.buffers[t].remove(&var);
@@ -207,13 +212,7 @@ enum StepResult {
     LimitExceeded,
 }
 
-fn step(
-    fp: &FlatProgram,
-    st: &WState,
-    t: usize,
-    mm: MemoryModel,
-    limits: Limits,
-) -> StepResult {
+fn step(fp: &FlatProgram, st: &WState, t: usize, mm: MemoryModel, limits: Limits) -> StepResult {
     let w = fp.word_width;
     let instr = &fp.threads[t].code[st.pcs[t]];
     let mut next = st.clone();
@@ -375,7 +374,10 @@ mod tests {
             .shared("flag", 0)
             .shared("seen", 0)
             .shared("val", 0)
-            .thread("producer", vec![assign("data", c(42)), assign("flag", c(1))])
+            .thread(
+                "producer",
+                vec![assign("data", c(42)), assign("flag", c(1))],
+            )
             .thread(
                 "consumer",
                 vec![assign("seen", v("flag")), assign("val", v("data"))],

@@ -23,8 +23,11 @@ fn arb_int(depth: u32) -> BoxedStrategy<IntExpr> {
         (inner.clone(), inner.clone()).prop_map(|(a, b)| IntExpr::BitAnd(a.into(), b.into())),
         (inner.clone(), inner.clone()).prop_map(|(a, b)| IntExpr::BitXor(a.into(), b.into())),
         (inner.clone(), 1..3u32).prop_map(|(a, by)| IntExpr::Shl(a.into(), by)),
-        (arb_bool(depth - 1), inner.clone(), inner)
-            .prop_map(|(c, a, b)| IntExpr::Ite(c.into(), a.into(), b.into())),
+        (arb_bool(depth - 1), inner.clone(), inner).prop_map(|(c, a, b)| IntExpr::Ite(
+            c.into(),
+            a.into(),
+            b.into()
+        )),
     ]
     .boxed()
 }
@@ -67,8 +70,7 @@ fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
     let body = prop::collection::vec(arb_stmt(depth - 1), 0..3);
     prop_oneof![
         simple,
-        (arb_bool(1), body.clone(), body.clone())
-            .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+        (arb_bool(1), body.clone(), body.clone()).prop_map(|(c, t, e)| Stmt::If(c, t, e)),
         (arb_bool(1), body).prop_map(|(c, b)| Stmt::While(c, b)),
     ]
     .boxed()

@@ -88,7 +88,10 @@ pub fn parse(text: &str) -> Result<Cnf, ParseError> {
     if !current.is_empty() {
         clauses.push(current);
     }
-    Ok(Cnf { num_vars: num_vars.ok_or(ParseError::BadHeader)?, clauses })
+    Ok(Cnf {
+        num_vars: num_vars.ok_or(ParseError::BadHeader)?,
+        clauses,
+    })
 }
 
 /// Serializes a CNF to DIMACS text.
@@ -139,10 +142,10 @@ mod tests {
     fn multiline_clause_and_trailer() {
         let text = "p cnf 2 1\n1\n-2 0\n%\n0\n";
         let cnf = parse(text).unwrap();
-        assert_eq!(cnf.clauses, vec![vec![
-            Var::new(0).positive(),
-            Var::new(1).negative(),
-        ]]);
+        assert_eq!(
+            cnf.clauses,
+            vec![vec![Var::new(0).positive(), Var::new(1).negative(),]]
+        );
     }
 
     #[test]
@@ -153,7 +156,10 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range() {
-        assert!(matches!(parse("p cnf 1 1\n2 0\n"), Err(ParseError::VarOutOfRange(2))));
+        assert!(matches!(
+            parse("p cnf 1 1\n2 0\n"),
+            Err(ParseError::VarOutOfRange(2))
+        ));
     }
 
     #[test]

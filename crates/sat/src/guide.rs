@@ -174,9 +174,15 @@ mod tests {
     fn priority_guide_picks_first_unassigned() {
         let mut assigns = vec![LBool::Undef; 4];
         let mut g = PriorityListGuide::new(vec![2, 0, 3], 7).with_fixed_polarity(true);
-        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(2).positive()));
+        assert_eq!(
+            g.next_decision(view(&assigns)),
+            Some(Var::new(2).positive())
+        );
         assigns[2] = LBool::True;
-        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(0).positive()));
+        assert_eq!(
+            g.next_decision(view(&assigns)),
+            Some(Var::new(0).positive())
+        );
         assigns[0] = LBool::False;
         assigns[3] = LBool::True;
         assert_eq!(g.next_decision(view(&assigns)), None);
@@ -187,18 +193,30 @@ mod tests {
         let mut assigns = vec![LBool::Undef; 3];
         let mut g = PriorityListGuide::new(vec![0, 1, 2], 7).with_fixed_polarity(false);
         // level 0 decision: var 0
-        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(0).negative()));
+        assert_eq!(
+            g.next_decision(view(&assigns)),
+            Some(Var::new(0).negative())
+        );
         assigns[0] = LBool::False;
         g.on_new_level();
-        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(1).negative()));
+        assert_eq!(
+            g.next_decision(view(&assigns)),
+            Some(Var::new(1).negative())
+        );
         assigns[1] = LBool::False;
         g.on_new_level();
-        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(2).negative()));
+        assert_eq!(
+            g.next_decision(view(&assigns)),
+            Some(Var::new(2).negative())
+        );
         // Backtrack to level 1: vars 1,2 unassigned again.
         assigns[1] = LBool::Undef;
         assigns[2] = LBool::Undef;
         g.on_backtrack(1);
-        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(1).negative()));
+        assert_eq!(
+            g.next_decision(view(&assigns)),
+            Some(Var::new(1).negative())
+        );
     }
 
     #[test]
@@ -206,10 +224,16 @@ mod tests {
         let mut assigns = vec![LBool::Undef; 2];
         let mut g = PriorityListGuide::new(vec![0, 1], 7).with_fixed_polarity(true);
         assigns[0] = LBool::True;
-        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(1).positive()));
+        assert_eq!(
+            g.next_decision(view(&assigns)),
+            Some(Var::new(1).positive())
+        );
         assigns[0] = LBool::Undef;
         g.on_restart();
-        assert_eq!(g.next_decision(view(&assigns)), Some(Var::new(0).positive()));
+        assert_eq!(
+            g.next_decision(view(&assigns)),
+            Some(Var::new(0).positive())
+        );
     }
 
     #[test]
@@ -217,6 +241,146 @@ mod tests {
         let assigns = vec![LBool::Undef; 1];
         let mut g1 = PriorityListGuide::new(vec![0], 42);
         let mut g2 = PriorityListGuide::new(vec![0], 42);
-        assert_eq!(g1.next_decision(view(&assigns)), g2.next_decision(view(&assigns)));
+        assert_eq!(
+            g1.next_decision(view(&assigns)),
+            g2.next_decision(view(&assigns))
+        );
+    }
+
+    /// Property: after any interleaving of decisions, propagations,
+    /// backtracks, and restarts (sequenced exactly as the solver sequences
+    /// its guide callbacks), `next_decision` equals a naive scan-from-zero
+    /// over the priority list. Guards the per-level cursor snapshots.
+    mod cursor_semantics {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Solver-side mirror: assignment array + per-variable level.
+        struct Sim {
+            assigns: Vec<LBool>,
+            assigned_level: Vec<usize>,
+            level: usize,
+        }
+
+        impl Sim {
+            fn new(num_vars: usize) -> Sim {
+                Sim {
+                    assigns: vec![LBool::Undef; num_vars],
+                    assigned_level: vec![0; num_vars],
+                    level: 0,
+                }
+            }
+
+            fn assign(&mut self, v: usize) {
+                self.assigns[v] = LBool::True;
+                self.assigned_level[v] = self.level;
+            }
+
+            fn first_unassigned(&self) -> Option<usize> {
+                self.assigns.iter().position(|a| a.is_undef())
+            }
+
+            fn undo_above(&mut self, target: usize) {
+                for v in 0..self.assigns.len() {
+                    if !self.assigns[v].is_undef() && self.assigned_level[v] > target {
+                        self.assigns[v] = LBool::Undef;
+                    }
+                }
+            }
+        }
+
+        /// The specification `next_decision` must match: first variable of
+        /// the priority list unassigned in the current view.
+        fn naive_scan(order: &[u32], assigns: &[LBool]) -> Option<usize> {
+            order
+                .iter()
+                .map(|&v| v as usize)
+                .find(|&v| assigns[v].is_undef())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn next_decision_matches_naive_scan(
+                num_vars in 4usize..10,
+                // Priority list over a subset of the vars; duplicates are
+                // harmless and stress the skip-assigned path.
+                order in prop::collection::vec(0u32..10, 1..12),
+                // (op kind, operand) pairs; operands are reduced modulo
+                // whatever is legal when the op runs.
+                ops in prop::collection::vec((0usize..4, 0usize..16), 1..60),
+            ) {
+                let order: Vec<u32> =
+                    order.into_iter().filter(|&v| (v as usize) < num_vars).collect();
+                prop_assume!(!order.is_empty());
+                let mut g =
+                    PriorityListGuide::new(order.clone(), 0xDECADE).with_fixed_polarity(true);
+                let mut sim = Sim::new(num_vars);
+                for &(op, operand) in &ops {
+                    match op {
+                        // Decision: guide consulted first, then the level
+                        // opens (on_new_level), then the enqueue — the
+                        // solver's decide() ordering.
+                        0 => {
+                            let got = g.next_decision(view(&sim.assigns));
+                            let expect = naive_scan(&order, &sim.assigns);
+                            prop_assert_eq!(
+                                got.map(|l| l.var().index()),
+                                expect,
+                                "decision disagrees with naive scan"
+                            );
+                            let decided = got.map(|l| l.var().index()).or_else(|| {
+                                // VSIDS fallback decides some non-list var.
+                                sim.first_unassigned()
+                            });
+                            if let Some(v) = decided {
+                                g.on_new_level();
+                                sim.level += 1;
+                                sim.assign(v);
+                            }
+                        }
+                        // Propagation: an implied assignment at the current
+                        // level, no guide callback.
+                        1 => {
+                            let unassigned: Vec<usize> = (0..num_vars)
+                                .filter(|&v| sim.assigns[v].is_undef())
+                                .collect();
+                            if !unassigned.is_empty() {
+                                sim.assign(unassigned[operand % unassigned.len()]);
+                            }
+                        }
+                        // Backtrack to a strictly lower level.
+                        2 => {
+                            if sim.level > 0 {
+                                let target = operand % sim.level;
+                                sim.undo_above(target);
+                                sim.level = target;
+                                g.on_backtrack(target as u32);
+                            }
+                        }
+                        // Restart: cancel_until(0) then on_restart, as in
+                        // the solver's restart path.
+                        _ => {
+                            if sim.level > 0 {
+                                sim.undo_above(0);
+                                sim.level = 0;
+                                g.on_backtrack(0);
+                            }
+                            g.on_restart();
+                        }
+                    }
+                    // Invariant after every op, probed on a clone so the
+                    // check itself cannot mask cursor corruption.
+                    let mut probe = g.clone();
+                    let got = probe.next_decision(view(&sim.assigns));
+                    let expect = naive_scan(&order, &sim.assigns);
+                    prop_assert_eq!(got.map(|l| l.var().index()), expect);
+                    if let Some(lit) = got {
+                        prop_assert!(lit.sign(), "fixed polarity true must be honored");
+                    }
+                }
+            }
+        }
     }
 }

@@ -43,9 +43,7 @@ impl ActivityHeap {
     /// `true` when `v` is currently enqueued.
     #[inline]
     pub fn contains(&self, v: Var) -> bool {
-        self.pos
-            .get(v.index())
-            .is_some_and(|&p| p != NOT_IN_HEAP)
+        self.pos.get(v.index()).is_some_and(|&p| p != NOT_IN_HEAP)
     }
 
     /// Inserts `v` (no-op if already present).

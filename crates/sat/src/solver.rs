@@ -269,7 +269,9 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
 
     /// Takes the recorded proof, leaving logging enabled with a fresh log.
     pub fn take_proof(&mut self) -> Option<Proof> {
-        self.proof.take().inspect(|_| self.proof = Some(Proof::default()))
+        self.proof
+            .take()
+            .inspect(|_| self.proof = Some(Proof::default()))
     }
 
     fn proof_add(&mut self, lits: &[Lit]) {
@@ -376,8 +378,14 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
     fn attach(&mut self, cr: CRef) {
         let lits = self.db.lits(cr);
         let (w0, w1) = (lits[0], lits[1]);
-        self.watches[(!w0).code()].push(Watcher { cref: cr, blocker: w1 });
-        self.watches[(!w1).code()].push(Watcher { cref: cr, blocker: w0 });
+        self.watches[(!w0).code()].push(Watcher {
+            cref: cr,
+            blocker: w1,
+        });
+        self.watches[(!w1).code()].push(Watcher {
+            cref: cr,
+            blocker: w0,
+        });
     }
 
     /// Assigns `lit` true. Returns `false` if it is already false.
@@ -447,7 +455,10 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
             let first = self.db.lits(cr)[0];
             if first != w.blocker && self.value(first).is_true() {
                 // Satisfied; re-watch with the true literal as blocker.
-                ws[kept] = Watcher { cref: cr, blocker: first };
+                ws[kept] = Watcher {
+                    cref: cr,
+                    blocker: first,
+                };
                 kept += 1;
                 continue;
             }
@@ -457,16 +468,24 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                 let lk = self.db.lits(cr)[k];
                 if !self.value(lk).is_false() {
                     self.db.lits_mut(cr).swap(1, k);
-                    self.watches[(!lk).code()].push(Watcher { cref: cr, blocker: first });
+                    self.watches[(!lk).code()].push(Watcher {
+                        cref: cr,
+                        blocker: first,
+                    });
                     continue 'watchers;
                 }
             }
             // No replacement: clause is unit or conflicting.
-            ws[kept] = Watcher { cref: cr, blocker: first };
+            ws[kept] = Watcher {
+                cref: cr,
+                blocker: first,
+            };
             kept += 1;
             if self.value(first).is_false() {
                 // Conflict: copy remaining watchers back before reporting.
-                conflict = Some(Conflict { lits: self.db.lits(cr).to_vec() });
+                conflict = Some(Conflict {
+                    lits: self.db.lits(cr).to_vec(),
+                });
                 break;
             }
             let ok = self.enqueue(first, Reason::Clause(cr));
@@ -487,7 +506,9 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
         let confl = match result {
             Err(tc) => {
                 self.stats.theory_conflicts += 1;
-                Some(Conflict { lits: tc.lits.iter().map(|&l| !l).collect() })
+                Some(Conflict {
+                    lits: tc.lits.iter().map(|&l| !l).collect(),
+                })
             }
             Ok(()) => {
                 let mut found = None;
@@ -650,9 +671,9 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
         learnt[0] = !uip;
 
         // Recursive minimization of the non-asserting literals.
-        let abstract_levels = learnt[1..]
-            .iter()
-            .fold(0u32, |acc, l| acc | Self::abstract_level(self.level[l.var().index()]));
+        let abstract_levels = learnt[1..].iter().fold(0u32, |acc, l| {
+            acc | Self::abstract_level(self.level[l.var().index()])
+        });
         let mut j = 1;
         for i in 1..learnt.len() {
             let l = learnt[i];
@@ -778,15 +799,12 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
             .collect();
         // Sort worst-first: high LBD, then low activity.
         learnts.sort_by(|&a, &b| {
-            self.db
-                .lbd(b)
-                .cmp(&self.db.lbd(a))
-                .then(
-                    self.db
-                        .activity(a)
-                        .partial_cmp(&self.db.activity(b))
-                        .unwrap_or(std::cmp::Ordering::Equal),
-                )
+            self.db.lbd(b).cmp(&self.db.lbd(a)).then(
+                self.db
+                    .activity(a)
+                    .partial_cmp(&self.db.activity(b))
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let target = learnts.len() / 2;
         let mut removed = 0;
@@ -979,8 +997,21 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
         }
         let mut conflicts_since_restart: u64 = 0;
         let mut restart_limit = self.restart_limit();
+        // Deadlines and cancellation must fire even on conflict-free
+        // instances, so poll them every `stride` work units (propagations +
+        // decisions), amortizing the `Instant::now()` cost. Starting at 0
+        // makes a pre-tripped token return before any search happens.
+        let mut next_budget_check: u64 = 0;
 
         loop {
+            let work = self.stats.propagations + self.stats.decisions;
+            if work >= next_budget_check {
+                next_budget_check = work + self.budget.stride();
+                if self.budget.interrupted() {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
+            }
             let conflict = match self.propagate() {
                 Some(c) => Some(c),
                 None => {
@@ -991,26 +1022,26 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                         }
                         DecideOutcome::Decided => None,
                         DecideOutcome::AllAssigned => {
-                        // Complete assignment: theory final check.
-                        let mut out = std::mem::take(&mut self.theory_out);
-                        out.clear();
-                        let r = self.theory.final_check(&mut out);
-                        // Eager theories do not propagate in final check.
-                        debug_assert!(out.propagations.is_empty());
-                        self.theory_out = out;
-                        match r {
-                            Ok(()) => {
-                                self.model = self.assigns.clone();
-                                self.cancel_until(0);
-                                return SolveResult::Sat;
+                            // Complete assignment: theory final check.
+                            let mut out = std::mem::take(&mut self.theory_out);
+                            out.clear();
+                            let r = self.theory.final_check(&mut out);
+                            // Eager theories do not propagate in final check.
+                            debug_assert!(out.propagations.is_empty());
+                            self.theory_out = out;
+                            match r {
+                                Ok(()) => {
+                                    self.model = self.assigns.clone();
+                                    self.cancel_until(0);
+                                    return SolveResult::Sat;
+                                }
+                                Err(tc) => {
+                                    self.stats.theory_conflicts += 1;
+                                    Some(Conflict {
+                                        lits: tc.lits.iter().map(|&l| !l).collect(),
+                                    })
+                                }
                             }
-                            Err(tc) => {
-                                self.stats.theory_conflicts += 1;
-                                Some(Conflict {
-                                    lits: tc.lits.iter().map(|&l| !l).collect(),
-                                })
-                            }
-                        }
                         }
                     }
                 }
@@ -1155,7 +1186,10 @@ mod tests {
         xor1(&mut s, v[1], v[2]);
         xnor(&mut s, v[2], v[0]);
         assert_eq!(s.solve(), SolveResult::Sat);
-        let m: Vec<bool> = v.iter().map(|&x| s.model_value(x.positive()).is_true()).collect();
+        let m: Vec<bool> = v
+            .iter()
+            .map(|&x| s.model_value(x.positive()).is_true())
+            .collect();
         assert!(m[0] != m[1]);
         assert!(m[1] != m[2]);
         assert!(m[2] == m[0]);
@@ -1319,7 +1353,9 @@ mod assumption_tests {
         );
         let core = s.assumption_core().to_vec();
         assert!(!core.is_empty());
-        assert!(core.iter().all(|l| [a.positive(), b.negative()].contains(l)));
+        assert!(core
+            .iter()
+            .all(|l| [a.positive(), b.negative()].contains(l)));
         // The solver is reusable afterwards.
         assert_eq!(s.solve(), SolveResult::Sat);
     }
@@ -1352,7 +1388,10 @@ mod assumption_tests {
         let a = s.new_var();
         s.add_clause(&[a.positive()]);
         s.add_clause(&[a.negative()]);
-        assert_eq!(s.solve_with_assumptions(&[a.positive()]), SolveResult::Unsat);
+        assert_eq!(
+            s.solve_with_assumptions(&[a.positive()]),
+            SolveResult::Unsat
+        );
         assert!(s.assumption_core().is_empty());
     }
 
@@ -1432,7 +1471,10 @@ mod config_tests {
             RestartStrategy::Never,
         ] {
             let mut s = Solver::new();
-            s.set_config(SolverConfig { restart, ..SolverConfig::default() });
+            s.set_config(SolverConfig {
+                restart,
+                ..SolverConfig::default()
+            });
             hard_instance(&mut s);
             assert_eq!(s.solve(), SolveResult::Unsat, "{restart:?}");
             if restart == RestartStrategy::Never {
@@ -1474,7 +1516,10 @@ mod config_tests {
     #[test]
     fn decay_is_configurable() {
         let mut s = Solver::new();
-        s.set_config(SolverConfig { var_decay: 0.8, ..SolverConfig::default() });
+        s.set_config(SolverConfig {
+            var_decay: 0.8,
+            ..SolverConfig::default()
+        });
         hard_instance(&mut s);
         assert_eq!(s.solve(), SolveResult::Unsat);
     }

@@ -2,9 +2,13 @@
 //!
 //! The statistics mirror what Table 2 of the paper reports (decisions,
 //! propagations, conflicts) plus bookkeeping useful for diagnosing the
-//! solver itself. The budget supports both a deterministic conflict cap
-//! (reproducible "timeouts") and a wall-clock deadline.
+//! solver itself. The budget supports a deterministic conflict cap
+//! (reproducible "timeouts"), a wall-clock deadline, and a shared
+//! [`CancelToken`] for cooperative cross-thread cancellation (the hook the
+//! portfolio engine in the `zpre` core crate uses to stop losing solvers).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Counters accumulated during search.
@@ -51,18 +55,62 @@ impl Stats {
     }
 }
 
+/// A shared cooperative-cancellation flag.
+///
+/// Cloning the token shares the underlying flag: any clone may
+/// [`cancel`](CancelToken::cancel) and every solver whose [`Budget`] carries
+/// a clone observes the trip at its next budget check (a bounded
+/// propagation stride away, even on conflict-free instances) and returns
+/// [`crate::SolveResult::Unknown`]. This is the mechanism the portfolio
+/// verifier uses to stop losing strategies once a winner finishes.
+#[derive(Debug, Default, Clone)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trips the token. Irrevocable; all clones observe it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// `true` once any clone has called [`cancel`](CancelToken::cancel).
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
 /// Resource limits for a `solve` call. An exhausted budget makes the solver
 /// return [`crate::SolveResult::Unknown`].
-#[derive(Debug, Default, Clone, Copy)]
+///
+/// The conflict cap stays deterministic: it is consulted against the
+/// conflict counter, which only moves at conflict points. The wall-clock
+/// deadline and the cancellation token are *also* polled on a periodic
+/// propagation stride inside the search loop, so propagation-heavy or
+/// conflict-free solves still stop promptly.
+#[derive(Debug, Default, Clone)]
 pub struct Budget {
     /// Absolute cap on total conflicts (deterministic "timeout").
     pub max_conflicts: Option<u64>,
     /// Wall-clock allowance, measured from [`Budget::start`].
     pub timeout: Option<Duration>,
+    /// Shared cooperative-cancellation flag, if any.
+    pub cancel: Option<CancelToken>,
+    /// Work units (propagations + decisions) between periodic deadline /
+    /// cancellation polls in the search loop. `None` uses
+    /// [`Budget::DEFAULT_CHECK_STRIDE`].
+    pub check_stride: Option<u64>,
     deadline: Option<Instant>,
 }
 
 impl Budget {
+    /// Default work-unit stride between deadline/cancellation polls.
+    pub const DEFAULT_CHECK_STRIDE: u64 = 1024;
+
     /// No limits.
     pub fn unlimited() -> Budget {
         Budget::default()
@@ -70,17 +118,45 @@ impl Budget {
 
     /// Limits total conflicts to `n`.
     pub fn with_max_conflicts(n: u64) -> Budget {
-        Budget { max_conflicts: Some(n), ..Budget::default() }
+        Budget {
+            max_conflicts: Some(n),
+            ..Budget::default()
+        }
     }
 
     /// Limits wall-clock time.
     pub fn with_timeout(t: Duration) -> Budget {
-        Budget { timeout: Some(t), ..Budget::default() }
+        Budget {
+            timeout: Some(t),
+            ..Budget::default()
+        }
     }
 
     /// Combines a conflict cap and a wall-clock limit.
     pub fn with_limits(max_conflicts: Option<u64>, timeout: Option<Duration>) -> Budget {
-        Budget { max_conflicts, timeout, deadline: None }
+        Budget {
+            max_conflicts,
+            timeout,
+            ..Budget::default()
+        }
+    }
+
+    /// Attaches a shared cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Budget {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Overrides the periodic check stride (mainly for tests; the default
+    /// amortizes the `Instant::now()` cost to noise).
+    pub fn with_check_stride(mut self, stride: u64) -> Budget {
+        self.check_stride = Some(stride.max(1));
+        self
+    }
+
+    /// The effective periodic check stride.
+    pub fn stride(&self) -> u64 {
+        self.check_stride.unwrap_or(Self::DEFAULT_CHECK_STRIDE)
     }
 
     /// Arms the wall-clock deadline. Called by the solver at the start of
@@ -89,10 +165,22 @@ impl Budget {
         self.deadline = self.timeout.map(|t| Instant::now() + t);
     }
 
-    /// `true` once either limit is hit.
+    /// `true` once any limit is hit or the cancel token is tripped.
     pub fn exhausted(&self, conflicts: u64) -> bool {
         if let Some(max) = self.max_conflicts {
             if conflicts >= max {
+                return true;
+            }
+        }
+        self.interrupted()
+    }
+
+    /// The non-deterministic half of [`Budget::exhausted`]: cancellation and
+    /// the wall-clock deadline, ignoring the conflict cap. This is what the
+    /// periodic in-search poll consults.
+    pub fn interrupted(&self) -> bool {
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
                 return true;
             }
         }
@@ -142,8 +230,16 @@ mod tests {
 
     #[test]
     fn stats_accumulate() {
-        let mut a = Stats { decisions: 1, conflicts: 2, ..Stats::default() };
-        let b = Stats { decisions: 10, propagations: 5, ..Stats::default() };
+        let mut a = Stats {
+            decisions: 1,
+            conflicts: 2,
+            ..Stats::default()
+        };
+        let b = Stats {
+            decisions: 10,
+            propagations: 5,
+            ..Stats::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.decisions, 11);
         assert_eq!(a.conflicts, 2);

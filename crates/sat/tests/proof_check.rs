@@ -40,7 +40,11 @@ fn pigeonhole_proofs_validate() {
         let (result, pr) = solve_with_proof(&clauses, nv);
         assert_eq!(result, SolveResult::Unsat, "php({p},{h})");
         assert!(pr.derives_empty(), "php({p},{h}) proof incomplete");
-        assert_eq!(proof::check(&clauses, &pr), Ok(()), "php({p},{h}) proof invalid");
+        assert_eq!(
+            proof::check(&clauses, &pr),
+            Ok(()),
+            "php({p},{h}) proof invalid"
+        );
     }
 }
 

@@ -73,7 +73,10 @@ impl VarRegistry {
             self.infos.resize_with(i + 1, || None);
         }
         debug_assert!(self.infos[i].is_none(), "variable registered twice");
-        self.infos[i] = Some(VarInfo { kind, name: name.into() });
+        self.infos[i] = Some(VarInfo {
+            kind,
+            name: name.into(),
+        });
     }
 
     /// Metadata for `var`, if registered.
@@ -135,7 +138,12 @@ pub struct ClassCounts {
 
 /// Builds the paper-style name of an RF variable:
 /// `rf_<read-thread>_<read-pos>_<write-thread>_<write-pos>`.
-pub fn rf_name(read_thread: usize, read_pos: usize, write_thread: usize, write_pos: usize) -> String {
+pub fn rf_name(
+    read_thread: usize,
+    read_pos: usize,
+    write_thread: usize,
+    write_pos: usize,
+) -> String {
     format!("rf_{read_thread}_{read_pos}_{write_thread}_{write_pos}")
 }
 
@@ -154,10 +162,23 @@ mod tests {
         let v0 = Var::new(0);
         let v2 = Var::new(2);
         r.register(v0, VarKind::Ssa, "x_1[0]");
-        r.register(v2, VarKind::Rf { external: true, writes: 3 }, rf_name(1, 2, 2, 0));
+        r.register(
+            v2,
+            VarKind::Rf {
+                external: true,
+                writes: 3,
+            },
+            rf_name(1, 2, 2, 0),
+        );
         assert_eq!(r.kind(v0), VarKind::Ssa);
         assert_eq!(r.kind(Var::new(1)), VarKind::Aux);
-        assert_eq!(r.kind(v2), VarKind::Rf { external: true, writes: 3 });
+        assert_eq!(
+            r.kind(v2),
+            VarKind::Rf {
+                external: true,
+                writes: 3
+            }
+        );
         assert_eq!(r.info(v2).unwrap().name, "rf_1_2_2_0");
     }
 
@@ -166,7 +187,14 @@ mod tests {
         let mut r = VarRegistry::new();
         r.register(Var::new(0), VarKind::Ord, "ord0");
         r.register(Var::new(1), VarKind::Ws, ws_name(0, 0, 1, 1));
-        r.register(Var::new(2), VarKind::Rf { external: false, writes: 1 }, rf_name(0, 1, 0, 0));
+        r.register(
+            Var::new(2),
+            VarKind::Rf {
+                external: false,
+                writes: 1,
+            },
+            rf_name(0, 1, 0, 0),
+        );
         let itf: Vec<usize> = r.interference_vars().map(|(v, _)| v.index()).collect();
         assert_eq!(itf, vec![1, 2]);
     }
@@ -179,13 +207,27 @@ mod tests {
         r.register(Var::new(2), VarKind::Guard, "g");
         r.register(Var::new(3), VarKind::Ws, "w");
         let c = r.class_counts();
-        assert_eq!(c, ClassCounts { ssa: 2, guard: 1, ord: 0, rf: 0, ws: 1, aux: 0 });
+        assert_eq!(
+            c,
+            ClassCounts {
+                ssa: 2,
+                guard: 1,
+                ord: 0,
+                rf: 0,
+                ws: 1,
+                aux: 0
+            }
+        );
     }
 
     #[test]
     fn kind_is_interference() {
         assert!(VarKind::Ws.is_interference());
-        assert!(VarKind::Rf { external: true, writes: 0 }.is_interference());
+        assert!(VarKind::Rf {
+            external: true,
+            writes: 0
+        }
+        .is_interference());
         assert!(!VarKind::Ord.is_interference());
         assert!(!VarKind::Ssa.is_interference());
     }

@@ -152,8 +152,14 @@ impl OrderTheory {
     pub fn register_atom(&mut self, var: Var, a: NodeId, b: NodeId) {
         debug_assert_ne!(a, b, "ordering atom over a single event");
         self.atoms.insert(var.index() as u32, (a, b));
-        self.edge_atoms.entry((a, b)).or_default().push(var.positive());
-        self.edge_atoms.entry((b, a)).or_default().push(var.negative());
+        self.edge_atoms
+            .entry((a, b))
+            .or_default()
+            .push(var.positive());
+        self.edge_atoms
+            .entry((b, a))
+            .or_default()
+            .push(var.negative());
     }
 
     /// The pair registered for `var`, if any.
@@ -503,8 +509,15 @@ mod tests {
         let cc = check.add_node();
         let pairs = [(vab, ca, cb), (vbc, cb, cc), (vca, cc, ca)];
         for (v, x, y) in pairs {
-            let (f, t_) = if s.model_var_value(v).is_true() { (x, y) } else { (y, x) };
-            assert!(!check.reachable(t_, f), "model orientation must stay acyclic");
+            let (f, t_) = if s.model_var_value(v).is_true() {
+                (x, y)
+            } else {
+                (y, x)
+            };
+            assert!(
+                !check.reachable(t_, f),
+                "model orientation must stay acyclic"
+            );
             assert!(check.add_fixed_edge(f, t_));
         }
     }

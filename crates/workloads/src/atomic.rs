@@ -65,7 +65,10 @@ fn transfer(rounds: usize, broken: bool) -> Task {
         8,
         &[("x", 10), ("y", 0), ("sx", 0), ("sy", 0)],
         &[],
-        vec![("mover".to_string(), mover), ("checker".to_string(), checker)],
+        vec![
+            ("mover".to_string(), mover),
+            ("checker".to_string(), checker),
+        ],
         eq(add(v("sx"), v("sy")), c(10)),
     );
     let expected = if broken {
@@ -111,7 +114,12 @@ mod tests {
     #[test]
     fn oracle_agrees_on_small_instances() {
         use zpre_prog::interp::{check_sc, Limits, Outcome};
-        for t in [counter(2, false), counter(2, true), transfer(1, false), transfer(1, true)] {
+        for t in [
+            counter(2, false),
+            counter(2, true),
+            transfer(1, false),
+            transfer(1, true),
+        ] {
             let u = zpre_prog::unroll_program(&t.program, t.unroll_bound);
             let fp = zpre_prog::flatten(&u);
             let got = check_sc(&fp, Limits::default());

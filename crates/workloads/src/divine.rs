@@ -32,7 +32,13 @@ fn ring(n: usize) -> Task {
         threads,
         eq(v("token"), c(n as u64 + 1)),
     );
-    Task::new(&name, Subcat::Divine, prog, (2 * n) as u32, Expected::safe_all())
+    Task::new(
+        &name,
+        Subcat::Divine,
+        prog,
+        (2 * n) as u32,
+        Expected::safe_all(),
+    )
 }
 
 /// A broken ring: two nodes race for the same token value, so the final
@@ -61,7 +67,13 @@ fn ring_broken(n: usize) -> Task {
         threads,
         eq(v("token"), c(n as u64 + 1)),
     );
-    Task::new(&name, Subcat::Divine, prog, (2 * n) as u32, Expected::unsafe_all())
+    Task::new(
+        &name,
+        Subcat::Divine,
+        prog,
+        (2 * n) as u32,
+        Expected::unsafe_all(),
+    )
 }
 
 /// All `divine` tasks.

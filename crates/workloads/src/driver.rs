@@ -135,7 +135,12 @@ mod tests {
     #[test]
     fn oracle_agrees() {
         use zpre_prog::interp::{check_sc, Limits, Outcome};
-        for t in [irq(2, false), irq(2, true), open_close(2, true), open_close(2, false)] {
+        for t in [
+            irq(2, false),
+            irq(2, true),
+            open_close(2, true),
+            open_close(2, false),
+        ] {
             let u = zpre_prog::unroll_program(&t.program, t.unroll_bound);
             let fp = zpre_prog::flatten(&u);
             let got = check_sc(&fp, Limits::default());

@@ -5,7 +5,6 @@ use crate::task::{Expected, Scale, Subcat, Task};
 use crate::util::harness_program;
 use zpre_prog::build::*;
 
-
 /// A pipeline of `stages` threads. Stage `i` busy-waits (bounded) for
 /// `flag_{i-1}`, computes `v_i = v_{i-1} + i`, publishes `flag_i`.
 /// With fences between the data write and the flag write the chain is an
@@ -72,13 +71,21 @@ fn reduce_w(workers: usize, correct: bool, width: u32) -> Task {
     let name = format!(
         "ext/reduce-{}{}{}",
         workers,
-        if width == 8 { String::new() } else { format!("-w{width}") },
+        if width == 8 {
+            String::new()
+        } else {
+            format!("-w{width}")
+        },
         if correct { "" } else { "-bad" }
     );
     let mut threads = Vec::new();
     let mut total: u64 = 0;
     for w in 0..workers {
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let ww = w as u64 + 2;
         let contrib = (ww * ww + 3 * ww) & mask;
         total = (total + contrib) & mask;
@@ -96,7 +103,11 @@ fn reduce_w(workers: usize, correct: bool, width: u32) -> Task {
             ],
         ));
     }
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let target = if correct { total } else { (total + 1) & mask };
     let prog = harness_program(
         &name,

@@ -41,7 +41,8 @@ fn register(fields: usize, sync: Sync) -> Task {
         kernel.push(unlock("l"));
     }
 
-    let mut shared: Vec<(String, u64)> = vec![("registered".to_string(), 0), ("seen".to_string(), 0)];
+    let mut shared: Vec<(String, u64)> =
+        vec![("registered".to_string(), 0), ("seen".to_string(), 0)];
     for i in 0..fields {
         shared.push((format!("cfg{i}"), 0));
         shared.push((format!("k{i}"), 0));
@@ -57,7 +58,10 @@ fn register(fields: usize, sync: Sync) -> Task {
         8,
         &shared_refs,
         if sync == Sync::Lock { &["l"] } else { &[] },
-        vec![("driver".to_string(), driver), ("kernel".to_string(), kernel)],
+        vec![
+            ("driver".to_string(), driver),
+            ("kernel".to_string(), kernel),
+        ],
         or(eq(v("seen"), c(0)), prop),
     );
     let expected = match sync {
@@ -166,7 +170,11 @@ mod tests {
         use zpre_prog::interp::{check_sc, Limits, Outcome};
         use zpre_prog::wmm::check_wmm;
         use zpre_prog::MemoryModel;
-        for t in [register(1, Sync::None), register(1, Sync::Fence), refcount(false)] {
+        for t in [
+            register(1, Sync::None),
+            register(1, Sync::Fence),
+            refcount(false),
+        ] {
             let u = zpre_prog::unroll_program(&t.program, t.unroll_bound);
             let fp = zpre_prog::flatten(&u);
             assert_eq!(

@@ -25,10 +25,7 @@ fn cs_body(thread: usize, work: usize) -> Vec<Stmt> {
 
 /// Peterson's algorithm for two threads.
 fn peterson(fenced: bool, work: usize) -> Task {
-    let name = format!(
-        "lit/peterson{}-w{work}",
-        if fenced { "-fence" } else { "" }
-    );
+    let name = format!("lit/peterson{}-w{work}", if fenced { "-fence" } else { "" });
     let mk = |me: usize| -> Vec<Stmt> {
         let other = 1 - me;
         let (fme, fother) = (format!("flag{me}"), format!("flag{other}"));
@@ -176,8 +173,16 @@ mod tests {
         use zpre_prog::interp::{check_sc, Limits, Outcome};
         use zpre_prog::wmm::check_wmm;
         use zpre_prog::MemoryModel;
-        let lim = Limits { max_states: 50_000_000, ..Limits::default() };
-        for t in [peterson(false, 1), peterson(true, 1), dekker(false, 1), dekker(true, 1)] {
+        let lim = Limits {
+            max_states: 50_000_000,
+            ..Limits::default()
+        };
+        for t in [
+            peterson(false, 1),
+            peterson(true, 1),
+            dekker(false, 1),
+            dekker(true, 1),
+        ] {
             let u = zpre_prog::unroll_program(&t.program, t.unroll_bound);
             let fp = zpre_prog::flatten(&u);
             let sc = check_sc(&fp, lim);

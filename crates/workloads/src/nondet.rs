@@ -18,7 +18,11 @@ fn arith(width: u32, bound: u64, target: u64, safe: bool) -> Task {
             assert_(ne(add(mul(v("x"), v("x")), v("x")), c(target))),
         ])
         .build();
-    let e = if safe { Expected::safe_all() } else { Expected::unsafe_all() };
+    let e = if safe {
+        Expected::safe_all()
+    } else {
+        Expected::unsafe_all()
+    };
     Task::new(&name, Subcat::Nondet, prog, 1, e)
 }
 

@@ -30,9 +30,8 @@ fn counter(workers: usize, incs: usize, locked: bool) -> Task {
         }
         stmts
     };
-    let threads: Vec<(String, Vec<Stmt>)> = (0..workers)
-        .map(|w| (format!("w{w}"), body(w)))
-        .collect();
+    let threads: Vec<(String, Vec<Stmt>)> =
+        (0..workers).map(|w| (format!("w{w}"), body(w))).collect();
     let total = (workers * incs) as u64;
     let prog = harness_program(
         &name,
@@ -178,7 +177,12 @@ mod tests {
     #[test]
     fn oracle_agrees_on_small_instances() {
         use zpre_prog::interp::{check_sc, Limits, Outcome};
-        for t in [counter(2, 1, true), counter(2, 1, false), bank(1, true), bank(1, false)] {
+        for t in [
+            counter(2, 1, true),
+            counter(2, 1, false),
+            bank(1, true),
+            bank(1, false),
+        ] {
             let u = zpre_prog::unroll_program(&t.program, t.unroll_bound);
             let fp = zpre_prog::flatten(&u);
             let got = check_sc(&fp, Limits::default());

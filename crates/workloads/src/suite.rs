@@ -24,7 +24,10 @@ pub fn suite(scale: Scale) -> Vec<Task> {
 
 /// Tasks of one subcategory.
 pub fn subcategory(scale: Scale, subcat: Subcat) -> Vec<Task> {
-    suite(scale).into_iter().filter(|t| t.subcat == subcat).collect()
+    suite(scale)
+        .into_iter()
+        .filter(|t| t.subcat == subcat)
+        .collect()
 }
 
 /// Small-state tasks suitable for the explicit-state oracles (used by the

@@ -86,17 +86,29 @@ pub struct Expected {
 impl Expected {
     /// Safe under every model.
     pub fn safe_all() -> Expected {
-        Expected { sc: Some(true), tso: Some(true), pso: Some(true) }
+        Expected {
+            sc: Some(true),
+            tso: Some(true),
+            pso: Some(true),
+        }
     }
 
     /// Unsafe under every model.
     pub fn unsafe_all() -> Expected {
-        Expected { sc: Some(false), tso: Some(false), pso: Some(false) }
+        Expected {
+            sc: Some(false),
+            tso: Some(false),
+            pso: Some(false),
+        }
     }
 
     /// Explicit per-model verdicts.
     pub fn of(sc: bool, tso: bool, pso: bool) -> Expected {
-        Expected { sc: Some(sc), tso: Some(tso), pso: Some(pso) }
+        Expected {
+            sc: Some(sc),
+            tso: Some(tso),
+            pso: Some(pso),
+        }
     }
 
     /// Unknown everywhere.
@@ -146,7 +158,13 @@ impl Task {
         unroll_bound: u32,
         expected: Expected,
     ) -> Task {
-        Task { name: name.into(), subcat, program, unroll_bound, expected }
+        Task {
+            name: name.into(),
+            subcat,
+            program,
+            unroll_bound,
+            expected,
+        }
     }
 }
 

@@ -55,7 +55,11 @@ pub fn ballast(prefix: &str, count: usize) -> Ballast {
         writer.push(assign(&var, c(i as u64 + 2)));
         reader.push(assign(&format!("{prefix}r{i}"), v(&var)));
     }
-    Ballast { shared, writer, reader }
+    Ballast {
+        shared,
+        writer,
+        reader,
+    }
 }
 
 #[cfg(test)]

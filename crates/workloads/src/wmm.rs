@@ -389,8 +389,7 @@ mod tests {
     #[test]
     fn names_are_unique() {
         let ts = tasks(Scale::Full);
-        let names: std::collections::BTreeSet<&str> =
-            ts.iter().map(|t| t.name.as_str()).collect();
+        let names: std::collections::BTreeSet<&str> = ts.iter().map(|t| t.name.as_str()).collect();
         assert_eq!(names.len(), ts.len());
     }
 

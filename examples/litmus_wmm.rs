@@ -22,7 +22,13 @@ fn litmus(
     }
     b.thread("t1", t1)
         .thread("t2", t2)
-        .main(vec![spawn(1), spawn(2), join(1), join(2), assert_(property)])
+        .main(vec![
+            spawn(1),
+            spawn(2),
+            join(1),
+            join(2),
+            assert_(property),
+        ])
         .build()
 }
 
@@ -38,8 +44,16 @@ fn main() {
         programs.push(litmus(
             &format!("SB{tag}"),
             &[("x", 0), ("y", 0), ("r1", 0), ("r2", 0)],
-            [assign("x", c(1))].into_iter().chain(f.clone()).chain([assign("r1", v("y"))]).collect(),
-            [assign("y", c(1))].into_iter().chain(f.clone()).chain([assign("r2", v("x"))]).collect(),
+            [assign("x", c(1))]
+                .into_iter()
+                .chain(f.clone())
+                .chain([assign("r1", v("y"))])
+                .collect(),
+            [assign("y", c(1))]
+                .into_iter()
+                .chain(f.clone())
+                .chain([assign("r2", v("x"))])
+                .collect(),
             not(and(eq(v("r1"), c(0)), eq(v("r2"), c(0)))),
         ));
 
@@ -47,7 +61,11 @@ fn main() {
         programs.push(litmus(
             &format!("MP{tag}"),
             &[("data", 0), ("flag", 0), ("seen", 0), ("val", 0)],
-            [assign("data", c(42))].into_iter().chain(f.clone()).chain([assign("flag", c(1))]).collect(),
+            [assign("data", c(42))]
+                .into_iter()
+                .chain(f.clone())
+                .chain([assign("flag", c(1))])
+                .collect(),
             vec![assign("seen", v("flag")), assign("val", v("data"))],
             or(eq(v("seen"), c(0)), eq(v("val"), c(42))),
         ));
@@ -56,8 +74,16 @@ fn main() {
         programs.push(litmus(
             &format!("LB{tag}"),
             &[("x", 0), ("y", 0), ("r1", 0), ("r2", 0)],
-            [assign("r1", v("y"))].into_iter().chain(f.clone()).chain([assign("x", c(1))]).collect(),
-            [assign("r2", v("x"))].into_iter().chain(f.clone()).chain([assign("y", c(1))]).collect(),
+            [assign("r1", v("y"))]
+                .into_iter()
+                .chain(f.clone())
+                .chain([assign("x", c(1))])
+                .collect(),
+            [assign("r2", v("x"))]
+                .into_iter()
+                .chain(f.clone())
+                .chain([assign("y", c(1))])
+                .collect(),
             not(and(eq(v("r1"), c(1)), eq(v("r2"), c(1)))),
         ));
 
@@ -65,13 +91,24 @@ fn main() {
         programs.push(litmus(
             &format!("2+2W{tag}"),
             &[("x", 0), ("y", 0)],
-            [assign("x", c(1))].into_iter().chain(f.clone()).chain([assign("y", c(2))]).collect(),
-            [assign("y", c(1))].into_iter().chain(f.clone()).chain([assign("x", c(2))]).collect(),
+            [assign("x", c(1))]
+                .into_iter()
+                .chain(f.clone())
+                .chain([assign("y", c(2))])
+                .collect(),
+            [assign("y", c(1))]
+                .into_iter()
+                .chain(f.clone())
+                .chain([assign("x", c(2))])
+                .collect(),
             not(and(eq(v("x"), c(1)), eq(v("y"), c(1)))),
         ));
     }
 
-    println!("{:<10} {:>8} {:>8} {:>8}   (safe = forbidden outcome unreachable)", "litmus", "SC", "TSO", "PSO");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8}   (safe = forbidden outcome unreachable)",
+        "litmus", "SC", "TSO", "PSO"
+    );
     for p in &programs {
         let mut row = format!("{:<10}", p.name);
         for mm in MemoryModel::ALL {

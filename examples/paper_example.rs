@@ -48,8 +48,7 @@ fn main() {
     // Encode once to display the Boolean-abstraction taxonomy of §3.2.
     let unrolled = unroll_program(&program, 1);
     let ssa = to_ssa(&unrolled);
-    let mut solver: Solver<OrderTheory, NoGuide> =
-        Solver::with_parts(OrderTheory::new(), NoGuide);
+    let mut solver: Solver<OrderTheory, NoGuide> = Solver::with_parts(OrderTheory::new(), NoGuide);
     let enc = zpre_encoder::encode(&ssa, MemoryModel::Sc, &mut solver);
 
     let counts = enc.registry.class_counts();
@@ -70,7 +69,11 @@ fn main() {
             VarKind::Ws => "ws".to_string(),
             _ => unreachable!(),
         };
-        println!("  {:>5}  {:<24} ({detail})", format!("v{}", var.index()), info.name);
+        println!(
+            "  {:>5}  {:<24} ({detail})",
+            format!("v{}", var.index()),
+            info.name
+        );
     }
 
     println!("\ndecision order (H1–H4):");

@@ -57,8 +57,14 @@ fn interference_guidance_reduces_decisions_on_safe_instances() {
     // On the 3-worker safe counter the interference-first order must cut
     // the number of decisions — the paper's core claim (Table 2).
     let program = locked_counter(3);
-    let base = verify(&program, &VerifyOptions::new(MemoryModel::Sc, Strategy::Baseline));
-    let zpre = verify(&program, &VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre));
+    let base = verify(
+        &program,
+        &VerifyOptions::new(MemoryModel::Sc, Strategy::Baseline),
+    );
+    let zpre = verify(
+        &program,
+        &VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre),
+    );
     assert_eq!(base.verdict, Verdict::Safe);
     assert_eq!(zpre.verdict, Verdict::Safe);
     assert!(
@@ -72,7 +78,10 @@ fn interference_guidance_reduces_decisions_on_safe_instances() {
 
 #[test]
 fn outcome_metrics_are_populated() {
-    let out = verify(&locked_counter(2), &VerifyOptions::new(MemoryModel::Tso, Strategy::Zpre));
+    let out = verify(
+        &locked_counter(2),
+        &VerifyOptions::new(MemoryModel::Tso, Strategy::Zpre),
+    );
     assert!(out.num_events > 0);
     assert!(out.num_solver_vars > 0);
     assert!(out.class_counts.rf > 0);
@@ -128,7 +137,10 @@ fn wide_datapath_works() {
             assert_(eq(v("x"), c(210_000))),
         ])
         .build();
-    let out = verify(&program, &VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre));
+    let out = verify(
+        &program,
+        &VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre),
+    );
     assert_eq!(out.verdict, Verdict::Safe);
 }
 
@@ -137,7 +149,10 @@ fn seeds_change_polarities_but_not_verdicts() {
     let program = locked_counter(2);
     let mut verdicts = Vec::new();
     for seed in [1u64, 42, 0xDEAD, u64::MAX] {
-        let opts = VerifyOptions { seed, ..VerifyOptions::new(MemoryModel::Pso, Strategy::Zpre) };
+        let opts = VerifyOptions {
+            seed,
+            ..VerifyOptions::new(MemoryModel::Pso, Strategy::Zpre)
+        };
         verdicts.push(verify(&program, &opts).verdict);
     }
     assert!(verdicts.iter().all(|&v| v == Verdict::Safe));

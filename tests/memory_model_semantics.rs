@@ -79,10 +79,8 @@ fn pso_preserved_order_is_a_subset_of_tso() {
     for task in suite(Scale::Quick) {
         let unrolled = unroll_program(&task.program, task.unroll_bound);
         let ssa = to_ssa(&unrolled);
-        let tso: BTreeSet<(usize, usize)> =
-            po_pairs(&ssa, MemoryModel::Tso).into_iter().collect();
-        let pso: BTreeSet<(usize, usize)> =
-            po_pairs(&ssa, MemoryModel::Pso).into_iter().collect();
+        let tso: BTreeSet<(usize, usize)> = po_pairs(&ssa, MemoryModel::Tso).into_iter().collect();
+        let pso: BTreeSet<(usize, usize)> = po_pairs(&ssa, MemoryModel::Pso).into_iter().collect();
         assert!(
             pso.is_subset(&tso),
             "{}: PSO preserves a pair TSO relaxes",
@@ -92,7 +90,10 @@ fn pso_preserved_order_is_a_subset_of_tso() {
             strictly_fewer_somewhere = true;
         }
     }
-    assert!(strictly_fewer_somewhere, "PSO never relaxed anything beyond TSO");
+    assert!(
+        strictly_fewer_somewhere,
+        "PSO never relaxed anything beyond TSO"
+    );
 }
 
 #[test]
@@ -106,8 +107,14 @@ fn paper_example_is_a_store_buffering_shape() {
         .shared("y", 0)
         .shared("m", 0)
         .shared("n", 0)
-        .thread("t1", vec![assign("x", add(v("y"), c(1))), assign("m", v("y"))])
-        .thread("t2", vec![assign("y", add(v("x"), c(1))), assign("n", v("x"))])
+        .thread(
+            "t1",
+            vec![assign("x", add(v("y"), c(1))), assign("m", v("y"))],
+        )
+        .thread(
+            "t2",
+            vec![assign("y", add(v("x"), c(1))), assign("n", v("x"))],
+        )
         .main(vec![
             spawn(1),
             spawn(2),

@@ -11,7 +11,10 @@ use zpre_workloads::{oracle_suite, Task};
 fn oracle_outcome(task: &Task, mm: MemoryModel) -> Outcome {
     let unrolled = unroll_program(&task.program, task.unroll_bound);
     let fp = flatten(&unrolled);
-    let limits = Limits { max_states: 30_000_000, ..Limits::default() };
+    let limits = Limits {
+        max_states: 30_000_000,
+        ..Limits::default()
+    };
     match mm {
         MemoryModel::Sc => check_sc(&fp, limits),
         _ => check_wmm(&fp, mm, limits),

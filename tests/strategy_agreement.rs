@@ -2,7 +2,7 @@
 //! ZPRE⁻, ZPRE, and all ablations) must return the same verdict on every
 //! task under every memory model.
 
-use zpre::{verify, Strategy, Verdict, VerifyOptions};
+use zpre::{verify, verify_portfolio, PortfolioOptions, Strategy, Verdict, VerifyOptions};
 use zpre_prog::MemoryModel;
 use zpre_workloads::{suite, Scale};
 
@@ -36,6 +36,35 @@ fn all_strategies_agree_on_the_quick_suite() {
 }
 
 #[test]
+fn portfolio_agrees_with_single_strategy_zpre() {
+    // The portfolio may pick any winner, but its verdict must be the one
+    // plain ZPRE produces (which the sweep above ties to every other
+    // strategy and to ground truth).
+    for task in suite(Scale::Quick) {
+        for mm in MemoryModel::ALL {
+            let opts = VerifyOptions {
+                unroll_bound: task.unroll_bound,
+                ..VerifyOptions::new(mm, Strategy::Zpre)
+            };
+            let single = verify(&task.program, &opts).verdict;
+            let folio = verify_portfolio(&task.program, &PortfolioOptions::new(opts));
+            assert_eq!(
+                folio.verdict(),
+                single,
+                "{} {mm}: portfolio (winner {:?}) disagrees with zpre",
+                task.name,
+                folio.winner
+            );
+            assert!(
+                folio.winner.is_some(),
+                "{} {mm}: portfolio undecided",
+                task.name
+            );
+        }
+    }
+}
+
+#[test]
 fn verdicts_are_seed_independent() {
     // The random polarity must not affect the answer.
     for task in suite(Scale::Quick).into_iter().take(6) {
@@ -46,7 +75,11 @@ fn verdicts_are_seed_independent() {
                 ..VerifyOptions::new(MemoryModel::Tso, Strategy::Zpre)
             };
             let v = verify(&task.program, &opts).verdict;
-            assert!(task.expected.matches(MemoryModel::Tso, v), "{} seed {seed}", task.name);
+            assert!(
+                task.expected.matches(MemoryModel::Tso, v),
+                "{} seed {seed}",
+                task.name
+            );
         }
     }
 }

@@ -1,0 +1,120 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to a crates registry, so the workspace
+//! vendors a minimal benchmark runner covering the API the `zpre-bench`
+//! benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `finish`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a plain
+//! mean-over-samples timer — adequate for eyeballing relative strategy
+//! cost, with none of criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { _parent: self, name, sample_size: 20 }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `routine` and prints a one-line summary.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        routine(&mut b);
+        let total: Duration = b.samples.iter().sum();
+        let mean = total.checked_div(b.samples.len().max(1) as u32).unwrap_or_default();
+        println!(
+            "  {}/{id}: mean {:.3} ms over {} samples",
+            self.name,
+            mean.as_secs_f64() * 1e3,
+            b.samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (printing nothing extra; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` once as warm-up, then `sample_size` timed times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0;
+        group.bench_function("id", |b| b.iter(|| calls += 1));
+        group.finish();
+        // One warm-up plus three samples.
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to a crates registry, so the workspace
+//! vendors a minimal, dependency-free implementation of exactly the API
+//! surface zpre uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the
+//! `RngExt` extension methods `random_range` / `random_bool`. The generator
+//! is a splitmix64 stream — deterministic per seed, which is all the seeded
+//! workload generators require (statistical quality far beyond "not visibly
+//! patterned" is not needed there).
+
+use std::ops::Range;
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Pseudo-random generators: the raw stream plus derived samplers.
+pub trait RngExt {
+    /// Next 64 raw bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open range. Panics if the range is empty.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 bits of mantissa gives a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Types uniformly sampleable from a half-open range.
+pub trait SampleUniform: Copy {
+    /// A uniform value in `[lo, hi)`.
+    fn sample<R: RngExt + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngExt + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Modulo bias is < 2^-64 * span: irrelevant for the small
+                // spans the workload generators draw from.
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// The "standard" generator: here a splitmix64 stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            StdRng { state }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = rng.random_range(0usize..6);
+            assert!(v < 6);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all bucket values reachable");
+        for _ in 0..100 {
+            let v = rng.random_range(1..4u64);
+            assert!((1..4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..2000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((700..1300).contains(&heads), "got {heads}/2000 heads");
+    }
+}

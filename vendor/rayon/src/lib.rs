@@ -1,0 +1,117 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no access to a crates registry, so the workspace
+//! vendors a minimal replacement for the one pattern zpre uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()`. Items are split into
+//! contiguous chunks, one per available core, and mapped on scoped threads;
+//! the chunk results are concatenated in order, so `collect` preserves input
+//! order exactly as rayon's indexed parallel iterators do.
+
+use std::num::NonZeroUsize;
+
+/// The customary import surface.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Conversion of `&self` into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The referenced item type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f` (in parallel once collected).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// The result of [`ParIter::map`]; consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map on scoped worker threads and gathers the results in
+    /// input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(self.items.len().max(1));
+        if threads <= 1 {
+            return C::from(self.items.iter().map(&self.f).collect());
+        }
+        let chunk = self.items.len().div_ceil(threads);
+        let f = &self.f;
+        let mut out: Vec<R> = Vec::with_capacity(self.items.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("rayon stub worker panicked"));
+            }
+        });
+        C::from(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}
