@@ -372,6 +372,8 @@ mod tests {
             expected_ok: true,
             winner: None,
             cancel_latency_ms: None,
+            certified: None,
+            quarantined: None,
         }
     }
 

@@ -2,7 +2,7 @@
 
 use rayon::prelude::*;
 use std::time::Duration;
-use zpre::{verify, verify_portfolio, PortfolioOptions, Strategy, Verdict, VerifyOptions};
+use zpre::{try_verify, verify_portfolio, PortfolioOptions, Strategy, Verdict, VerifyOptions};
 use zpre_prog::MemoryModel;
 use zpre_workloads::{Scale, Subcat, Task};
 
@@ -20,6 +20,10 @@ pub struct RunConfig {
     pub seed: u64,
     /// Validate extracted counterexample executions.
     pub validate: bool,
+    /// Certify every verdict (RUP-checked proofs for Safe, replayed
+    /// witnesses for Unsafe); rejected verdicts are reported as
+    /// `"rejected"` instead of crashing the suite.
+    pub certify: bool,
 }
 
 impl Default for RunConfig {
@@ -30,6 +34,7 @@ impl Default for RunConfig {
             timeout: None,
             seed: 0xC0FFEE,
             validate: true,
+            certify: false,
         }
     }
 }
@@ -67,6 +72,11 @@ pub struct TaskResult {
     /// Portfolio rows only: milliseconds from the winner's cancellation
     /// signal until the last loser actually stopped.
     pub cancel_latency_ms: Option<f64>,
+    /// Certified rows only: one-line certificate summary.
+    pub certified: Option<String>,
+    /// Portfolio rows only: members quarantined after a panic or a
+    /// certification failure, `;`-separated.
+    pub quarantined: Option<String>,
 }
 
 impl TaskResult {
@@ -117,23 +127,48 @@ pub fn run_one(task: &Task, mm: MemoryModel, strategy: Strategy, cfg: &RunConfig
         validate_models: cfg.validate,
         want_trace: false,
         cancel: None,
+        certify: cfg.certify,
+        fault: None,
     };
-    let out = verify(&task.program, &opts);
-    TaskResult {
-        task: task.name.clone(),
-        subcat: task.subcat.name().to_string(),
-        mm: mm.name().to_string(),
-        strategy: strategy.name().to_string(),
-        verdict: verdict_str(out.verdict).to_string(),
-        solve_ms: out.solve_time.as_secs_f64() * 1e3,
-        encode_ms: out.encode_time.as_secs_f64() * 1e3,
-        decisions: out.stats.decisions,
-        propagations: out.stats.propagations,
-        conflicts: out.stats.conflicts,
-        guided_decisions: out.stats.guided_decisions,
-        expected_ok: task.expected.matches(mm, out.verdict),
-        winner: None,
-        cancel_latency_ms: None,
+    match try_verify(&task.program, &opts) {
+        Ok(out) => TaskResult {
+            task: task.name.clone(),
+            subcat: task.subcat.name().to_string(),
+            mm: mm.name().to_string(),
+            strategy: strategy.name().to_string(),
+            verdict: verdict_str(out.verdict).to_string(),
+            solve_ms: out.solve_time.as_secs_f64() * 1e3,
+            encode_ms: out.encode_time.as_secs_f64() * 1e3,
+            decisions: out.stats.decisions,
+            propagations: out.stats.propagations,
+            conflicts: out.stats.conflicts,
+            guided_decisions: out.stats.guided_decisions,
+            expected_ok: task.expected.matches(mm, out.verdict),
+            winner: None,
+            cancel_latency_ms: None,
+            certified: out.certificate.as_ref().map(|c| c.summary()),
+            quarantined: None,
+        },
+        // A rejected verdict (certification failure) is recorded, not
+        // propagated as a panic: one bad row must not sink the suite.
+        Err(e) => TaskResult {
+            task: task.name.clone(),
+            subcat: task.subcat.name().to_string(),
+            mm: mm.name().to_string(),
+            strategy: strategy.name().to_string(),
+            verdict: "rejected".to_string(),
+            solve_ms: 0.0,
+            encode_ms: 0.0,
+            decisions: 0,
+            propagations: 0,
+            conflicts: 0,
+            guided_decisions: 0,
+            expected_ok: false,
+            winner: None,
+            cancel_latency_ms: None,
+            certified: Some(format!("rejected: {e}")),
+            quarantined: None,
+        },
     }
 }
 
@@ -159,6 +194,8 @@ pub fn run_one_portfolio(task: &Task, mm: MemoryModel, cfg: &RunConfig) -> TaskR
         validate_models: cfg.validate,
         want_trace: false,
         cancel: None,
+        certify: cfg.certify,
+        fault: None,
     };
     let folio = verify_portfolio(&task.program, &PortfolioOptions::new(base));
     let out = &folio.outcome;
@@ -177,6 +214,12 @@ pub fn run_one_portfolio(task: &Task, mm: MemoryModel, cfg: &RunConfig) -> TaskR
         expected_ok: task.expected.matches(mm, out.verdict),
         winner: folio.winner.clone(),
         cancel_latency_ms: folio.cancel_latency.map(|d| d.as_secs_f64() * 1e3),
+        certified: out.certificate.as_ref().map(|c| c.summary()),
+        quarantined: if folio.quarantined.is_empty() {
+            None
+        } else {
+            Some(folio.quarantined.join(";"))
+        },
     }
 }
 
@@ -200,11 +243,15 @@ pub fn run_suite_portfolio(
 /// Serializes results as CSV.
 pub fn to_csv(results: &[TaskResult]) -> String {
     let mut out = String::from(
-        "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok,winner,cancel_latency_ms\n",
+        "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok,winner,cancel_latency_ms,certified,quarantined\n",
     );
+    // Certificate summaries contain commas; quote free-text columns.
+    fn quoted(s: Option<&str>) -> String {
+        s.map_or(String::new(), |s| format!("\"{}\"", s.replace('"', "\"\"")))
+    }
     for r in results {
         out.push_str(&format!(
-            "{},{},{},{},{},{:.3},{:.3},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{:.3},{:.3},{},{},{},{},{},{},{},{},{}\n",
             r.task,
             r.subcat,
             r.mm,
@@ -219,7 +266,9 @@ pub fn to_csv(results: &[TaskResult]) -> String {
             r.expected_ok,
             r.winner.as_deref().unwrap_or(""),
             r.cancel_latency_ms
-                .map_or(String::new(), |l| format!("{l:.3}"))
+                .map_or(String::new(), |l| format!("{l:.3}")),
+            quoted(r.certified.as_deref()),
+            quoted(r.quarantined.as_deref())
         ));
     }
     out
@@ -234,7 +283,7 @@ pub fn to_json(results: &[TaskResult]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\n    \"task\": \"{}\",\n    \"subcat\": \"{}\",\n    \"mm\": \"{}\",\n    \"strategy\": \"{}\",\n    \"verdict\": \"{}\",\n    \"solve_ms\": {:.3},\n    \"encode_ms\": {:.3},\n    \"decisions\": {},\n    \"propagations\": {},\n    \"conflicts\": {},\n    \"guided_decisions\": {},\n    \"expected_ok\": {},\n    \"winner\": {},\n    \"cancel_latency_ms\": {}\n  }}{}\n",
+            "  {{\n    \"task\": \"{}\",\n    \"subcat\": \"{}\",\n    \"mm\": \"{}\",\n    \"strategy\": \"{}\",\n    \"verdict\": \"{}\",\n    \"solve_ms\": {:.3},\n    \"encode_ms\": {:.3},\n    \"decisions\": {},\n    \"propagations\": {},\n    \"conflicts\": {},\n    \"guided_decisions\": {},\n    \"expected_ok\": {},\n    \"winner\": {},\n    \"cancel_latency_ms\": {},\n    \"certified\": {},\n    \"quarantined\": {}\n  }}{}\n",
             esc(&r.task),
             esc(&r.subcat),
             esc(&r.mm),
@@ -249,6 +298,8 @@ pub fn to_json(results: &[TaskResult]) -> String {
             r.expected_ok,
             r.winner.as_deref().map_or("null".to_string(), |w| format!("\"{}\"", esc(w))),
             r.cancel_latency_ms.map_or("null".to_string(), |l| format!("{l:.3}")),
+            r.certified.as_deref().map_or("null".to_string(), |c| format!("\"{}\"", esc(c))),
+            r.quarantined.as_deref().map_or("null".to_string(), |q| format!("\"{}\"", esc(q))),
             if i + 1 == results.len() { "" } else { "," }
         ));
     }

@@ -4,6 +4,7 @@
 //! zpre-cli verify FILE [--mm sc|tso|pso|all] [--strategy NAME] [--portfolio]
 //!                      [--unroll N] [--bmc MAXBOUND] [--budget CONFLICTS]
 //!                      [--seed N] [--stats] [--trace]
+//!                      [--certify] [--replay-witness] [--json]
 //! zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]
 //! zpre-cli dump   FILE [--mm sc|tso|pso] [--unroll N]
 //! zpre-cli pretty FILE
@@ -14,10 +15,19 @@
 //! `oracle` runs the explicit-state reference checker (exhaustive, for
 //! small programs); `dump` emits the verification condition as SMT-LIB 2;
 //! `pretty` parses and re-prints the program.
+//!
+//! `--certify` (and its witness-focused alias `--replay-witness`) asks the
+//! pipeline to certify definitive verdicts: Safe verdicts carry a
+//! RUP-checked proof with every theory lemma independently re-justified,
+//! Unsafe verdicts replay their witness through the concrete interpreter.
+//! A verdict whose evidence fails certification is reported on stderr and
+//! the process exits with failure. `--json` prints one JSON object per
+//! memory model instead of the human-readable lines.
 
 use std::process::ExitCode;
 use zpre::{
-    verify, verify_bmc, verify_portfolio, PortfolioOptions, Strategy, Verdict, VerifyOptions,
+    try_verify, verify_bmc, verify_portfolio, Certificate, PortfolioOptions, Strategy, Verdict,
+    VerifyOptions,
 };
 use zpre_prog::interp::{check_sc, Limits, Outcome};
 use zpre_prog::wmm::check_wmm;
@@ -26,13 +36,45 @@ use zpre_prog::{flatten, parse_program, pretty, unroll_program, MemoryModel, Pro
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  zpre-cli verify FILE [--mm sc|tso|pso|all] [--strategy NAME] [--portfolio] \
-         [--unroll N] [--bmc MAXBOUND] [--budget CONFLICTS] [--seed N] [--stats] [--trace]\n  \
+         [--unroll N] [--bmc MAXBOUND] [--budget CONFLICTS] [--seed N] [--stats] [--trace] \
+         [--certify] [--replay-witness] [--json]\n  \
          zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]\n  \
          zpre-cli dump FILE [--mm sc|tso|pso] [--unroll N]\n  \
          zpre-cli pretty FILE\n\nstrategies: baseline zpre- zpre zpre-h2 zpre-h3 \
          zpre-fixed-true zpre-no-revprop branch-cond"
     );
     ExitCode::from(2)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON fragment describing a certificate (or its absence).
+fn certificate_json(cert: Option<&Certificate>) -> String {
+    match cert {
+        Some(Certificate::Safe {
+            lemmas_checked,
+            proof_steps,
+        }) => format!(
+            "{{\"kind\":\"safe\",\"lemmas_checked\":{lemmas_checked},\
+             \"proof_steps\":{proof_steps},\"rup\":\"ok\"}}"
+        ),
+        Some(Certificate::Unsafe { replayed_steps }) => format!(
+            "{{\"kind\":\"unsafe\",\"replayed_steps\":{replayed_steps},\"replay\":\"confirmed\"}}"
+        ),
+        None => "null".to_string(),
+    }
 }
 
 fn parse_strategy(name: &str) -> Option<Strategy> {
@@ -193,6 +235,8 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     let mut show_stats = false;
     let mut want_trace = false;
     let mut portfolio = false;
+    let mut certify = false;
+    let mut json = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -229,12 +273,18 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             "--stats" => show_stats = true,
             "--trace" => want_trace = true,
             "--portfolio" => portfolio = true,
+            "--certify" | "--replay-witness" => certify = true,
+            "--json" => json = true,
             _ => return usage(),
         }
         i += 1;
     }
     if portfolio && bmc.is_some() {
         eprintln!("--portfolio cannot be combined with --bmc");
+        return usage();
+    }
+    if certify && bmc.is_some() {
+        eprintln!("--certify cannot be combined with --bmc");
         return usage();
     }
     let program = match load(path) {
@@ -258,30 +308,76 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             validate_models: true,
             want_trace,
             cancel: None,
+            certify,
+            fault: None,
         };
         if portfolio {
             let folio = verify_portfolio(&program, &PortfolioOptions::new(opts));
             let verdict = folio.verdict();
-            if let Some(trace) = &folio.outcome.trace {
-                print!("{trace}");
-            }
-            let winner = folio.winner.as_deref().unwrap_or("none");
-            println!(
-                "{}: {} under {} with portfolio (winner {}) [{:.2?}]",
-                program.name, verdict, mm, winner, folio.outcome.solve_time
-            );
-            if show_stats {
-                for m in &folio.members {
-                    println!(
-                        "  {:<16} {:<8} [{:.2?}]{}",
-                        m.name,
-                        m.verdict.to_string(),
-                        m.time,
-                        if m.cancelled { " (cancelled)" } else { "" }
-                    );
+            if json {
+                let winner = folio
+                    .winner
+                    .as_deref()
+                    .map(|w| format!("\"{}\"", json_escape(w)))
+                    .unwrap_or_else(|| "null".to_string());
+                let quarantined: Vec<String> = folio
+                    .quarantined
+                    .iter()
+                    .map(|q| format!("\"{}\"", json_escape(q)))
+                    .collect();
+                let reason = folio
+                    .unknown_reason
+                    .as_deref()
+                    .map(|r| format!("\"{}\"", json_escape(r)))
+                    .unwrap_or_else(|| "null".to_string());
+                println!(
+                    "{{\"program\":\"{}\",\"mm\":\"{}\",\"mode\":\"portfolio\",\
+                     \"verdict\":\"{}\",\"winner\":{},\"quarantined\":[{}],\
+                     \"unknown_reason\":{},\"certificate\":{},\"solve_time_ms\":{:.3}}}",
+                    json_escape(&program.name),
+                    mm.name(),
+                    verdict,
+                    winner,
+                    quarantined.join(","),
+                    reason,
+                    certificate_json(folio.outcome.certificate.as_ref()),
+                    folio.outcome.solve_time.as_secs_f64() * 1e3,
+                );
+            } else {
+                if let Some(trace) = &folio.outcome.trace {
+                    print!("{trace}");
                 }
-                if let Some(latency) = folio.cancel_latency {
-                    println!("  cancellation latency {latency:.2?}");
+                let winner = folio.winner.as_deref().unwrap_or("none");
+                println!(
+                    "{}: {} under {} with portfolio (winner {}) [{:.2?}]",
+                    program.name, verdict, mm, winner, folio.outcome.solve_time
+                );
+                if let Some(cert) = &folio.outcome.certificate {
+                    println!("  certificate: {}", cert.summary());
+                }
+                if !folio.quarantined.is_empty() {
+                    println!("  quarantined: {}", folio.quarantined.join(", "));
+                }
+                if let Some(reason) = &folio.unknown_reason {
+                    println!("  unknown reason: {reason}");
+                }
+                if show_stats {
+                    for m in &folio.members {
+                        println!(
+                            "  {:<16} {:<8} [{:.2?}]{}{}",
+                            m.name,
+                            m.verdict.to_string(),
+                            m.time,
+                            if m.cancelled { " (cancelled)" } else { "" },
+                            m.error
+                                .as_deref()
+                                .map(|e| format!(" (quarantined: {e})"))
+                                .unwrap_or_default()
+                        );
+                    }
+                    if let Some(latency) = folio.cancel_latency {
+                        println!("  cancellation latency {latency:.2?}");
+                    }
                 }
             }
             any_unsafe |= verdict == Verdict::Unsafe;
@@ -298,35 +394,61 @@ fn cmd_verify(args: &[String]) -> ExitCode {
                 .expect("at least one bound");
             (sweep.verdict, last, Some(bound))
         } else {
-            let out = verify(&program, &opts);
-            (out.verdict, out, None)
+            match try_verify(&program, &opts) {
+                Ok(out) => (out.verdict, out, None),
+                Err(e) => {
+                    eprintln!("{}: verdict rejected under {}: {e}", program.name, mm);
+                    return ExitCode::FAILURE;
+                }
+            }
         };
-        if let Some(trace) = &outcome.trace {
-            print!("{trace}");
-        }
-        let bound_note = bound.map_or(String::new(), |b| format!(" at bound {b}"));
-        println!(
-            "{}: {} under {} with {}{} [{:.2?}]",
-            program.name, verdict, mm, strategy, bound_note, outcome.solve_time
-        );
-        if show_stats {
+        if json {
             println!(
-                "  events {}  vars {}  (ssa {}, ord {}, rf {}, ws {})",
+                "{{\"program\":\"{}\",\"mm\":\"{}\",\"strategy\":\"{}\",\"verdict\":\"{}\",\
+                 \"certificate\":{},\"events\":{},\"vars\":{},\"decisions\":{},\
+                 \"conflicts\":{},\"solve_time_ms\":{:.3}}}",
+                json_escape(&program.name),
+                mm.name(),
+                strategy,
+                verdict,
+                certificate_json(outcome.certificate.as_ref()),
                 outcome.num_events,
                 outcome.num_solver_vars,
-                outcome.class_counts.ssa,
-                outcome.class_counts.ord,
-                outcome.class_counts.rf,
-                outcome.class_counts.ws
-            );
-            println!(
-                "  decisions {} (guided {})  propagations {}  conflicts {}  restarts {}",
                 outcome.stats.decisions,
-                outcome.stats.guided_decisions,
-                outcome.stats.propagations,
                 outcome.stats.conflicts,
-                outcome.stats.restarts
+                outcome.solve_time.as_secs_f64() * 1e3,
             );
+        } else {
+            if let Some(trace) = &outcome.trace {
+                print!("{trace}");
+            }
+            let bound_note = bound.map_or(String::new(), |b| format!(" at bound {b}"));
+            println!(
+                "{}: {} under {} with {}{} [{:.2?}]",
+                program.name, verdict, mm, strategy, bound_note, outcome.solve_time
+            );
+            if let Some(cert) = &outcome.certificate {
+                println!("  certificate: {}", cert.summary());
+            }
+            if show_stats {
+                println!(
+                    "  events {}  vars {}  (ssa {}, ord {}, rf {}, ws {})",
+                    outcome.num_events,
+                    outcome.num_solver_vars,
+                    outcome.class_counts.ssa,
+                    outcome.class_counts.ord,
+                    outcome.class_counts.rf,
+                    outcome.class_counts.ws
+                );
+                println!(
+                    "  decisions {} (guided {})  propagations {}  conflicts {}  restarts {}",
+                    outcome.stats.decisions,
+                    outcome.stats.guided_decisions,
+                    outcome.stats.propagations,
+                    outcome.stats.conflicts,
+                    outcome.stats.restarts
+                );
+            }
         }
         any_unsafe |= verdict == Verdict::Unsafe;
         any_unknown |= verdict == Verdict::Unknown;

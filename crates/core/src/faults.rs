@@ -1,0 +1,78 @@
+//! Fault injection for the certification layer.
+//!
+//! Certification is only worth its overhead if it actually *rejects*
+//! corrupted evidence. This module defines a small set of injectable
+//! faults — each corrupting one artifact the certifier relies on — and the
+//! hooks [`crate::verifier`] uses to apply them. The test matrix in
+//! `tests/` runs every fault against Safe and Unsafe programs and asserts
+//! the certifier fails closed (a typed [`crate::VerifyError::Certification`],
+//! never a crash, never a silently accepted verdict).
+//!
+//! Faults are applied *inside* the pipeline, after solving but before
+//! certification (except [`Fault::ShuffleGuideOrder`], which perturbs the
+//! decision heuristic before solving — a benign control demonstrating the
+//! certificate does not depend on heuristic luck).
+
+use zpre_sat::{Lit, Proof, ProofStep, Var};
+use zpre_smt::TheoryLemma;
+
+/// One injectable fault.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Reverse the interference decision order before solving. Benign:
+    /// the verdict and its certificate must be unaffected.
+    ShuffleGuideOrder,
+    /// Drop every recorded theory-lemma justification, as if the theory
+    /// had emitted lemmas without being able to explain them.
+    DropLemmas,
+    /// Forge an unjustified theory lemma into the proof (a unit clause
+    /// whose journal entry has an empty cycle).
+    ForgeLemma,
+    /// Drop the last `n` proof steps, as if the proof log was cut short.
+    TruncateProof(usize),
+    /// Flip the low bit of the first scheduled access value of the
+    /// witness, as if the model extraction misread the assignment.
+    FlipModelBit,
+}
+
+impl Fault {
+    /// Every fault kind, for test matrices.
+    pub const ALL: [Fault; 5] = [
+        Fault::ShuffleGuideOrder,
+        Fault::DropLemmas,
+        Fault::ForgeLemma,
+        Fault::TruncateProof(1),
+        Fault::FlipModelBit,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::ShuffleGuideOrder => "shuffle-guide-order",
+            Fault::DropLemmas => "drop-lemmas",
+            Fault::ForgeLemma => "forge-lemma",
+            Fault::TruncateProof(_) => "truncate-proof",
+            Fault::FlipModelBit => "flip-model-bit",
+        }
+    }
+}
+
+/// Applies a proof-side fault to the artifacts of a Safe certification.
+pub(crate) fn corrupt_proof(fault: Fault, proof: &mut Proof, journal: &mut Vec<TheoryLemma>) {
+    match fault {
+        Fault::DropLemmas => journal.clear(),
+        Fault::ForgeLemma => {
+            let clause = vec![Lit::new(Var::new(0), true)];
+            journal.push(TheoryLemma {
+                clause: clause.clone(),
+                cycle: Vec::new(),
+            });
+            proof.steps.push(ProofStep::Lemma(clause));
+        }
+        Fault::TruncateProof(n) => {
+            let keep = proof.steps.len().saturating_sub(n);
+            proof.steps.truncate(keep);
+        }
+        Fault::ShuffleGuideOrder | Fault::FlipModelBit => {}
+    }
+}

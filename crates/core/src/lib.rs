@@ -43,27 +43,35 @@
 #![warn(missing_docs)]
 
 pub mod bmc;
+pub mod certify;
 pub mod decision_order;
+pub mod errors;
+pub mod faults;
 pub mod portfolio;
 pub mod strategy;
 pub mod trace;
 pub mod verifier;
 
 pub use bmc::{verify_bmc, BmcOutcome};
+pub use certify::Certificate;
 pub use decision_order::{decision_order, prior_to, Refinements};
+pub use errors::VerifyError;
+pub use faults::Fault;
 pub use portfolio::{
     verify_portfolio, verify_ssa_portfolio, MemberResult, PortfolioMember, PortfolioOptions,
     PortfolioOutcome,
 };
 pub use strategy::Strategy;
 pub use trace::{Trace, TraceStep};
-pub use verifier::{verify, verify_ssa, Verdict, VerifyOptions, VerifyOutcome};
+pub use verifier::{
+    try_verify, try_verify_ssa, verify, verify_ssa, Verdict, VerifyOptions, VerifyOutcome,
+};
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use crate::{
-        verify, verify_portfolio, PortfolioOptions, PortfolioOutcome, Strategy, Verdict,
-        VerifyOptions, VerifyOutcome,
+        try_verify, verify, verify_portfolio, Certificate, PortfolioOptions, PortfolioOutcome,
+        Strategy, Verdict, VerifyError, VerifyOptions, VerifyOutcome,
     };
     pub use zpre_prog::build::*;
     pub use zpre_prog::{MemoryModel, Program, Stmt};

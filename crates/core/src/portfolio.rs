@@ -9,6 +9,17 @@
 //! shared [`CancelToken`] stops the losers within a bounded work stride
 //! (see `zpre_sat::Budget`).
 //!
+//! Fault tolerance: every member runs under `catch_unwind`, so a member
+//! that panics — or fails with a typed [`VerifyError`], e.g. a rejected
+//! certification — is *quarantined* (recorded in
+//! [`PortfolioOutcome::quarantined`] with its error in
+//! [`MemberResult::error`]) while the survivors keep racing. If no member
+//! reaches a definitive verdict and at least one was quarantined, the
+//! portfolio makes one bounded retry (baseline strategy, fresh seed)
+//! before settling on [`Verdict::Unknown`] with a reason. Disagreement
+//! between definitive members — a solver bug — is likewise surfaced as an
+//! `Unknown` with a reason rather than a crash.
+//!
 //! Determinism notes: the *verdict* is deterministic (every member solves
 //! the same instance and strategy agreement is an invariant, cross-checked
 //! here), but the *winner* and the statistics are race-dependent. Each
@@ -16,11 +27,13 @@
 //! member that exhausts `max_conflicts` reports `Unknown` exactly as in a
 //! single-strategy run.
 
+use crate::errors::VerifyError;
 use crate::strategy::Strategy;
-use crate::verifier::{verify_ssa, Verdict, VerifyOptions, VerifyOutcome};
+use crate::verifier::{verify_ssa_inner, Verdict, VerifyOptions, VerifyOutcome};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
-use zpre_prog::{to_ssa, unroll_program, Program, SsaProgram};
+use zpre_prog::{flatten, to_ssa, unroll_program, FlatProgram, Program, SsaProgram};
 use zpre_sat::CancelToken;
 
 /// One racing configuration.
@@ -85,25 +98,36 @@ pub struct MemberResult {
     pub name: String,
     /// Its strategy.
     pub strategy: Strategy,
-    /// Its verdict: `Unknown` for cancelled losers and budget exhaustion.
+    /// Its verdict: `Unknown` for cancelled losers, budget exhaustion, and
+    /// quarantined members.
     pub verdict: Verdict,
     /// Its wall-clock time (encode + solve) inside the race.
     pub time: Duration,
     /// `true` when the member was still running as the winner finished
     /// (its `Unknown` is a cancellation, not a budget exhaustion).
     pub cancelled: bool,
+    /// Why the member was quarantined: the panic message or the typed
+    /// error's rendering. `None` for healthy members.
+    pub error: Option<String>,
 }
 
 /// Result of a portfolio run.
 #[derive(Clone, Debug)]
 pub struct PortfolioOutcome {
-    /// The winning member's full outcome (or, when no member was
-    /// definitive, the first member's `Unknown` outcome).
+    /// The winning member's full outcome (or a synthesized `Unknown`
+    /// outcome when no member was definitive).
     pub outcome: VerifyOutcome,
-    /// Winning member's name; `None` when every member returned `Unknown`.
+    /// Winning member's name; `None` when every member returned `Unknown`
+    /// or was quarantined.
     pub winner: Option<String>,
-    /// Per-member results in `PortfolioOptions::members` order.
+    /// Per-member results in `PortfolioOptions::members` order (plus a
+    /// trailing entry for the bounded retry, when one ran).
     pub members: Vec<MemberResult>,
+    /// Names of members that panicked or failed with a typed error.
+    pub quarantined: Vec<String>,
+    /// Why the race ended `Unknown`, when it did without a plain budget
+    /// exhaustion (member failures, disagreement).
+    pub unknown_reason: Option<String>,
     /// Time from the winning verdict until the last loser stopped — the
     /// observable cancellation latency. `None` without a winner.
     pub cancel_latency: Option<Duration>,
@@ -117,29 +141,81 @@ impl PortfolioOutcome {
 }
 
 /// Unrolls + SSA-converts `prog` once, then races the portfolio over it.
+///
+/// When `base.certify` is set, the flat lowering is shared with every
+/// member so certified `Unsafe` verdicts can replay their witness.
 pub fn verify_portfolio(prog: &Program, opts: &PortfolioOptions) -> PortfolioOutcome {
     let unrolled = unroll_program(prog, opts.base.unroll_bound);
     let ssa = to_ssa(&unrolled);
-    verify_ssa_portfolio(&ssa, opts)
+    let flat = opts.base.certify.then(|| flatten(&unrolled));
+    portfolio_inner(&ssa, opts, flat.as_ref())
 }
 
 /// Races all members over the same SSA program on scoped threads.
 ///
-/// # Panics
-///
-/// Panics when two definitive members disagree: strategies are
-/// answer-equivalent by construction, so a disagreement is a solver bug
-/// that must not be masked by racing.
+/// Certified `Unsafe` verdicts fail closed here (no flat program to replay
+/// against); use [`verify_portfolio`] for certified runs.
 pub fn verify_ssa_portfolio(ssa: &SsaProgram, opts: &PortfolioOptions) -> PortfolioOutcome {
+    portfolio_inner(ssa, opts, None)
+}
+
+/// One member's run, quarantined: a panic becomes an `Err(String)`, as
+/// does a typed [`VerifyError`].
+fn run_member(
+    ssa: &SsaProgram,
+    opts: &VerifyOptions,
+    flat: Option<&FlatProgram>,
+) -> Result<VerifyOutcome, String> {
+    let run = || verify_ssa_inner(ssa, opts, Instant::now(), flat);
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(Ok(outcome)) => Ok(outcome),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            Err(VerifyError::MemberPanic {
+                member: opts.strategy.name().to_string(),
+                message: msg,
+            }
+            .to_string())
+        }
+    }
+}
+
+/// A synthesized `Unknown` outcome for races without a definitive member.
+fn unknown_outcome(ssa: &SsaProgram) -> VerifyOutcome {
+    VerifyOutcome {
+        verdict: Verdict::Unknown,
+        stats: Default::default(),
+        solve_time: Duration::ZERO,
+        encode_time: Duration::ZERO,
+        num_events: ssa.events.len(),
+        class_counts: Default::default(),
+        num_solver_vars: 0,
+        trace: None,
+        certificate: None,
+    }
+}
+
+fn portfolio_inner(
+    ssa: &SsaProgram,
+    opts: &PortfolioOptions,
+    flat: Option<&FlatProgram>,
+) -> PortfolioOutcome {
     assert!(
         !opts.members.is_empty(),
         "portfolio needs at least one member"
     );
     let token = CancelToken::new();
     let external = opts.base.cancel.clone();
-    let (tx, rx) = mpsc::channel::<(usize, VerifyOutcome, Duration)>();
+    type Report = (usize, Result<VerifyOutcome, String>, Duration);
+    let (tx, rx) = mpsc::channel::<Report>();
 
-    let mut slots: Vec<Option<(VerifyOutcome, Duration)>> = vec![None; opts.members.len()];
+    let mut slots: Vec<Option<(Result<VerifyOutcome, String>, Duration)>> =
+        vec![None; opts.members.len()];
     let mut first_definitive: Option<usize> = None;
     let mut cancelled_at: Option<Instant> = None;
     let mut cancel_latency: Option<Duration> = None;
@@ -153,10 +229,10 @@ pub fn verify_ssa_portfolio(ssa: &SsaProgram, opts: &PortfolioOptions) -> Portfo
             member_opts.cancel = Some(token.clone());
             scope.spawn(move || {
                 let t0 = Instant::now();
-                let outcome = verify_ssa(ssa, &member_opts);
+                let report = run_member(ssa, &member_opts, flat);
                 // The receiver hangs up after processing every member, so a
                 // send can only fail if the scope is already unwinding.
-                let _ = tx.send((i, outcome, t0.elapsed()));
+                let _ = tx.send((i, report, t0.elapsed()));
             });
         }
         drop(tx);
@@ -165,7 +241,7 @@ pub fn verify_ssa_portfolio(ssa: &SsaProgram, opts: &PortfolioOptions) -> Portfo
             // Poll with a timeout so an external cancellation (a token in
             // `base.cancel`, tripped by a caller) propagates to members
             // mid-race instead of only between results.
-            let (i, outcome, elapsed) = match rx.recv_timeout(Duration::from_millis(5)) {
+            let (i, report, elapsed) = match rx.recv_timeout(Duration::from_millis(5)) {
                 Ok(msg) => msg,
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     if external.as_ref().is_some_and(CancelToken::is_cancelled) {
@@ -175,56 +251,154 @@ pub fn verify_ssa_portfolio(ssa: &SsaProgram, opts: &PortfolioOptions) -> Portfo
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
             };
-            if outcome.verdict != Verdict::Unknown && first_definitive.is_none() {
+            let definitive = matches!(&report, Ok(o) if o.verdict != Verdict::Unknown);
+            if definitive && first_definitive.is_none() {
                 first_definitive = Some(i);
                 token.cancel();
                 cancelled_at = Some(Instant::now());
             }
-            slots[i] = Some((outcome, elapsed));
+            slots[i] = Some((report, elapsed));
         }
         // All members have returned; the losers' stop latency is the time
         // since the winner tripped the token.
         cancel_latency = cancelled_at.map(|t| t.elapsed());
     });
 
-    let results: Vec<(VerifyOutcome, Duration)> = slots
+    let results: Vec<(Result<VerifyOutcome, String>, Duration)> = slots
         .into_iter()
-        .map(|s| s.expect("every member reports exactly once"))
+        .map(|s| s.unwrap_or_else(|| (Err("member never reported".to_string()), Duration::ZERO)))
         .collect();
 
-    // Cross-check: every definitive verdict must agree with the winner's.
-    if let Some(win) = first_definitive {
-        let winner_verdict = results[win].0.verdict;
-        for (member, (outcome, _)) in opts.members.iter().zip(&results) {
-            assert!(
-                outcome.verdict == Verdict::Unknown || outcome.verdict == winner_verdict,
-                "portfolio members disagree: {} says {}, {} says {}",
-                opts.members[win].name,
-                winner_verdict,
-                member.name,
-                outcome.verdict,
-            );
-        }
-    }
-
-    let winner_index = first_definitive.unwrap_or(0);
-    let members = opts
+    let mut quarantined: Vec<String> = opts
         .members
         .iter()
         .zip(&results)
-        .map(|(member, (outcome, elapsed))| MemberResult {
+        .filter(|(_, (r, _))| r.is_err())
+        .map(|(m, _)| m.name.clone())
+        .collect();
+    let mut unknown_reason: Option<String> = None;
+
+    // Cross-check: every definitive verdict must agree with the winner's.
+    // Disagreement is a solver bug; surface it as an untrusted race rather
+    // than crashing the caller.
+    if let Some(win) = first_definitive {
+        let winner_verdict = results[win].0.as_ref().expect("winner is Ok").verdict;
+        let dissent = opts.members.iter().zip(&results).find(|(_, (r, _))| {
+            matches!(r, Ok(o) if o.verdict != Verdict::Unknown && o.verdict != winner_verdict)
+        });
+        if let Some((member, (r, _))) = dissent {
+            unknown_reason = Some(format!(
+                "portfolio members disagree: {} says {}, {} says {} — discarding both verdicts",
+                opts.members[win].name,
+                winner_verdict,
+                member.name,
+                r.as_ref().expect("dissenting member is Ok").verdict,
+            ));
+            first_definitive = None;
+            cancel_latency = None;
+        }
+    }
+
+    let mut members: Vec<MemberResult> = opts
+        .members
+        .iter()
+        .zip(&results)
+        .map(|(member, (report, elapsed))| MemberResult {
             name: member.name.clone(),
             strategy: member.strategy,
-            verdict: outcome.verdict,
+            verdict: report
+                .as_ref()
+                .map(|o| o.verdict)
+                .unwrap_or(Verdict::Unknown),
             time: *elapsed,
-            cancelled: outcome.verdict == Verdict::Unknown && first_definitive.is_some(),
+            cancelled: matches!(report, Ok(o) if o.verdict == Verdict::Unknown)
+                && first_definitive.is_some(),
+            error: report.as_ref().err().cloned(),
         })
         .collect();
 
+    if let Some(win) = first_definitive {
+        let outcome = results
+            .into_iter()
+            .nth(win)
+            .expect("winner index in range")
+            .0
+            .expect("winner is Ok");
+        return PortfolioOutcome {
+            outcome,
+            winner: Some(opts.members[win].name.clone()),
+            members,
+            quarantined,
+            unknown_reason,
+            cancel_latency,
+        };
+    }
+
+    // No definitive verdict. If members failed (rather than exhausting
+    // budgets), make one bounded retry on the most conservative
+    // configuration before giving up.
+    if unknown_reason.is_none() && !quarantined.is_empty() {
+        let mut retry_opts = opts.base.clone();
+        retry_opts.strategy = Strategy::Baseline;
+        retry_opts.seed = opts.base.seed.wrapping_add(0xDEAD_BEEF);
+        retry_opts.cancel = external;
+        let t0 = Instant::now();
+        let report = run_member(ssa, &retry_opts, flat);
+        let elapsed = t0.elapsed();
+        let retry_name = "retry:baseline".to_string();
+        members.push(MemberResult {
+            name: retry_name.clone(),
+            strategy: Strategy::Baseline,
+            verdict: report
+                .as_ref()
+                .map(|o| o.verdict)
+                .unwrap_or(Verdict::Unknown),
+            time: elapsed,
+            cancelled: false,
+            error: report.as_ref().err().cloned(),
+        });
+        match report {
+            Ok(outcome) if outcome.verdict != Verdict::Unknown => {
+                return PortfolioOutcome {
+                    outcome,
+                    winner: Some(retry_name),
+                    members,
+                    quarantined,
+                    unknown_reason: None,
+                    cancel_latency: None,
+                };
+            }
+            Ok(_) => {
+                unknown_reason = Some(format!(
+                    "{} member(s) quarantined ({}); retry exhausted its budget",
+                    quarantined.len(),
+                    quarantined.join(", "),
+                ));
+            }
+            Err(e) => {
+                quarantined.push(retry_name);
+                unknown_reason = Some(format!(
+                    "{} member(s) quarantined ({}); retry failed: {e}",
+                    quarantined.len(),
+                    quarantined.join(", "),
+                ));
+            }
+        }
+    }
+
+    // Prefer a real (budget-exhausted) member outcome for its statistics;
+    // synthesize one only when every member failed.
+    let outcome = results
+        .into_iter()
+        .find_map(|(r, _)| r.ok().filter(|o| o.verdict == Verdict::Unknown))
+        .unwrap_or_else(|| unknown_outcome(ssa));
+
     PortfolioOutcome {
-        outcome: results[winner_index].0.clone(),
-        winner: first_definitive.map(|i| opts.members[i].name.clone()),
+        outcome,
+        winner: None,
         members,
+        quarantined,
+        unknown_reason,
         cancel_latency,
     }
 }
@@ -286,6 +460,7 @@ mod tests {
                 "{mm}: someone must win a solvable race"
             );
             assert_eq!(folio.members.len(), 4);
+            assert!(folio.quarantined.is_empty(), "{mm}");
         }
     }
 
@@ -307,6 +482,7 @@ mod tests {
         assert_eq!(folio.verdict(), Verdict::Unknown);
         assert!(folio.winner.is_none());
         assert!(folio.cancel_latency.is_none());
+        assert!(folio.quarantined.is_empty());
         assert!(folio
             .members
             .iter()
@@ -339,5 +515,35 @@ mod tests {
         let single = crate::verifier::verify(&racy(), &base);
         assert_eq!(folio.verdict(), single.verdict);
         assert_eq!(folio.winner.as_deref(), Some(Strategy::Zpre.name()));
+    }
+
+    #[test]
+    fn certified_portfolio_carries_a_certificate() {
+        let mut base = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        base.certify = true;
+        let folio = verify_portfolio(&racy(), &PortfolioOptions::new(base.clone()));
+        assert_eq!(folio.verdict(), Verdict::Unsafe);
+        assert!(folio.outcome.certificate.is_some());
+
+        let folio = verify_portfolio(&locked(), &PortfolioOptions::new(base));
+        assert_eq!(folio.verdict(), Verdict::Safe);
+        assert!(folio.outcome.certificate.is_some());
+    }
+
+    #[test]
+    fn faulty_members_are_quarantined_not_crashed() {
+        // Inject a certification fault into every member: each one fails
+        // with a typed error, the race must degrade to Unknown with a
+        // reason (the retry inherits the faulty base options and fails
+        // too), and nothing panics across the FFI of the race.
+        let mut base = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        base.certify = true;
+        base.fault = Some(crate::faults::Fault::TruncateProof(1));
+        let folio = verify_portfolio(&locked(), &PortfolioOptions::new(base));
+        assert_eq!(folio.verdict(), Verdict::Unknown);
+        assert!(folio.winner.is_none());
+        assert_eq!(folio.quarantined.len(), 5, "{:?}", folio.quarantined);
+        assert!(folio.unknown_reason.is_some());
+        assert!(folio.members.iter().all(|m| m.error.is_some()));
     }
 }

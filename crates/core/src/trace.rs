@@ -11,7 +11,7 @@ use std::fmt;
 use zpre_bv::{lits_to_u64, TermKind};
 use zpre_encoder::{po_pairs, Encoded};
 use zpre_prog::ssa::{EventKind, SsaProgram};
-use zpre_prog::MemoryModel;
+use zpre_prog::{MemoryModel, ReplayOp};
 use zpre_sat::{PriorityListGuide, Solver};
 use zpre_smt::{OrderTheory, VarKind};
 
@@ -28,6 +28,9 @@ pub struct TraceStep {
     pub clock: u32,
     /// Human-readable action, e.g. `W x = 1` / `R y -> 0` / `lock(m)`.
     pub action: String,
+    /// The action as a structured replay operation (the certification
+    /// layer's schedule entry for this step).
+    pub op: ReplayOp,
     /// For reads: the event id of the write it reads from.
     pub reads_from: Option<usize>,
 }
@@ -111,9 +114,13 @@ pub(crate) fn extract_trace(
         .filter(|e| guard_of(e.id))
         .map(|e| {
             let var_name = |v: usize| ssa.shared_names[v].clone();
-            let (action, reads_from) = match &e.kind {
+            let (action, op, reads_from) = match &e.kind {
                 EventKind::Write { var, .. } => (
                     format!("W {} = {}", var_name(*var), event_value(e.id)),
+                    ReplayOp::Write {
+                        var: *var,
+                        value: event_value(e.id),
+                    },
                     None,
                 ),
                 EventKind::Read { var, .. } => {
@@ -122,17 +129,42 @@ pub(crate) fn extract_trace(
                         .iter()
                         .find(|rf| rf.read == e.id && solver.model_var_value(rf.var).is_true())
                         .map(|rf| rf.write);
-                    (format!("R {} -> {}", var_name(*var), event_value(e.id)), rf)
+                    (
+                        format!("R {} -> {}", var_name(*var), event_value(e.id)),
+                        ReplayOp::Read {
+                            var: *var,
+                            value: event_value(e.id),
+                        },
+                        rf,
+                    )
                 }
-                EventKind::Lock { mutex } => (format!("lock(m{mutex})"), None),
-                EventKind::Unlock { mutex } => (format!("unlock(m{mutex})"), None),
-                EventKind::Fence => ("fence".to_string(), None),
-                EventKind::AtomicBegin { .. } => ("atomic_begin".to_string(), None),
-                EventKind::AtomicEnd { .. } => ("atomic_end".to_string(), None),
-                EventKind::Spawn { child } => {
-                    (format!("spawn({})", ssa.thread_names[*child]), None)
+                EventKind::Lock { mutex } => (
+                    format!("lock(m{mutex})"),
+                    ReplayOp::Lock { mutex: *mutex },
+                    None,
+                ),
+                EventKind::Unlock { mutex } => (
+                    format!("unlock(m{mutex})"),
+                    ReplayOp::Unlock { mutex: *mutex },
+                    None,
+                ),
+                EventKind::Fence => ("fence".to_string(), ReplayOp::Fence, None),
+                EventKind::AtomicBegin { .. } => {
+                    ("atomic_begin".to_string(), ReplayOp::AtomicBegin, None)
                 }
-                EventKind::Join { child } => (format!("join({})", ssa.thread_names[*child]), None),
+                EventKind::AtomicEnd { .. } => {
+                    ("atomic_end".to_string(), ReplayOp::AtomicEnd, None)
+                }
+                EventKind::Spawn { child } => (
+                    format!("spawn({})", ssa.thread_names[*child]),
+                    ReplayOp::Spawn { child: *child },
+                    None,
+                ),
+                EventKind::Join { child } => (
+                    format!("join({})", ssa.thread_names[*child]),
+                    ReplayOp::Join { child: *child },
+                    None,
+                ),
             };
             TraceStep {
                 event: e.id,
@@ -140,6 +172,7 @@ pub(crate) fn extract_trace(
                 thread_name: ssa.thread_names[e.thread].clone(),
                 clock: clocks[e.id],
                 action,
+                op,
                 reads_from,
             }
         })

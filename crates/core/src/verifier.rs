@@ -8,13 +8,16 @@
 //! exclusion, atomicity, and the violated assertion) — a deep end-to-end
 //! check that the solver, theory, blaster, and encoder agree.
 
+use crate::certify::{certify_safe, certify_unsafe, Certificate};
 use crate::decision_order::decision_order;
+use crate::errors::VerifyError;
+use crate::faults::Fault;
 use crate::strategy::Strategy;
 use std::time::{Duration, Instant};
 use zpre_bv::{lits_to_u64, TermKind};
-use zpre_encoder::{encode, po_pairs, Encoded};
+use zpre_encoder::{po_pairs, try_encode, Encoded};
 use zpre_prog::ssa::EventKind;
-use zpre_prog::{to_ssa, unroll_program, MemoryModel, Program, SsaProgram};
+use zpre_prog::{flatten, to_ssa, unroll_program, FlatProgram, MemoryModel, Program, SsaProgram};
 use zpre_sat::{Budget, CancelToken, PriorityListGuide, SolveResult, Solver, Stats};
 use zpre_smt::{ClassCounts, OrderTheory, VarKind};
 
@@ -64,6 +67,16 @@ pub struct VerifyOptions {
     /// return [`Verdict::Unknown`] within a bounded work stride. This is
     /// how [`crate::portfolio`] stops losing strategies.
     pub cancel: Option<CancelToken>,
+    /// Certify definitive verdicts: RUP-check the proof (with every theory
+    /// lemma independently re-justified) on `Safe`, replay the witness
+    /// through the concrete interpreter on `Unsafe`. The outcome then
+    /// carries a [`Certificate`]; a verdict whose evidence does not check
+    /// out becomes a [`VerifyError::Certification`].
+    pub certify: bool,
+    /// Fault-injection hook for the certification test harness: corrupts
+    /// one pipeline artifact before certification (see [`Fault`]). `None`
+    /// in production use.
+    pub fault: Option<Fault>,
 }
 
 impl Default for VerifyOptions {
@@ -78,6 +91,8 @@ impl Default for VerifyOptions {
             validate_models: true,
             want_trace: false,
             cancel: None,
+            certify: false,
+            fault: None,
         }
     }
 }
@@ -113,32 +128,82 @@ pub struct VerifyOutcome {
     pub num_solver_vars: usize,
     /// Counterexample trace (on `Unsafe`, when requested).
     pub trace: Option<crate::trace::Trace>,
+    /// Certification evidence (on definitive verdicts, when requested).
+    pub certificate: Option<Certificate>,
 }
 
 /// Verifies `prog` under `opts`.
+///
+/// # Panics
+///
+/// Panics on any [`VerifyError`] — use [`try_verify`] for a typed result.
 pub fn verify(prog: &Program, opts: &VerifyOptions) -> VerifyOutcome {
+    match try_verify(prog, opts) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Verifies `prog` under `opts`, reporting failures as typed errors.
+pub fn try_verify(prog: &Program, opts: &VerifyOptions) -> Result<VerifyOutcome, VerifyError> {
     let t0 = Instant::now();
     let unrolled = unroll_program(prog, opts.unroll_bound);
     let ssa = to_ssa(&unrolled);
-    verify_ssa_timed(&ssa, opts, t0)
+    // Certified Unsafe verdicts replay the witness through the flat
+    // interpreter, so the flat lowering must come from the same unrolled
+    // program the SSA conversion saw.
+    let flat = opts.certify.then(|| flatten(&unrolled));
+    verify_ssa_inner(&ssa, opts, t0, flat.as_ref())
 }
 
 /// Verifies an already-converted SSA program.
+///
+/// # Panics
+///
+/// Panics on any [`VerifyError`] — use [`try_verify_ssa`] for a typed
+/// result.
 pub fn verify_ssa(ssa: &SsaProgram, opts: &VerifyOptions) -> VerifyOutcome {
-    verify_ssa_timed(ssa, opts, Instant::now())
+    match try_verify_ssa(ssa, opts) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
 }
 
-fn verify_ssa_timed(ssa: &SsaProgram, opts: &VerifyOptions, t0: Instant) -> VerifyOutcome {
+/// Verifies an already-converted SSA program, reporting failures as typed
+/// errors.
+///
+/// Without the original [`Program`] there is no flat lowering to replay
+/// against, so a certified `Unsafe` verdict fails closed here; use
+/// [`try_verify`] (or [`crate::verify_portfolio`]) for certified runs.
+pub fn try_verify_ssa(
+    ssa: &SsaProgram,
+    opts: &VerifyOptions,
+) -> Result<VerifyOutcome, VerifyError> {
+    verify_ssa_inner(ssa, opts, Instant::now(), None)
+}
+
+pub(crate) fn verify_ssa_inner(
+    ssa: &SsaProgram,
+    opts: &VerifyOptions,
+    t0: Instant,
+    flat: Option<&FlatProgram>,
+) -> Result<VerifyOutcome, VerifyError> {
     let mut theory = OrderTheory::new();
     if opts.strategy == Strategy::ZpreNoReverseProp {
         theory.set_propagate_reverse(false);
     }
+    if opts.certify {
+        theory.enable_lemma_journal();
+    }
     let guide = PriorityListGuide::new(Vec::new(), opts.seed);
     let mut solver: Solver<OrderTheory, PriorityListGuide> = Solver::with_parts(theory, guide);
-    let enc = encode(ssa, opts.mm, &mut solver);
+    if opts.certify {
+        solver.enable_proof_logging();
+    }
+    let enc = try_encode(ssa, opts.mm, &mut solver)?;
 
     // Install the decision order for the chosen strategy.
-    let order: Vec<u32> = if opts.strategy.uses_interference_order() {
+    let mut order: Vec<u32> = if opts.strategy.uses_interference_order() {
         decision_order(&enc.registry, opts.strategy.refinements())
     } else if opts.strategy == Strategy::BranchCond {
         // Guard variables in event order, deduplicated.
@@ -151,6 +216,11 @@ fn verify_ssa_timed(ssa: &SsaProgram, opts: &VerifyOptions, t0: Instant) -> Veri
     } else {
         Vec::new()
     };
+    if opts.fault == Some(Fault::ShuffleGuideOrder) {
+        // Benign control fault: the heuristic order is scrambled, but the
+        // verdict and its certificate must come out unchanged.
+        order.reverse();
+    }
     let mut guide = PriorityListGuide::new(order, opts.seed);
     if opts.strategy == Strategy::ZpreFixedTrue {
         guide = guide.with_fixed_polarity(true);
@@ -173,14 +243,35 @@ fn verify_ssa_timed(ssa: &SsaProgram, opts: &VerifyOptions, t0: Instant) -> Veri
         SolveResult::Unknown => Verdict::Unknown,
     };
     if verdict == Verdict::Unsafe && opts.validate_models {
-        if let Err(msg) = validate_model(ssa, &enc, &solver, opts.mm) {
-            panic!("extracted execution failed validation: {msg}");
-        }
+        validate_model(ssa, &enc, &solver, opts.mm).map_err(VerifyError::ModelValidation)?;
     }
-    let trace = (verdict == Verdict::Unsafe && opts.want_trace)
+    let trace = (verdict == Verdict::Unsafe && (opts.want_trace || opts.certify))
         .then(|| crate::trace::extract_trace(ssa, &enc, &solver, opts.mm));
 
-    VerifyOutcome {
+    let certificate = if opts.certify {
+        match verdict {
+            Verdict::Safe => Some(certify_safe(&mut solver, opts.fault)?),
+            Verdict::Unsafe => {
+                let Some(flat) = flat else {
+                    return Err(VerifyError::Certification {
+                        stage: "replay",
+                        reason: "no flat program available for witness replay \
+                                 (certified Unsafe verdicts need the original program)"
+                            .to_string(),
+                    });
+                };
+                let trace = trace.as_ref().expect("trace extracted for certification");
+                Some(certify_unsafe(
+                    ssa, &enc, &solver, opts.mm, flat, trace, opts.fault,
+                )?)
+            }
+            Verdict::Unknown => None,
+        }
+    } else {
+        None
+    };
+
+    Ok(VerifyOutcome {
         verdict,
         stats: *solver.stats(),
         solve_time,
@@ -188,8 +279,9 @@ fn verify_ssa_timed(ssa: &SsaProgram, opts: &VerifyOptions, t0: Instant) -> Veri
         num_events: ssa.events.len(),
         class_counts: enc.registry.class_counts(),
         num_solver_vars: solver.num_vars(),
-        trace,
-    }
+        trace: trace.filter(|_| opts.want_trace),
+        certificate,
+    })
 }
 
 /// Re-validates the satisfying model as a concrete concurrent execution.

@@ -81,6 +81,48 @@ pub struct Encoded {
     pub trivially_safe: bool,
 }
 
+/// A structural problem with the encoding input, reported instead of a
+/// panic so callers (portfolio members, services) can degrade gracefully.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// [`try_encode`] was handed a solver that already has variables.
+    SolverNotFresh {
+        /// Number of pre-existing variables.
+        vars: usize,
+    },
+    /// The program-order edges of the input form a cycle — the SSA event
+    /// stream is malformed.
+    CyclicProgramOrder,
+    /// An `Unlock` event has no matching `Lock` on the same mutex.
+    UnlockWithoutLock {
+        /// Thread containing the unmatched unlock.
+        thread: usize,
+        /// Event id of the unmatched unlock.
+        event: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::SolverNotFresh { vars } => {
+                write!(f, "encode requires a fresh solver ({vars} variables exist)")
+            }
+            EncodeError::CyclicProgramOrder => {
+                write!(f, "program order must be acyclic")
+            }
+            EncodeError::UnlockWithoutLock { thread, event } => {
+                write!(
+                    f,
+                    "unlock without lock in SSA event stream (thread {thread}, event {event})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 /// Sink wrapper that classifies every blaster-created variable as `V_ssa`.
 struct RegSink<'a, G: DecisionGuide> {
     solver: &'a mut Solver<OrderTheory, G>,
@@ -105,13 +147,32 @@ impl<G: DecisionGuide> ClauseSink for RegSink<'_, G> {
 }
 
 /// Encodes `ssa` under `mm` into `solver`. The solver must be fresh (no
-/// variables yet) and its theory empty.
+/// variables yet) and its theory empty. Panics on malformed input; use
+/// [`try_encode`] to get a typed [`EncodeError`] instead.
 pub fn encode<G: DecisionGuide>(
     ssa: &SsaProgram,
     mm: MemoryModel,
     solver: &mut Solver<OrderTheory, G>,
 ) -> Encoded {
-    assert_eq!(solver.num_vars(), 0, "encode requires a fresh solver");
+    match try_encode(ssa, mm, solver) {
+        Ok(enc) => enc,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`encode`]: structural problems with the input
+/// (cyclic program order, unmatched unlocks, a non-fresh solver) come back
+/// as [`EncodeError`] values instead of panics.
+pub fn try_encode<G: DecisionGuide>(
+    ssa: &SsaProgram,
+    mm: MemoryModel,
+    solver: &mut Solver<OrderTheory, G>,
+) -> Result<Encoded, EncodeError> {
+    if solver.num_vars() != 0 {
+        return Err(EncodeError::SolverNotFresh {
+            vars: solver.num_vars(),
+        });
+    }
     let mut registry = VarRegistry::new();
     let mut blaster = Blaster::new();
     let ts = &ssa.store;
@@ -125,7 +186,9 @@ pub fn encode<G: DecisionGuide>(
     let pairs = po_pairs(ssa, mm);
     for &(a, b) in &pairs {
         let ok = solver.theory.add_fixed_edge(event_nodes[a], event_nodes[b]);
-        assert!(ok, "program order must be acyclic");
+        if !ok {
+            return Err(EncodeError::CyclicProgramOrder);
+        }
     }
     let closure = PoClosure::new(ssa.events.len(), &pairs);
 
@@ -328,11 +391,12 @@ pub fn encode<G: DecisionGuide>(
                 match e.kind {
                     EventKind::Lock { mutex } => stacks.entry(mutex).or_default().push(e.id),
                     EventKind::Unlock { mutex } => {
-                        let lock = stacks
-                            .entry(mutex)
-                            .or_default()
-                            .pop()
-                            .expect("unlock without lock in SSA event stream");
+                        let Some(lock) = stacks.entry(mutex).or_default().pop() else {
+                            return Err(EncodeError::UnlockWithoutLock {
+                                thread: t,
+                                event: e.id,
+                            });
+                        };
                         critical_sections.push((t, mutex, lock, e.id));
                         sections.push(Cs {
                             thread: t,
@@ -396,7 +460,7 @@ pub fn encode<G: DecisionGuide>(
         }
     }
 
-    Encoded {
+    Ok(Encoded {
         registry,
         blaster,
         event_nodes,
@@ -407,7 +471,7 @@ pub fn encode<G: DecisionGuide>(
         critical_sections,
         err_lit,
         trivially_safe,
-    }
+    })
 }
 
 /// Read/write inventory and read-from candidate sets, shared between the
@@ -720,5 +784,22 @@ mod tests {
         let enc = encode(&ssa, MemoryModel::Sc, &mut solver);
         assert!(enc.trivially_safe);
         assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn try_encode_rejects_a_used_solver() {
+        let p = ProgramBuilder::new("fresh")
+            .shared("x", 0)
+            .main(vec![assign("x", c(1))])
+            .build();
+        let u = unroll_program(&p, 1);
+        let ssa = to_ssa(&u);
+        let mut solver: Solver<OrderTheory, NoGuide> =
+            Solver::with_parts(OrderTheory::new(), NoGuide);
+        solver.new_var();
+        assert!(matches!(
+            try_encode(&ssa, MemoryModel::Sc, &mut solver),
+            Err(EncodeError::SolverNotFresh { vars: 1 })
+        ));
     }
 }

@@ -21,6 +21,8 @@ pub mod encode;
 pub mod memory_model;
 pub mod smtlib;
 
-pub use encode::{access_analysis, encode, AccessAnalysis, Encoded, RfVar, WsVar};
+pub use encode::{
+    access_analysis, encode, try_encode, AccessAnalysis, EncodeError, Encoded, RfVar, WsVar,
+};
 pub use memory_model::{po_pairs, preserved, PoClosure};
 pub use smtlib::dump_smtlib;

@@ -15,6 +15,8 @@
 //!   *oracle* the SMT pipeline is cross-validated against;
 //! - [`wmm`] — operational TSO/PSO store-buffer checkers for litmus-level
 //!   cross-validation of the weak-memory encodings;
+//! - [`replay`] — schedule-driven witness replay on a buffered store
+//!   machine, the independent oracle behind certified `Unsafe` verdicts;
 //! - [`pretty`] — C-like pretty-printing.
 
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@ pub mod flat;
 pub mod interp;
 pub mod parse;
 pub mod pretty;
+pub mod replay;
 pub mod ssa;
 pub mod unroll;
 pub mod wmm;
@@ -32,6 +35,7 @@ pub use ast::{build, BoolExpr, IntExpr, Program, Stmt, Thread};
 pub use flat::{flatten, FlatProgram, Instr};
 pub use interp::{check_sc, Limits, Outcome};
 pub use parse::{parse_program, ParseError};
+pub use replay::{replay, ReplayError, ReplayOp, ReplayViolation, ScheduleStep};
 pub use ssa::{to_ssa, AtomicBlock, Event, EventKind, SsaProgram};
 pub use unroll::unroll_program;
 pub use wmm::{check_wmm, MemoryModel};

@@ -1,0 +1,759 @@
+//! Schedule-driven witness replay on a buffered store machine.
+//!
+//! The certification layer turns an `Unsafe` model into a *schedule* — the
+//! model's global events (writes, reads, lock operations, fences, spawns,
+//! joins) in clock order, each annotated with the value the model assigned
+//! — plus the model's nondeterministic input values. [`replay`] then drives
+//! the flat program through that schedule as an independent oracle: local
+//! computation is executed concretely, every scheduled event must match the
+//! next global instruction of its thread, and every observed value must
+//! equal the model's. The replay succeeds only if some assertion concretely
+//! evaluates to false; any divergence is a typed [`ReplayError`], never a
+//! panic.
+//!
+//! Memory-model fidelity: under SC every store commits at its program
+//! point, so crossing an unscheduled store is a mismatch. Under TSO the
+//! machine keeps one FIFO store buffer per thread — a store crossed while
+//! advancing is buffered, commits only when its `Write` event arrives, and
+//! must then be the buffer head (TSO preserves W→W order). Under PSO only
+//! the per-variable order is enforced: a buffered store may commit when it
+//! is the oldest buffered store *to its variable*. Loads forward from the
+//! newest same-variable buffered store, as real store buffers do.
+//! Fence-like events (lock/unlock/fence/atomic boundaries/spawn/join)
+//! preserve order with everything in all three models, so the replaying
+//! thread's buffer must be fully drained when one occurs. Atomic-section
+//! boundaries are replayed as ordering events only — the encoder serializes
+//! conflicting accesses around them, and replay checks exactly what the
+//! model claims, not a stronger global-exclusivity property.
+//!
+//! Initializer writes are *not* part of the schedule: the flat program has
+//! no initializer instructions (`shared_init` supplies initial values), and
+//! every scheduled event is ordered after the initializers by construction
+//! (fence-like spawn edges for non-main threads, program order and
+//! reads-from for main).
+
+use crate::flat::{FlatProgram, Instr};
+use crate::interp::{eval_bool, eval_int};
+use crate::wmm::MemoryModel;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// One global event of the schedule, as the model ordered it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayOp {
+    /// A store to shared variable `var` committing value `value`.
+    Write {
+        /// Shared-variable index (into `FlatProgram::shared_names`).
+        var: usize,
+        /// The committed value in the model.
+        value: u64,
+    },
+    /// A load of shared variable `var` observing `value`.
+    Read {
+        /// Shared-variable index.
+        var: usize,
+        /// The observed value in the model.
+        value: u64,
+    },
+    /// Acquiring mutex `mutex`.
+    Lock {
+        /// Mutex index.
+        mutex: usize,
+    },
+    /// Releasing mutex `mutex`.
+    Unlock {
+        /// Mutex index.
+        mutex: usize,
+    },
+    /// A memory fence.
+    Fence,
+    /// Entering an atomic section.
+    AtomicBegin,
+    /// Leaving an atomic section.
+    AtomicEnd,
+    /// Spawning thread `child`.
+    Spawn {
+        /// Index of the spawned thread.
+        child: usize,
+    },
+    /// Joining thread `child` (runs the child's trailing local code).
+    Join {
+        /// Index of the joined thread.
+        child: usize,
+    },
+}
+
+/// One step of the schedule: which thread performs which global event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleStep {
+    /// The acting thread.
+    pub thread: usize,
+    /// The event it performs.
+    pub op: ReplayOp,
+}
+
+/// A concretely confirmed assertion violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayViolation {
+    /// Thread whose assertion fired.
+    pub thread: usize,
+    /// Program counter of the failing `Assert` instruction.
+    pub pc: usize,
+}
+
+/// Why a replay did not confirm the witness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The schedule diverged from the program's concrete behaviour.
+    Mismatch {
+        /// Index of the offending schedule step (`None` for the final
+        /// sweep after the schedule was exhausted).
+        step: Option<usize>,
+        /// The thread being replayed.
+        thread: usize,
+        /// Human-readable divergence description.
+        detail: String,
+    },
+    /// The replay ran to completion but no assertion fired.
+    NoViolation,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Mismatch {
+                step,
+                thread,
+                detail,
+            } => match step {
+                Some(i) => write!(f, "schedule step {i} (thread {thread}): {detail}"),
+                None => write!(f, "final sweep (thread {thread}): {detail}"),
+            },
+            ReplayError::NoViolation => {
+                write!(f, "replay completed but no assertion violation fired")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// What [`Replayer::advance`] stopped on.
+enum Stop {
+    /// The thread's pc now points at a global instruction.
+    Global,
+    /// The thread ran off the end of its code.
+    End,
+    /// An assertion concretely failed at this pc.
+    Violation(usize),
+}
+
+struct Replayer<'a> {
+    fp: &'a FlatProgram,
+    mm: MemoryModel,
+    pcs: Vec<usize>,
+    locals: Vec<BTreeMap<String, u64>>,
+    shared: Vec<u64>,
+    mutex: Vec<Option<usize>>,
+    started: Vec<bool>,
+    /// Per-thread store buffer, oldest first (empty under SC).
+    buffers: Vec<VecDeque<(usize, u64)>>,
+    nondet_ints: &'a HashMap<String, u64>,
+    nondet_bools: &'a HashMap<String, bool>,
+    /// Backstop against malformed jump targets: total instructions the
+    /// replay may execute before giving up.
+    fuel: usize,
+    /// Current schedule-step index, for error reporting.
+    step: Option<usize>,
+}
+
+impl<'a> Replayer<'a> {
+    fn mismatch<T>(&self, thread: usize, detail: impl Into<String>) -> Result<T, ReplayError> {
+        Err(ReplayError::Mismatch {
+            step: self.step,
+            thread,
+            detail: detail.into(),
+        })
+    }
+
+    /// Executes local instructions of thread `t` until a global instruction,
+    /// the end of the code, or a concrete assertion violation.
+    ///
+    /// When `stop_at_store` is `Some(v)`, a `StoreShared` to `v` is treated
+    /// as the stopping global instruction; any *other* store crossed on the
+    /// way is buffered under TSO/PSO and a mismatch under SC (where every
+    /// store is a scheduled event). With `None`, all stores are crossed
+    /// (buffered) under TSO/PSO and mismatches under SC.
+    fn advance(&mut self, t: usize, stop_at_store: Option<usize>) -> Result<Stop, ReplayError> {
+        let w = self.fp.word_width;
+        let code = &self.fp.threads[t].code;
+        loop {
+            if self.fuel == 0 {
+                return self.mismatch(t, "replay fuel exhausted (malformed control flow)");
+            }
+            self.fuel -= 1;
+            let pc = self.pcs[t];
+            if pc >= code.len() {
+                return Ok(Stop::End);
+            }
+            match &code[pc] {
+                Instr::AssignLocal { dst, val } => {
+                    let v = eval_int(val, &self.locals[t], w);
+                    self.locals[t].insert(dst.clone(), v);
+                    self.pcs[t] += 1;
+                }
+                Instr::HavocInt { dst } => {
+                    let raw = self.nondet_ints.get(dst).copied().unwrap_or(0);
+                    let v = if w == 64 { raw } else { raw & ((1 << w) - 1) };
+                    self.locals[t].insert(dst.clone(), v);
+                    self.pcs[t] += 1;
+                }
+                Instr::HavocBool { dst } => {
+                    let v = self.nondet_bools.get(dst).copied().unwrap_or(false);
+                    self.locals[t].insert(dst.clone(), v as u64);
+                    self.pcs[t] += 1;
+                }
+                Instr::Jmp { target } => {
+                    self.pcs[t] = *target;
+                }
+                Instr::JmpIfFalse { cond, target } => {
+                    if eval_bool(cond, &self.locals[t], w) {
+                        self.pcs[t] += 1;
+                    } else {
+                        self.pcs[t] = *target;
+                    }
+                }
+                Instr::Assert(cond) => {
+                    if eval_bool(cond, &self.locals[t], w) {
+                        self.pcs[t] += 1;
+                    } else {
+                        return Ok(Stop::Violation(pc));
+                    }
+                }
+                Instr::Assume(cond) => {
+                    if eval_bool(cond, &self.locals[t], w) {
+                        self.pcs[t] += 1;
+                    } else {
+                        return self
+                            .mismatch(t, "assumption evaluated false along the replayed path");
+                    }
+                }
+                Instr::StoreShared { var, val } => {
+                    if stop_at_store == Some(*var) {
+                        return Ok(Stop::Global);
+                    }
+                    if self.mm == MemoryModel::Sc {
+                        return self.mismatch(
+                            t,
+                            format!(
+                                "unscheduled store to {} under SC",
+                                self.fp.shared_names[*var]
+                            ),
+                        );
+                    }
+                    let v = eval_int(val, &self.locals[t], w);
+                    self.buffers[t].push_back((*var, v));
+                    self.pcs[t] += 1;
+                }
+                // Every other instruction is a scheduled global event.
+                _ => return Ok(Stop::Global),
+            }
+        }
+    }
+
+    /// The value a load of `var` by thread `t` observes: the newest buffered
+    /// same-variable store (forwarding), else shared memory.
+    fn load_value(&self, t: usize, var: usize) -> u64 {
+        self.buffers[t]
+            .iter()
+            .rev()
+            .find(|&&(v, _)| v == var)
+            .map(|&(_, val)| val)
+            .unwrap_or(self.shared[var])
+    }
+
+    fn require_drained(&self, t: usize, what: &str) -> Result<(), ReplayError> {
+        if self.buffers[t].is_empty() {
+            Ok(())
+        } else {
+            self.mismatch(t, format!("{what} ordered before earlier stores committed"))
+        }
+    }
+
+    fn do_write(&mut self, t: usize, var: usize, value: u64) -> Result<Option<Stop>, ReplayError> {
+        // A previously buffered store to `var` commits now.
+        if let Some(pos) = self.buffers[t].iter().position(|&(v, _)| v == var) {
+            if self.mm == MemoryModel::Tso && pos != 0 {
+                return self.mismatch(t, "store commit out of FIFO order under TSO");
+            }
+            let (_, buffered) = self.buffers[t].remove(pos).expect("position checked");
+            if buffered != value {
+                return self.mismatch(
+                    t,
+                    format!(
+                        "store to {} computes {buffered} but the model committed {value}",
+                        self.fp.shared_names[var]
+                    ),
+                );
+            }
+            self.shared[var] = value;
+            return Ok(None);
+        }
+        // Otherwise advance to the store instruction and commit in place.
+        match self.advance(t, Some(var))? {
+            Stop::Violation(pc) => return Ok(Some(Stop::Violation(pc))),
+            Stop::End => {
+                return self.mismatch(
+                    t,
+                    format!(
+                        "scheduled store to {} but the thread has finished",
+                        self.fp.shared_names[var]
+                    ),
+                )
+            }
+            Stop::Global => {}
+        }
+        let pc = self.pcs[t];
+        let Instr::StoreShared { var: v, val } = &self.fp.threads[t].code[pc] else {
+            return self.mismatch(
+                t,
+                format!(
+                    "scheduled store to {} but the next global instruction differs",
+                    self.fp.shared_names[var]
+                ),
+            );
+        };
+        debug_assert_eq!(*v, var);
+        // Committing in place means every earlier buffered store would be
+        // overtaken: W→W order forbids that under TSO (FIFO) and the
+        // same-variable case was handled above for PSO.
+        if self.mm == MemoryModel::Tso && !self.buffers[t].is_empty() {
+            return self.mismatch(t, "store commit overtakes buffered stores under TSO");
+        }
+        let computed = eval_int(val, &self.locals[t], self.fp.word_width);
+        if computed != value {
+            return self.mismatch(
+                t,
+                format!(
+                    "store to {} computes {computed} but the model committed {value}",
+                    self.fp.shared_names[var]
+                ),
+            );
+        }
+        self.shared[var] = value;
+        self.pcs[t] += 1;
+        Ok(None)
+    }
+
+    /// Handles one scheduled event. `Ok(Some(violation))` short-circuits the
+    /// whole replay with success.
+    fn do_step(&mut self, t: usize, op: &ReplayOp) -> Result<Option<ReplayViolation>, ReplayError> {
+        if !self.started[t] {
+            return self.mismatch(t, "event scheduled on a thread that was never spawned");
+        }
+        if let ReplayOp::Write { var, value } = *op {
+            return match self.do_write(t, var, value)? {
+                Some(Stop::Violation(pc)) => Ok(Some(ReplayViolation { thread: t, pc })),
+                _ => Ok(None),
+            };
+        }
+        // Every remaining event sits at a dedicated global instruction.
+        match self.advance(t, None)? {
+            Stop::Violation(pc) => return Ok(Some(ReplayViolation { thread: t, pc })),
+            Stop::End => {
+                return self.mismatch(t, "event scheduled after the thread finished");
+            }
+            Stop::Global => {}
+        }
+        let pc = self.pcs[t];
+        let instr = &self.fp.threads[t].code[pc];
+        match (op, instr) {
+            (ReplayOp::Read { var, value }, Instr::LoadShared { dst, var: v }) => {
+                if v != var {
+                    return self.mismatch(
+                        t,
+                        format!(
+                            "scheduled read of {} but the program loads {}",
+                            self.fp.shared_names[*var], self.fp.shared_names[*v]
+                        ),
+                    );
+                }
+                let observed = self.load_value(t, *var);
+                if observed != *value {
+                    return self.mismatch(
+                        t,
+                        format!(
+                            "read of {} observes {observed} but the model claims {value}",
+                            self.fp.shared_names[*var]
+                        ),
+                    );
+                }
+                let dst = dst.clone();
+                self.locals[t].insert(dst, *value);
+            }
+            (ReplayOp::Lock { mutex }, Instr::Lock(m)) if m == mutex => {
+                self.require_drained(t, "lock")?;
+                if let Some(holder) = self.mutex[*mutex] {
+                    return self.mismatch(
+                        t,
+                        format!("lock of mutex {mutex} while thread {holder} holds it"),
+                    );
+                }
+                self.mutex[*mutex] = Some(t);
+            }
+            (ReplayOp::Unlock { mutex }, Instr::Unlock(m)) if m == mutex => {
+                self.require_drained(t, "unlock")?;
+                if self.mutex[*mutex] != Some(t) {
+                    return self.mismatch(
+                        t,
+                        format!("unlock of mutex {mutex} not held by this thread"),
+                    );
+                }
+                self.mutex[*mutex] = None;
+            }
+            (ReplayOp::Fence, Instr::Fence) => {
+                self.require_drained(t, "fence")?;
+            }
+            (ReplayOp::AtomicBegin, Instr::AtomicBegin) => {
+                self.require_drained(t, "atomic section entry")?;
+            }
+            (ReplayOp::AtomicEnd, Instr::AtomicEnd) => {
+                self.require_drained(t, "atomic section exit")?;
+            }
+            (ReplayOp::Spawn { child }, Instr::Spawn(i)) if i == child => {
+                self.require_drained(t, "spawn")?;
+                if *child >= self.started.len() {
+                    return self.mismatch(t, format!("spawn of unknown thread {child}"));
+                }
+                self.started[*child] = true;
+            }
+            (ReplayOp::Join { child }, Instr::Join(i)) if i == child => {
+                self.require_drained(t, "join")?;
+                let c = *child;
+                if c >= self.started.len() || !self.started[c] {
+                    return self.mismatch(t, format!("join of never-spawned thread {c}"));
+                }
+                // The child's trailing local code runs before the join
+                // observes it as finished.
+                match self.advance(c, None)? {
+                    Stop::Violation(cpc) => {
+                        return Ok(Some(ReplayViolation { thread: c, pc: cpc }))
+                    }
+                    Stop::Global => {
+                        return self
+                            .mismatch(c, "joined thread still has unexecuted global operations");
+                    }
+                    Stop::End => {}
+                }
+                self.require_drained(c, "join of a thread whose")?;
+            }
+            _ => {
+                return self.mismatch(
+                    t,
+                    format!("scheduled {op:?} but the next global instruction is {instr:?}"),
+                );
+            }
+        }
+        self.pcs[t] += 1;
+        Ok(None)
+    }
+}
+
+/// Replays `schedule` against `fp` under `mm` with the model's
+/// nondeterministic inputs (`nondet_ints` keyed by the havoc destination
+/// local, e.g. `%nd_n`; `nondet_bools` by `%nb_n`).
+///
+/// Returns the concretely confirmed violation, or a [`ReplayError`]
+/// explaining the divergence. Never panics on malformed schedules.
+pub fn replay(
+    fp: &FlatProgram,
+    mm: MemoryModel,
+    schedule: &[ScheduleStep],
+    nondet_ints: &HashMap<String, u64>,
+    nondet_bools: &HashMap<String, bool>,
+) -> Result<ReplayViolation, ReplayError> {
+    let nt = fp.threads.len();
+    let total_code: usize = fp.threads.iter().map(|t| t.code.len()).sum();
+    let mut r = Replayer {
+        fp,
+        mm,
+        pcs: vec![0; nt],
+        locals: vec![BTreeMap::new(); nt],
+        shared: fp.shared_init.clone(),
+        mutex: vec![None; fp.num_mutexes],
+        started: {
+            let mut s = vec![false; nt];
+            if nt > 0 {
+                s[0] = true;
+            }
+            s
+        },
+        buffers: vec![VecDeque::new(); nt],
+        nondet_ints,
+        nondet_bools,
+        fuel: total_code * 4 + schedule.len() * 4 + 1024,
+        step: None,
+    };
+    for (i, s) in schedule.iter().enumerate() {
+        r.step = Some(i);
+        if s.thread >= nt {
+            return r.mismatch(s.thread, "schedule names a nonexistent thread");
+        }
+        if let Some(v) = r.do_step(s.thread, &s.op)? {
+            return Ok(v);
+        }
+    }
+    // Final sweep: trailing local code may still fire an assertion; any
+    // leftover global instruction or uncommitted store is a divergence.
+    r.step = None;
+    for t in 0..nt {
+        if !r.started[t] {
+            continue;
+        }
+        match r.advance(t, None)? {
+            Stop::Violation(pc) => return Ok(ReplayViolation { thread: t, pc }),
+            Stop::Global => {
+                return r.mismatch(t, "unconsumed global operation after the schedule ended");
+            }
+            Stop::End => {}
+        }
+        r.require_drained(t, "schedule end")?;
+    }
+    Err(ReplayError::NoViolation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+    use crate::flat::flatten;
+    use crate::unroll::unroll_program;
+
+    fn flat(p: &crate::ast::Program) -> FlatProgram {
+        flatten(&unroll_program(p, 4))
+    }
+
+    fn no_nondet() -> (HashMap<String, u64>, HashMap<String, bool>) {
+        (HashMap::new(), HashMap::new())
+    }
+
+    #[test]
+    fn sequential_violation_replays() {
+        // x := 5; assert x == 6 — the violation fires in the final sweep.
+        let p = ProgramBuilder::new("seq")
+            .shared("x", 0)
+            .main(vec![assign("x", c(5)), assert_(eq(v("x"), c(6)))])
+            .build();
+        let fp = flat(&p);
+        let sched = vec![
+            ScheduleStep {
+                thread: 0,
+                op: ReplayOp::Write { var: 0, value: 5 },
+            },
+            ScheduleStep {
+                thread: 0,
+                op: ReplayOp::Read { var: 0, value: 5 },
+            },
+        ];
+        let (ni, nb) = no_nondet();
+        let r = replay(&fp, MemoryModel::Sc, &sched, &ni, &nb);
+        assert!(matches!(r, Ok(ReplayViolation { thread: 0, .. })), "{r:?}");
+    }
+
+    #[test]
+    fn wrong_read_value_is_a_mismatch() {
+        let p = ProgramBuilder::new("seq")
+            .shared("x", 0)
+            .main(vec![assign("x", c(5)), assert_(eq(v("x"), c(6)))])
+            .build();
+        let fp = flat(&p);
+        let sched = vec![
+            ScheduleStep {
+                thread: 0,
+                op: ReplayOp::Write { var: 0, value: 5 },
+            },
+            ScheduleStep {
+                thread: 0,
+                op: ReplayOp::Read { var: 0, value: 7 }, // forged
+            },
+        ];
+        let (ni, nb) = no_nondet();
+        assert!(matches!(
+            replay(&fp, MemoryModel::Sc, &sched, &ni, &nb),
+            Err(ReplayError::Mismatch { step: Some(1), .. })
+        ));
+    }
+
+    #[test]
+    fn passing_program_reports_no_violation() {
+        let p = ProgramBuilder::new("seq")
+            .shared("x", 0)
+            .main(vec![assign("x", c(5)), assert_(eq(v("x"), c(5)))])
+            .build();
+        let fp = flat(&p);
+        let sched = vec![
+            ScheduleStep {
+                thread: 0,
+                op: ReplayOp::Write { var: 0, value: 5 },
+            },
+            ScheduleStep {
+                thread: 0,
+                op: ReplayOp::Read { var: 0, value: 5 },
+            },
+        ];
+        let (ni, nb) = no_nondet();
+        assert_eq!(
+            replay(&fp, MemoryModel::Sc, &sched, &ni, &nb),
+            Err(ReplayError::NoViolation)
+        );
+    }
+
+    #[test]
+    fn tso_reorders_store_past_load_but_sc_rejects() {
+        // x := 1; assert y == 1 — the model delays the store commit past
+        // the load (legal under TSO, a mismatch under SC).
+        let p = ProgramBuilder::new("sb1")
+            .shared("x", 0)
+            .shared("y", 0)
+            .main(vec![assign("x", c(1)), assert_(eq(v("y"), c(1)))])
+            .build();
+        let fp = flat(&p);
+        let sched = vec![
+            ScheduleStep {
+                thread: 0,
+                op: ReplayOp::Read { var: 1, value: 0 },
+            },
+            ScheduleStep {
+                thread: 0,
+                op: ReplayOp::Write { var: 0, value: 1 },
+            },
+        ];
+        let (ni, nb) = no_nondet();
+        // Under TSO the buffered store commits later; y == 0 fails the
+        // assertion in the final sweep — a confirmed violation.
+        assert!(replay(&fp, MemoryModel::Tso, &sched, &ni, &nb).is_ok());
+        // Under SC the store may not be crossed.
+        assert!(matches!(
+            replay(&fp, MemoryModel::Sc, &sched, &ni, &nb),
+            Err(ReplayError::Mismatch { step: Some(0), .. })
+        ));
+    }
+
+    #[test]
+    fn store_forwarding_observes_buffered_value() {
+        // x := 1; assert x == 1 — the load forwards from the store buffer
+        // even though the store commits after the load in clock order.
+        let p = ProgramBuilder::new("fwd")
+            .shared("x", 0)
+            .main(vec![assign("x", c(1)), assert_(eq(v("x"), c(1)))])
+            .build();
+        let fp = flat(&p);
+        let sched = vec![
+            ScheduleStep {
+                thread: 0,
+                op: ReplayOp::Read { var: 0, value: 1 },
+            },
+            ScheduleStep {
+                thread: 0,
+                op: ReplayOp::Write { var: 0, value: 1 },
+            },
+        ];
+        let (ni, nb) = no_nondet();
+        // Forwarding makes the read see 1; no assertion fails → NoViolation.
+        assert_eq!(
+            replay(&fp, MemoryModel::Tso, &sched, &ni, &nb),
+            Err(ReplayError::NoViolation)
+        );
+    }
+
+    #[test]
+    fn racy_counter_interleaving_replays() {
+        // Classic lost update: both workers read 0, both write 1.
+        let inc = vec![assign("r", v("c")), assign("c", add(v("r"), c(1)))];
+        let p = ProgramBuilder::new("race")
+            .shared("c", 0)
+            .thread("w1", inc.clone())
+            .thread("w2", inc)
+            .main(vec![
+                spawn(1),
+                spawn(2),
+                join(1),
+                join(2),
+                assert_(eq(v("c"), c(2))),
+            ])
+            .build();
+        let fp = flat(&p);
+        let s = |thread, op| ScheduleStep { thread, op };
+        let sched = vec![
+            s(0, ReplayOp::Spawn { child: 1 }),
+            s(0, ReplayOp::Spawn { child: 2 }),
+            s(1, ReplayOp::Read { var: 0, value: 0 }),
+            s(2, ReplayOp::Read { var: 0, value: 0 }),
+            s(1, ReplayOp::Write { var: 0, value: 1 }),
+            s(2, ReplayOp::Write { var: 0, value: 1 }),
+            s(0, ReplayOp::Join { child: 1 }),
+            s(0, ReplayOp::Join { child: 2 }),
+            s(0, ReplayOp::Read { var: 0, value: 1 }),
+        ];
+        let (ni, nb) = no_nondet();
+        let r = replay(&fp, MemoryModel::Sc, &sched, &ni, &nb);
+        assert!(matches!(r, Ok(ReplayViolation { thread: 0, .. })), "{r:?}");
+    }
+
+    #[test]
+    fn unspawned_thread_event_is_a_mismatch() {
+        let p = ProgramBuilder::new("race")
+            .shared("c", 0)
+            .thread("w1", vec![assign("c", c(1))])
+            .main(vec![spawn(1), join(1), assert_(eq(v("c"), c(0)))])
+            .build();
+        let fp = flat(&p);
+        let sched = vec![ScheduleStep {
+            thread: 1,
+            op: ReplayOp::Write { var: 0, value: 1 },
+        }];
+        let (ni, nb) = no_nondet();
+        assert!(matches!(
+            replay(&fp, MemoryModel::Sc, &sched, &ni, &nb),
+            Err(ReplayError::Mismatch { step: Some(0), .. })
+        ));
+    }
+
+    #[test]
+    fn nondet_values_drive_the_replay() {
+        let p = ProgramBuilder::new("nd")
+            .width(3)
+            .shared("x", 0)
+            .main(vec![
+                assign("x", nondet("n")),
+                assume(lt(v("x"), c(5))),
+                assert_(ne(v("x"), c(3))),
+            ])
+            .build();
+        let fp = flat(&p);
+        // One load for the assume, one for the assert.
+        let sched = vec![
+            ScheduleStep {
+                thread: 0,
+                op: ReplayOp::Write { var: 0, value: 3 },
+            },
+            ScheduleStep {
+                thread: 0,
+                op: ReplayOp::Read { var: 0, value: 3 },
+            },
+            ScheduleStep {
+                thread: 0,
+                op: ReplayOp::Read { var: 0, value: 3 },
+            },
+        ];
+        let mut ni = HashMap::new();
+        ni.insert("%nd_n".to_string(), 3u64);
+        let nb = HashMap::new();
+        assert!(replay(&fp, MemoryModel::Sc, &sched, &ni, &nb).is_ok());
+        // A different input value makes the store mismatch.
+        ni.insert("%nd_n".to_string(), 2u64);
+        assert!(matches!(
+            replay(&fp, MemoryModel::Sc, &sched, &ni, &nb),
+            Err(ReplayError::Mismatch { .. })
+        ));
+    }
+}

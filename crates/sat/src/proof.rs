@@ -7,10 +7,14 @@
 //! [`check`] — an independent forward reverse-unit-propagation checker —
 //! or exported in the textual DRAT format consumed by external tools.
 //!
-//! Scope: proofs are sound for *propositional* solving. Clauses learnt from
-//! background-theory conflicts are theory-valid but not RUP-derivable from
-//! the CNF alone, so proof logging is intended for [`crate::NoTheory`]
-//! solving (asserted by the checker failing otherwise).
+//! Scope: pure [`check`] is sound for *propositional* solving. Clauses
+//! learnt from background-theory conflicts are theory-valid but not
+//! RUP-derivable from the CNF alone, so the solver records them as
+//! [`ProofStep::Lemma`] steps: `check` rejects them (fail closed), while
+//! [`check_with_lemmas`] accepts a lemma exactly when a caller-supplied
+//! validator — e.g. the standalone EOG cycle re-walker in `zpre-smt` —
+//! re-justifies the clause independently, and then treats it as an axiom
+//! for the remaining RUP derivation.
 
 use crate::lit::{LBool, Lit};
 use std::fmt::Write as _;
@@ -22,6 +26,10 @@ pub enum ProofStep {
     Add(Vec<Lit>),
     /// A clause removed from the database.
     Delete(Vec<Lit>),
+    /// A theory lemma: valid in the background theory but, in general, not
+    /// RUP-derivable from the CNF. Only [`check_with_lemmas`] accepts these,
+    /// and only after external re-justification.
+    Lemma(Vec<Lit>),
 }
 
 /// An in-memory DRAT proof.
@@ -42,6 +50,22 @@ impl Proof {
         self.steps.push(ProofStep::Delete(lits.to_vec()));
     }
 
+    /// Appends a theory-lemma step.
+    pub fn lemma(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::Lemma(lits.to_vec()));
+    }
+
+    /// The clauses of all [`ProofStep::Lemma`] steps, in order.
+    pub fn lemma_clauses(&self) -> Vec<&[Lit]> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s {
+                ProofStep::Lemma(c) => Some(c.as_slice()),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// `true` once the proof derives the empty clause.
     pub fn derives_empty(&self) -> bool {
         self.steps
@@ -50,12 +74,17 @@ impl Proof {
     }
 
     /// Serializes to the textual DRAT format (`d` lines for deletions).
+    /// Theory lemmas become plain additions preceded by a `c lemma`
+    /// comment — external propositional checkers will reject such proofs,
+    /// which is the correct fail-closed behaviour (the lemmas need the
+    /// theory-side re-justification that only [`check_with_lemmas`] does).
     pub fn to_drat(&self) -> String {
         let mut out = String::new();
         for step in &self.steps {
             let (prefix, lits) = match step {
                 ProofStep::Add(c) => ("", c),
                 ProofStep::Delete(c) => ("d ", c),
+                ProofStep::Lemma(c) => ("c lemma\n", c),
             };
             out.push_str(prefix);
             for &l in lits {
@@ -72,8 +101,25 @@ impl Proof {
 ///
 /// Returns `Ok(())` when every addition is RUP with respect to the clauses
 /// available at that point and the proof ends in the empty clause;
-/// `Err(step_index)` names the first failing step.
+/// `Err(step_index)` names the first failing step. Any [`ProofStep::Lemma`]
+/// fails closed — propositional checking cannot justify theory lemmas; use
+/// [`check_with_lemmas`] with an external validator instead.
 pub fn check(cnf: &[Vec<Lit>], proof: &Proof) -> Result<(), usize> {
+    check_with_lemmas(cnf, proof, |_| false)
+}
+
+/// Forward RUP check that admits theory lemmas via an external validator.
+///
+/// Every [`ProofStep::Lemma`] clause is passed to `lemma_ok`; when the
+/// validator vouches for it (i.e. re-derives its theory validity
+/// independently), the clause joins the database as an axiom for subsequent
+/// RUP steps — otherwise the check fails at that step. Everything else
+/// behaves exactly like [`check`].
+pub fn check_with_lemmas(
+    cnf: &[Vec<Lit>],
+    proof: &Proof,
+    mut lemma_ok: impl FnMut(&[Lit]) -> bool,
+) -> Result<(), usize> {
     let mut db: Vec<Vec<Lit>> = cnf.to_vec();
     let mut derived_empty = false;
     for (i, step) in proof.steps.iter().enumerate() {
@@ -84,6 +130,12 @@ pub fn check(cnf: &[Vec<Lit>], proof: &Proof) -> Result<(), usize> {
                 }
                 if clause.is_empty() {
                     derived_empty = true;
+                }
+                db.push(clause.clone());
+            }
+            ProofStep::Lemma(clause) => {
+                if !lemma_ok(clause) {
+                    return Err(i);
                 }
                 db.push(clause.clone());
             }
@@ -259,5 +311,51 @@ mod tests {
         proof.add(&[]);
         let text = proof.to_drat();
         assert_eq!(text, "1 -2 0\nd 3 0\n0\n");
+    }
+
+    #[test]
+    fn plain_check_rejects_lemmas() {
+        // The lemma (¬a) would make the proof go through, but `check` must
+        // fail closed on theory lemmas it cannot justify propositionally.
+        let cnf = vec![cl(&[1, 2]), cl(&[1, -2])];
+        let mut proof = Proof::default();
+        proof.lemma(&cl(&[-1]));
+        proof.add(&[]);
+        assert_eq!(check(&cnf, &proof), Err(0));
+    }
+
+    #[test]
+    fn validated_lemma_acts_as_axiom() {
+        // CNF alone is SAT; with the theory lemma (¬a) it becomes UNSAT and
+        // the empty clause is RUP. The validator sees exactly the lemma.
+        let cnf = vec![cl(&[1, 2]), cl(&[1, -2])];
+        let mut proof = Proof::default();
+        proof.lemma(&cl(&[-1]));
+        proof.add(&[]);
+        let mut seen = Vec::new();
+        let result = check_with_lemmas(&cnf, &proof, |c| {
+            seen.push(c.to_vec());
+            true
+        });
+        assert_eq!(result, Ok(()));
+        assert_eq!(seen, vec![cl(&[-1])]);
+        assert_eq!(proof.lemma_clauses(), vec![cl(&[-1]).as_slice()]);
+    }
+
+    #[test]
+    fn refused_lemma_fails_at_its_step() {
+        let cnf = vec![cl(&[1, 2]), cl(&[1, -2])];
+        let mut proof = Proof::default();
+        proof.add(&cl(&[1])); // RUP: resolvent of the two input clauses
+        proof.lemma(&cl(&[-1]));
+        proof.add(&[]);
+        assert_eq!(check_with_lemmas(&cnf, &proof, |_| false), Err(1));
+    }
+
+    #[test]
+    fn lemma_drat_text_is_commented() {
+        let mut proof = Proof::default();
+        proof.lemma(&cl(&[-1]));
+        assert_eq!(proof.to_drat(), "c lemma\n-1 0\n");
     }
 }

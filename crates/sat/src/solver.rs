@@ -147,6 +147,9 @@ pub struct Solver<T: Theory = NoTheory, G: DecisionGuide = NoGuide> {
     budget: Budget,
     theory_out: TheoryOut,
     proof: Option<Proof>,
+    /// Verbatim copy of every clause passed to [`Self::add_clause`] while
+    /// proof logging is enabled — the CNF a proof checker must start from.
+    logged_cnf: Vec<Vec<Lit>>,
     /// Subset of the last call's assumptions responsible for `Unsat`.
     assumption_core: Vec<Lit>,
     config: SolverConfig,
@@ -198,6 +201,7 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
             budget: Budget::default(),
             theory_out: TheoryOut::default(),
             proof: None,
+            logged_cnf: Vec::new(),
             assumption_core: Vec::new(),
             config: SolverConfig::default(),
         }
@@ -261,10 +265,13 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
         }
     }
 
-    /// Enables DRAT proof logging (propositional solving only — theory
-    /// lemmas are not RUP-checkable; see [`crate::proof`]).
+    /// Enables DRAT proof logging. Clauses learnt from theory conflicts are
+    /// recorded as [`crate::proof::ProofStep::Lemma`] steps together with
+    /// the input CNF (see [`Self::logged_cnf`]); validate such proofs with
+    /// [`crate::proof::check_with_lemmas`] and a theory-side re-checker.
     pub fn enable_proof_logging(&mut self) {
         self.proof = Some(Proof::default());
+        self.logged_cnf.clear();
     }
 
     /// Takes the recorded proof, leaving logging enabled with a fresh log.
@@ -272,6 +279,12 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
         self.proof
             .take()
             .inspect(|_| self.proof = Some(Proof::default()))
+    }
+
+    /// Every clause added while proof logging was enabled, verbatim — the
+    /// CNF against which the recorded proof should be checked.
+    pub fn logged_cnf(&self) -> &[Vec<Lit>] {
+        &self.logged_cnf
     }
 
     fn proof_add(&mut self, lits: &[Lit]) {
@@ -283,6 +296,12 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
     fn proof_delete(&mut self, lits: &[Lit]) {
         if let Some(p) = &mut self.proof {
             p.delete(lits);
+        }
+    }
+
+    fn proof_lemma(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.lemma(lits);
         }
     }
 
@@ -328,6 +347,9 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
         debug_assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
         if !self.ok {
             return false;
+        }
+        if self.proof.is_some() {
+            self.logged_cnf.push(lits.to_vec());
         }
         // Normalize: sort, dedup, drop false lits, detect tautology/sat.
         let mut c: Vec<Lit> = lits.to_vec();
@@ -506,9 +528,9 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
         let confl = match result {
             Err(tc) => {
                 self.stats.theory_conflicts += 1;
-                Some(Conflict {
-                    lits: tc.lits.iter().map(|&l| !l).collect(),
-                })
+                let lits: Vec<Lit> = tc.lits.iter().map(|&l| !l).collect();
+                self.proof_lemma(&lits);
+                Some(Conflict { lits })
             }
             Ok(()) => {
                 let mut found = None;
@@ -517,6 +539,16 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                         LBool::True => {}
                         LBool::Undef => {
                             self.stats.theory_propagations += 1;
+                            // Record the explanation clause eagerly: a
+                            // level-0 theory propagation feeding a level-0
+                            // conflict never reaches `analyze`, so logging
+                            // lazily would leave a hole in the proof.
+                            if self.proof.is_some() {
+                                let ants = self.theory.explain(q);
+                                let mut lits = vec![q];
+                                lits.extend(ants.iter().map(|&a| !a));
+                                self.proof_lemma(&lits);
+                            }
                             let ok = self.enqueue(q, Reason::Theory);
                             debug_assert!(ok);
                         }
@@ -527,6 +559,7 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                             let ants = self.theory.explain(q);
                             let mut lits = vec![q];
                             lits.extend(ants.iter().map(|&a| !a));
+                            self.proof_lemma(&lits);
                             found = Some(Conflict { lits });
                             break;
                         }
@@ -1037,9 +1070,9 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                                 }
                                 Err(tc) => {
                                     self.stats.theory_conflicts += 1;
-                                    Some(Conflict {
-                                        lits: tc.lits.iter().map(|&l| !l).collect(),
-                                    })
+                                    let lits: Vec<Lit> = tc.lits.iter().map(|&l| !l).collect();
+                                    self.proof_lemma(&lits);
+                                    Some(Conflict { lits })
                                 }
                             }
                         }

@@ -1,0 +1,298 @@
+//! Standalone re-checker for order-theory lemmas.
+//!
+//! Certification must not trust the solver's conflict analysis or the
+//! theory's incremental DFS: a [`TheoryLemma`] is accepted only if this
+//! module can re-derive its validity from first principles. The argument
+//! is elementary: assume the negation of the lemma clause. Then every tag
+//! literal of the recorded cycle is true, so (by the atom semantics) every
+//! tagged edge is present in the event order graph; fixed program-order
+//! edges are always present. If those edges form a closed directed cycle,
+//! the assignment admits no total order of the events — contradiction — so
+//! the clause holds in the theory.
+//!
+//! The checker therefore verifies, for each lemma:
+//!
+//! 1. the cycle is non-empty, chained, and closed;
+//! 2. every tagged edge is exactly the edge its literal asserts under the
+//!    registered atom semantics (`v ↦ (a, b)`: true ⇒ `a→b`, false ⇒
+//!    `b→a`), and every untagged edge is a fixed program-order edge;
+//! 3. the lemma clause is exactly the set of negated tags — i.e. the
+//!    clause rules out precisely the assignment that closes the cycle.
+//!
+//! Inputs are supplied as closures so the checker shares no code with
+//! [`OrderTheory`]'s DFS; [`check_lemma_against`] wires a (post-solve,
+//! fully backtracked) theory instance in as the source of atom
+//! registrations and fixed edges.
+
+use crate::order::{NodeId, OrderTheory, TheoryLemma};
+use zpre_sat::{Lit, Var};
+
+/// Re-checks a single lemma against caller-supplied atom semantics.
+///
+/// `atom_of` maps a solver variable to its registered ordered pair (`None`
+/// when the variable is not an ordering atom); `is_fixed` answers whether a
+/// fixed program-order edge exists. Returns a human-readable reason on
+/// rejection.
+pub fn check_lemma(
+    lemma: &TheoryLemma,
+    atom_of: impl Fn(Var) -> Option<(NodeId, NodeId)>,
+    is_fixed: impl Fn(NodeId, NodeId) -> bool,
+) -> Result<(), String> {
+    let cycle = &lemma.cycle;
+    if cycle.is_empty() {
+        return Err("lemma has an empty justifying cycle".to_string());
+    }
+    // 1. Chained and closed.
+    for (i, e) in cycle.iter().enumerate() {
+        let next = &cycle[(i + 1) % cycle.len()];
+        if e.to != next.from {
+            return Err(format!(
+                "cycle is not chained: edge {i} ends at node {} but edge {} starts at node {}",
+                e.to.0,
+                (i + 1) % cycle.len(),
+                next.from.0
+            ));
+        }
+    }
+    // 2. Every edge is justified.
+    for (i, e) in cycle.iter().enumerate() {
+        match e.tag {
+            Some(l) => {
+                let Some((a, b)) = atom_of(l.var()) else {
+                    return Err(format!(
+                        "edge {i} is tagged by a literal of non-atom variable {}",
+                        l.var().index()
+                    ));
+                };
+                let asserted = if l.sign() { (a, b) } else { (b, a) };
+                if asserted != (e.from, e.to) {
+                    return Err(format!(
+                        "edge {i} claims {}→{} but its tag asserts {}→{}",
+                        e.from.0, e.to.0, asserted.0 .0, asserted.1 .0
+                    ));
+                }
+            }
+            None => {
+                if !is_fixed(e.from, e.to) {
+                    return Err(format!(
+                        "edge {i} ({}→{}) is not a fixed program-order edge",
+                        e.from.0, e.to.0
+                    ));
+                }
+            }
+        }
+    }
+    // 3. The clause is exactly the negated tags.
+    let mut want: Vec<Lit> = cycle.iter().filter_map(|e| e.tag).map(|l| !l).collect();
+    want.sort_unstable();
+    want.dedup();
+    let mut have = lemma.clause.clone();
+    have.sort_unstable();
+    have.dedup();
+    if want != have {
+        return Err(
+            "lemma clause is not the negation of the cycle's asserting literals".to_string(),
+        );
+    }
+    Ok(())
+}
+
+/// Re-checks a lemma against a theory instance (typically the post-solve
+/// theory, which has backtracked to the root so that only fixed edges
+/// remain asserted).
+pub fn check_lemma_against(theory: &OrderTheory, lemma: &TheoryLemma) -> Result<(), String> {
+    check_lemma(
+        lemma,
+        |v| theory.atom_nodes(v),
+        |a, b| theory.is_fixed_edge(a, b),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::CycleEdge;
+    use zpre_sat::Var;
+
+    fn two_node_theory() -> (OrderTheory, NodeId, NodeId, Var) {
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let v = Var::new(0);
+        t.register_atom(v, a, b);
+        (t, a, b, v)
+    }
+
+    #[test]
+    fn valid_two_cycle_is_accepted() {
+        let (t, a, b, v) = two_node_theory();
+        let mut t2 = t;
+        let w = Var::new(1);
+        t2.register_atom(w, b, a);
+        // Clause: ¬v ∨ ¬w — cycle a→b (v true) then b→a (w true).
+        let lemma = TheoryLemma {
+            clause: vec![v.negative(), w.negative()],
+            cycle: vec![
+                CycleEdge {
+                    from: a,
+                    to: b,
+                    tag: Some(v.positive()),
+                },
+                CycleEdge {
+                    from: b,
+                    to: a,
+                    tag: Some(w.positive()),
+                },
+            ],
+        };
+        assert_eq!(check_lemma_against(&t2, &lemma), Ok(()));
+    }
+
+    #[test]
+    fn fixed_edge_closes_the_cycle() {
+        let (mut t, a, b, v) = two_node_theory();
+        assert!(t.add_fixed_edge(b, a));
+        let lemma = TheoryLemma {
+            clause: vec![v.negative()],
+            cycle: vec![
+                CycleEdge {
+                    from: a,
+                    to: b,
+                    tag: Some(v.positive()),
+                },
+                CycleEdge {
+                    from: b,
+                    to: a,
+                    tag: None,
+                },
+            ],
+        };
+        assert_eq!(check_lemma_against(&t, &lemma), Ok(()));
+    }
+
+    #[test]
+    fn unchained_cycle_is_rejected() {
+        let (mut t, a, b, v) = two_node_theory();
+        let c = t.add_node();
+        let lemma = TheoryLemma {
+            clause: vec![v.negative()],
+            cycle: vec![
+                CycleEdge {
+                    from: a,
+                    to: b,
+                    tag: Some(v.positive()),
+                },
+                CycleEdge {
+                    from: c,
+                    to: a,
+                    tag: None,
+                },
+            ],
+        };
+        assert!(check_lemma_against(&t, &lemma).is_err());
+    }
+
+    #[test]
+    fn forged_fixed_edge_is_rejected() {
+        let (t, a, b, v) = two_node_theory();
+        // Claims b→a is fixed, but no such edge was ever added.
+        let lemma = TheoryLemma {
+            clause: vec![v.negative()],
+            cycle: vec![
+                CycleEdge {
+                    from: a,
+                    to: b,
+                    tag: Some(v.positive()),
+                },
+                CycleEdge {
+                    from: b,
+                    to: a,
+                    tag: None,
+                },
+            ],
+        };
+        assert!(check_lemma_against(&t, &lemma).is_err());
+    }
+
+    #[test]
+    fn misoriented_tag_is_rejected() {
+        let (mut t, a, b, v) = two_node_theory();
+        assert!(t.add_fixed_edge(b, a));
+        // The tag ¬v asserts b→a, not a→b as the edge claims.
+        let lemma = TheoryLemma {
+            clause: vec![v.positive()],
+            cycle: vec![
+                CycleEdge {
+                    from: a,
+                    to: b,
+                    tag: Some(v.negative()),
+                },
+                CycleEdge {
+                    from: b,
+                    to: a,
+                    tag: None,
+                },
+            ],
+        };
+        assert!(check_lemma_against(&t, &lemma).is_err());
+    }
+
+    #[test]
+    fn clause_tag_mismatch_is_rejected() {
+        let (mut t, a, b, v) = two_node_theory();
+        assert!(t.add_fixed_edge(b, a));
+        let w = Var::new(7); // unrelated literal smuggled into the clause
+        let lemma = TheoryLemma {
+            clause: vec![v.negative(), w.positive()],
+            cycle: vec![
+                CycleEdge {
+                    from: a,
+                    to: b,
+                    tag: Some(v.positive()),
+                },
+                CycleEdge {
+                    from: b,
+                    to: a,
+                    tag: None,
+                },
+            ],
+        };
+        assert!(check_lemma_against(&t, &lemma).is_err());
+    }
+
+    #[test]
+    fn empty_cycle_is_rejected() {
+        let (t, _a, _b, v) = two_node_theory();
+        let lemma = TheoryLemma {
+            clause: vec![v.negative()],
+            cycle: vec![],
+        };
+        assert!(check_lemma_against(&t, &lemma).is_err());
+    }
+
+    /// The journal a real solve produces passes the checker.
+    #[test]
+    fn journaled_lemmas_from_a_conflict_check_out() {
+        use zpre_sat::{Theory, TheoryOut};
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let c = t.add_node();
+        t.add_fixed_edge(a, b);
+        let v0 = Var::new(0);
+        let v1 = Var::new(1);
+        t.register_atom(v0, b, c);
+        t.register_atom(v1, c, a);
+        t.enable_lemma_journal();
+        let mut out = TheoryOut::default();
+        t.new_level();
+        assert!(t.assert_lit(v0.positive(), &mut out).is_ok());
+        assert!(t.assert_lit(v1.positive(), &mut out).is_err());
+        t.backtrack_to(0);
+        let lemmas = t.take_lemmas();
+        assert!(!lemmas.is_empty());
+        for lemma in &lemmas {
+            assert_eq!(check_lemma_against(&t, lemma), Ok(()), "{lemma:?}");
+        }
+    }
+}

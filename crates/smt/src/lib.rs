@@ -15,8 +15,10 @@
 
 #![warn(missing_docs)]
 
+pub mod certcheck;
 pub mod kinds;
 pub mod order;
 
+pub use certcheck::{check_lemma, check_lemma_against};
 pub use kinds::{rf_name, ws_name, ClassCounts, VarInfo, VarKind, VarRegistry};
-pub use order::{NodeId, OrderTheory};
+pub use order::{CycleEdge, NodeId, OrderTheory, TheoryLemma};

@@ -43,6 +43,33 @@ struct Edge {
     tag: Option<Lit>,
 }
 
+/// One edge of a justifying EOG cycle, as recorded in a [`TheoryLemma`].
+///
+/// `tag` is the literal whose truth asserts the edge (`None` for fixed
+/// program-order edges). Under the negation of the lemma clause every tag
+/// is true, so the tagged edges — plus the always-present fixed edges —
+/// close the cycle that makes the assignment theory-inconsistent.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CycleEdge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// The asserting literal, or `None` for a fixed edge.
+    pub tag: Option<Lit>,
+}
+
+/// A theory lemma together with its justification: the clause is valid in
+/// the order theory because the edges of `cycle` form a directed cycle in
+/// the EOG whenever the clause's negation holds.
+#[derive(Clone, Debug)]
+pub struct TheoryLemma {
+    /// The lemma clause (as emitted to the solver's proof log).
+    pub clause: Vec<Lit>,
+    /// The closed EOG cycle justifying it, in forward edge order.
+    pub cycle: Vec<CycleEdge>,
+}
+
 /// Undoable theory operations.
 enum Op {
     /// An edge was appended to `adj[from]`.
@@ -77,6 +104,11 @@ pub struct OrderTheory {
     fixed_cycle: bool,
     /// Enable one-step reverse propagation (ablation toggle).
     propagate_reverse: bool,
+    /// Append-only journal of emitted lemmas with their justifying cycles
+    /// (only filled when [`Self::enable_lemma_journal`] was called).
+    journal: Vec<TheoryLemma>,
+    /// Whether the lemma journal is recording.
+    journal_on: bool,
     /// Number of cycle checks performed (diagnostics).
     pub cycle_checks: u64,
     /// Number of cycles detected (theory conflicts raised).
@@ -105,9 +137,25 @@ impl OrderTheory {
             dfs_stack: Vec::new(),
             fixed_cycle: false,
             propagate_reverse: true,
+            journal: Vec::new(),
+            journal_on: false,
             cycle_checks: 0,
             cycles_found: 0,
         }
+    }
+
+    /// Starts journaling every emitted lemma with its justifying cycle.
+    /// The journal is append-only and survives backtracking: certification
+    /// matches proof steps against it by clause, so stale entries from
+    /// abandoned branches are harmless.
+    pub fn enable_lemma_journal(&mut self) {
+        self.journal_on = true;
+        self.journal.clear();
+    }
+
+    /// Takes the recorded lemma journal, leaving journaling enabled.
+    pub fn take_lemmas(&mut self) -> Vec<TheoryLemma> {
+        std::mem::take(&mut self.journal)
     }
 
     /// Disables one-step reverse propagation (for the ablation study).
@@ -177,9 +225,18 @@ impl OrderTheory {
         from == to || self.find_path(from, to).is_some()
     }
 
-    /// DFS from `from` looking for `to`; on success returns the asserting
-    /// literals of the path's edges (fixed edges contribute nothing).
-    fn find_path(&mut self, from: NodeId, to: NodeId) -> Option<Vec<Lit>> {
+    /// `true` if the fixed (program-order) edge `a→b` exists. Post-solve
+    /// the solver has backtracked to the root, so only fixed and root-level
+    /// edges remain — this is the predicate certification re-checks.
+    pub fn is_fixed_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj
+            .get(a.index())
+            .is_some_and(|edges| edges.iter().any(|e| e.to == b && e.tag.is_none()))
+    }
+
+    /// DFS from `from` looking for `to`; on success returns the path's
+    /// edges in forward order (`from` first).
+    fn find_path(&mut self, from: NodeId, to: NodeId) -> Option<Vec<CycleEdge>> {
         self.cycle_checks += 1;
         self.stamp_counter += 1;
         let stamp = self.stamp_counter;
@@ -195,16 +252,19 @@ impl OrderTheory {
                 self.parent[e.to.index()] = (n, e.tag);
                 if e.to == to {
                     // Reconstruct the path from `to` back to `from`.
-                    let mut lits = Vec::new();
+                    let mut edges = Vec::new();
                     let mut cur = to;
                     while cur != from {
                         let (pred, tag) = self.parent[cur.index()];
-                        if let Some(l) = tag {
-                            lits.push(l);
-                        }
+                        edges.push(CycleEdge {
+                            from: pred,
+                            to: cur,
+                            tag,
+                        });
                         cur = pred;
                     }
-                    return Some(lits);
+                    edges.reverse();
+                    return Some(edges);
                 }
                 self.dfs_stack.push(e.to);
             }
@@ -260,9 +320,22 @@ impl Theory for OrderTheory {
 
         // Would the new edge close a cycle? A path to→…→from plus the new
         // edge from→to is a cycle.
-        if let Some(mut path_lits) = self.find_path(to, from) {
+        if let Some(path) = self.find_path(to, from) {
             self.cycles_found += 1;
+            let mut path_lits: Vec<Lit> = path.iter().filter_map(|e| e.tag).collect();
             path_lits.push(lit);
+            if self.journal_on {
+                let mut cycle = vec![CycleEdge {
+                    from,
+                    to,
+                    tag: Some(lit),
+                }];
+                cycle.extend(path);
+                self.journal.push(TheoryLemma {
+                    clause: path_lits.iter().map(|&l| !l).collect(),
+                    cycle,
+                });
+            }
             // All literals are true; their conjunction is inconsistent.
             return Err(TheoryConflict { lits: path_lits });
         }
@@ -287,6 +360,25 @@ impl Theory for OrderTheory {
                 {
                     e.insert(vec![lit]);
                     self.ops.push(Op::Expl { lit: q });
+                    if self.journal_on {
+                        // The explanation clause q ∨ ¬lit is justified by the
+                        // 2-cycle its negation (¬q ∧ lit) would create.
+                        self.journal.push(TheoryLemma {
+                            clause: vec![q, !lit],
+                            cycle: vec![
+                                CycleEdge {
+                                    from,
+                                    to,
+                                    tag: Some(lit),
+                                },
+                                CycleEdge {
+                                    from: to,
+                                    to: from,
+                                    tag: Some(!q),
+                                },
+                            ],
+                        });
+                    }
                     out.propagations.push(q);
                 }
             }

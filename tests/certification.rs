@@ -1,0 +1,303 @@
+//! End-to-end certification tests: certified verdicts carry independently
+//! checked evidence, injected faults are rejected fail-closed, and
+//! certified verdicts agree with the explicit-state oracle on random
+//! programs.
+
+use proptest::prelude::*;
+use zpre::{
+    try_verify, try_verify_ssa, Certificate, Fault, Strategy as SolveStrategy, Verdict,
+    VerifyError, VerifyOptions,
+};
+use zpre_prog::build::*;
+use zpre_prog::interp::{check_sc, Limits, Outcome};
+use zpre_prog::{flatten, to_ssa, unroll_program, MemoryModel, Program, Stmt};
+
+fn racy() -> Program {
+    let inc = vec![assign("r", v("cnt")), assign("cnt", add(v("r"), c(1)))];
+    ProgramBuilder::new("racy")
+        .shared("cnt", 0)
+        .thread("w1", inc.clone())
+        .thread("w2", inc)
+        .main(vec![
+            spawn(1),
+            spawn(2),
+            join(1),
+            join(2),
+            assert_(eq(v("cnt"), c(2))),
+        ])
+        .build()
+}
+
+fn locked() -> Program {
+    let inc = vec![
+        lock("m"),
+        assign("r", v("cnt")),
+        assign("cnt", add(v("r"), c(1))),
+        unlock("m"),
+    ];
+    ProgramBuilder::new("locked")
+        .shared("cnt", 0)
+        .mutex("m")
+        .thread("w1", inc.clone())
+        .thread("w2", inc)
+        .main(vec![
+            spawn(1),
+            spawn(2),
+            join(1),
+            join(2),
+            assert_(eq(v("cnt"), c(2))),
+        ])
+        .build()
+}
+
+fn certified_opts(mm: MemoryModel, strategy: SolveStrategy) -> VerifyOptions {
+    let mut opts = VerifyOptions::new(mm, strategy);
+    opts.certify = true;
+    opts
+}
+
+/// Safe verdicts carry a RUP-checked proof whose theory lemmas were all
+/// re-justified by the standalone cycle checker — under every memory model
+/// and every main strategy.
+#[test]
+fn certified_safe_proofs_check_out() {
+    let mut saw_lemmas = false;
+    for mm in MemoryModel::ALL {
+        for strategy in SolveStrategy::MAIN {
+            let out = try_verify(&locked(), &certified_opts(mm, strategy))
+                .unwrap_or_else(|e| panic!("{mm} {strategy}: {e}"));
+            assert_eq!(out.verdict, Verdict::Safe, "{mm} {strategy}");
+            match out.certificate {
+                Some(Certificate::Safe {
+                    lemmas_checked,
+                    proof_steps,
+                }) => {
+                    assert!(proof_steps > 0, "{mm} {strategy}: empty proof");
+                    saw_lemmas |= lemmas_checked > 0;
+                }
+                other => panic!("{mm} {strategy}: expected Safe certificate, got {other:?}"),
+            }
+        }
+    }
+    // At least one configuration must have exercised the lemma re-checker,
+    // otherwise the fault matrix below tests nothing.
+    assert!(saw_lemmas, "no configuration produced theory lemmas");
+}
+
+/// Unsafe verdicts replay through the concrete interpreter — under every
+/// memory model (exercising the SC, TSO and PSO replay machines).
+#[test]
+fn certified_unsafe_witnesses_replay() {
+    for mm in MemoryModel::ALL {
+        let out = try_verify(&racy(), &certified_opts(mm, SolveStrategy::Zpre))
+            .unwrap_or_else(|e| panic!("{mm}: {e}"));
+        assert_eq!(out.verdict, Verdict::Unsafe, "{mm}");
+        match out.certificate {
+            Some(Certificate::Unsafe { replayed_steps }) => {
+                assert!(replayed_steps > 0, "{mm}: empty schedule");
+            }
+            other => panic!("{mm}: expected Unsafe certificate, got {other:?}"),
+        }
+    }
+}
+
+/// A certified Unsafe verdict without the original program (SSA-only entry
+/// point) fails closed instead of fabricating a certificate.
+#[test]
+fn ssa_only_certified_unsafe_fails_closed() {
+    let ssa = to_ssa(&unroll_program(&racy(), 2));
+    let err = try_verify_ssa(&ssa, &certified_opts(MemoryModel::Sc, SolveStrategy::Zpre))
+        .expect_err("certified Unsafe without a flat program must fail");
+    assert!(
+        matches!(
+            err,
+            VerifyError::Certification {
+                stage: "replay",
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+/// The fault matrix: every injected fault is either rejected fail-closed
+/// by the certifier (when it corrupts that verdict's evidence) or provably
+/// harmless (verdict and certificate unchanged). Nothing ever panics.
+#[test]
+fn fault_matrix_fails_closed() {
+    // Which faults corrupt which verdict's certification artifacts.
+    let hits_safe = |f: Fault| {
+        matches!(
+            f,
+            Fault::DropLemmas | Fault::ForgeLemma | Fault::TruncateProof(_)
+        )
+    };
+    let hits_unsafe = |f: Fault| matches!(f, Fault::FlipModelBit);
+
+    for fault in Fault::ALL {
+        for (program, verdict) in [(locked(), Verdict::Safe), (racy(), Verdict::Unsafe)] {
+            let mut opts = certified_opts(MemoryModel::Sc, SolveStrategy::Zpre);
+            opts.fault = Some(fault);
+            let result = try_verify(&program, &opts);
+            let should_fail = match verdict {
+                Verdict::Safe => hits_safe(fault),
+                Verdict::Unsafe => hits_unsafe(fault),
+                Verdict::Unknown => unreachable!(),
+            };
+            if should_fail {
+                let err =
+                    result.expect_err(&format!("{} on {} must be rejected", fault.name(), verdict));
+                assert!(
+                    matches!(err, VerifyError::Certification { .. }),
+                    "{}: wrong error class: {err}",
+                    fault.name()
+                );
+            } else {
+                let out = result.unwrap_or_else(|e| {
+                    panic!("{} on {} must be harmless: {e}", fault.name(), verdict)
+                });
+                assert_eq!(out.verdict, verdict, "{}", fault.name());
+                assert!(out.certificate.is_some(), "{}", fault.name());
+            }
+        }
+    }
+}
+
+/// `DropLemmas` specifically: the control run must contain theory lemmas
+/// (otherwise the fault has nothing to drop and the matrix entry is
+/// vacuous), and dropping their justifications must be detected.
+#[test]
+fn dropped_lemma_justifications_are_detected() {
+    let opts = certified_opts(MemoryModel::Sc, SolveStrategy::Zpre);
+    let out = try_verify(&locked(), &opts).expect("control run certifies");
+    let Some(Certificate::Safe { lemmas_checked, .. }) = out.certificate else {
+        panic!("expected Safe certificate");
+    };
+    assert!(lemmas_checked > 0, "control proof carries no theory lemmas");
+
+    let mut faulty = opts;
+    faulty.fault = Some(Fault::DropLemmas);
+    let err = try_verify(&locked(), &faulty).expect_err("dropped lemmas must be detected");
+    assert!(
+        matches!(err, VerifyError::Certification { stage: "lemma", .. }),
+        "{err}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Random programs: certified verdicts agree with the explicit-state oracle.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum MiniStmt {
+    StoreConst(usize, u64),
+    StoreAdd(usize, usize, u64),
+    LoadStore(usize, u64),
+    CondStore(usize, u64, usize, u64),
+    LockedInc(usize),
+}
+
+const VARS: [&str; 2] = ["x", "y"];
+
+fn arb_stmt() -> impl Strategy<Value = MiniStmt> {
+    prop_oneof![
+        (0..2usize, 0..4u64).prop_map(|(v, k)| MiniStmt::StoreConst(v, k)),
+        (0..2usize, 0..2usize, 0..3u64).prop_map(|(a, b, k)| MiniStmt::StoreAdd(a, b, k)),
+        (0..2usize, 0..3u64).prop_map(|(v, k)| MiniStmt::LoadStore(v, k)),
+        (0..2usize, 0..2u64, 0..2usize, 1..4u64)
+            .prop_map(|(v, k, o, k2)| MiniStmt::CondStore(v, k, o, k2)),
+        (0..2usize).prop_map(MiniStmt::LockedInc),
+    ]
+}
+
+fn lower(thread: usize, stmts: &[MiniStmt]) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for (i, s) in stmts.iter().enumerate() {
+        let local = format!("l{thread}_{i}");
+        match s {
+            MiniStmt::StoreConst(v_, k) => out.push(assign(VARS[*v_], c(*k))),
+            MiniStmt::StoreAdd(a, b_, k) => out.push(assign(VARS[*a], add(v(VARS[*b_]), c(*k)))),
+            MiniStmt::LoadStore(v_, k) => {
+                out.push(assign(&local, v(VARS[*v_])));
+                out.push(assign(VARS[*v_], add(v(&local), c(*k))));
+            }
+            MiniStmt::CondStore(v_, k, o, k2) => out.push(when(
+                eq(v(VARS[*v_]), c(*k)),
+                vec![assign(VARS[*o], c(*k2))],
+            )),
+            MiniStmt::LockedInc(v_) => {
+                out.push(lock("m"));
+                out.push(assign(&local, v(VARS[*v_])));
+                out.push(assign(VARS[*v_], add(v(&local), c(1))));
+                out.push(unlock("m"));
+            }
+        }
+    }
+    out
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(arb_stmt(), 1..3),
+        prop::collection::vec(arb_stmt(), 1..3),
+        0..2usize,
+        0..4u64,
+        any::<bool>(),
+    )
+        .prop_map(|(t1, t2, avar, aconst, eq_prop)| {
+            let prop_expr = if eq_prop {
+                eq(v(VARS[avar]), c(aconst))
+            } else {
+                ne(v(VARS[avar]), c(aconst))
+            };
+            ProgramBuilder::new("random")
+                .width(4)
+                .shared("x", 0)
+                .shared("y", 0)
+                .mutex("m")
+                .thread("t1", lower(1, &t1))
+                .thread("t2", lower(2, &t2))
+                .main(vec![
+                    spawn(1),
+                    spawn(2),
+                    join(1),
+                    join(2),
+                    assert_(prop_expr),
+                ])
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Certified verdicts agree with exhaustive interleaving enumeration,
+    /// and every definitive verdict carries the matching certificate kind.
+    #[test]
+    fn certified_verdicts_match_oracle(program in arb_program()) {
+        let fp = flatten(&unroll_program(&program, 1));
+        let oracle = check_sc(&fp, Limits::default());
+        prop_assume!(oracle != Outcome::ResourceLimit);
+        let mut opts = certified_opts(MemoryModel::Sc, SolveStrategy::Zpre);
+        opts.unroll_bound = 1;
+        let out = try_verify(&program, &opts).map_err(|e| {
+            TestCaseError::Fail(format!(
+                "certification failed: {e}\n{}",
+                zpre_prog::pretty::pretty_program(&program)
+            ))
+        })?;
+        prop_assert_eq!(
+            out.verdict == Verdict::Safe,
+            oracle == Outcome::Safe,
+            "smt {:?} vs oracle {:?}\n{}",
+            out.verdict,
+            oracle,
+            zpre_prog::pretty::pretty_program(&program)
+        );
+        match (out.verdict, &out.certificate) {
+            (Verdict::Safe, Some(Certificate::Safe { .. })) => {}
+            (Verdict::Unsafe, Some(Certificate::Unsafe { .. })) => {}
+            (v, c) => prop_assert!(false, "verdict {v} with certificate {c:?}"),
+        }
+    }
+}
