@@ -8,6 +8,77 @@
 use crate::runner::TaskResult;
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Per-(memory model, strategy) telemetry aggregate: accumulated phase
+/// times and decision-class histogram over all rows that carried
+/// telemetry. This is the source of `BENCH_TELEMETRY.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySummaryRow {
+    /// Memory model.
+    pub mm: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Rows aggregated.
+    pub rows: usize,
+    /// Accumulated unroll milliseconds.
+    pub unroll_ms: f64,
+    /// Accumulated SSA milliseconds.
+    pub ssa_ms: f64,
+    /// Accumulated encode milliseconds (contains blast).
+    pub encode_ms: f64,
+    /// Accumulated bit-blast milliseconds.
+    pub blast_ms: f64,
+    /// Accumulated solve milliseconds.
+    pub solve_ms: f64,
+    /// Decision histogram: external read-from selectors.
+    pub dec_rf_ext: u64,
+    /// Decision histogram: internal read-from selectors.
+    pub dec_rf_int: u64,
+    /// Decision histogram: write-serialization selectors.
+    pub dec_ws: u64,
+    /// Decision histogram: every other class.
+    pub dec_other: u64,
+    /// Conflicts counted from the event stream.
+    pub obs_conflicts: u64,
+}
+
+impl TelemetrySummaryRow {
+    /// Interference share of all decisions, in percent (NaN when no
+    /// decisions were recorded).
+    pub fn interference_pct(&self) -> f64 {
+        let interference = (self.dec_rf_ext + self.dec_rf_int + self.dec_ws) as f64;
+        let total = interference + self.dec_other as f64;
+        100.0 * interference / total
+    }
+}
+
+/// Aggregates all telemetry-carrying rows per (memory model, strategy),
+/// ordered by memory model then strategy.
+pub fn telemetry_summary(results: &[TaskResult]) -> Vec<TelemetrySummaryRow> {
+    let mut per: BTreeMap<(String, String), TelemetrySummaryRow> = BTreeMap::new();
+    for r in results {
+        let Some(t) = &r.telemetry else { continue };
+        let row = per
+            .entry((r.mm.clone(), r.strategy.clone()))
+            .or_insert_with(|| TelemetrySummaryRow {
+                mm: r.mm.clone(),
+                strategy: r.strategy.clone(),
+                ..TelemetrySummaryRow::default()
+            });
+        row.rows += 1;
+        row.unroll_ms += t.unroll_ms;
+        row.ssa_ms += t.ssa_ms;
+        row.encode_ms += t.encode_ms;
+        row.blast_ms += t.blast_ms;
+        row.solve_ms += t.solve_ms;
+        row.dec_rf_ext += t.dec_rf_ext;
+        row.dec_rf_int += t.dec_rf_int;
+        row.dec_ws += t.dec_ws;
+        row.dec_other += t.dec_other;
+        row.obs_conflicts += t.obs_conflicts;
+    }
+    per.into_values().collect()
+}
+
 fn by_strategy<'a>(
     results: &'a [TaskResult],
     mm: &str,
@@ -374,6 +445,7 @@ mod tests {
             cancel_latency_ms: None,
             certified: None,
             quarantined: None,
+            telemetry: None,
         }
     }
 
@@ -463,6 +535,41 @@ mod tests {
         );
         assert!((s.mean_cancel_latency_ms.unwrap() - 4.0).abs() < 1e-9);
         assert!((s.max_cancel_latency_ms.unwrap() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_summary_accumulates_per_mm_strategy() {
+        use crate::runner::RowTelemetry;
+        let mut a = mk("a", "sc", "zpre", "safe", 1.0);
+        a.telemetry = Some(RowTelemetry {
+            solve_ms: 2.0,
+            dec_rf_ext: 10,
+            dec_ws: 4,
+            dec_other: 6,
+            obs_conflicts: 3,
+            ..RowTelemetry::default()
+        });
+        let mut b = mk("b", "sc", "zpre", "safe", 1.0);
+        b.telemetry = Some(RowTelemetry {
+            solve_ms: 3.0,
+            dec_rf_ext: 5,
+            dec_rf_int: 5,
+            obs_conflicts: 1,
+            ..RowTelemetry::default()
+        });
+        let no_tele = mk("c", "sc", "baseline", "safe", 1.0);
+        let rows = telemetry_summary(&[a, b, no_tele]);
+        assert_eq!(rows.len(), 1, "rows without telemetry are skipped");
+        let r = &rows[0];
+        assert_eq!((r.mm.as_str(), r.strategy.as_str()), ("sc", "zpre"));
+        assert_eq!(r.rows, 2);
+        assert!((r.solve_ms - 5.0).abs() < 1e-9);
+        assert_eq!(
+            (r.dec_rf_ext, r.dec_rf_int, r.dec_ws, r.dec_other),
+            (15, 5, 4, 6)
+        );
+        assert_eq!(r.obs_conflicts, 4);
+        assert!((r.interference_pct() - 80.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! harness [--scale quick|full] [--budget CONFLICTS] [--seed N] [--out DIR] <experiment>
+//! harness [--scale quick|full] [--budget CONFLICTS] [--seed N] [--out DIR]
+//!         [--telemetry] <experiment>
 //!
 //! experiments:
 //!   table1     accumulated both-solved time, Sat/Unsat/All × SC/TSO/PSO
@@ -16,14 +17,18 @@
 //! ```
 //!
 //! Raw measurements are written as CSV/JSON under `--out`
-//! (default `target/experiments`).
+//! (default `target/experiments`). With `--telemetry`, every measurement
+//! carries a `zpre-obs` recorder: per-phase timings (unroll/SSA/encode/
+//! bit-blast/solve) and per-class decision histograms are appended to the
+//! raw rows and aggregated into `BENCH_TELEMETRY.json`.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use zpre::Strategy;
 use zpre_bench::{
     ablation, ascii, fig_scatter, fig_subcats, mismatches, portfolio_summary, run_suite,
-    run_suite_portfolio, table1, table2, table3, to_csv, to_json, RunConfig, TaskResult,
+    run_suite_portfolio, table1, table2, table3, telemetry_summary, to_csv, to_json, RunConfig,
+    TaskResult,
 };
 use zpre_prog::MemoryModel;
 use zpre_workloads::{suite, Scale};
@@ -36,6 +41,7 @@ fn main() {
     let mut budget: u64 = 200_000;
     let mut seed: u64 = 0xC0FFEE;
     let mut out_dir = PathBuf::from("target/experiments");
+    let mut telemetry = false;
     let mut experiments: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -63,12 +69,13 @@ fn main() {
                 i += 1;
                 out_dir = PathBuf::from(&args[i]);
             }
+            "--telemetry" => telemetry = true,
             exp => experiments.push(exp.to_string()),
         }
         i += 1;
     }
     if experiments.is_empty() {
-        eprintln!("usage: harness [--scale quick|full] [--budget N] [--seed N] [--out DIR] <experiment>...");
+        eprintln!("usage: harness [--scale quick|full] [--budget N] [--seed N] [--out DIR] [--telemetry] <experiment>...");
         eprintln!("experiments: table1 table2 table3 fig6..fig11 ablation portfolio validate all");
         std::process::exit(2);
     }
@@ -96,6 +103,7 @@ fn main() {
         scale,
         max_conflicts: budget,
         seed,
+        telemetry,
         ..RunConfig::default()
     };
     std::fs::create_dir_all(&out_dir).expect("create output dir");
@@ -138,6 +146,13 @@ fn main() {
     // Persist raw data.
     std::fs::write(out_dir.join("raw.csv"), to_csv(&results)).expect("write raw.csv");
     std::fs::write(out_dir.join("raw.json"), to_json(&results)).expect("write raw.json");
+    if telemetry {
+        let path = out_dir.join("BENCH_TELEMETRY.json");
+        std::fs::write(&path, telemetry_json_doc(&results)).expect("write BENCH_TELEMETRY.json");
+        println!("\n================ telemetry ================");
+        print_telemetry(&results);
+        println!("(aggregate: {})", path.display());
+    }
 
     for exp in &experiments {
         println!("\n================ {exp} ================");
@@ -169,6 +184,69 @@ fn main() {
             "probe" => print_probe(&results),
             other => eprintln!("unknown experiment {other:?}"),
         }
+    }
+}
+
+/// Per-(mm, strategy) phase-time and decision-histogram aggregate as a
+/// standalone JSON document.
+fn telemetry_json_doc(results: &[TaskResult]) -> String {
+    let rows = telemetry_summary(results);
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"mm\": \"{}\", \"strategy\": \"{}\", \"rows\": {}, \
+             \"unroll_ms\": {:.3}, \"ssa_ms\": {:.3}, \"encode_ms\": {:.3}, \
+             \"blast_ms\": {:.3}, \"solve_ms\": {:.3}, \"dec_rf_ext\": {}, \
+             \"dec_rf_int\": {}, \"dec_ws\": {}, \"dec_other\": {}, \
+             \"obs_conflicts\": {}}}{}\n",
+            r.mm,
+            r.strategy,
+            r.rows,
+            r.unroll_ms,
+            r.ssa_ms,
+            r.encode_ms,
+            r.blast_ms,
+            r.solve_ms,
+            r.dec_rf_ext,
+            r.dec_rf_int,
+            r.dec_ws,
+            r.dec_other,
+            r.obs_conflicts,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn print_telemetry(results: &[TaskResult]) {
+    println!(
+        "{:<5} {:<10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>7} {:>9} {:>7}",
+        "MM",
+        "strategy",
+        "encode(ms)",
+        "blast(ms)",
+        "solve(ms)",
+        "rf_ext",
+        "rf_int",
+        "ws",
+        "other",
+        "intf%"
+    );
+    for r in telemetry_summary(results) {
+        println!(
+            "{:<5} {:<10} {:>10.1} {:>10.1} {:>10.1} {:>9} {:>9} {:>7} {:>9} {:>6.1}%",
+            r.mm.to_uppercase(),
+            r.strategy,
+            r.encode_ms,
+            r.blast_ms,
+            r.solve_ms,
+            r.dec_rf_ext,
+            r.dec_rf_int,
+            r.dec_ws,
+            r.dec_other,
+            r.interference_pct()
+        );
     }
 }
 

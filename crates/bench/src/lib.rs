@@ -14,6 +14,6 @@ pub mod runner;
 
 pub use aggregate::*;
 pub use runner::{
-    run_one, run_one_portfolio, run_suite, run_suite_portfolio, to_csv, to_json, RunConfig,
-    TaskResult,
+    run_one, run_one_portfolio, run_suite, run_suite_portfolio, telemetry_json, to_csv, to_json,
+    RowTelemetry, RunConfig, TaskResult,
 };

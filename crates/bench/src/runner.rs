@@ -3,6 +3,7 @@
 use rayon::prelude::*;
 use std::time::Duration;
 use zpre::{try_verify, verify_portfolio, PortfolioOptions, Strategy, Verdict, VerifyOptions};
+use zpre_obs::{Phase, Recorder, TraceConfig, VarClass};
 use zpre_prog::MemoryModel;
 use zpre_workloads::{Scale, Subcat, Task};
 
@@ -24,6 +25,12 @@ pub struct RunConfig {
     /// witnesses for Unsafe); rejected verdicts are reported as
     /// `"rejected"` instead of crashing the suite.
     pub certify: bool,
+    /// Attach a `zpre-obs` recorder to every measurement: per-phase
+    /// timings and per-class decision histograms land in the extra
+    /// `TaskResult` columns (and in `BENCH_TELEMETRY.json` via the
+    /// harness). Off by default so timing rows stay untouched by
+    /// event-buffer overhead.
+    pub telemetry: bool,
 }
 
 impl Default for RunConfig {
@@ -35,6 +42,7 @@ impl Default for RunConfig {
             seed: 0xC0FFEE,
             validate: true,
             certify: false,
+            telemetry: false,
         }
     }
 }
@@ -77,6 +85,87 @@ pub struct TaskResult {
     /// Portfolio rows only: members quarantined after a panic or a
     /// certification failure, `;`-separated.
     pub quarantined: Option<String>,
+    /// Observability columns, present when [`RunConfig::telemetry`] is on.
+    pub telemetry: Option<RowTelemetry>,
+}
+
+/// Per-row per-phase timings and decision histogram, read off a `zpre-obs`
+/// recorder attached to the measurement. Phase times come from the
+/// recorder's spans (so they agree with `--profile` output); the decision
+/// histogram and conflict count come from the recorder's exact counters,
+/// which lets Table 2's decision/conflict columns be reproduced from the
+/// event stream alone.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RowTelemetry {
+    /// Loop-unrolling time in milliseconds.
+    pub unroll_ms: f64,
+    /// SSA-conversion time in milliseconds.
+    pub ssa_ms: f64,
+    /// Constraint-encoding time in milliseconds (contains `blast_ms`).
+    pub encode_ms: f64,
+    /// Bit-blasting time in milliseconds (nested inside encode).
+    pub blast_ms: f64,
+    /// Solving time in milliseconds.
+    pub solve_ms: f64,
+    /// Decisions on external read-from selector variables.
+    pub dec_rf_ext: u64,
+    /// Decisions on internal (same-thread) read-from selectors.
+    pub dec_rf_int: u64,
+    /// Decisions on write-serialization selectors.
+    pub dec_ws: u64,
+    /// Decisions on every other variable class.
+    pub dec_other: u64,
+    /// Conflicts counted from the event stream.
+    pub obs_conflicts: u64,
+}
+
+impl RowTelemetry {
+    /// Total decisions across all classes; must equal the solver's own
+    /// decision statistic.
+    pub fn total_decisions(&self) -> u64 {
+        self.dec_rf_ext + self.dec_rf_int + self.dec_ws + self.dec_other
+    }
+
+    /// Interference-class decisions (the paper's `V_rf ∪ V_ws`).
+    pub fn interference_decisions(&self) -> u64 {
+        self.dec_rf_ext + self.dec_rf_int + self.dec_ws
+    }
+
+    /// Reads phase timings and counters off a recorder snapshot.
+    pub fn from_recorder(rec: &Recorder) -> RowTelemetry {
+        let snap = rec.snapshot();
+        let ms = |phase: Phase| -> f64 {
+            snap.spans
+                .iter()
+                .filter(|s| s.phase == phase && s.closed)
+                .map(|s| s.dur_us as f64 / 1e3)
+                .sum()
+        };
+        let c = &snap.counters;
+        RowTelemetry {
+            unroll_ms: ms(Phase::Unroll),
+            ssa_ms: ms(Phase::Ssa),
+            encode_ms: ms(Phase::Encode),
+            blast_ms: ms(Phase::Blast),
+            solve_ms: ms(Phase::Solve),
+            dec_rf_ext: c.decisions[VarClass::ExternalRf.index()],
+            dec_rf_int: c.decisions[VarClass::InternalRf.index()],
+            dec_ws: c.decisions[VarClass::Ws.index()],
+            dec_other: c.decisions[VarClass::Other.index()],
+            obs_conflicts: c.conflicts,
+        }
+    }
+}
+
+fn mk_recorder(cfg: &RunConfig) -> Option<Recorder> {
+    cfg.telemetry.then(|| {
+        Recorder::new(TraceConfig {
+            // Counters and spans are all the bench columns need; skipping
+            // event storage keeps memory flat across a full suite.
+            events: false,
+            decision_sample: 1,
+        })
+    })
 }
 
 impl TaskResult {
@@ -117,6 +206,7 @@ pub fn run_suite(
 
 /// Runs a single (task, memory model, strategy) measurement.
 pub fn run_one(task: &Task, mm: MemoryModel, strategy: Strategy, cfg: &RunConfig) -> TaskResult {
+    let recorder = mk_recorder(cfg);
     let opts = VerifyOptions {
         mm,
         strategy,
@@ -129,7 +219,9 @@ pub fn run_one(task: &Task, mm: MemoryModel, strategy: Strategy, cfg: &RunConfig
         cancel: None,
         certify: cfg.certify,
         fault: None,
+        recorder: recorder.clone(),
     };
+    let telemetry = |rec: &Option<Recorder>| rec.as_ref().map(RowTelemetry::from_recorder);
     match try_verify(&task.program, &opts) {
         Ok(out) => TaskResult {
             task: task.name.clone(),
@@ -148,6 +240,7 @@ pub fn run_one(task: &Task, mm: MemoryModel, strategy: Strategy, cfg: &RunConfig
             cancel_latency_ms: None,
             certified: out.certificate.as_ref().map(|c| c.summary()),
             quarantined: None,
+            telemetry: telemetry(&recorder),
         },
         // A rejected verdict (certification failure) is recorded, not
         // propagated as a panic: one bad row must not sink the suite.
@@ -168,6 +261,7 @@ pub fn run_one(task: &Task, mm: MemoryModel, strategy: Strategy, cfg: &RunConfig
             cancel_latency_ms: None,
             certified: Some(format!("rejected: {e}")),
             quarantined: None,
+            telemetry: telemetry(&recorder),
         },
     }
 }
@@ -184,6 +278,7 @@ fn verdict_str(v: Verdict) -> &'static str {
 /// portfolio racing the main strategies. The row's `strategy` column is
 /// `"portfolio"`; solver statistics come from the winning member.
 pub fn run_one_portfolio(task: &Task, mm: MemoryModel, cfg: &RunConfig) -> TaskResult {
+    let recorder = mk_recorder(cfg);
     let base = VerifyOptions {
         mm,
         strategy: Strategy::Zpre,
@@ -196,6 +291,7 @@ pub fn run_one_portfolio(task: &Task, mm: MemoryModel, cfg: &RunConfig) -> TaskR
         cancel: None,
         certify: cfg.certify,
         fault: None,
+        recorder: recorder.clone(),
     };
     let folio = verify_portfolio(&task.program, &PortfolioOptions::new(base));
     let out = &folio.outcome;
@@ -220,6 +316,7 @@ pub fn run_one_portfolio(task: &Task, mm: MemoryModel, cfg: &RunConfig) -> TaskR
         } else {
             Some(folio.quarantined.join(";"))
         },
+        telemetry: recorder.as_ref().map(RowTelemetry::from_recorder),
     }
 }
 
@@ -243,15 +340,35 @@ pub fn run_suite_portfolio(
 /// Serializes results as CSV.
 pub fn to_csv(results: &[TaskResult]) -> String {
     let mut out = String::from(
-        "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok,winner,cancel_latency_ms,certified,quarantined\n",
+        "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok,winner,cancel_latency_ms,certified,quarantined,unroll_ms,ssa_ms,tele_encode_ms,blast_ms,tele_solve_ms,dec_rf_ext,dec_rf_int,dec_ws,dec_other,obs_conflicts\n",
     );
     // Certificate summaries contain commas; quote free-text columns.
     fn quoted(s: Option<&str>) -> String {
         s.map_or(String::new(), |s| format!("\"{}\"", s.replace('"', "\"\"")))
     }
     for r in results {
+        // Telemetry columns stay empty (not zero) when telemetry was off,
+        // so downstream tooling can tell "unmeasured" from "measured zero".
+        let tele = r.telemetry.as_ref().map_or_else(
+            || ",,,,,,,,,".to_string(),
+            |t| {
+                format!(
+                    "{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{}",
+                    t.unroll_ms,
+                    t.ssa_ms,
+                    t.encode_ms,
+                    t.blast_ms,
+                    t.solve_ms,
+                    t.dec_rf_ext,
+                    t.dec_rf_int,
+                    t.dec_ws,
+                    t.dec_other,
+                    t.obs_conflicts
+                )
+            },
+        );
         out.push_str(&format!(
-            "{},{},{},{},{},{:.3},{:.3},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{}\n",
             r.task,
             r.subcat,
             r.mm,
@@ -268,7 +385,8 @@ pub fn to_csv(results: &[TaskResult]) -> String {
             r.cancel_latency_ms
                 .map_or(String::new(), |l| format!("{l:.3}")),
             quoted(r.certified.as_deref()),
-            quoted(r.quarantined.as_deref())
+            quoted(r.quarantined.as_deref()),
+            tele
         ));
     }
     out
@@ -283,7 +401,7 @@ pub fn to_json(results: &[TaskResult]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\n    \"task\": \"{}\",\n    \"subcat\": \"{}\",\n    \"mm\": \"{}\",\n    \"strategy\": \"{}\",\n    \"verdict\": \"{}\",\n    \"solve_ms\": {:.3},\n    \"encode_ms\": {:.3},\n    \"decisions\": {},\n    \"propagations\": {},\n    \"conflicts\": {},\n    \"guided_decisions\": {},\n    \"expected_ok\": {},\n    \"winner\": {},\n    \"cancel_latency_ms\": {},\n    \"certified\": {},\n    \"quarantined\": {}\n  }}{}\n",
+            "  {{\n    \"task\": \"{}\",\n    \"subcat\": \"{}\",\n    \"mm\": \"{}\",\n    \"strategy\": \"{}\",\n    \"verdict\": \"{}\",\n    \"solve_ms\": {:.3},\n    \"encode_ms\": {:.3},\n    \"decisions\": {},\n    \"propagations\": {},\n    \"conflicts\": {},\n    \"guided_decisions\": {},\n    \"expected_ok\": {},\n    \"winner\": {},\n    \"cancel_latency_ms\": {},\n    \"certified\": {},\n    \"quarantined\": {},\n    \"telemetry\": {}\n  }}{}\n",
             esc(&r.task),
             esc(&r.subcat),
             esc(&r.mm),
@@ -300,11 +418,34 @@ pub fn to_json(results: &[TaskResult]) -> String {
             r.cancel_latency_ms.map_or("null".to_string(), |l| format!("{l:.3}")),
             r.certified.as_deref().map_or("null".to_string(), |c| format!("\"{}\"", esc(c))),
             r.quarantined.as_deref().map_or("null".to_string(), |q| format!("\"{}\"", esc(q))),
+            telemetry_json(r.telemetry.as_ref()),
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
     out.push(']');
     out
+}
+
+/// JSON fragment for a row's telemetry (or `null` when telemetry was off).
+pub fn telemetry_json(t: Option<&RowTelemetry>) -> String {
+    match t {
+        None => "null".to_string(),
+        Some(t) => format!(
+            "{{\"unroll_ms\": {:.3}, \"ssa_ms\": {:.3}, \"encode_ms\": {:.3}, \
+             \"blast_ms\": {:.3}, \"solve_ms\": {:.3}, \"dec_rf_ext\": {}, \
+             \"dec_rf_int\": {}, \"dec_ws\": {}, \"dec_other\": {}, \"obs_conflicts\": {}}}",
+            t.unroll_ms,
+            t.ssa_ms,
+            t.encode_ms,
+            t.blast_ms,
+            t.solve_ms,
+            t.dec_rf_ext,
+            t.dec_rf_int,
+            t.dec_ws,
+            t.dec_other,
+            t.obs_conflicts
+        ),
+    }
 }
 
 /// Helper: the subcategory display order used by the figures.
@@ -357,5 +498,57 @@ mod tests {
         let csv = to_csv(&results);
         assert_eq!(csv.lines().count(), results.len() + 1);
         assert!(csv.starts_with("task,"));
+        // Telemetry was off: the trailing telemetry columns are empty.
+        assert!(csv.lines().nth(1).unwrap().ends_with(",,,,,,,,,"));
+    }
+
+    /// Table 2's decision and conflict columns must be reproducible from
+    /// the observability event stream alone: the per-class histogram sums
+    /// to the solver's decision statistic and the event-counted conflicts
+    /// equal the solver's conflict statistic, for baseline and ZPRE alike.
+    #[test]
+    fn table2_columns_reproduce_from_event_stream() {
+        let tasks: Vec<Task> = suite(Scale::Quick).into_iter().take(3).collect();
+        let cfg = RunConfig {
+            scale: Scale::Quick,
+            telemetry: true,
+            ..RunConfig::default()
+        };
+        let results = run_suite(
+            &tasks,
+            &[MemoryModel::Sc, MemoryModel::Tso],
+            &[Strategy::Baseline, Strategy::Zpre],
+            &cfg,
+        );
+        for r in &results {
+            let t = r
+                .telemetry
+                .as_ref()
+                .expect("telemetry row present when cfg.telemetry is set");
+            assert_eq!(
+                t.total_decisions(),
+                r.decisions,
+                "{} {} {}: histogram must sum to the decision count",
+                r.task,
+                r.mm,
+                r.strategy
+            );
+            assert_eq!(
+                t.obs_conflicts, r.conflicts,
+                "{} {} {}: event-stream conflicts must match stats",
+                r.task, r.mm, r.strategy
+            );
+            // The guide explains the histogram: ZPRE front-loads
+            // interference classes, so whenever it decided anything it
+            // decided at least one interference variable.
+            if r.strategy == "zpre" && r.decisions > 0 && r.guided_decisions > 0 {
+                assert!(
+                    t.interference_decisions() > 0,
+                    "{} {}: guided run recorded no interference decisions",
+                    r.task,
+                    r.mm
+                );
+            }
+        }
     }
 }

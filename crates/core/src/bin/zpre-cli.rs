@@ -4,10 +4,12 @@
 //! zpre-cli verify FILE [--mm sc|tso|pso|all] [--strategy NAME] [--portfolio]
 //!                      [--unroll N] [--bmc MAXBOUND] [--budget CONFLICTS]
 //!                      [--seed N] [--stats] [--trace]
+//!                      [--profile] [--trace-out FILE] [--trace-sample N]
 //!                      [--certify] [--replay-witness] [--json]
 //! zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]
 //! zpre-cli dump   FILE [--mm sc|tso|pso] [--unroll N]
 //! zpre-cli pretty FILE
+//! zpre-cli trace-check FILE
 //! ```
 //!
 //! `verify` runs the interference-guided SMT pipeline (`--portfolio` races
@@ -15,6 +17,17 @@
 //! `oracle` runs the explicit-state reference checker (exhaustive, for
 //! small programs); `dump` emits the verification condition as SMT-LIB 2;
 //! `pretty` parses and re-prints the program.
+//!
+//! Observability: `--profile` prints a hierarchical per-phase timing report
+//! (parse → unroll → SSA → encode per memory model → bit-blast → solve →
+//! certify/replay) plus decision histograms by variable class; `--trace-out
+//! FILE` additionally streams every solver event (decisions tagged
+//! external-RF/internal-RF/WS/other, conflicts, theory lemmas with
+//! event-order-graph cycle length, restarts, learnt-DB reductions) as
+//! NDJSON; `--trace-sample N` keeps only every Nth decision event (counters
+//! stay exact). `trace-check` validates an NDJSON trace file's schema and
+//! internal invariants — the CI telemetry smoke job runs it on every
+//! example program.
 //!
 //! `--certify` (and its witness-focused alias `--replay-witness`) asks the
 //! pipeline to certify definitive verdicts: Safe verdicts carry a
@@ -29,18 +42,21 @@ use zpre::{
     try_verify, verify_bmc, verify_portfolio, Certificate, PortfolioOptions, Strategy, Verdict,
     VerifyOptions,
 };
+use zpre_obs::{profile_report, Recorder, TraceConfig};
 use zpre_prog::interp::{check_sc, Limits, Outcome};
 use zpre_prog::wmm::check_wmm;
-use zpre_prog::{flatten, parse_program, pretty, unroll_program, MemoryModel, Program};
+use zpre_prog::{flatten, parse_program_traced, pretty, unroll_program, MemoryModel, Program};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  zpre-cli verify FILE [--mm sc|tso|pso|all] [--strategy NAME] [--portfolio] \
          [--unroll N] [--bmc MAXBOUND] [--budget CONFLICTS] [--seed N] [--stats] [--trace] \
+         [--profile] [--trace-out FILE] [--trace-sample N] \
          [--certify] [--replay-witness] [--json]\n  \
          zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]\n  \
          zpre-cli dump FILE [--mm sc|tso|pso] [--unroll N]\n  \
-         zpre-cli pretty FILE\n\nstrategies: baseline zpre- zpre zpre-h2 zpre-h3 \
+         zpre-cli pretty FILE\n  \
+         zpre-cli trace-check FILE\n\nstrategies: baseline zpre- zpre zpre-h2 zpre-h3 \
          zpre-fixed-true zpre-no-revprop branch-cond"
     );
     ExitCode::from(2)
@@ -92,8 +108,12 @@ fn parse_mm(name: &str) -> Option<Vec<MemoryModel>> {
 }
 
 fn load(path: &str) -> Result<Program, String> {
+    load_traced(path, None)
+}
+
+fn load_traced(path: &str, rec: Option<&Recorder>) -> Result<Program, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut program = parse_program(&src).map_err(|e| e.to_string())?;
+    let mut program = parse_program_traced(&src, rec).map_err(|e| e.to_string())?;
     program.name = std::path::Path::new(path)
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
@@ -112,7 +132,47 @@ fn main() -> ExitCode {
         "oracle" => cmd_oracle(&args[1..]),
         "dump" => cmd_dump(&args[1..]),
         "pretty" => cmd_pretty(&args[1..]),
+        "trace-check" => cmd_trace_check(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// Validates an NDJSON trace file produced by `verify --trace-out` and
+/// prints a one-screen summary of what it contains. Exits nonzero on any
+/// schema or invariant violation, so CI can gate on it.
+fn cmd_trace_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match zpre_obs::ndjson::validate(&text) {
+        Ok(report) => {
+            println!(
+                "{path}: ok ({} block{}, {} spans, {} events, {} members)",
+                report.blocks,
+                if report.blocks == 1 { "" } else { "s" },
+                report.spans,
+                report.events,
+                report.members,
+            );
+            println!("  phases: {}", report.phases_seen.join(" "));
+            let d = &report.decisions_by_class;
+            println!(
+                "  decisions: rf_ext {} rf_int {} ws {} other {}  conflicts {}  lemmas {}",
+                d[0], d[1], d[2], d[3], report.conflicts, report.lemmas
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid trace: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -237,6 +297,9 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     let mut portfolio = false;
     let mut certify = false;
     let mut json = false;
+    let mut profile = false;
+    let mut trace_out: Option<String> = None;
+    let mut trace_sample = 1u32;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -272,6 +335,21 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             }
             "--stats" => show_stats = true,
             "--trace" => want_trace = true,
+            "--profile" => profile = true,
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(f) => trace_out = Some(f.clone()),
+                    None => return usage(),
+                }
+            }
+            "--trace-sample" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => trace_sample = n,
+                    _ => return usage(),
+                }
+            }
             "--portfolio" => portfolio = true,
             "--certify" | "--replay-witness" => certify = true,
             "--json" => json = true,
@@ -287,7 +365,17 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         eprintln!("--certify cannot be combined with --bmc");
         return usage();
     }
-    let program = match load(path) {
+    // One recorder spans the whole invocation (even `--mm all`): encode
+    // spans are labeled per memory model, so a single NDJSON block carries
+    // the full run. Event storage is only paid for when a trace file is
+    // requested; `--profile` alone needs just spans and counters.
+    let recorder = (profile || trace_out.is_some()).then(|| {
+        Recorder::new(TraceConfig {
+            events: trace_out.is_some(),
+            decision_sample: trace_sample,
+        })
+    });
+    let program = match load_traced(path, recorder.as_ref()) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
@@ -310,6 +398,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             cancel: None,
             certify,
             fault: None,
+            recorder: recorder.clone(),
         };
         if portfolio {
             let folio = verify_portfolio(&program, &PortfolioOptions::new(opts));
@@ -452,6 +541,24 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         }
         any_unsafe |= verdict == Verdict::Unsafe;
         any_unknown |= verdict == Verdict::Unknown;
+    }
+    if let Some(rec) = &recorder {
+        let snapshot = rec.snapshot();
+        if let Some(file) = &trace_out {
+            let ndjson = zpre_obs::ndjson::to_ndjson(&snapshot);
+            if let Err(e) = std::fs::write(file, ndjson) {
+                eprintln!("cannot write trace to {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "trace: {} spans, {} events -> {file}",
+                snapshot.spans.len(),
+                snapshot.events.len()
+            );
+        }
+        if profile {
+            print!("{}", profile_report(&snapshot));
+        }
     }
     if any_unsafe {
         ExitCode::FAILURE

@@ -28,6 +28,7 @@ use crate::trace::Trace;
 use std::collections::{HashMap, HashSet};
 use zpre_bv::lits_to_u64;
 use zpre_encoder::Encoded;
+use zpre_obs::{Phase, Recorder};
 use zpre_prog::{replay, FlatProgram, MemoryModel, ReplayOp, ScheduleStep, SsaProgram};
 use zpre_sat::{Lit, PriorityListGuide, ProofStep, Solver};
 use zpre_smt::{check_lemma_against, OrderTheory, TheoryLemma};
@@ -79,7 +80,9 @@ fn norm(clause: &[Lit]) -> Vec<Lit> {
 pub(crate) fn certify_safe(
     solver: &mut Solver<OrderTheory, PriorityListGuide>,
     fault: Option<Fault>,
+    rec: Option<&Recorder>,
 ) -> Result<Certificate, VerifyError> {
+    let _certify_span = rec.map(|r| r.span(Phase::Certify));
     let reject = |stage, reason: String| VerifyError::Certification { stage, reason };
     let mut proof = solver
         .take_proof()
@@ -162,6 +165,7 @@ pub(crate) fn certify_safe(
 /// Certifies an Unsafe verdict: turns the extracted trace into a schedule
 /// plus concrete nondeterministic inputs and replays it through the
 /// buffered-store machine; the replay must end in a fired assertion.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn certify_unsafe(
     ssa: &SsaProgram,
     enc: &Encoded,
@@ -170,7 +174,9 @@ pub(crate) fn certify_unsafe(
     flat: &FlatProgram,
     trace: &Trace,
     fault: Option<Fault>,
+    rec: Option<&Recorder>,
 ) -> Result<Certificate, VerifyError> {
+    let _certify_span = rec.map(|r| r.span(Phase::Certify));
     let reject = |reason: String| VerifyError::Certification {
         stage: "replay",
         reason,
@@ -228,6 +234,7 @@ pub(crate) fn certify_unsafe(
         }
     }
 
+    let _replay_span = rec.map(|r| r.span(Phase::Replay));
     match replay(flat, mm, &schedule, &nondet_ints, &nondet_bools) {
         Ok(_violation) => Ok(Certificate::Unsafe {
             replayed_steps: schedule.len(),

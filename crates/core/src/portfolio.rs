@@ -33,7 +33,8 @@ use crate::verifier::{verify_ssa_inner, Verdict, VerifyOptions, VerifyOutcome};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
-use zpre_prog::{flatten, to_ssa, unroll_program, FlatProgram, Program, SsaProgram};
+use zpre_obs::MemberRecord;
+use zpre_prog::{flatten, to_ssa_traced, unroll_program_traced, FlatProgram, Program, SsaProgram};
 use zpre_sat::CancelToken;
 
 /// One racing configuration.
@@ -145,8 +146,9 @@ impl PortfolioOutcome {
 /// When `base.certify` is set, the flat lowering is shared with every
 /// member so certified `Unsafe` verdicts can replay their witness.
 pub fn verify_portfolio(prog: &Program, opts: &PortfolioOptions) -> PortfolioOutcome {
-    let unrolled = unroll_program(prog, opts.base.unroll_bound);
-    let ssa = to_ssa(&unrolled);
+    let rec = opts.base.recorder.as_ref();
+    let unrolled = unroll_program_traced(prog, opts.base.unroll_bound, rec);
+    let ssa = to_ssa_traced(&unrolled, rec);
     let flat = opts.base.certify.then(|| flatten(&unrolled));
     portfolio_inner(&ssa, opts, flat.as_ref())
 }
@@ -227,6 +229,14 @@ fn portfolio_inner(
             member_opts.strategy = member.strategy;
             member_opts.seed = member.seed;
             member_opts.cancel = Some(token.clone());
+            // All members share the base recorder's buffer; each clone tags
+            // its spans/events with the member name so per-strategy streams
+            // stay separable in the exported trace.
+            member_opts.recorder = opts
+                .base
+                .recorder
+                .as_ref()
+                .map(|r| r.member_labeled(&member.name));
             scope.spawn(move || {
                 let t0 = Instant::now();
                 let report = run_member(ssa, &member_opts, flat);
@@ -317,6 +327,28 @@ fn portfolio_inner(
         })
         .collect();
 
+    // Per-strategy telemetry: who won, who was cancelled at what depth
+    // (decision count), who was quarantined and why.
+    if let Some(r) = &opts.base.recorder {
+        for (i, (m, (report, _))) in members.iter().zip(&results).enumerate() {
+            let (decisions, conflicts) = report
+                .as_ref()
+                .map(|o| (o.stats.decisions, o.stats.conflicts))
+                .unwrap_or((0, 0));
+            r.record_member(MemberRecord {
+                name: m.name.clone(),
+                strategy: m.strategy.name().to_string(),
+                verdict: m.verdict.to_string(),
+                winner: first_definitive == Some(i),
+                cancelled: m.cancelled,
+                decisions,
+                conflicts,
+                time_us: m.time.as_micros() as u64,
+                error: m.error.clone(),
+            });
+        }
+    }
+
     if let Some(win) = first_definitive {
         let outcome = results
             .into_iter()
@@ -342,6 +374,11 @@ fn portfolio_inner(
         retry_opts.strategy = Strategy::Baseline;
         retry_opts.seed = opts.base.seed.wrapping_add(0xDEAD_BEEF);
         retry_opts.cancel = external;
+        retry_opts.recorder = opts
+            .base
+            .recorder
+            .as_ref()
+            .map(|r| r.member_labeled("retry:baseline"));
         let t0 = Instant::now();
         let report = run_member(ssa, &retry_opts, flat);
         let elapsed = t0.elapsed();
@@ -357,6 +394,24 @@ fn portfolio_inner(
             cancelled: false,
             error: report.as_ref().err().cloned(),
         });
+        if let Some(r) = &opts.base.recorder {
+            let m = members.last().expect("retry member just pushed");
+            let (decisions, conflicts) = report
+                .as_ref()
+                .map(|o| (o.stats.decisions, o.stats.conflicts))
+                .unwrap_or((0, 0));
+            r.record_member(MemberRecord {
+                name: m.name.clone(),
+                strategy: m.strategy.name().to_string(),
+                verdict: m.verdict.to_string(),
+                winner: matches!(&report, Ok(o) if o.verdict != Verdict::Unknown),
+                cancelled: false,
+                decisions,
+                conflicts,
+                time_us: elapsed.as_micros() as u64,
+                error: m.error.clone(),
+            });
+        }
         match report {
             Ok(outcome) if outcome.verdict != Verdict::Unknown => {
                 return PortfolioOutcome {

@@ -13,11 +13,15 @@ use crate::decision_order::decision_order;
 use crate::errors::VerifyError;
 use crate::faults::Fault;
 use crate::strategy::Strategy;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zpre_bv::{lits_to_u64, TermKind};
-use zpre_encoder::{po_pairs, try_encode, Encoded};
+use zpre_encoder::{po_pairs, try_encode_traced, Encoded};
+use zpre_obs::{Phase, Recorder, VarClass};
 use zpre_prog::ssa::EventKind;
-use zpre_prog::{flatten, to_ssa, unroll_program, FlatProgram, MemoryModel, Program, SsaProgram};
+use zpre_prog::{
+    flatten, to_ssa_traced, unroll_program_traced, FlatProgram, MemoryModel, Program, SsaProgram,
+};
 use zpre_sat::{Budget, CancelToken, PriorityListGuide, SolveResult, Solver, Stats};
 use zpre_smt::{ClassCounts, OrderTheory, VarKind};
 
@@ -77,6 +81,11 @@ pub struct VerifyOptions {
     /// one pipeline artifact before certification (see [`Fault`]). `None`
     /// in production use.
     pub fault: Option<Fault>,
+    /// Trace recorder: with one installed, the pipeline records phase spans
+    /// (unroll, SSA, encode, blast, solve, validate, certify, replay) and the
+    /// solver/theory stream structured events into it. `None` (the default)
+    /// disables all instrumentation at the cost of one branch per site.
+    pub recorder: Option<Recorder>,
 }
 
 impl Default for VerifyOptions {
@@ -93,6 +102,7 @@ impl Default for VerifyOptions {
             cancel: None,
             certify: false,
             fault: None,
+            recorder: None,
         }
     }
 }
@@ -147,8 +157,9 @@ pub fn verify(prog: &Program, opts: &VerifyOptions) -> VerifyOutcome {
 /// Verifies `prog` under `opts`, reporting failures as typed errors.
 pub fn try_verify(prog: &Program, opts: &VerifyOptions) -> Result<VerifyOutcome, VerifyError> {
     let t0 = Instant::now();
-    let unrolled = unroll_program(prog, opts.unroll_bound);
-    let ssa = to_ssa(&unrolled);
+    let rec = opts.recorder.as_ref();
+    let unrolled = unroll_program_traced(prog, opts.unroll_bound, rec);
+    let ssa = to_ssa_traced(&unrolled, rec);
     // Certified Unsafe verdicts replay the witness through the flat
     // interpreter, so the flat lowering must come from the same unrolled
     // program the SSA conversion saw.
@@ -200,7 +211,28 @@ pub(crate) fn verify_ssa_inner(
     if opts.certify {
         solver.enable_proof_logging();
     }
-    let enc = try_encode(ssa, opts.mm, &mut solver)?;
+    let rec = opts.recorder.as_ref();
+    let enc = try_encode_traced(ssa, opts.mm, &mut solver, rec)?;
+
+    // With a recorder installed, resolve solver vars to interference classes
+    // and stream solver/theory events into it.
+    if let Some(r) = rec {
+        let mut classes = vec![VarClass::Other; solver.num_vars()];
+        for (v, info) in enc.registry.iter() {
+            classes[v.index()] = match info.kind {
+                VarKind::Rf { external: true, .. } => VarClass::ExternalRf,
+                VarKind::Rf {
+                    external: false, ..
+                } => VarClass::InternalRf,
+                VarKind::Ws => VarClass::Ws,
+                _ => VarClass::Other,
+            };
+        }
+        r.set_var_classes(classes);
+        let sink: Arc<dyn zpre_obs::EventSink> = Arc::new(r.clone());
+        solver.set_event_sink(Some(sink.clone()));
+        solver.theory.set_event_sink(Some(sink));
+    }
 
     // Install the decision order for the chosen strategy.
     let mut order: Vec<u32> = if opts.strategy.uses_interference_order() {
@@ -234,7 +266,11 @@ pub(crate) fn verify_ssa_inner(
 
     let encode_time = t0.elapsed();
     let t1 = Instant::now();
+    let solve_span = rec.map(|r| r.span(Phase::Solve));
     let result = solver.solve();
+    if let Some(s) = solve_span {
+        s.close();
+    }
     let solve_time = t1.elapsed();
 
     let verdict = match result {
@@ -243,6 +279,7 @@ pub(crate) fn verify_ssa_inner(
         SolveResult::Unknown => Verdict::Unknown,
     };
     if verdict == Verdict::Unsafe && opts.validate_models {
+        let _validate_span = rec.map(|r| r.span(Phase::Validate));
         validate_model(ssa, &enc, &solver, opts.mm).map_err(VerifyError::ModelValidation)?;
     }
     let trace = (verdict == Verdict::Unsafe && (opts.want_trace || opts.certify))
@@ -250,7 +287,7 @@ pub(crate) fn verify_ssa_inner(
 
     let certificate = if opts.certify {
         match verdict {
-            Verdict::Safe => Some(certify_safe(&mut solver, opts.fault)?),
+            Verdict::Safe => Some(certify_safe(&mut solver, opts.fault, rec)?),
             Verdict::Unsafe => {
                 let Some(flat) = flat else {
                     return Err(VerifyError::Certification {
@@ -262,7 +299,7 @@ pub(crate) fn verify_ssa_inner(
                 };
                 let trace = trace.as_ref().expect("trace extracted for certification");
                 Some(certify_unsafe(
-                    ssa, &enc, &solver, opts.mm, flat, trace, opts.fault,
+                    ssa, &enc, &solver, opts.mm, flat, trace, opts.fault, rec,
                 )?)
             }
             Verdict::Unknown => None,

@@ -26,6 +26,7 @@
 use crate::memory_model::{po_pairs, PoClosure};
 use std::collections::HashMap;
 use zpre_bv::{Blaster, ClauseSink, TermId, TermKind};
+use zpre_obs::{Phase, Recorder};
 use zpre_prog::ssa::{EventKind, SsaProgram};
 use zpre_prog::MemoryModel;
 use zpre_sat::{DecisionGuide, Lit, Solver, Var};
@@ -168,6 +169,19 @@ pub fn try_encode<G: DecisionGuide>(
     mm: MemoryModel,
     solver: &mut Solver<OrderTheory, G>,
 ) -> Result<Encoded, EncodeError> {
+    try_encode_traced(ssa, mm, solver, None)
+}
+
+/// [`try_encode`] under `zpre-obs` phase spans: the whole encoding runs in an
+/// `encode` span labeled with the memory model, and the bit-blasting of the
+/// data path (Φ_ssa, event guards, Φ_err) in a nested `blast` span.
+pub fn try_encode_traced<G: DecisionGuide>(
+    ssa: &SsaProgram,
+    mm: MemoryModel,
+    solver: &mut Solver<OrderTheory, G>,
+    rec: Option<&Recorder>,
+) -> Result<Encoded, EncodeError> {
+    let _encode_span = rec.map(|r| r.span_labeled(Phase::Encode, Some(mm.name())));
     if solver.num_vars() != 0 {
         return Err(EncodeError::SolverNotFresh {
             vars: solver.num_vars(),
@@ -193,6 +207,7 @@ pub fn try_encode<G: DecisionGuide>(
     let closure = PoClosure::new(ssa.events.len(), &pairs);
 
     // --- Φ_ssa -------------------------------------------------------------
+    let blast_span = rec.map(|r| r.span(Phase::Blast));
     {
         let mut sink = RegSink {
             solver,
@@ -234,6 +249,9 @@ pub fn try_encode<G: DecisionGuide>(
         sink.add_clause_sink(&[lit]);
         (lit, trivially_safe)
     };
+    if let Some(s) = blast_span {
+        s.close();
+    }
 
     // --- Ordering-atom cache (V_ord) ----------------------------------------
     // One two-sided atom per unordered node pair; `lit` means a→b.

@@ -22,7 +22,8 @@ pub mod memory_model;
 pub mod smtlib;
 
 pub use encode::{
-    access_analysis, encode, try_encode, AccessAnalysis, EncodeError, Encoded, RfVar, WsVar,
+    access_analysis, encode, try_encode, try_encode_traced, AccessAnalysis, EncodeError, Encoded,
+    RfVar, WsVar,
 };
 pub use memory_model::{po_pairs, preserved, PoClosure};
 pub use smtlib::dump_smtlib;

@@ -1,0 +1,33 @@
+//! `zpre-obs` — zero-dependency observability for the ZPRE pipeline.
+//!
+//! Three layers:
+//!
+//! 1. **Phase spans** ([`Recorder::span`], [`Span`]): hierarchical wall-clock
+//!    profile over parse → unroll → SSA → encode (per memory model) →
+//!    bit-blast → solve → validate → certify → replay.
+//! 2. **Solver/theory events** ([`EventSink`], [`Event`]): decisions tagged by
+//!    interference class (external-RF / internal-RF / WS / other), conflicts
+//!    with LBD, order-theory lemmas with EOG-cycle length, restarts, and
+//!    learnt-DB reductions. The producers hold an `Option<Arc<dyn
+//!    EventSink>>`; tracing disabled is a single branch on that `Option`.
+//!    A sampling knob ([`TraceConfig::decision_sample`]) bounds trace size
+//!    while per-class counters stay exact.
+//! 3. **Export**: NDJSON traces ([`ndjson::to_ndjson`], validated by
+//!    [`ndjson::validate`]) and a human ASCII profile
+//!    ([`report::profile_report`]).
+//!
+//! The crate is intentionally free of dependencies (std only) so every layer
+//! of the workspace — including `zpre-sat`, which otherwise depends on
+//! nothing — can link it without cycles.
+
+pub mod event;
+pub mod ndjson;
+pub mod recorder;
+pub mod report;
+
+pub use event::{Event, EventSink, VarClass};
+pub use recorder::{
+    Counters, EventKind, EventRecord, MemberRecord, Phase, Recorder, Span, SpanRecord, TraceConfig,
+    TraceSnapshot,
+};
+pub use report::profile_report;

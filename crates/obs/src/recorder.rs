@@ -1,0 +1,638 @@
+//! Thread-safe trace recorder: hierarchical phase spans, exact per-class
+//! counters, sampled event stream, and per-member portfolio telemetry.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::event::{Event, EventSink, VarClass};
+
+/// Pipeline phases tracked by the recorder. One variant per stage named in the
+/// observability plan; `Encode` spans carry the memory model in their label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    Parse,
+    Unroll,
+    Ssa,
+    Encode,
+    Blast,
+    Solve,
+    Validate,
+    Certify,
+    Replay,
+}
+
+impl Phase {
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Unroll => "unroll",
+            Phase::Ssa => "ssa",
+            Phase::Encode => "encode",
+            Phase::Blast => "blast",
+            Phase::Solve => "solve",
+            Phase::Validate => "validate",
+            Phase::Certify => "certify",
+            Phase::Replay => "replay",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Phase> {
+        match s {
+            "parse" => Some(Phase::Parse),
+            "unroll" => Some(Phase::Unroll),
+            "ssa" => Some(Phase::Ssa),
+            "encode" => Some(Phase::Encode),
+            "blast" => Some(Phase::Blast),
+            "solve" => Some(Phase::Solve),
+            "validate" => Some(Phase::Validate),
+            "certify" => Some(Phase::Certify),
+            "replay" => Some(Phase::Replay),
+            _ => None,
+        }
+    }
+
+    pub fn all() -> [Phase; 9] {
+        [
+            Phase::Parse,
+            Phase::Unroll,
+            Phase::Ssa,
+            Phase::Encode,
+            Phase::Blast,
+            Phase::Solve,
+            Phase::Validate,
+            Phase::Certify,
+            Phase::Replay,
+        ]
+    }
+}
+
+/// Configuration for a [`Recorder`].
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Keep individual events (decisions, conflicts, …) in memory for NDJSON
+    /// export. Counters are maintained regardless.
+    pub events: bool,
+    /// Record every `decision_sample`-th decision event (1 = all). Sampled-out
+    /// decisions still hit the exact counters; the summary reports how many
+    /// event lines were dropped by sampling.
+    pub decision_sample: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            events: true,
+            decision_sample: 1,
+        }
+    }
+}
+
+/// A completed (or still-open) phase span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub phase: Phase,
+    /// Optional detail, e.g. the memory model an encode span ran under.
+    pub label: Option<String>,
+    /// Portfolio member that opened the span, if any.
+    pub member: Option<String>,
+    /// Nesting depth within the opening thread (0 = top level).
+    pub depth: u32,
+    /// Microseconds since the recorder's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds; meaningful once `closed`.
+    pub dur_us: u64,
+    pub closed: bool,
+}
+
+/// One recorded event with global sequence number and member attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    pub seq: u64,
+    pub member: Option<String>,
+    pub kind: EventKind,
+}
+
+/// Recorded event kinds; `Decision` carries the resolved class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    Decision {
+        var: u32,
+        class: VarClass,
+        level: u32,
+        guided: bool,
+    },
+    Conflict {
+        level: u32,
+        lbd: u32,
+    },
+    TheoryLemma {
+        cycle_len: u32,
+    },
+    Restart,
+    Reduction {
+        removed: u64,
+    },
+}
+
+/// Exact counters, maintained for every event whether or not the event stream
+/// is enabled or sampled.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Decisions per [`VarClass`], indexed by `VarClass::index()`.
+    pub decisions: [u64; VarClass::COUNT],
+    /// Guide-driven decisions per class.
+    pub guided: [u64; VarClass::COUNT],
+    pub conflicts: u64,
+    pub theory_lemmas: u64,
+    /// Sum of EOG cycle lengths over all theory lemmas (for mean cycle length).
+    pub lemma_cycle_edges: u64,
+    pub restarts: u64,
+    pub reductions: u64,
+    pub clauses_removed: u64,
+    /// Decision events dropped by the sampling knob (still counted above).
+    pub dropped_events: u64,
+}
+
+impl Counters {
+    pub fn total_decisions(&self) -> u64 {
+        self.decisions.iter().sum()
+    }
+
+    pub fn interference_decisions(&self) -> u64 {
+        VarClass::all()
+            .iter()
+            .filter(|c| c.is_interference())
+            .map(|c| self.decisions[c.index()])
+            .sum()
+    }
+}
+
+/// Telemetry for one portfolio member, recorded by the portfolio engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemberRecord {
+    pub name: String,
+    pub strategy: String,
+    /// "safe" / "unsafe" / "unknown" / "error".
+    pub verdict: String,
+    pub winner: bool,
+    pub cancelled: bool,
+    /// Decision count reached by this member (depth at cancellation for
+    /// losers).
+    pub decisions: u64,
+    pub conflicts: u64,
+    pub time_us: u64,
+    /// Quarantine / failure reason, if any.
+    pub error: Option<String>,
+}
+
+/// Immutable snapshot of everything a recorder captured.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSnapshot {
+    pub decision_sample: u32,
+    pub spans: Vec<SpanRecord>,
+    pub events: Vec<EventRecord>,
+    pub members: Vec<MemberRecord>,
+    pub counters: Counters,
+}
+
+struct Inner {
+    cfg: TraceConfig,
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+    members: Vec<MemberRecord>,
+    /// Raw solver var index -> class, installed after encoding.
+    classes: Vec<VarClass>,
+    counters: Counters,
+    /// Global event sequence; monotone across all threads (one mutex).
+    seq: u64,
+    /// Per-thread span nesting depth.
+    depth: HashMap<ThreadId, u32>,
+}
+
+struct Shared {
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+/// Cheaply cloneable handle to a shared trace buffer. Clones share the same
+/// buffer; [`Recorder::member_labeled`] produces a clone whose spans and
+/// events carry a member label, which is how portfolio threads attribute
+/// their activity without separate buffers.
+#[derive(Clone)]
+pub struct Recorder {
+    shared: Arc<Shared>,
+    member: Option<Arc<str>>,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("member", &self.member)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new(TraceConfig::default())
+    }
+}
+
+impl Recorder {
+    pub fn new(cfg: TraceConfig) -> Recorder {
+        let sample = cfg.decision_sample.max(1);
+        Recorder {
+            shared: Arc::new(Shared {
+                epoch: Instant::now(),
+                inner: Mutex::new(Inner {
+                    cfg: TraceConfig {
+                        decision_sample: sample,
+                        ..cfg
+                    },
+                    spans: Vec::new(),
+                    events: Vec::new(),
+                    members: Vec::new(),
+                    classes: Vec::new(),
+                    counters: Counters::default(),
+                    seq: 0,
+                    depth: HashMap::new(),
+                }),
+            }),
+            member: None,
+        }
+    }
+
+    /// A clone whose recorded spans/events are attributed to `member`.
+    pub fn member_labeled(&self, member: &str) -> Recorder {
+        Recorder {
+            shared: Arc::clone(&self.shared),
+            member: Some(Arc::from(member)),
+        }
+    }
+
+    fn member_string(&self) -> Option<String> {
+        self.member.as_deref().map(str::to_owned)
+    }
+
+    /// Install the solver-variable class table (index = raw var). Overwrites
+    /// any previous table; unknown vars default to [`VarClass::Other`].
+    pub fn set_var_classes(&self, classes: Vec<VarClass>) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.classes = classes;
+    }
+
+    /// Open a phase span. The span closes (fills its duration) on drop or via
+    /// [`Span::close`].
+    pub fn span(&self, phase: Phase) -> Span {
+        self.span_labeled(phase, None)
+    }
+
+    /// Open a phase span with a detail label (e.g. the memory model name).
+    pub fn span_labeled(&self, phase: Phase, label: Option<&str>) -> Span {
+        let start = Instant::now();
+        let start_us = start.duration_since(self.shared.epoch).as_micros() as u64;
+        let tid = std::thread::current().id();
+        let mut inner = self.shared.inner.lock().unwrap();
+        let depth = {
+            let d = inner.depth.entry(tid).or_insert(0);
+            let cur = *d;
+            *d += 1;
+            cur
+        };
+        let idx = inner.spans.len();
+        inner.spans.push(SpanRecord {
+            phase,
+            label: label.map(str::to_owned),
+            member: self.member_string(),
+            depth,
+            start_us,
+            dur_us: 0,
+            closed: false,
+        });
+        Span {
+            shared: Arc::clone(&self.shared),
+            idx,
+            start,
+            tid,
+            done: false,
+        }
+    }
+
+    /// Record one portfolio member's telemetry.
+    pub fn record_member(&self, rec: MemberRecord) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.members.push(rec);
+    }
+
+    /// Snapshot the current contents. Open spans appear with `closed: false`.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let inner = self.shared.inner.lock().unwrap();
+        TraceSnapshot {
+            decision_sample: inner.cfg.decision_sample,
+            spans: inner.spans.clone(),
+            events: inner.events.clone(),
+            members: inner.members.clone(),
+            counters: inner.counters.clone(),
+        }
+    }
+
+    /// Exact counters only (cheaper than a full snapshot).
+    pub fn counters(&self) -> Counters {
+        self.shared.inner.lock().unwrap().counters.clone()
+    }
+}
+
+impl EventSink for Recorder {
+    fn emit(&self, ev: Event) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        let inner = &mut *inner;
+        let kind = match ev {
+            Event::Decision { var, level, guided } => {
+                let class = inner
+                    .classes
+                    .get(var as usize)
+                    .copied()
+                    .unwrap_or(VarClass::Other);
+                let n = inner.counters.total_decisions();
+                inner.counters.decisions[class.index()] += 1;
+                if guided {
+                    inner.counters.guided[class.index()] += 1;
+                }
+                if inner.cfg.events && !n.is_multiple_of(inner.cfg.decision_sample as u64) {
+                    inner.counters.dropped_events += 1;
+                    return;
+                }
+                EventKind::Decision {
+                    var,
+                    class,
+                    level,
+                    guided,
+                }
+            }
+            Event::Conflict { level, lbd } => {
+                inner.counters.conflicts += 1;
+                EventKind::Conflict { level, lbd }
+            }
+            Event::TheoryLemma { cycle_len } => {
+                inner.counters.theory_lemmas += 1;
+                inner.counters.lemma_cycle_edges += cycle_len as u64;
+                EventKind::TheoryLemma { cycle_len }
+            }
+            Event::Restart => {
+                inner.counters.restarts += 1;
+                EventKind::Restart
+            }
+            Event::Reduction { removed } => {
+                inner.counters.reductions += 1;
+                inner.counters.clauses_removed += removed;
+                EventKind::Reduction { removed }
+            }
+        };
+        if !inner.cfg.events {
+            return;
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.events.push(EventRecord {
+            seq,
+            member: self.member_string(),
+            kind,
+        });
+    }
+}
+
+/// RAII guard for an open phase span. Closing fills in the duration; dropping
+/// without an explicit [`Span::close`] closes it too.
+pub struct Span {
+    shared: Arc<Shared>,
+    idx: usize,
+    start: Instant,
+    tid: ThreadId,
+    done: bool,
+}
+
+impl Span {
+    /// Close the span now (identical to dropping, but reads better at call
+    /// sites that want an explicit end point).
+    pub fn close(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let dur_us = self.start.elapsed().as_micros() as u64;
+        let mut inner = self.shared.inner.lock().unwrap();
+        if let Some(d) = inner.depth.get_mut(&self.tid) {
+            *d = d.saturating_sub(1);
+        }
+        if let Some(rec) = inner.spans.get_mut(self.idx) {
+            rec.dur_us = dur_us;
+            rec.closed = true;
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_nesting_depths_and_order() {
+        let rec = Recorder::default();
+        {
+            let _outer = rec.span(Phase::Encode);
+            {
+                let _inner = rec.span(Phase::Blast);
+            }
+            let _sibling = rec.span_labeled(Phase::Blast, Some("guards"));
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 3);
+        assert_eq!(snap.spans[0].phase, Phase::Encode);
+        assert_eq!(snap.spans[0].depth, 0);
+        assert_eq!(snap.spans[1].phase, Phase::Blast);
+        assert_eq!(snap.spans[1].depth, 1);
+        assert_eq!(snap.spans[2].depth, 1);
+        assert_eq!(snap.spans[2].label.as_deref(), Some("guards"));
+        assert!(snap.spans.iter().all(|s| s.closed));
+        // Spans are recorded in open order; starts are monotone.
+        assert!(snap.spans[0].start_us <= snap.spans[1].start_us);
+        assert!(snap.spans[1].start_us <= snap.spans[2].start_us);
+    }
+
+    #[test]
+    fn decision_classes_resolved_from_table() {
+        let rec = Recorder::default();
+        rec.set_var_classes(vec![
+            VarClass::ExternalRf,
+            VarClass::InternalRf,
+            VarClass::Ws,
+        ]);
+        for var in 0..5u32 {
+            rec.emit(Event::Decision {
+                var,
+                level: var + 1,
+                guided: var < 3,
+            });
+        }
+        let snap = rec.snapshot();
+        let classes: Vec<VarClass> = snap
+            .events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Decision { class, .. } => class,
+                _ => panic!("expected decisions"),
+            })
+            .collect();
+        assert_eq!(
+            classes,
+            vec![
+                VarClass::ExternalRf,
+                VarClass::InternalRf,
+                VarClass::Ws,
+                VarClass::Other,
+                VarClass::Other,
+            ]
+        );
+        assert_eq!(snap.counters.total_decisions(), 5);
+        assert_eq!(snap.counters.interference_decisions(), 3);
+        assert_eq!(snap.counters.guided.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn sampling_counts_everything_records_subset() {
+        let rec = Recorder::new(TraceConfig {
+            events: true,
+            decision_sample: 10,
+        });
+        for var in 0..100u32 {
+            rec.emit(Event::Decision {
+                var,
+                level: 1,
+                guided: false,
+            });
+        }
+        rec.emit(Event::Conflict { level: 3, lbd: 2 });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.total_decisions(), 100);
+        assert_eq!(snap.counters.dropped_events, 90);
+        let decisions = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Decision { .. }))
+            .count();
+        assert_eq!(decisions, 10);
+        // Non-decision events are never sampled out.
+        assert_eq!(snap.counters.conflicts, 1);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Conflict { .. })));
+    }
+
+    #[test]
+    fn counters_without_event_storage() {
+        let rec = Recorder::new(TraceConfig {
+            events: false,
+            decision_sample: 1,
+        });
+        rec.emit(Event::Restart);
+        rec.emit(Event::Reduction { removed: 42 });
+        rec.emit(Event::TheoryLemma { cycle_len: 4 });
+        let snap = rec.snapshot();
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.counters.restarts, 1);
+        assert_eq!(snap.counters.clauses_removed, 42);
+        assert_eq!(snap.counters.theory_lemmas, 1);
+        assert_eq!(snap.counters.lemma_cycle_edges, 4);
+    }
+
+    #[test]
+    fn concurrent_member_streams_are_deterministic() {
+        // Two recorders fed by the same per-member scripts on different thread
+        // interleavings must yield identical per-member event subsequences.
+        fn run() -> TraceSnapshot {
+            let rec = Recorder::default();
+            rec.set_var_classes(vec![VarClass::ExternalRf, VarClass::Ws]);
+            let names = ["zpre", "baseline", "zpre#2"];
+            std::thread::scope(|s| {
+                for (i, name) in names.iter().enumerate() {
+                    let member = rec.member_labeled(name);
+                    s.spawn(move || {
+                        for round in 0..50u32 {
+                            member.emit(Event::Decision {
+                                var: (round + i as u32) % 2,
+                                level: round,
+                                guided: true,
+                            });
+                            if round % 10 == 0 {
+                                member.emit(Event::Conflict {
+                                    level: round,
+                                    lbd: i as u32 + 1,
+                                });
+                            }
+                        }
+                    });
+                }
+            });
+            rec.snapshot()
+        }
+
+        let a = run();
+        let b = run();
+        // Global interleaving may differ, but per-member streams and the
+        // aggregate counters are identical run to run.
+        assert_eq!(a.counters, b.counters);
+        for name in ["zpre", "baseline", "zpre#2"] {
+            let stream = |s: &TraceSnapshot| -> Vec<EventKind> {
+                s.events
+                    .iter()
+                    .filter(|e| e.member.as_deref() == Some(name))
+                    .map(|e| e.kind)
+                    .collect()
+            };
+            assert_eq!(stream(&a), stream(&b), "member {name} stream diverged");
+        }
+        // Sequence numbers are strictly increasing overall.
+        for w in a.events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn member_records_accumulate() {
+        let rec = Recorder::default();
+        rec.record_member(MemberRecord {
+            name: "zpre".into(),
+            strategy: "zpre".into(),
+            verdict: "safe".into(),
+            winner: true,
+            decisions: 12,
+            ..MemberRecord::default()
+        });
+        rec.record_member(MemberRecord {
+            name: "baseline".into(),
+            strategy: "baseline".into(),
+            verdict: "unknown".into(),
+            cancelled: true,
+            error: Some("cancelled".into()),
+            ..MemberRecord::default()
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.members.len(), 2);
+        assert!(snap.members[0].winner);
+        assert!(snap.members[1].cancelled);
+    }
+}

@@ -1,0 +1,236 @@
+//! Human-readable `--profile` report rendered from a [`TraceSnapshot`], in
+//! the same fixed-width table style as `crates/bench/src/ascii.rs`.
+
+use std::fmt::Write as _;
+
+use crate::event::VarClass;
+use crate::recorder::{Phase, TraceSnapshot};
+
+fn ms(us: u64) -> f64 {
+    us as f64 / 1000.0
+}
+
+/// Render the phase profile, decision histogram, solver event summary, and
+/// portfolio member table as an ASCII report.
+pub fn profile_report(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+
+    // ---- phase profile --------------------------------------------------
+    out.push_str("phase profile\n");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>6} {:>12} {:>7}  share",
+        "phase", "spans", "total(ms)", "%"
+    );
+    // Wall time = sum of top-level (depth 0) closed spans; nested spans are
+    // shown indented and counted inside their parents.
+    let wall_us: u64 = snap
+        .spans
+        .iter()
+        .filter(|s| s.depth == 0 && s.closed)
+        .map(|s| s.dur_us)
+        .sum();
+    for phase in Phase::all() {
+        // Aggregate per (phase, label) so e.g. encode spans per memory model
+        // get their own rows.
+        let mut rows: Vec<(Option<&str>, u32, usize, u64)> = Vec::new();
+        for s in snap.spans.iter().filter(|s| s.phase == phase && s.closed) {
+            let label = s.label.as_deref();
+            if let Some(row) = rows
+                .iter_mut()
+                .find(|(l, d, _, _)| *l == label && *d == s.depth)
+            {
+                row.2 += 1;
+                row.3 += s.dur_us;
+            } else {
+                rows.push((label, s.depth, 1, s.dur_us));
+            }
+        }
+        for (label, depth, count, total_us) in rows {
+            let mut name = "  ".repeat(depth as usize);
+            name.push_str(phase.name());
+            if let Some(l) = label {
+                let _ = write!(name, "[{l}]");
+            }
+            let pct = if wall_us > 0 {
+                100.0 * total_us as f64 / wall_us as f64
+            } else {
+                0.0
+            };
+            let bar = "#".repeat((pct / 2.5).round().clamp(0.0, 40.0) as usize);
+            let _ = writeln!(
+                out,
+                "{:<22} {:>6} {:>12.3} {:>6.1}%  {}",
+                name,
+                count,
+                ms(total_us),
+                pct,
+                bar
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:<22} {:>6} {:>12.3} {:>6.1}%",
+        "total(top-level)",
+        snap.spans.iter().filter(|s| s.depth == 0).count(),
+        ms(wall_us),
+        100.0
+    );
+
+    // ---- decision histogram ---------------------------------------------
+    let c = &snap.counters;
+    let total = c.total_decisions();
+    out.push_str("\ndecisions by variable class\n");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12} {:>12} {:>7}  share",
+        "class", "decisions", "guided", "%"
+    );
+    for cls in VarClass::all() {
+        let n = c.decisions[cls.index()];
+        let pct = if total > 0 {
+            100.0 * n as f64 / total as f64
+        } else {
+            0.0
+        };
+        let bar = "#".repeat((pct / 2.5).round().clamp(0.0, 40.0) as usize);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>12} {:>6.1}%  {}",
+            cls.name(),
+            n,
+            c.guided[cls.index()],
+            pct,
+            bar
+        );
+    }
+    let interference = c.interference_decisions();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12} {:>12} {:>6.1}%",
+        "interference",
+        interference,
+        "",
+        if total > 0 {
+            100.0 * interference as f64 / total as f64
+        } else {
+            0.0
+        }
+    );
+
+    // ---- solver events ---------------------------------------------------
+    out.push_str("\nsolver events\n");
+    let mean_cycle = if c.theory_lemmas > 0 {
+        c.lemma_cycle_edges as f64 / c.theory_lemmas as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "conflicts {}  theory-lemmas {} (mean EOG cycle {:.1})  restarts {}  reductions {} ({} clauses)",
+        c.conflicts, c.theory_lemmas, mean_cycle, c.restarts, c.reductions, c.clauses_removed
+    );
+    if snap.decision_sample > 1 {
+        let _ = writeln!(
+            out,
+            "decision events sampled 1/{} ({} dropped from the stream; counters exact)",
+            snap.decision_sample, c.dropped_events
+        );
+    }
+
+    // ---- portfolio members ----------------------------------------------
+    if !snap.members.is_empty() {
+        out.push_str("\nportfolio members\n");
+        let _ = writeln!(
+            out,
+            "{:<14} {:<10} {:>8} {:>10} {:>10} {:>10}  flags",
+            "member", "strategy", "verdict", "decisions", "conflicts", "time(ms)"
+        );
+        for m in &snap.members {
+            let mut flags = String::new();
+            if m.winner {
+                flags.push_str("winner ");
+            }
+            if m.cancelled {
+                flags.push_str("cancelled ");
+            }
+            if let Some(e) = &m.error {
+                let _ = write!(flags, "[{e}]");
+            }
+            let _ = writeln!(
+                out,
+                "{:<14} {:<10} {:>8} {:>10} {:>10} {:>10.3}  {}",
+                m.name,
+                m.strategy,
+                m.verdict,
+                m.decisions,
+                m.conflicts,
+                ms(m.time_us),
+                flags.trim_end()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::recorder::{MemberRecord, Phase, Recorder};
+    use crate::EventSink;
+
+    #[test]
+    fn report_contains_all_sections() {
+        let rec = Recorder::default();
+        rec.set_var_classes(vec![VarClass::ExternalRf, VarClass::Ws]);
+        {
+            let _s = rec.span_labeled(Phase::Encode, Some("tso"));
+            let _b = rec.span(Phase::Blast);
+        }
+        {
+            let _s = rec.span(Phase::Solve);
+        }
+        rec.emit(Event::Decision {
+            var: 0,
+            level: 1,
+            guided: true,
+        });
+        rec.emit(Event::Decision {
+            var: 1,
+            level: 2,
+            guided: true,
+        });
+        rec.emit(Event::Conflict { level: 2, lbd: 1 });
+        rec.emit(Event::TheoryLemma { cycle_len: 3 });
+        rec.record_member(MemberRecord {
+            name: "zpre".into(),
+            strategy: "zpre".into(),
+            verdict: "safe".into(),
+            winner: true,
+            decisions: 2,
+            conflicts: 1,
+            time_us: 5000,
+            ..MemberRecord::default()
+        });
+        let report = profile_report(&rec.snapshot());
+        assert!(report.contains("phase profile"));
+        assert!(report.contains("encode[tso]"));
+        assert!(report.contains("  blast"));
+        assert!(report.contains("solve"));
+        assert!(report.contains("decisions by variable class"));
+        assert!(report.contains("rf_ext"));
+        assert!(report.contains("interference"));
+        assert!(report.contains("mean EOG cycle 3.0"));
+        assert!(report.contains("portfolio members"));
+        assert!(report.contains("winner"));
+    }
+
+    #[test]
+    fn report_handles_empty_snapshot() {
+        let report = profile_report(&TraceSnapshot::default());
+        assert!(report.contains("phase profile"));
+        assert!(report.contains("decisions by variable class"));
+    }
+}

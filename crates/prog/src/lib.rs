@@ -28,6 +28,7 @@ pub mod parse;
 pub mod pretty;
 pub mod replay;
 pub mod ssa;
+pub mod trace;
 pub mod unroll;
 pub mod wmm;
 
@@ -37,5 +38,6 @@ pub use interp::{check_sc, Limits, Outcome};
 pub use parse::{parse_program, ParseError};
 pub use replay::{replay, ReplayError, ReplayOp, ReplayViolation, ScheduleStep};
 pub use ssa::{to_ssa, AtomicBlock, Event, EventKind, SsaProgram};
+pub use trace::{parse_program_traced, to_ssa_traced, unroll_program_traced};
 pub use unroll::unroll_program;
 pub use wmm::{check_wmm, MemoryModel};

@@ -11,6 +11,10 @@
 //! - a pluggable [`DecisionGuide`] consulted *before* VSIDS — the hook used
 //!   by the interference-relation decision order of the paper.
 
+use std::sync::Arc;
+
+use zpre_obs::{Event, EventSink};
+
 use crate::clause::{CRef, ClauseDb};
 use crate::guide::{AssignView, DecisionGuide, NoGuide};
 use crate::lit::{LBool, Lit, Var};
@@ -153,6 +157,9 @@ pub struct Solver<T: Theory = NoTheory, G: DecisionGuide = NoGuide> {
     /// Subset of the last call's assumptions responsible for `Unsat`.
     assumption_core: Vec<Lit>,
     config: SolverConfig,
+    /// Structured-event receiver; `None` (the default) keeps every emission
+    /// site down to a single branch.
+    sink: Option<Arc<dyn EventSink>>,
 }
 
 impl Solver<NoTheory, NoGuide> {
@@ -204,6 +211,7 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
             logged_cnf: Vec::new(),
             assumption_core: Vec::new(),
             config: SolverConfig::default(),
+            sink: None,
         }
     }
 
@@ -237,6 +245,21 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
     /// Sets the solving budget (conflict cap / deadline).
     pub fn set_budget(&mut self, budget: Budget) {
         self.budget = budget;
+    }
+
+    /// Installs (or removes) a structured-event sink. With a sink in place
+    /// the solver streams decisions, conflicts, restarts, and learnt-DB
+    /// reductions to it; without one, each emission site is a single
+    /// never-taken branch.
+    pub fn set_event_sink(&mut self, sink: Option<Arc<dyn EventSink>>) {
+        self.sink = sink;
+    }
+
+    #[inline]
+    fn emit(&self, ev: Event) {
+        if let Some(s) = &self.sink {
+            s.emit(ev);
+        }
     }
 
     /// Overrides the tunable parameters (decays, restart policy). Call
@@ -858,6 +881,9 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
         if self.db.wasted() * 3 > self.db.arena_len() {
             self.garbage_collect();
         }
+        self.emit(Event::Reduction {
+            removed: removed as u64,
+        });
     }
 
     fn locked(&self, cr: CRef) -> bool {
@@ -924,6 +950,11 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                     self.new_decision_level();
                     let ok = self.enqueue(a, Reason::None);
                     debug_assert!(ok);
+                    self.emit(Event::Decision {
+                        var: a.var().index() as u32,
+                        level: self.decision_level(),
+                        guided: false,
+                    });
                     return DecideOutcome::Decided;
                 }
             }
@@ -937,6 +968,11 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
             self.new_decision_level();
             let ok = self.enqueue(lit, Reason::None);
             debug_assert!(ok);
+            self.emit(Event::Decision {
+                var: lit.var().index() as u32,
+                level: self.decision_level(),
+                guided: true,
+            });
             return DecideOutcome::Decided;
         }
         // 2. VSIDS with phase saving.
@@ -946,6 +982,11 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                 self.new_decision_level();
                 let ok = self.enqueue(v.lit(self.phase[v.index()]), Reason::None);
                 debug_assert!(ok);
+                self.emit(Event::Decision {
+                    var: v.index() as u32,
+                    level: self.decision_level(),
+                    guided: false,
+                });
                 return DecideOutcome::Decided;
             }
         }
@@ -1084,12 +1125,18 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                 Some(confl) => {
                     self.stats.conflicts += 1;
                     conflicts_since_restart += 1;
-                    if self.decision_level() == 0 {
+                    let conflict_level = self.decision_level();
+                    if conflict_level == 0 {
+                        self.emit(Event::Conflict { level: 0, lbd: 0 });
                         self.proof_add(&[]);
                         self.ok = false;
                         return SolveResult::Unsat;
                     }
                     let (learnt, back_level, lbd) = self.analyze(confl);
+                    self.emit(Event::Conflict {
+                        level: conflict_level,
+                        lbd,
+                    });
                     self.cancel_until(back_level);
                     self.record_learnt(learnt, lbd);
                     self.decay_var_activity();
@@ -1102,6 +1149,7 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                 None => {
                     if conflicts_since_restart >= restart_limit {
                         self.stats.restarts += 1;
+                        self.emit(Event::Restart);
                         self.restart_count += 1;
                         restart_limit = self.restart_limit();
                         conflicts_since_restart = 0;
@@ -1132,6 +1180,39 @@ mod tests {
     fn empty_formula_is_sat() {
         let mut s = Solver::new();
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn event_sink_mirrors_stats() {
+        use zpre_obs::{EventKind, Recorder};
+        let rec = Recorder::default();
+        let mut s = Solver::new();
+        s.set_event_sink(Some(Arc::new(rec.clone())));
+        let v = vars(&mut s, 8);
+        // A small pigeonhole-ish instance that forces decisions + conflicts.
+        for i in 0..4 {
+            assert!(s.add_clause(&[v[i].positive(), v[i + 4].positive()]));
+            assert!(s.add_clause(&[v[i].negative(), v[i + 4].negative()]));
+        }
+        assert!(s.add_clause(&[v[0].negative(), v[1].positive()]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let snap = rec.snapshot();
+        let stats = s.stats();
+        assert_eq!(snap.counters.total_decisions(), stats.decisions);
+        assert_eq!(snap.counters.conflicts, stats.conflicts);
+        assert_eq!(snap.counters.restarts, stats.restarts);
+        assert_eq!(snap.counters.reductions, stats.reductions);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Decision { .. })));
+        // Without a sink installed nothing is recorded.
+        let rec2 = Recorder::default();
+        let mut s2 = Solver::new();
+        let v2 = s2.new_var();
+        assert!(s2.add_clause(&[v2.positive()]));
+        assert_eq!(s2.solve(), SolveResult::Sat);
+        assert_eq!(rec2.snapshot().counters.total_decisions(), 0);
     }
 
     #[test]

@@ -40,18 +40,35 @@ pub struct Stats {
 
 impl Stats {
     /// Component-wise sum, for aggregating across tasks.
+    ///
+    /// The exhaustive destructuring (no `..` rest pattern) makes this fail to
+    /// compile when a counter is added to `Stats` without being aggregated
+    /// here — a field can never again be silently dropped from aggregation.
     pub fn accumulate(&mut self, other: &Stats) {
-        self.decisions += other.decisions;
-        self.guided_decisions += other.guided_decisions;
-        self.propagations += other.propagations;
-        self.conflicts += other.conflicts;
-        self.theory_conflicts += other.theory_conflicts;
-        self.theory_propagations += other.theory_propagations;
-        self.restarts += other.restarts;
-        self.learnt_clauses += other.learnt_clauses;
-        self.learnt_literals += other.learnt_literals;
-        self.minimized_lits += other.minimized_lits;
-        self.reductions += other.reductions;
+        let Stats {
+            decisions,
+            guided_decisions,
+            propagations,
+            conflicts,
+            theory_conflicts,
+            theory_propagations,
+            restarts,
+            learnt_clauses,
+            learnt_literals,
+            minimized_lits,
+            reductions,
+        } = *other;
+        self.decisions += decisions;
+        self.guided_decisions += guided_decisions;
+        self.propagations += propagations;
+        self.conflicts += conflicts;
+        self.theory_conflicts += theory_conflicts;
+        self.theory_propagations += theory_propagations;
+        self.restarts += restarts;
+        self.learnt_clauses += learnt_clauses;
+        self.learnt_literals += learnt_literals;
+        self.minimized_lits += minimized_lits;
+        self.reductions += reductions;
     }
 }
 
@@ -159,9 +176,20 @@ impl Budget {
         self.check_stride.unwrap_or(Self::DEFAULT_CHECK_STRIDE)
     }
 
-    /// Arms the wall-clock deadline. Called by the solver at the start of
-    /// `solve`; idempotent only in the sense that re-calling re-arms.
+    /// Arms the wall-clock deadline on the first call; later calls are
+    /// no-ops. Nested or re-entrant `solve` calls sharing a budget therefore
+    /// cannot silently push the deadline out — re-arming is explicit via
+    /// [`Budget::restart_deadline`].
     pub fn start(&mut self) {
+        if self.deadline.is_none() {
+            self.deadline = self.timeout.map(|t| Instant::now() + t);
+        }
+    }
+
+    /// Explicitly re-arms the wall-clock deadline from *now*, granting a
+    /// fresh `timeout` allowance. Used by retry paths (e.g. the portfolio's
+    /// bounded baseline retry) that intentionally start a new attempt.
+    pub fn restart_deadline(&mut self) {
         self.deadline = self.timeout.map(|t| Instant::now() + t);
     }
 
@@ -229,6 +257,33 @@ mod tests {
     }
 
     #[test]
+    fn start_arms_only_once() {
+        let mut b = Budget::with_timeout(Duration::from_millis(1));
+        b.start();
+        std::thread::sleep(Duration::from_millis(3));
+        assert!(b.exhausted(0));
+        // A nested/re-entrant start() must not grant a fresh allowance: the
+        // original deadline stays in force.
+        b.start();
+        assert!(b.exhausted(0));
+    }
+
+    #[test]
+    fn restart_deadline_rearms_explicitly() {
+        let mut b = Budget::with_timeout(Duration::from_secs(3600));
+        b.start();
+        assert!(!b.exhausted(0));
+        // Simulate an expired deadline, then explicitly re-arm for a retry.
+        b.timeout = Some(Duration::from_nanos(1));
+        b.restart_deadline();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(b.exhausted(0));
+        b.timeout = Some(Duration::from_secs(3600));
+        b.restart_deadline();
+        assert!(!b.exhausted(0));
+    }
+
+    #[test]
     fn stats_accumulate() {
         let mut a = Stats {
             decisions: 1,
@@ -244,5 +299,57 @@ mod tests {
         assert_eq!(a.decisions, 11);
         assert_eq!(a.conflicts, 2);
         assert_eq!(a.propagations, 5);
+    }
+
+    #[test]
+    fn stats_accumulate_covers_every_field() {
+        // Compile guard: both the literal below and the exhaustive
+        // destructuring (no `..` rest pattern) break the build when a counter
+        // is added to `Stats`, forcing this test — and `accumulate`, which
+        // destructures the same way — to be updated in the same change.
+        let one = Stats {
+            decisions: 1,
+            guided_decisions: 1,
+            propagations: 1,
+            conflicts: 1,
+            theory_conflicts: 1,
+            theory_propagations: 1,
+            restarts: 1,
+            learnt_clauses: 1,
+            learnt_literals: 1,
+            minimized_lits: 1,
+            reductions: 1,
+        };
+        let mut acc = Stats::default();
+        acc.accumulate(&one);
+        acc.accumulate(&one);
+        let Stats {
+            decisions,
+            guided_decisions,
+            propagations,
+            conflicts,
+            theory_conflicts,
+            theory_propagations,
+            restarts,
+            learnt_clauses,
+            learnt_literals,
+            minimized_lits,
+            reductions,
+        } = acc;
+        for (name, v) in [
+            ("decisions", decisions),
+            ("guided_decisions", guided_decisions),
+            ("propagations", propagations),
+            ("conflicts", conflicts),
+            ("theory_conflicts", theory_conflicts),
+            ("theory_propagations", theory_propagations),
+            ("restarts", restarts),
+            ("learnt_clauses", learnt_clauses),
+            ("learnt_literals", learnt_literals),
+            ("minimized_lits", minimized_lits),
+            ("reductions", reductions),
+        ] {
+            assert_eq!(v, 2, "field {name} dropped from accumulate");
+        }
     }
 }

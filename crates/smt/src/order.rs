@@ -21,6 +21,9 @@
 //!   SAT core ever branches on them. This can be disabled for ablation.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use zpre_obs::{Event, EventSink};
 use zpre_sat::{Lit, Theory, TheoryConflict, TheoryOut, Var};
 
 /// A node of the event order graph (an event, or a virtual fence /
@@ -113,6 +116,9 @@ pub struct OrderTheory {
     pub cycle_checks: u64,
     /// Number of cycles detected (theory conflicts raised).
     pub cycles_found: u64,
+    /// Structured-event receiver for lemma telemetry (EOG-cycle lengths);
+    /// `None` keeps the emission sites down to a single branch.
+    sink: Option<Arc<dyn EventSink>>,
 }
 
 impl Default for OrderTheory {
@@ -141,6 +147,21 @@ impl OrderTheory {
             journal_on: false,
             cycle_checks: 0,
             cycles_found: 0,
+            sink: None,
+        }
+    }
+
+    /// Installs (or removes) a structured-event sink. The theory streams a
+    /// [`Event::TheoryLemma`] with the justifying EOG-cycle length for every
+    /// cycle conflict and every reverse-propagation (2-cycle) lemma.
+    pub fn set_event_sink(&mut self, sink: Option<Arc<dyn EventSink>>) {
+        self.sink = sink;
+    }
+
+    #[inline]
+    fn emit_lemma(&self, cycle_len: u32) {
+        if let Some(s) = &self.sink {
+            s.emit(Event::TheoryLemma { cycle_len });
         }
     }
 
@@ -322,6 +343,8 @@ impl Theory for OrderTheory {
         // edge from→to is a cycle.
         if let Some(path) = self.find_path(to, from) {
             self.cycles_found += 1;
+            // The justifying cycle is the path to→…→from plus the new edge.
+            self.emit_lemma(path.len() as u32 + 1);
             let mut path_lits: Vec<Lit> = path.iter().filter_map(|e| e.tag).collect();
             path_lits.push(lit);
             if self.journal_on {
@@ -360,6 +383,7 @@ impl Theory for OrderTheory {
                 {
                     e.insert(vec![lit]);
                     self.ops.push(Op::Expl { lit: q });
+                    self.emit_lemma(2);
                     if self.journal_on {
                         // The explanation clause q ∨ ¬lit is justified by the
                         // 2-cycle its negation (¬q ∧ lit) would create.
