@@ -1,0 +1,19 @@
+.PHONY: build test bench-eog bench-eog-quick
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+# Full EOG microbenchmark sweep (all shapes at 10^2..10^4) plus the
+# end-to-end stress/wmm suite comparison under zpre vs zpre-dfs-check.
+# Appends NDJSON measurements to BENCH_EOG.json so the perf trajectory
+# accumulates across commits.
+bench-eog: build
+	./target/release/eog-bench --suite --tag "$${TAG:-local}"
+
+# Quick smoke variant for CI: small sizes, quick-scale suite, results to
+# a scratch file instead of the tracked BENCH_EOG.json.
+bench-eog-quick: build
+	./target/release/eog-bench --quick --suite --tag ci-smoke --out /tmp/eog-smoke.json

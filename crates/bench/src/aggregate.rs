@@ -39,6 +39,14 @@ pub struct TelemetrySummaryRow {
     pub dec_other: u64,
     /// Conflicts counted from the event stream.
     pub obs_conflicts: u64,
+    /// EOG cycle checks run by the order theory.
+    pub cc_checks: u64,
+    /// Cycle checks accepted in O(1) by the topological-level test.
+    pub cc_accepted_o1: u64,
+    /// Nodes visited across all bounded two-way searches.
+    pub cc_visited: u64,
+    /// Topological-level promotions performed by forward passes.
+    pub cc_promoted: u64,
 }
 
 impl TelemetrySummaryRow {
@@ -48,6 +56,12 @@ impl TelemetrySummaryRow {
         let interference = (self.dec_rf_ext + self.dec_rf_int + self.dec_ws) as f64;
         let total = interference + self.dec_other as f64;
         100.0 * interference / total
+    }
+
+    /// Share of cycle checks accepted in O(1), in percent (NaN when no
+    /// checks were recorded).
+    pub fn cc_o1_pct(&self) -> f64 {
+        100.0 * self.cc_accepted_o1 as f64 / self.cc_checks as f64
     }
 }
 
@@ -75,6 +89,10 @@ pub fn telemetry_summary(results: &[TaskResult]) -> Vec<TelemetrySummaryRow> {
         row.dec_ws += t.dec_ws;
         row.dec_other += t.dec_other;
         row.obs_conflicts += t.obs_conflicts;
+        row.cc_checks += t.cc_checks;
+        row.cc_accepted_o1 += t.cc_accepted_o1;
+        row.cc_visited += t.cc_visited;
+        row.cc_promoted += t.cc_promoted;
     }
     per.into_values().collect()
 }
@@ -547,6 +565,10 @@ mod tests {
             dec_ws: 4,
             dec_other: 6,
             obs_conflicts: 3,
+            cc_checks: 8,
+            cc_accepted_o1: 6,
+            cc_visited: 12,
+            cc_promoted: 2,
             ..RowTelemetry::default()
         });
         let mut b = mk("b", "sc", "zpre", "safe", 1.0);
@@ -555,6 +577,10 @@ mod tests {
             dec_rf_ext: 5,
             dec_rf_int: 5,
             obs_conflicts: 1,
+            cc_checks: 2,
+            cc_accepted_o1: 2,
+            cc_visited: 0,
+            cc_promoted: 0,
             ..RowTelemetry::default()
         });
         let no_tele = mk("c", "sc", "baseline", "safe", 1.0);
@@ -570,6 +596,11 @@ mod tests {
         );
         assert_eq!(r.obs_conflicts, 4);
         assert!((r.interference_pct() - 80.0).abs() < 1e-9);
+        assert_eq!(
+            (r.cc_checks, r.cc_accepted_o1, r.cc_visited, r.cc_promoted),
+            (10, 8, 12, 2)
+        );
+        assert!((r.cc_o1_pct() - 80.0).abs() < 1e-9);
     }
 
     #[test]

@@ -121,6 +121,7 @@ fn main() {
             Strategy::ZpreH3,
             Strategy::ZpreFixedTrue,
             Strategy::ZpreNoReverseProp,
+            Strategy::ZpreDfsCheck,
             Strategy::BranchCond,
         ]);
     }
@@ -198,7 +199,8 @@ fn telemetry_json_doc(results: &[TaskResult]) -> String {
              \"unroll_ms\": {:.3}, \"ssa_ms\": {:.3}, \"encode_ms\": {:.3}, \
              \"blast_ms\": {:.3}, \"solve_ms\": {:.3}, \"dec_rf_ext\": {}, \
              \"dec_rf_int\": {}, \"dec_ws\": {}, \"dec_other\": {}, \
-             \"obs_conflicts\": {}}}{}\n",
+             \"obs_conflicts\": {}, \"cc_checks\": {}, \"cc_accepted_o1\": {}, \
+             \"cc_visited\": {}, \"cc_promoted\": {}}}{}\n",
             r.mm,
             r.strategy,
             r.rows,
@@ -212,6 +214,10 @@ fn telemetry_json_doc(results: &[TaskResult]) -> String {
             r.dec_ws,
             r.dec_other,
             r.obs_conflicts,
+            r.cc_checks,
+            r.cc_accepted_o1,
+            r.cc_visited,
+            r.cc_promoted,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -221,7 +227,7 @@ fn telemetry_json_doc(results: &[TaskResult]) -> String {
 
 fn print_telemetry(results: &[TaskResult]) {
     println!(
-        "{:<5} {:<10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>7} {:>9} {:>7}",
+        "{:<5} {:<15} {:>10} {:>10} {:>10} {:>9} {:>9} {:>7} {:>9} {:>7} {:>10} {:>7} {:>10} {:>9}",
         "MM",
         "strategy",
         "encode(ms)",
@@ -231,11 +237,15 @@ fn print_telemetry(results: &[TaskResult]) {
         "rf_int",
         "ws",
         "other",
-        "intf%"
+        "intf%",
+        "cc",
+        "o1%",
+        "visited",
+        "promoted"
     );
     for r in telemetry_summary(results) {
         println!(
-            "{:<5} {:<10} {:>10.1} {:>10.1} {:>10.1} {:>9} {:>9} {:>7} {:>9} {:>6.1}%",
+            "{:<5} {:<15} {:>10.1} {:>10.1} {:>10.1} {:>9} {:>9} {:>7} {:>9} {:>6.1}% {:>10} {:>6.1}% {:>10} {:>9}",
             r.mm.to_uppercase(),
             r.strategy,
             r.encode_ms,
@@ -245,7 +255,11 @@ fn print_telemetry(results: &[TaskResult]) {
             r.dec_rf_int,
             r.dec_ws,
             r.dec_other,
-            r.interference_pct()
+            r.interference_pct(),
+            r.cc_checks,
+            r.cc_o1_pct(),
+            r.cc_visited,
+            r.cc_promoted
         );
     }
 }
@@ -444,6 +458,7 @@ fn print_ablation(results: &[TaskResult]) {
         "zpre",
         "zpre-fixed-true",
         "zpre-no-revprop",
+        "zpre-dfs-check",
     ];
     for mm in MMS {
         println!("Ablation under {}:", mm.to_uppercase());

@@ -117,6 +117,15 @@ pub struct RowTelemetry {
     pub dec_other: u64,
     /// Conflicts counted from the event stream.
     pub obs_conflicts: u64,
+    /// EOG cycle checks run by the order theory (one per asserted atom or
+    /// fixed edge reaching the incremental engine).
+    pub cc_checks: u64,
+    /// Cycle checks accepted in O(1) by the topological-level test.
+    pub cc_accepted_o1: u64,
+    /// Nodes visited across all bounded two-way searches.
+    pub cc_visited: u64,
+    /// Topological-level promotions performed by forward passes.
+    pub cc_promoted: u64,
 }
 
 impl RowTelemetry {
@@ -153,6 +162,10 @@ impl RowTelemetry {
             dec_ws: c.decisions[VarClass::Ws.index()],
             dec_other: c.decisions[VarClass::Other.index()],
             obs_conflicts: c.conflicts,
+            cc_checks: c.cycle_checks,
+            cc_accepted_o1: c.cycle_accepted_o1,
+            cc_visited: c.cycle_visited,
+            cc_promoted: c.cycle_promoted,
         }
     }
 }
@@ -340,7 +353,7 @@ pub fn run_suite_portfolio(
 /// Serializes results as CSV.
 pub fn to_csv(results: &[TaskResult]) -> String {
     let mut out = String::from(
-        "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok,winner,cancel_latency_ms,certified,quarantined,unroll_ms,ssa_ms,tele_encode_ms,blast_ms,tele_solve_ms,dec_rf_ext,dec_rf_int,dec_ws,dec_other,obs_conflicts\n",
+        "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok,winner,cancel_latency_ms,certified,quarantined,unroll_ms,ssa_ms,tele_encode_ms,blast_ms,tele_solve_ms,dec_rf_ext,dec_rf_int,dec_ws,dec_other,obs_conflicts,cc_checks,cc_accepted_o1,cc_visited,cc_promoted\n",
     );
     // Certificate summaries contain commas; quote free-text columns.
     fn quoted(s: Option<&str>) -> String {
@@ -350,10 +363,10 @@ pub fn to_csv(results: &[TaskResult]) -> String {
         // Telemetry columns stay empty (not zero) when telemetry was off,
         // so downstream tooling can tell "unmeasured" from "measured zero".
         let tele = r.telemetry.as_ref().map_or_else(
-            || ",,,,,,,,,".to_string(),
+            || ",,,,,,,,,,,,,".to_string(),
             |t| {
                 format!(
-                    "{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{}",
+                    "{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{}",
                     t.unroll_ms,
                     t.ssa_ms,
                     t.encode_ms,
@@ -363,7 +376,11 @@ pub fn to_csv(results: &[TaskResult]) -> String {
                     t.dec_rf_int,
                     t.dec_ws,
                     t.dec_other,
-                    t.obs_conflicts
+                    t.obs_conflicts,
+                    t.cc_checks,
+                    t.cc_accepted_o1,
+                    t.cc_visited,
+                    t.cc_promoted
                 )
             },
         );
@@ -433,7 +450,8 @@ pub fn telemetry_json(t: Option<&RowTelemetry>) -> String {
         Some(t) => format!(
             "{{\"unroll_ms\": {:.3}, \"ssa_ms\": {:.3}, \"encode_ms\": {:.3}, \
              \"blast_ms\": {:.3}, \"solve_ms\": {:.3}, \"dec_rf_ext\": {}, \
-             \"dec_rf_int\": {}, \"dec_ws\": {}, \"dec_other\": {}, \"obs_conflicts\": {}}}",
+             \"dec_rf_int\": {}, \"dec_ws\": {}, \"dec_other\": {}, \"obs_conflicts\": {}, \
+             \"cc_checks\": {}, \"cc_accepted_o1\": {}, \"cc_visited\": {}, \"cc_promoted\": {}}}",
             t.unroll_ms,
             t.ssa_ms,
             t.encode_ms,
@@ -443,7 +461,11 @@ pub fn telemetry_json(t: Option<&RowTelemetry>) -> String {
             t.dec_rf_int,
             t.dec_ws,
             t.dec_other,
-            t.obs_conflicts
+            t.obs_conflicts,
+            t.cc_checks,
+            t.cc_accepted_o1,
+            t.cc_visited,
+            t.cc_promoted
         ),
     }
 }
@@ -499,7 +521,7 @@ mod tests {
         assert_eq!(csv.lines().count(), results.len() + 1);
         assert!(csv.starts_with("task,"));
         // Telemetry was off: the trailing telemetry columns are empty.
-        assert!(csv.lines().nth(1).unwrap().ends_with(",,,,,,,,,"));
+        assert!(csv.lines().nth(1).unwrap().ends_with(",,,,,,,,,,,,,"));
     }
 
     /// Table 2's decision and conflict columns must be reproducible from

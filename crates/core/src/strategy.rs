@@ -23,6 +23,10 @@ pub enum Strategy {
     /// Ablation: full ZPRE with the order theory's one-step reverse
     /// propagation disabled.
     ZpreNoReverseProp,
+    /// Ablation: full ZPRE with the order theory's incremental cycle
+    /// detection replaced by the old per-assertion full DFS (the
+    /// before/after reference for the EOG engine's telemetry counters).
+    ZpreDfsCheck,
     /// The control-flow ("branching") heuristic of §5.2's *Other Attempts*:
     /// prioritize event-guard variables instead of interference variables.
     BranchCond,
@@ -33,7 +37,7 @@ impl Strategy {
     pub const MAIN: [Strategy; 3] = [Strategy::Baseline, Strategy::ZpreMinus, Strategy::Zpre];
 
     /// All strategies, including ablations.
-    pub const ALL: [Strategy; 8] = [
+    pub const ALL: [Strategy; 9] = [
         Strategy::Baseline,
         Strategy::ZpreMinus,
         Strategy::Zpre,
@@ -41,6 +45,7 @@ impl Strategy {
         Strategy::ZpreH3,
         Strategy::ZpreFixedTrue,
         Strategy::ZpreNoReverseProp,
+        Strategy::ZpreDfsCheck,
         Strategy::BranchCond,
     ];
 
@@ -54,6 +59,7 @@ impl Strategy {
             Strategy::ZpreH3 => "zpre-h3",
             Strategy::ZpreFixedTrue => "zpre-fixed-true",
             Strategy::ZpreNoReverseProp => "zpre-no-revprop",
+            Strategy::ZpreDfsCheck => "zpre-dfs-check",
             Strategy::BranchCond => "branch-cond",
         }
     }
@@ -77,9 +83,10 @@ impl Strategy {
                 external_first: true,
                 more_writes_first: false,
             },
-            Strategy::Zpre | Strategy::ZpreFixedTrue | Strategy::ZpreNoReverseProp => {
-                Refinements::all()
-            }
+            Strategy::Zpre
+            | Strategy::ZpreFixedTrue
+            | Strategy::ZpreNoReverseProp
+            | Strategy::ZpreDfsCheck => Refinements::all(),
             Strategy::Baseline | Strategy::BranchCond => Refinements::none(),
         }
     }

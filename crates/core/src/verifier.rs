@@ -203,6 +203,9 @@ pub(crate) fn verify_ssa_inner(
     if opts.strategy == Strategy::ZpreNoReverseProp {
         theory.set_propagate_reverse(false);
     }
+    if opts.strategy == Strategy::ZpreDfsCheck {
+        theory.set_full_dfs_check(true);
+    }
     if opts.certify {
         theory.enable_lemma_journal();
     }
@@ -308,9 +311,18 @@ pub(crate) fn verify_ssa_inner(
         None
     };
 
+    // Copy the order theory's cycle-check work counters into the outcome
+    // stats (the solver itself doesn't know about the theory's engine).
+    let mut stats = *solver.stats();
+    let cs = solver.theory.cycle_stats();
+    stats.eog_checks = cs.checks;
+    stats.eog_accepted_o1 = cs.accepted_o1;
+    stats.eog_visited = cs.visited;
+    stats.eog_promoted = cs.promoted;
+
     Ok(VerifyOutcome {
         verdict,
-        stats: *solver.stats(),
+        stats,
         solve_time,
         encode_time,
         num_events: ssa.events.len(),

@@ -1,0 +1,33 @@
+//! Criterion benches for the incremental EOG engine vs the full-DFS
+//! reference, over the synthetic shapes at the 10²–10⁴ node ladder.
+//!
+//! `cargo bench -p zpre-eog-bench` prints mean times per
+//! (shape, size, mode); the `eog-bench` binary is the variant that also
+//! records the counters into `BENCH_EOG.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zpre_eog_bench::{run_scenario, Shape};
+
+fn bench_engine(c: &mut Criterion) {
+    for shape in Shape::ALL {
+        let mut group = c.benchmark_group(format!("eog/{}", shape.name()));
+        group.sample_size(10);
+        for n in [100usize, 1000, 10000] {
+            for (mode, full_dfs) in [("incremental", false), ("full-dfs", true)] {
+                // The 10⁴-node full-DFS runs are quadratic; skip them so the
+                // bench finishes in sane time (the binary still covers them).
+                if full_dfs && n >= 10000 {
+                    continue;
+                }
+                group.bench_function(format!("{n}/{mode}"), |b| {
+                    b.iter(|| black_box(run_scenario(shape, n, 0xE06, full_dfs).stats.visited))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

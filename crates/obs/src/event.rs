@@ -86,6 +86,16 @@ pub enum Event {
     Restart,
     /// A learnt-database reduction that removed `removed` clauses.
     Reduction { removed: u64 },
+    /// One EOG cycle check by the order theory. `accepted_o1` is true when
+    /// the topological-level invariant accepted the edge without any search;
+    /// otherwise `visited` nodes were touched by the bounded two-way search
+    /// and `promoted` nodes had their level raised. Folded into counters
+    /// only — never stored in the event stream (it fires per asserted atom).
+    CycleCheck {
+        visited: u32,
+        promoted: u32,
+        accepted_o1: bool,
+    },
 }
 
 /// Receiver for solver/theory events. Implementations must be cheap: the

@@ -216,6 +216,11 @@ fn summary_line(snap: &TraceSnapshot) -> String {
         .num("restarts", c.restarts)
         .num("reductions", c.reductions)
         .num("clauses_removed", c.clauses_removed)
+        .num("cc_total", c.cycle_checks)
+        .num("cc_o1", c.cycle_accepted_o1)
+        .num("cc_searched", c.cycle_searched)
+        .num("cc_visited", c.cycle_visited)
+        .num("cc_promoted", c.cycle_promoted)
         .num("dropped", c.dropped_events);
     o.finish()
 }
@@ -499,6 +504,11 @@ pub fn from_ndjson(text: &str) -> Result<TraceSnapshot, String> {
                     c.restarts = get_num(&map, "restarts")?;
                     c.reductions = get_num(&map, "reductions")?;
                     c.clauses_removed = get_num(&map, "clauses_removed")?;
+                    c.cycle_checks = get_num(&map, "cc_total")?;
+                    c.cycle_accepted_o1 = get_num(&map, "cc_o1")?;
+                    c.cycle_searched = get_num(&map, "cc_searched")?;
+                    c.cycle_visited = get_num(&map, "cc_visited")?;
+                    c.cycle_promoted = get_num(&map, "cc_promoted")?;
                     c.dropped_events = get_num(&map, "dropped")?;
                     snap.counters = c;
                     saw_summary = true;
@@ -601,6 +611,12 @@ fn validate_block(block: &str, start_line: usize, report: &mut TraceReport) -> R
             "block at line {start_line}: conflict events exceed summary counter"
         ));
     }
+    if c.cycle_accepted_o1 + c.cycle_searched != c.cycle_checks {
+        return Err(format!(
+            "block at line {start_line}: cycle-check split broken: o1 ({}) + searched ({}) != total ({})",
+            c.cycle_accepted_o1, c.cycle_searched, c.cycle_checks
+        ));
+    }
     for s in &snap.spans {
         if !s.closed {
             return Err(format!(
@@ -657,6 +673,16 @@ mod tests {
         solver.emit(Event::TheoryLemma { cycle_len: 5 });
         solver.emit(Event::Restart);
         solver.emit(Event::Reduction { removed: 7 });
+        solver.emit(Event::CycleCheck {
+            visited: 0,
+            promoted: 0,
+            accepted_o1: true,
+        });
+        solver.emit(Event::CycleCheck {
+            visited: 6,
+            promoted: 2,
+            accepted_o1: false,
+        });
         rec.record_member(crate::recorder::MemberRecord {
             name: "zpre".into(),
             strategy: "zpre".into(),
@@ -720,6 +746,18 @@ mod tests {
         // Tampered summary: fewer decisions than recorded events.
         let tampered = text.replace("\"dec_rf_ext\":1", "\"dec_rf_ext\":0");
         assert!(validate(&tampered).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_broken_cycle_check_split() {
+        let snap = sample_snapshot();
+        let text = to_ndjson(&snap);
+        assert_eq!(snap.counters.cycle_checks, 2);
+        // o1 + searched must equal the total check count.
+        let tampered = text.replace("\"cc_o1\":1", "\"cc_o1\":2");
+        assert!(validate(&tampered)
+            .unwrap_err()
+            .contains("cycle-check split"));
     }
 
     #[test]

@@ -152,6 +152,16 @@ pub struct Counters {
     pub restarts: u64,
     pub reductions: u64,
     pub clauses_removed: u64,
+    /// EOG cycle checks run by the order theory (one per asserted edge).
+    pub cycle_checks: u64,
+    /// Cycle checks accepted in O(1) by the topological-level invariant.
+    pub cycle_accepted_o1: u64,
+    /// Cycle checks that ran the bounded two-way search.
+    pub cycle_searched: u64,
+    /// Nodes visited across all cycle-check searches.
+    pub cycle_visited: u64,
+    /// Node-level promotions performed by cycle-check forward passes.
+    pub cycle_promoted: u64,
     /// Decision events dropped by the sampling knob (still counted above).
     pub dropped_events: u64,
 }
@@ -390,6 +400,23 @@ impl EventSink for Recorder {
                 inner.counters.clauses_removed += removed;
                 EventKind::Reduction { removed }
             }
+            Event::CycleCheck {
+                visited,
+                promoted,
+                accepted_o1,
+            } => {
+                // Counter-only: fires once per asserted ordering atom, so it
+                // is never pushed onto the event stream.
+                inner.counters.cycle_checks += 1;
+                if accepted_o1 {
+                    inner.counters.cycle_accepted_o1 += 1;
+                } else {
+                    inner.counters.cycle_searched += 1;
+                }
+                inner.counters.cycle_visited += visited as u64;
+                inner.counters.cycle_promoted += promoted as u64;
+                return;
+            }
         };
         if !inner.cfg.events {
             return;
@@ -609,6 +636,38 @@ mod tests {
         for w in a.events.windows(2) {
             assert!(w[0].seq < w[1].seq);
         }
+    }
+
+    #[test]
+    fn cycle_checks_fold_into_counters_only() {
+        let rec = Recorder::default();
+        rec.emit(Event::CycleCheck {
+            visited: 0,
+            promoted: 0,
+            accepted_o1: true,
+        });
+        rec.emit(Event::CycleCheck {
+            visited: 7,
+            promoted: 3,
+            accepted_o1: false,
+        });
+        rec.emit(Event::CycleCheck {
+            visited: 2,
+            promoted: 0,
+            accepted_o1: false,
+        });
+        let snap = rec.snapshot();
+        // Counter-only: never in the event stream.
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.counters.cycle_checks, 3);
+        assert_eq!(snap.counters.cycle_accepted_o1, 1);
+        assert_eq!(snap.counters.cycle_searched, 2);
+        assert_eq!(
+            snap.counters.cycle_accepted_o1 + snap.counters.cycle_searched,
+            snap.counters.cycle_checks
+        );
+        assert_eq!(snap.counters.cycle_visited, 9);
+        assert_eq!(snap.counters.cycle_promoted, 3);
     }
 
     #[test]

@@ -131,6 +131,17 @@ pub fn profile_report(snap: &TraceSnapshot) -> String {
         "conflicts {}  theory-lemmas {} (mean EOG cycle {:.1})  restarts {}  reductions {} ({} clauses)",
         c.conflicts, c.theory_lemmas, mean_cycle, c.restarts, c.reductions, c.clauses_removed
     );
+    if c.cycle_checks > 0 {
+        let _ = writeln!(
+            out,
+            "cycle-checks {} ({} O(1)-accepted, {} searched; {} nodes visited, {} levels promoted)",
+            c.cycle_checks,
+            c.cycle_accepted_o1,
+            c.cycle_searched,
+            c.cycle_visited,
+            c.cycle_promoted
+        );
+    }
     if snap.decision_sample > 1 {
         let _ = writeln!(
             out,
@@ -204,6 +215,16 @@ mod tests {
         });
         rec.emit(Event::Conflict { level: 2, lbd: 1 });
         rec.emit(Event::TheoryLemma { cycle_len: 3 });
+        rec.emit(Event::CycleCheck {
+            visited: 4,
+            promoted: 1,
+            accepted_o1: false,
+        });
+        rec.emit(Event::CycleCheck {
+            visited: 0,
+            promoted: 0,
+            accepted_o1: true,
+        });
         rec.record_member(MemberRecord {
             name: "zpre".into(),
             strategy: "zpre".into(),
@@ -223,6 +244,7 @@ mod tests {
         assert!(report.contains("rf_ext"));
         assert!(report.contains("interference"));
         assert!(report.contains("mean EOG cycle 3.0"));
+        assert!(report.contains("cycle-checks 2 (1 O(1)-accepted, 1 searched"));
         assert!(report.contains("portfolio members"));
         assert!(report.contains("winner"));
     }

@@ -36,6 +36,14 @@ pub struct Stats {
     pub minimized_lits: u64,
     /// Learnt-database reductions.
     pub reductions: u64,
+    /// EOG cycle checks run by the order theory (one per asserted edge).
+    pub eog_checks: u64,
+    /// Cycle checks accepted in O(1) by the topological-level invariant.
+    pub eog_accepted_o1: u64,
+    /// Nodes visited by cycle-check searches.
+    pub eog_visited: u64,
+    /// Node-level promotions performed by cycle-check forward passes.
+    pub eog_promoted: u64,
 }
 
 impl Stats {
@@ -57,6 +65,10 @@ impl Stats {
             learnt_literals,
             minimized_lits,
             reductions,
+            eog_checks,
+            eog_accepted_o1,
+            eog_visited,
+            eog_promoted,
         } = *other;
         self.decisions += decisions;
         self.guided_decisions += guided_decisions;
@@ -69,6 +81,10 @@ impl Stats {
         self.learnt_literals += learnt_literals;
         self.minimized_lits += minimized_lits;
         self.reductions += reductions;
+        self.eog_checks += eog_checks;
+        self.eog_accepted_o1 += eog_accepted_o1;
+        self.eog_visited += eog_visited;
+        self.eog_promoted += eog_promoted;
     }
 }
 
@@ -319,6 +335,10 @@ mod tests {
             learnt_literals: 1,
             minimized_lits: 1,
             reductions: 1,
+            eog_checks: 1,
+            eog_accepted_o1: 1,
+            eog_visited: 1,
+            eog_promoted: 1,
         };
         let mut acc = Stats::default();
         acc.accumulate(&one);
@@ -335,6 +355,10 @@ mod tests {
             learnt_literals,
             minimized_lits,
             reductions,
+            eog_checks,
+            eog_accepted_o1,
+            eog_visited,
+            eog_promoted,
         } = acc;
         for (name, v) in [
             ("decisions", decisions),
@@ -348,6 +372,10 @@ mod tests {
             ("learnt_literals", learnt_literals),
             ("minimized_lits", minimized_lits),
             ("reductions", reductions),
+            ("eog_checks", eog_checks),
+            ("eog_accepted_o1", eog_accepted_o1),
+            ("eog_visited", eog_visited),
+            ("eog_promoted", eog_promoted),
         ] {
             assert_eq!(v, 2, "field {name} dropped from accumulate");
         }

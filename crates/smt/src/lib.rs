@@ -21,4 +21,5 @@ pub mod order;
 
 pub use certcheck::{check_lemma, check_lemma_against};
 pub use kinds::{rf_name, ws_name, ClassCounts, VarInfo, VarKind, VarRegistry};
+pub use order::graph::{CycleStats, OrderGraph};
 pub use order::{CycleEdge, NodeId, OrderTheory, TheoryLemma};

@@ -13,18 +13,29 @@
 //! - each registered *atom* `v ↦ (a, b)` contributes the edge `a→b` when
 //!   `v` is assigned true and the reverse edge `b→a` when assigned false
 //!   (clock values are total, so ¬(a<b) ⇔ b<a for distinct events);
-//! - every asserted edge runs an incremental cycle check (DFS from the edge
-//!   head); on a cycle the theory reports the asserting literals of the
-//!   cycle's edges as the conflict — a minimal explanation;
+//! - every asserted edge runs an incremental cycle check in the
+//!   [`graph::OrderGraph`] engine: a topological-level comparison accepts
+//!   order-respecting edges in O(1), anything else runs a bounded two-way
+//!   search (see the module docs of [`graph`]); on a cycle the theory
+//!   reports the asserting literals of the cycle's edges as the conflict —
+//!   a minimal explanation — with the witness path built lazily from the
+//!   search's parent pointers;
 //! - asserting `a→b` eagerly propagates `¬atom(b,a)` when such an atom
-//!   exists (cheap one-step transitivity), which prunes 2-cycles before the
-//!   SAT core ever branches on them. This can be disabled for ablation.
+//!   exists (cheap one-step transitivity), and when the check already ran a
+//!   backward search, the frontier it computed — every node known to reach
+//!   `a` — drives the same propagation one hop further for free: for each
+//!   frontier node `u`, `¬atom(b,u)` is implied with the recorded path as
+//!   its explanation. Both can be disabled for ablation.
+
+pub mod graph;
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use zpre_obs::{Event, EventSink};
 use zpre_sat::{Lit, Theory, TheoryConflict, TheoryOut, Var};
+
+use graph::{CycleStats, Inserted, OrderGraph};
 
 /// A node of the event order graph (an event, or a virtual fence /
 /// spawn / join node).
@@ -36,14 +47,6 @@ impl NodeId {
     fn index(self) -> usize {
         self.0 as usize
     }
-}
-
-/// An outgoing edge: target node and the literal that asserted it
-/// (`None` for fixed program-order edges).
-#[derive(Copy, Clone, Debug)]
-struct Edge {
-    to: NodeId,
-    tag: Option<Lit>,
 }
 
 /// One edge of a justifying EOG cycle, as recorded in a [`TheoryLemma`].
@@ -73,18 +76,12 @@ pub struct TheoryLemma {
     pub cycle: Vec<CycleEdge>,
 }
 
-/// Undoable theory operations.
-enum Op {
-    /// An edge was appended to `adj[from]`.
-    Edge { from: NodeId },
-    /// An explanation was inserted for a propagated literal.
-    Expl { lit: Lit },
-}
-
-/// The order theory. Implements [`zpre_sat::Theory`].
+/// The order theory. Implements [`zpre_sat::Theory`]; the graph state lives
+/// in the incremental [`graph::OrderGraph`] engine, which keeps its own
+/// undo trail in lockstep with this theory's explanation trail.
 pub struct OrderTheory {
-    /// Out-adjacency lists.
-    adj: Vec<Vec<Edge>>,
+    /// The incremental cycle-detection engine (adjacency + levels + trail).
+    graph: OrderGraph,
     /// Atom registry: solver var → (a, b), true ⇒ a→b, false ⇒ b→a.
     atoms: HashMap<u32, (NodeId, NodeId)>,
     /// For an ordered pair (a, b), every literal that means "edge a→b".
@@ -92,17 +89,10 @@ pub struct OrderTheory {
     edge_atoms: HashMap<(NodeId, NodeId), Vec<Lit>>,
     /// Eager explanations for literals we propagated.
     expl: HashMap<u32, Vec<Lit>>,
-    /// Undo trail.
-    ops: Vec<Op>,
-    /// `ops` length at each open decision level.
+    /// Undo trail of propagated literals (edge undo lives in the engine).
+    prop_trail: Vec<Lit>,
+    /// `prop_trail` length at each open decision level.
     levels: Vec<usize>,
-    /// DFS scratch: visit stamps.
-    stamp: Vec<u32>,
-    stamp_counter: u32,
-    /// DFS scratch: parent edge (predecessor node, tag) per node.
-    parent: Vec<(NodeId, Option<Lit>)>,
-    /// DFS scratch: explicit stack.
-    dfs_stack: Vec<NodeId>,
     /// Whether the fixed edges already contain a cycle.
     fixed_cycle: bool,
     /// Enable one-step reverse propagation (ablation toggle).
@@ -116,8 +106,9 @@ pub struct OrderTheory {
     pub cycle_checks: u64,
     /// Number of cycles detected (theory conflicts raised).
     pub cycles_found: u64,
-    /// Structured-event receiver for lemma telemetry (EOG-cycle lengths);
-    /// `None` keeps the emission sites down to a single branch.
+    /// Structured-event receiver for lemma telemetry (EOG-cycle lengths and
+    /// per-check work counters); `None` keeps the emission sites down to a
+    /// single branch.
     sink: Option<Arc<dyn EventSink>>,
 }
 
@@ -131,16 +122,12 @@ impl OrderTheory {
     /// Creates an empty theory.
     pub fn new() -> OrderTheory {
         OrderTheory {
-            adj: Vec::new(),
+            graph: OrderGraph::new(),
             atoms: HashMap::new(),
             edge_atoms: HashMap::new(),
             expl: HashMap::new(),
-            ops: Vec::new(),
+            prop_trail: Vec::new(),
             levels: Vec::new(),
-            stamp: Vec::new(),
-            stamp_counter: 0,
-            parent: Vec::new(),
-            dfs_stack: Vec::new(),
             fixed_cycle: false,
             propagate_reverse: true,
             journal: Vec::new(),
@@ -153,7 +140,8 @@ impl OrderTheory {
 
     /// Installs (or removes) a structured-event sink. The theory streams a
     /// [`Event::TheoryLemma`] with the justifying EOG-cycle length for every
-    /// cycle conflict and every reverse-propagation (2-cycle) lemma.
+    /// cycle conflict and every reverse-propagation lemma, plus a
+    /// counter-only [`Event::CycleCheck`] per asserted ordering atom.
     pub fn set_event_sink(&mut self, sink: Option<Arc<dyn EventSink>>) {
         self.sink = sink;
     }
@@ -184,33 +172,48 @@ impl OrderTheory {
         self.propagate_reverse = on;
     }
 
+    /// Forces every cycle check through the retained full-DFS oracle
+    /// instead of the incremental two-way search (the pre-incremental
+    /// algorithm; ablation / before-after benchmarks).
+    pub fn set_full_dfs_check(&mut self, on: bool) {
+        self.graph.set_force_full_dfs(on);
+    }
+
+    /// The engine's work counters (checks / O(1) accepts / searches /
+    /// visited nodes / level promotions).
+    pub fn cycle_stats(&self) -> CycleStats {
+        self.graph.stats
+    }
+
     /// Allocates a fresh EOG node.
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId(self.adj.len() as u32);
-        self.adj.push(Vec::new());
-        self.stamp.push(0);
-        self.parent.push((id, None));
-        id
+        self.graph.add_node()
     }
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.graph.num_nodes()
     }
 
     /// Adds a fixed (program-order) edge `a→b`. Must be called before
-    /// solving. Returns `false` if this closes a cycle among fixed edges —
-    /// an encoding bug the caller should surface.
+    /// solving. Duplicate parallel fixed edges are skipped. Returns `false`
+    /// if the edge closes a cycle among fixed edges — an encoding bug the
+    /// caller should surface.
     pub fn add_fixed_edge(&mut self, a: NodeId, b: NodeId) -> bool {
-        if a == b || self.find_path(b, a).is_some() {
-            self.fixed_cycle = true;
-            return false;
+        if a != b && self.is_fixed_edge(a, b) {
+            return true;
         }
-        self.adj[a.index()].push(Edge { to: b, tag: None });
-        // Fixed edges added at the root level are never undone, but keep the
-        // trail consistent if the caller adds them mid-search by accident.
-        self.ops.push(Op::Edge { from: a });
-        true
+        match self.graph.insert_edge(a, b, None) {
+            Ok(_) => {
+                self.cycle_checks += 1;
+                true
+            }
+            Err(_) => {
+                self.cycle_checks += 1;
+                self.fixed_cycle = true;
+                false
+            }
+        }
     }
 
     /// Registers a solver variable as the ordering atom for `(a, b)`:
@@ -241,65 +244,32 @@ impl OrderTheory {
         self.fixed_cycle
     }
 
-    /// `true` if `to` is currently reachable from `from`.
-    pub fn reachable(&mut self, from: NodeId, to: NodeId) -> bool {
-        from == to || self.find_path(from, to).is_some()
+    /// `true` if `to` is currently reachable from `from`. A `&self` query:
+    /// the DFS scratch lives inside the engine behind interior mutability,
+    /// so certification re-checks don't need mutable access.
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.graph.reaches(from, to)
     }
 
     /// `true` if the fixed (program-order) edge `a→b` exists. Post-solve
     /// the solver has backtracked to the root, so only fixed and root-level
     /// edges remain — this is the predicate certification re-checks.
     pub fn is_fixed_edge(&self, a: NodeId, b: NodeId) -> bool {
-        self.adj
-            .get(a.index())
-            .is_some_and(|edges| edges.iter().any(|e| e.to == b && e.tag.is_none()))
-    }
-
-    /// DFS from `from` looking for `to`; on success returns the path's
-    /// edges in forward order (`from` first).
-    fn find_path(&mut self, from: NodeId, to: NodeId) -> Option<Vec<CycleEdge>> {
-        self.cycle_checks += 1;
-        self.stamp_counter += 1;
-        let stamp = self.stamp_counter;
-        self.dfs_stack.clear();
-        self.dfs_stack.push(from);
-        self.stamp[from.index()] = stamp;
-        while let Some(n) = self.dfs_stack.pop() {
-            for e in &self.adj[n.index()] {
-                if self.stamp[e.to.index()] == stamp {
-                    continue;
-                }
-                self.stamp[e.to.index()] = stamp;
-                self.parent[e.to.index()] = (n, e.tag);
-                if e.to == to {
-                    // Reconstruct the path from `to` back to `from`.
-                    let mut edges = Vec::new();
-                    let mut cur = to;
-                    while cur != from {
-                        let (pred, tag) = self.parent[cur.index()];
-                        edges.push(CycleEdge {
-                            from: pred,
-                            to: cur,
-                            tag,
-                        });
-                        cur = pred;
-                    }
-                    edges.reverse();
-                    return Some(edges);
-                }
-                self.dfs_stack.push(e.to);
-            }
-        }
-        None
+        a.index() < self.graph.num_nodes()
+            && self
+                .graph
+                .out_edges(a)
+                .iter()
+                .any(|e| e.to == b && e.tag.is_none())
     }
 
     /// Current topological order of all nodes, if the graph is acyclic.
     /// Used for model extraction (concrete clock values).
     pub fn topological_order(&self) -> Option<Vec<NodeId>> {
-        let n = self.adj.len();
+        let n = self.graph.num_nodes();
         let mut indeg = vec![0usize; n];
-        for edges in &self.adj {
-            for e in edges {
+        for u in 0..n as u32 {
+            for e in self.graph.out_edges(NodeId(u)) {
                 indeg[e.to.index()] += 1;
             }
         }
@@ -310,7 +280,7 @@ impl OrderTheory {
         let mut out = Vec::with_capacity(n);
         while let Some(x) = queue.pop() {
             out.push(x);
-            for e in &self.adj[x.index()] {
+            for e in self.graph.out_edges(x) {
                 indeg[e.to.index()] -= 1;
                 if indeg[e.to.index()] == 0 {
                     queue.push(e.to);
@@ -324,11 +294,38 @@ impl OrderTheory {
     /// `clock[v]` is the position of node `v`. `None` if cyclic.
     pub fn clock_values(&self) -> Option<Vec<u32>> {
         let order = self.topological_order()?;
-        let mut clock = vec![0u32; self.adj.len()];
+        let mut clock = vec![0u32; self.graph.num_nodes()];
         for (i, n) in order.iter().enumerate() {
             clock[n.index()] = i as u32;
         }
         Some(clock)
+    }
+
+    /// Records the implication `expl ⊨ q` if `q` has no explanation yet:
+    /// stores the explanation, journals the lemma (clause `q ∨ ¬expl`
+    /// justified by `cycle`), and queues the propagation.
+    fn push_propagation(
+        &mut self,
+        q: Lit,
+        expl: &[Lit],
+        cycle: impl FnOnce() -> Vec<CycleEdge>,
+        cycle_len: u32,
+        out: &mut TheoryOut,
+    ) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.expl.entry(q.code() as u32) {
+            e.insert(expl.to_vec());
+            self.prop_trail.push(q);
+            self.emit_lemma(cycle_len);
+            if self.journal_on {
+                let mut clause = vec![q];
+                clause.extend(expl.iter().map(|&l| !l));
+                self.journal.push(TheoryLemma {
+                    clause,
+                    cycle: cycle(),
+                });
+            }
+            out.propagations.push(q);
+        }
     }
 }
 
@@ -340,35 +337,49 @@ impl Theory for OrderTheory {
         let (from, to) = if lit.sign() { (a, b) } else { (b, a) };
 
         // Would the new edge close a cycle? A path to→…→from plus the new
-        // edge from→to is a cycle.
-        if let Some(path) = self.find_path(to, from) {
-            self.cycles_found += 1;
-            // The justifying cycle is the path to→…→from plus the new edge.
-            self.emit_lemma(path.len() as u32 + 1);
-            let mut path_lits: Vec<Lit> = path.iter().filter_map(|e| e.tag).collect();
-            path_lits.push(lit);
-            if self.journal_on {
-                let mut cycle = vec![CycleEdge {
-                    from,
-                    to,
-                    tag: Some(lit),
-                }];
-                cycle.extend(path);
-                self.journal.push(TheoryLemma {
-                    clause: path_lits.iter().map(|&l| !l).collect(),
-                    cycle,
-                });
-            }
-            // All literals are true; their conjunction is inconsistent.
-            return Err(TheoryConflict { lits: path_lits });
+        // edge from→to is a cycle. The engine answers via the level
+        // comparison or the bounded two-way search; the witness path is
+        // only materialized on rejection.
+        self.cycle_checks += 1;
+        let pre = self.graph.stats;
+        let res = self.graph.insert_edge(from, to, Some(lit));
+        if let Some(s) = &self.sink {
+            let d = self.graph.stats;
+            s.emit(Event::CycleCheck {
+                visited: (d.visited - pre.visited) as u32,
+                promoted: (d.promoted - pre.promoted) as u32,
+                accepted_o1: res == Ok(Inserted::AcceptedO1),
+            });
         }
 
-        self.adj[from.index()].push(Edge { to, tag: Some(lit) });
-        self.ops.push(Op::Edge { from });
+        let ins = match res {
+            Err(path) => {
+                self.cycles_found += 1;
+                // The justifying cycle is the path to→…→from plus the new edge.
+                self.emit_lemma(path.len() as u32 + 1);
+                let mut path_lits: Vec<Lit> = path.iter().filter_map(|e| e.tag).collect();
+                path_lits.push(lit);
+                if self.journal_on {
+                    let mut cycle = vec![CycleEdge {
+                        from,
+                        to,
+                        tag: Some(lit),
+                    }];
+                    cycle.extend(path);
+                    self.journal.push(TheoryLemma {
+                        clause: path_lits.iter().map(|&l| !l).collect(),
+                        cycle,
+                    });
+                }
+                // All literals are true; their conjunction is inconsistent.
+                return Err(TheoryConflict { lits: path_lits });
+            }
+            Ok(ins) => ins,
+        };
 
         if self.propagate_reverse {
+            // One-step: other atoms over the same pair are implied true...
             let mut implied: Vec<Lit> = Vec::new();
-            // Other atoms over the same pair are implied true...
             if let Some(same) = self.edge_atoms.get(&(from, to)) {
                 implied.extend(same.iter().copied().filter(|&l| l != lit));
             }
@@ -378,32 +389,78 @@ impl Theory for OrderTheory {
                 implied.extend(rev.iter().map(|&l| !l).filter(|&l| l != lit));
             }
             for q in implied {
-                if let std::collections::hash_map::Entry::Vacant(e) =
-                    self.expl.entry(q.code() as u32)
-                {
-                    e.insert(vec![lit]);
-                    self.ops.push(Op::Expl { lit: q });
-                    self.emit_lemma(2);
-                    if self.journal_on {
-                        // The explanation clause q ∨ ¬lit is justified by the
-                        // 2-cycle its negation (¬q ∧ lit) would create.
-                        self.journal.push(TheoryLemma {
-                            clause: vec![q, !lit],
-                            cycle: vec![
-                                CycleEdge {
+                // The explanation clause q ∨ ¬lit is justified by the
+                // 2-cycle its negation (¬q ∧ lit) would create.
+                self.push_propagation(
+                    q,
+                    &[lit],
+                    || {
+                        vec![
+                            CycleEdge {
+                                from,
+                                to,
+                                tag: Some(lit),
+                            },
+                            CycleEdge {
+                                from: to,
+                                to: from,
+                                tag: Some(!q),
+                            },
+                        ]
+                    },
+                    2,
+                    out,
+                );
+            }
+
+            // Frontier-driven: the backward pass already proved u ⇝ from for
+            // every frontier node u, so an edge to→u would close the cycle
+            // to→u ⇝ from→to. Negate any atom that would assert one.
+            if ins == Inserted::Searched {
+                let frontier: Vec<NodeId> = self.graph.frontier().to_vec();
+                for u in frontier {
+                    if u == from {
+                        continue; // handled by the one-step case above
+                    }
+                    let Some(list) = self.edge_atoms.get(&(to, u)) else {
+                        continue;
+                    };
+                    let implied: Vec<Lit> = list
+                        .iter()
+                        .map(|&l| !l)
+                        .filter(|&q| q != lit && q != !lit)
+                        .collect();
+                    if implied.is_empty() {
+                        continue;
+                    }
+                    let path = self.graph.backward_path(u, from);
+                    let mut expl: Vec<Lit> = path.iter().filter_map(|e| e.tag).collect();
+                    expl.push(lit);
+                    let cycle_len = path.len() as u32 + 2;
+                    for q in implied {
+                        self.push_propagation(
+                            q,
+                            &expl,
+                            || {
+                                // Closed cycle to→u ⇝ from→to, justifying
+                                // clause q ∨ ¬expl.
+                                let mut cycle = vec![CycleEdge {
+                                    from: to,
+                                    to: u,
+                                    tag: Some(!q),
+                                }];
+                                cycle.extend(path.iter().copied());
+                                cycle.push(CycleEdge {
                                     from,
                                     to,
                                     tag: Some(lit),
-                                },
-                                CycleEdge {
-                                    from: to,
-                                    to: from,
-                                    tag: Some(!q),
-                                },
-                            ],
-                        });
+                                });
+                                cycle
+                            },
+                            cycle_len,
+                            out,
+                        );
                     }
-                    out.propagations.push(q);
                 }
             }
         }
@@ -411,25 +468,21 @@ impl Theory for OrderTheory {
     }
 
     fn new_level(&mut self) {
-        self.levels.push(self.ops.len());
+        self.levels.push(self.prop_trail.len());
+        self.graph.new_level();
     }
 
     fn backtrack_to(&mut self, level: u32) {
+        self.graph.backtrack_to(level);
         let target = level as usize;
         if target >= self.levels.len() {
             return;
         }
         let keep = self.levels[target];
         self.levels.truncate(target);
-        while self.ops.len() > keep {
-            match self.ops.pop().expect("ops length checked") {
-                Op::Edge { from } => {
-                    self.adj[from.index()].pop();
-                }
-                Op::Expl { lit } => {
-                    self.expl.remove(&(lit.code() as u32));
-                }
-            }
+        while self.prop_trail.len() > keep {
+            let lit = self.prop_trail.pop().expect("trail length checked");
+            self.expl.remove(&(lit.code() as u32));
         }
     }
 
@@ -466,6 +519,19 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_fixed_edges_are_skipped() {
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        assert!(t.add_fixed_edge(a, b));
+        assert!(t.add_fixed_edge(a, b));
+        assert!(t.add_fixed_edge(a, b));
+        assert_eq!(t.graph.num_edges(), 1, "parallel fixed edges deduplicated");
+        // The duplicate calls don't re-run the cycle check either.
+        assert_eq!(t.cycle_checks, 1);
+    }
+
+    #[test]
     fn reachability() {
         let mut t = OrderTheory::new();
         let n: Vec<NodeId> = (0..4).map(|_| t.add_node()).collect();
@@ -475,6 +541,19 @@ mod tests {
         assert!(!t.reachable(n[2], n[0]));
         assert!(!t.reachable(n[0], n[3]));
         assert!(t.reachable(n[3], n[3]));
+    }
+
+    #[test]
+    fn reachable_is_a_shared_query() {
+        // `reachable` takes &self: usable through a shared reference, as the
+        // certification re-checks do post-solve.
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        t.add_fixed_edge(a, b);
+        let shared: &OrderTheory = &t;
+        assert!(shared.reachable(a, b));
+        assert!(!shared.reachable(b, a));
     }
 
     #[test]
@@ -514,6 +593,70 @@ mod tests {
         // Edge a→b now exists; atom v1 (b→a when true) must become false.
         assert_eq!(out.propagations, vec![v1.negative()]);
         assert_eq!(t.explain(v1.negative()), vec![v0.positive()]);
+    }
+
+    #[test]
+    fn frontier_propagates_transitive_reverse_atoms() {
+        // Assert a→b then b→c with an atom over (c, a) registered: c→a
+        // would close the 3-cycle, so the atom is negated eagerly — one
+        // hop beyond the old one-step propagation. (Asserted edges, not
+        // fixed ones: fixed edges stratify levels eagerly, and the
+        // backward frontier only spans the tail's own level.)
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let c = t.add_node();
+        let vab = Var::new(0);
+        let vbc = Var::new(1);
+        let vca = Var::new(2);
+        t.register_atom(vab, a, b);
+        t.register_atom(vbc, b, c);
+        t.register_atom(vca, c, a);
+        let mut out = TheoryOut::default();
+        t.new_level();
+        assert!(t.assert_lit(vab.positive(), &mut out).is_ok());
+        assert!(t.assert_lit(vbc.positive(), &mut out).is_ok());
+        assert!(
+            out.propagations.contains(&vca.negative()),
+            "frontier propagation must negate the cycle-closing atom, got {:?}",
+            out.propagations
+        );
+        // The explanation chains the path tags + the asserted lit.
+        assert_eq!(
+            t.explain(vca.negative()),
+            vec![vab.positive(), vbc.positive()]
+        );
+    }
+
+    #[test]
+    fn frontier_propagation_journals_valid_cycles() {
+        let mut t = OrderTheory::new();
+        t.enable_lemma_journal();
+        let a = t.add_node();
+        let b = t.add_node();
+        let c = t.add_node();
+        let vab = Var::new(0);
+        let vbc = Var::new(1);
+        let vca = Var::new(2);
+        t.register_atom(vab, a, b);
+        t.register_atom(vbc, b, c);
+        t.register_atom(vca, c, a);
+        let mut out = TheoryOut::default();
+        t.new_level();
+        t.assert_lit(vab.positive(), &mut out).unwrap();
+        t.assert_lit(vbc.positive(), &mut out).unwrap();
+        let lemmas = t.take_lemmas();
+        assert!(!lemmas.is_empty());
+        for lemma in &lemmas {
+            // Chained and closed.
+            for w in lemma.cycle.windows(2) {
+                assert_eq!(w[0].to, w[1].from);
+            }
+            assert_eq!(
+                lemma.cycle.first().unwrap().from,
+                lemma.cycle.last().unwrap().to
+            );
+        }
     }
 
     #[test]
@@ -597,6 +740,26 @@ mod tests {
         assert!(t.assert_lit(v0.positive(), &mut out).is_err());
         // Graph stays acyclic, topological order exists.
         assert!(t.topological_order().is_some());
+    }
+
+    #[test]
+    fn cycle_stats_split_holds() {
+        let mut t = OrderTheory::new();
+        let n: Vec<NodeId> = (0..6).map(|_| t.add_node()).collect();
+        for w in n.windows(2) {
+            t.add_fixed_edge(w[0], w[1]);
+        }
+        let v0 = Var::new(0);
+        let v1 = Var::new(1);
+        t.register_atom(v0, n[0], n[4]);
+        t.register_atom(v1, n[5], n[0]);
+        let mut out = TheoryOut::default();
+        t.new_level();
+        let _ = t.assert_lit(v0.positive(), &mut out);
+        let _ = t.assert_lit(v1.positive(), &mut out);
+        let s = t.cycle_stats();
+        assert_eq!(s.accepted_o1 + s.searched, s.checks);
+        assert_eq!(s.checks, t.cycle_checks);
     }
 
     /// End-to-end: the order theory inside the CDCL(T) loop.

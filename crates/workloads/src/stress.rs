@@ -126,6 +126,16 @@ pub fn tasks(scale: Scale) -> Vec<Task> {
         Scale::Quick => vec![stress(1, 2, 3), stress(2, 2, 3)],
         Scale::Full => (0..12)
             .map(|i| stress(100 + i, 2 + (i as usize % 2), 3 + (i as usize % 4)))
+            // The tail of the ladder: instances big enough that cycle-check
+            // cost is a visible share of the solve.
+            .chain([
+                stress(200, 3, 8),
+                stress(201, 4, 8),
+                stress(202, 4, 10),
+                stress(203, 4, 14),
+                stress(204, 5, 14),
+                stress(205, 6, 12),
+            ])
             .collect(),
     }
 }

@@ -346,7 +346,7 @@ pub fn tasks(scale: Scale) -> Vec<Task> {
         out.push(wrc(b));
     }
     if scale == Scale::Full {
-        for n in [2, 3, 4, 5] {
+        for n in [2, 3, 4, 5, 6, 7, 8, 9] {
             out.push(sb_grid(n, false));
             out.push(sb_grid(n, true));
         }
