@@ -1,4 +1,4 @@
-.PHONY: build test bench-eog bench-eog-quick
+.PHONY: build test bench-eog bench-eog-quick bench-sweep bench-sweep-quick
 
 build:
 	cargo build --release
@@ -17,3 +17,15 @@ bench-eog: build
 # a scratch file instead of the tracked BENCH_EOG.json.
 bench-eog-quick: build
 	./target/release/eog-bench --quick --suite --tag ci-smoke --out /tmp/eog-smoke.json
+
+# Scratch vs incremental bound-sweep comparison on the stress + wmm
+# families (plus loopy marker-frame tasks). Asserts identical verdicts
+# pair by pair, appends per-task rows and family aggregates to
+# BENCH_SWEEP.json, and fails unless the stress+wmm aggregate sweep is
+# >= 1.5x faster than per-bound scratch.
+bench-sweep: build
+	./target/release/sweep-bench --tag "$${TAG:-local}"
+
+# Quick smoke variant for CI: quick-scale families, scratch output file.
+bench-sweep-quick: build
+	./target/release/sweep-bench --quick --tag ci-smoke --out /tmp/sweep-smoke.json

@@ -1,0 +1,196 @@
+//! `sweep-bench` — scratch vs incremental bound-sweep comparison.
+//!
+//! ```text
+//! sweep-bench [--quick] [--tag NAME] [--out PATH] [--budget N]
+//!             [--max-bound K] [--seed N]
+//! ```
+//!
+//! Races the per-bound scratch loop (one fresh SMT instance per unwind
+//! bound, the paper's setup) against the incremental sweep (one horizon
+//! encoding, one solver across assumption frames) on the stress and wmm
+//! families plus a loopy family exercising the marker frames proper.
+//! Verdicts are asserted identical pair by pair; per-task rows and
+//! per-family aggregates are appended as NDJSON to `BENCH_SWEEP.json` so
+//! the perf trajectory accumulates across commits.
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+
+use zpre_bench::{compare_suite, RunConfig, SweepAggregate, SweepComparison};
+use zpre_prog::build::*;
+use zpre_prog::MemoryModel;
+use zpre_workloads::{subcategory, Expected, Scale, Subcat, Task};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let tag = flag_value(&args, "--tag").unwrap_or_else(|| {
+        if quick {
+            "quick".to_string()
+        } else {
+            "full".to_string()
+        }
+    });
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_SWEEP.json".to_string());
+    let budget: u64 = flag_value(&args, "--budget")
+        .map(|v| v.parse().expect("numeric --budget"))
+        .unwrap_or(200_000);
+    let max_bound: u32 = flag_value(&args, "--max-bound")
+        .map(|v| v.parse().expect("numeric --max-bound"))
+        .unwrap_or(6);
+    let seed: u64 = flag_value(&args, "--seed")
+        .map(|v| v.parse().expect("numeric --seed"))
+        .unwrap_or(0xC0FFEE);
+
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let cfg = RunConfig {
+        scale,
+        max_conflicts: budget,
+        seed,
+        validate: false,
+        ..RunConfig::default()
+    };
+
+    let families: Vec<(&str, Vec<Task>)> = vec![
+        ("stress", subcategory(scale, Subcat::Stress)),
+        ("wmm", subcategory(scale, Subcat::Wmm)),
+        ("loopy", loopy_family()),
+    ];
+
+    let mut lines = Vec::new();
+    println!(
+        "{:<10} {:>5} {:>12} {:>12} {:>8} {:>12} {:>12} {:>14}",
+        "family",
+        "rows",
+        "scratch(ms)",
+        "sweep(ms)",
+        "speedup",
+        "scr-dec",
+        "swp-dec",
+        "reused-learnts"
+    );
+    let mut accept = Vec::new();
+    for (family, tasks) in &families {
+        if tasks.is_empty() {
+            continue;
+        }
+        let rows: Vec<SweepComparison> = compare_suite(tasks, &MemoryModel::ALL, max_bound, &cfg);
+        let agg = SweepAggregate::of(&rows);
+        println!(
+            "{:<10} {:>5} {:>12.1} {:>12.1} {:>7.2}x {:>12} {:>12} {:>14}",
+            family,
+            agg.rows,
+            agg.scratch_ms,
+            agg.sweep_ms,
+            agg.speedup(),
+            agg.scratch_decisions,
+            agg.sweep_decisions,
+            agg.reused_learnts
+        );
+        if *family == "stress" || *family == "wmm" {
+            accept.push((family.to_string(), agg.clone()));
+        }
+        lines.extend(rows.iter().map(|r| r.json_line(&tag)));
+        lines.push(agg.json_line(&tag, family));
+    }
+
+    // Acceptance: aggregate sweep wall clock on stress + wmm at least
+    // 1.5x faster than the per-bound scratch loop.
+    let scratch: f64 = accept.iter().map(|(_, a)| a.scratch_ms).sum();
+    let sweep: f64 = accept.iter().map(|(_, a)| a.sweep_ms).sum();
+    let overall = if sweep > 0.0 {
+        scratch / sweep
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "\nstress+wmm aggregate: scratch {scratch:.1} ms vs sweep {sweep:.1} ms => {overall:.2}x \
+         (acceptance bar 1.5x: {})",
+        if overall >= 1.5 { "PASS" } else { "FAIL" }
+    );
+    lines.push(format!(
+        "{{\"tag\": \"{tag}\", \"family\": \"stress+wmm\", \"rows\": {}, \
+         \"scratch_ms\": {scratch:.3}, \"sweep_ms\": {sweep:.3}, \"speedup\": {overall:.2}, \
+         \"accept_1_5x\": {}}}",
+        accept.iter().map(|(_, a)| a.rows).sum::<usize>(),
+        overall >= 1.5
+    ));
+
+    let mut f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+        .expect("open BENCH_SWEEP.json for append");
+    for l in &lines {
+        writeln!(f, "{l}").expect("append bench line");
+    }
+    println!("appended {} lines to {out_path}", lines.len());
+    if overall < 1.5 {
+        std::process::exit(1);
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Loopy tasks exercising the marker frames proper (the stress and wmm
+/// families are loop-free and collapse to a single frame): counting loops
+/// with the bug at depth `k*`, a loop safe at every bound, and a threaded
+/// producer racing a loop.
+fn loopy_family() -> Vec<Task> {
+    let mut tasks = Vec::new();
+    for kstar in [2u64, 3, 4, 5] {
+        let name = format!("kstar{kstar}");
+        let p = ProgramBuilder::new(&name)
+            .shared("x", 0)
+            .main(vec![
+                while_(lt(v("x"), c(kstar)), vec![assign("x", add(v("x"), c(1)))]),
+                assert_(ne(v("x"), c(kstar))),
+            ])
+            .build();
+        tasks.push(Task::new(
+            format!("loopy/kstar{kstar}"),
+            Subcat::Ext,
+            p,
+            6,
+            Expected::unsafe_all(),
+        ));
+    }
+    let safe = ProgramBuilder::new("safe-loop")
+        .width(8)
+        .shared("x", 0)
+        .main(vec![
+            while_(lt(v("x"), c(10)), vec![assign("x", add(v("x"), c(1)))]),
+            assert_(le(v("x"), c(10))),
+        ])
+        .build();
+    tasks.push(Task::new(
+        "loopy/safe-loop",
+        Subcat::Ext,
+        safe,
+        6,
+        Expected::safe_all(),
+    ));
+    let threaded = ProgramBuilder::new("threaded-loop")
+        .shared("cnt", 0)
+        .thread(
+            "w",
+            vec![while_(
+                lt(v("cnt"), c(2)),
+                vec![assign("cnt", add(v("cnt"), c(1)))],
+            )],
+        )
+        .main(vec![spawn(1), join(1), assert_(ne(v("cnt"), c(2)))])
+        .build();
+    tasks.push(Task::new(
+        "loopy/threaded-loop",
+        Subcat::Ext,
+        threaded,
+        6,
+        Expected::unsafe_all(),
+    ));
+    tasks
+}

@@ -11,9 +11,11 @@
 pub mod aggregate;
 pub mod ascii;
 pub mod runner;
+pub mod sweep;
 
 pub use aggregate::*;
 pub use runner::{
     run_one, run_one_portfolio, run_suite, run_suite_portfolio, telemetry_json, to_csv, to_json,
     RowTelemetry, RunConfig, TaskResult,
 };
+pub use sweep::{compare_one, compare_suite, SweepAggregate, SweepComparison};

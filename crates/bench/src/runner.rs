@@ -224,6 +224,7 @@ pub fn run_one(task: &Task, mm: MemoryModel, strategy: Strategy, cfg: &RunConfig
         mm,
         strategy,
         unroll_bound: task.unroll_bound,
+        max_bound: task.unroll_bound,
         max_conflicts: Some(cfg.max_conflicts),
         timeout: cfg.timeout,
         seed: cfg.seed,
@@ -296,6 +297,7 @@ pub fn run_one_portfolio(task: &Task, mm: MemoryModel, cfg: &RunConfig) -> TaskR
         mm,
         strategy: Strategy::Zpre,
         unroll_bound: task.unroll_bound,
+        max_bound: task.unroll_bound,
         max_conflicts: Some(cfg.max_conflicts),
         timeout: cfg.timeout,
         seed: cfg.seed,

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! zpre-cli verify FILE [--mm sc|tso|pso|all] [--strategy NAME] [--portfolio]
-//!                      [--unroll N] [--bmc MAXBOUND] [--budget CONFLICTS]
-//!                      [--seed N] [--stats] [--trace]
+//!                      [--unroll N] [--bmc MAXBOUND]
+//!                      [--incremental] [--max-bound K]
+//!                      [--budget CONFLICTS] [--seed N] [--stats] [--trace]
 //!                      [--profile] [--trace-out FILE] [--trace-sample N]
 //!                      [--certify] [--replay-witness] [--json]
 //! zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]
@@ -13,7 +14,9 @@
 //! ```
 //!
 //! `verify` runs the interference-guided SMT pipeline (`--portfolio` races
-//! the main strategies plus a polarity-varied ZPRE, first verdict wins);
+//! the main strategies plus a polarity-varied ZPRE, first verdict wins;
+//! `--incremental` sweeps bounds `1..=K` in one solver via assumption
+//! frames instead of re-encoding per bound — compare `--bmc K`);
 //! `oracle` runs the explicit-state reference checker (exhaustive, for
 //! small programs); `dump` emits the verification condition as SMT-LIB 2;
 //! `pretty` parses and re-prints the program.
@@ -39,8 +42,8 @@
 
 use std::process::ExitCode;
 use zpre::{
-    try_verify, verify_bmc, verify_portfolio, Certificate, PortfolioOptions, Strategy, Verdict,
-    VerifyOptions,
+    try_verify, try_verify_sweep, verify_bmc, verify_portfolio, Certificate, PortfolioOptions,
+    Strategy, Verdict, VerifyOptions,
 };
 use zpre_obs::{profile_report, Recorder, TraceConfig};
 use zpre_prog::interp::{check_sc, Limits, Outcome};
@@ -50,7 +53,8 @@ use zpre_prog::{flatten, parse_program_traced, pretty, unroll_program, MemoryMod
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  zpre-cli verify FILE [--mm sc|tso|pso|all] [--strategy NAME] [--portfolio] \
-         [--unroll N] [--bmc MAXBOUND] [--budget CONFLICTS] [--seed N] [--stats] [--trace] \
+         [--unroll N] [--bmc MAXBOUND] [--incremental] [--max-bound K] \
+         [--budget CONFLICTS] [--seed N] [--stats] [--trace] \
          [--profile] [--trace-out FILE] [--trace-sample N] \
          [--certify] [--replay-witness] [--json]\n  \
          zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]\n  \
@@ -290,6 +294,8 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     let mut strategy = Strategy::Zpre;
     let mut unroll = 2u32;
     let mut bmc: Option<u32> = None;
+    let mut incremental = false;
+    let mut max_bound = 6u32;
     let mut budget: Option<u64> = None;
     let mut seed = 0xC0FFEEu64;
     let mut show_stats = false;
@@ -324,6 +330,14 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             "--bmc" => {
                 i += 1;
                 bmc = args[i].parse().ok();
+            }
+            "--incremental" => incremental = true,
+            "--max-bound" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(k) if k >= 1 => max_bound = k,
+                    _ => return usage(),
+                }
             }
             "--budget" => {
                 i += 1;
@@ -365,6 +379,10 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         eprintln!("--certify cannot be combined with --bmc");
         return usage();
     }
+    if incremental && (portfolio || certify || bmc.is_some()) {
+        eprintln!("--incremental cannot be combined with --portfolio, --certify, or --bmc");
+        return usage();
+    }
     // One recorder spans the whole invocation (even `--mm all`): encode
     // spans are labeled per memory model, so a single NDJSON block carries
     // the full run. Event storage is only paid for when a trace file is
@@ -390,6 +408,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             mm,
             strategy,
             unroll_bound: unroll,
+            max_bound,
             max_conflicts: budget,
             timeout: None,
             seed,
@@ -471,6 +490,87 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             }
             any_unsafe |= verdict == Verdict::Unsafe;
             any_unknown |= verdict == Verdict::Unknown;
+            continue;
+        }
+        if incremental {
+            let sweep = match try_verify_sweep(&program, &opts) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{}: verdict rejected under {}: {e}", program.name, mm);
+                    return ExitCode::FAILURE;
+                }
+            };
+            if json {
+                let frames: Vec<String> = sweep
+                    .frames
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{{\"bound\":{},\"verdict\":\"{}\",\"conflicts\":{},\
+                             \"decisions\":{},\"reused_learnts\":{},\"reused_conflicts\":{},\
+                             \"solve_time_ms\":{:.3}}}",
+                            f.bound,
+                            f.verdict,
+                            f.conflicts,
+                            f.decisions,
+                            f.reused_learnts,
+                            f.reused_conflicts,
+                            f.solve_time.as_secs_f64() * 1e3,
+                        )
+                    })
+                    .collect();
+                println!(
+                    "{{\"program\":\"{}\",\"mm\":\"{}\",\"strategy\":\"{}\",\
+                     \"mode\":\"incremental\",\"verdict\":\"{}\",\"bound\":{},\
+                     \"events\":{},\"vars\":{},\"decisions\":{},\"conflicts\":{},\
+                     \"solve_time_ms\":{:.3},\"frames\":[{}]}}",
+                    json_escape(&program.name),
+                    mm.name(),
+                    strategy,
+                    sweep.verdict,
+                    sweep.bound,
+                    sweep.num_events,
+                    sweep.num_solver_vars,
+                    sweep.stats.decisions,
+                    sweep.stats.conflicts,
+                    sweep.solve_time.as_secs_f64() * 1e3,
+                    frames.join(","),
+                );
+            } else {
+                if let Some(trace) = &sweep.trace {
+                    print!("{trace}");
+                }
+                println!(
+                    "{}: {} under {} with {} incremental sweep to bound {} [{:.2?}]",
+                    program.name, sweep.verdict, mm, strategy, sweep.bound, sweep.solve_time
+                );
+                if show_stats {
+                    println!(
+                        "  events {}  vars {}  (ssa {}, ord {}, rf {}, ws {})",
+                        sweep.num_events,
+                        sweep.num_solver_vars,
+                        sweep.class_counts.ssa,
+                        sweep.class_counts.ord,
+                        sweep.class_counts.rf,
+                        sweep.class_counts.ws
+                    );
+                    for f in &sweep.frames {
+                        println!(
+                            "  frame k={:<2} {:<8} conflicts {:<8} decisions {:<8} \
+                             reused learnts {:<6} reused conflicts {:<8} [{:.2?}]",
+                            f.bound,
+                            f.verdict.to_string(),
+                            f.conflicts,
+                            f.decisions,
+                            f.reused_learnts,
+                            f.reused_conflicts,
+                            f.solve_time
+                        );
+                    }
+                }
+            }
+            any_unsafe |= sweep.verdict == Verdict::Unsafe;
+            any_unknown |= sweep.verdict == Verdict::Unknown;
             continue;
         }
         let (verdict, outcome, bound) = if let Some(max_bound) = bmc {

@@ -47,6 +47,7 @@ pub mod certify;
 pub mod decision_order;
 pub mod errors;
 pub mod faults;
+pub mod incremental;
 pub mod portfolio;
 pub mod strategy;
 pub mod trace;
@@ -57,6 +58,9 @@ pub use certify::Certificate;
 pub use decision_order::{decision_order, prior_to, Refinements};
 pub use errors::VerifyError;
 pub use faults::Fault;
+pub use incremental::{
+    try_verify_sweep, try_verify_sweep_full, verify_sweep, FrameOutcome, SweepOutcome,
+};
 pub use portfolio::{
     verify_portfolio, verify_ssa_portfolio, MemberResult, PortfolioMember, PortfolioOptions,
     PortfolioOutcome,

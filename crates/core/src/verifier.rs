@@ -57,6 +57,10 @@ pub struct VerifyOptions {
     pub strategy: Strategy,
     /// BMC loop unroll bound.
     pub unroll_bound: u32,
+    /// Sweep horizon for [`crate::verify_sweep`]: bounds `1..=max_bound`
+    /// are checked incrementally in one solver. Ignored by [`verify`],
+    /// which solves the single bound `unroll_bound`.
+    pub max_bound: u32,
     /// Deterministic conflict budget (`None` = unlimited).
     pub max_conflicts: Option<u64>,
     /// Wall-clock budget.
@@ -94,6 +98,7 @@ impl Default for VerifyOptions {
             mm: MemoryModel::Sc,
             strategy: Strategy::Zpre,
             unroll_bound: 2,
+            max_bound: 6,
             max_conflicts: None,
             timeout: None,
             seed: 0xC0FFEE,
@@ -334,7 +339,7 @@ pub(crate) fn verify_ssa_inner(
 }
 
 /// Re-validates the satisfying model as a concrete concurrent execution.
-fn validate_model(
+pub(crate) fn validate_model(
     ssa: &SsaProgram,
     enc: &Encoded,
     solver: &Solver<OrderTheory, PriorityListGuide>,

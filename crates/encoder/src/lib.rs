@@ -20,6 +20,7 @@
 pub mod encode;
 pub mod memory_model;
 pub mod smtlib;
+pub mod sweep;
 
 pub use encode::{
     access_analysis, encode, try_encode, try_encode_traced, AccessAnalysis, EncodeError, Encoded,
@@ -27,3 +28,4 @@ pub use encode::{
 };
 pub use memory_model::{po_pairs, preserved, PoClosure};
 pub use smtlib::dump_smtlib;
+pub use sweep::{encode_sweep, SweepEncoded};

@@ -221,7 +221,10 @@ fn summary_line(snap: &TraceSnapshot) -> String {
         .num("cc_searched", c.cycle_searched)
         .num("cc_visited", c.cycle_visited)
         .num("cc_promoted", c.cycle_promoted)
-        .num("dropped", c.dropped_events);
+        .num("dropped", c.dropped_events)
+        .num("frames", c.frames)
+        .num("fr_learnts", c.frame_reused_learnts)
+        .num("fr_conflicts", c.frame_reused_conflicts);
     o.finish()
 }
 
@@ -510,6 +513,11 @@ pub fn from_ndjson(text: &str) -> Result<TraceSnapshot, String> {
                     c.cycle_visited = get_num(&map, "cc_visited")?;
                     c.cycle_promoted = get_num(&map, "cc_promoted")?;
                     c.dropped_events = get_num(&map, "dropped")?;
+                    // Sweep-frame counters arrived later; absent in old
+                    // traces, so they parse leniently.
+                    c.frames = get_num(&map, "frames").unwrap_or(0);
+                    c.frame_reused_learnts = get_num(&map, "fr_learnts").unwrap_or(0);
+                    c.frame_reused_conflicts = get_num(&map, "fr_conflicts").unwrap_or(0);
                     snap.counters = c;
                     saw_summary = true;
                 }

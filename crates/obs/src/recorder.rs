@@ -164,6 +164,14 @@ pub struct Counters {
     pub cycle_promoted: u64,
     /// Decision events dropped by the sampling knob (still counted above).
     pub dropped_events: u64,
+    /// Frame solves of an incremental bound sweep.
+    pub frames: u64,
+    /// Learnt clauses already in the database at frame-solve entry, summed
+    /// over frames — the state reuse an incremental sweep buys.
+    pub frame_reused_learnts: u64,
+    /// Conflicts spent by earlier frames at frame-solve entry, summed over
+    /// frames.
+    pub frame_reused_conflicts: u64,
 }
 
 impl Counters {
@@ -329,6 +337,16 @@ impl Recorder {
             tid,
             done: false,
         }
+    }
+
+    /// Record one frame solve of an incremental bound sweep together with
+    /// the solver state it found waiting: learnt clauses in the database and
+    /// conflicts spent by earlier frames.
+    pub fn record_frame(&self, reused_learnts: u64, reused_conflicts: u64) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.counters.frames += 1;
+        inner.counters.frame_reused_learnts += reused_learnts;
+        inner.counters.frame_reused_conflicts += reused_conflicts;
     }
 
     /// Record one portfolio member's telemetry.

@@ -142,6 +142,13 @@ pub fn profile_report(snap: &TraceSnapshot) -> String {
             c.cycle_promoted
         );
     }
+    if c.frames > 0 {
+        let _ = writeln!(
+            out,
+            "sweep frames {} (reused at entry: {} learnt clauses, {} conflicts of prior frames)",
+            c.frames, c.frame_reused_learnts, c.frame_reused_conflicts
+        );
+    }
     if snap.decision_sample > 1 {
         let _ = writeln!(
             out,

@@ -39,5 +39,8 @@ pub use parse::{parse_program, ParseError};
 pub use replay::{replay, ReplayError, ReplayOp, ReplayViolation, ScheduleStep};
 pub use ssa::{to_ssa, AtomicBlock, Event, EventKind, SsaProgram};
 pub use trace::{parse_program_traced, to_ssa_traced, unroll_program_traced};
-pub use unroll::unroll_program;
+pub use unroll::{
+    sweep_marker_remaining, unroll_program, unroll_program_sweep, SweepUnrolled,
+    SWEEP_MARKER_PREFIX,
+};
 pub use wmm::{check_wmm, MemoryModel};

@@ -9,6 +9,94 @@
 
 use crate::ast::{BoolExpr, Program, Stmt};
 
+/// Name prefix of the boolean nondet *unwinding markers* injected by
+/// [`unroll_program_sweep`]. A marker named `zpre!uw!<L>@<r>[@..]` guards
+/// the unrolled iteration of loop `L` whose remaining-iteration count is
+/// `r` (the first `@` suffix; later suffixes come from enclosing loop
+/// copies). The SSA conversion prefixes boolean nondets with `ndb!`.
+pub const SWEEP_MARKER_PREFIX: &str = "zpre!uw!";
+
+/// Parses an unwinding-marker name (with or without the SSA `ndb!`
+/// prefix), returning the marker's remaining-iteration count `r`. A bound
+/// sweep at horizon `K` restricted to bound `k` assumes every marker with
+/// `r <= K - k` false, which forces exactly the iterations beyond `k` of
+/// every loop chain to be skipped — at any nesting depth, because nested
+/// loops unroll to their enclosing copy's remaining count.
+pub fn sweep_marker_remaining(name: &str) -> Option<u32> {
+    let name = name.strip_prefix("ndb!").unwrap_or(name);
+    let rest = name.strip_prefix(SWEEP_MARKER_PREFIX)?;
+    let mut parts = rest.split('@');
+    let _loop_id = parts.next()?;
+    parts.next()?.parse().ok()
+}
+
+/// A program unrolled once at the sweep horizon, ready for incremental
+/// bound restriction via its unwinding markers.
+#[derive(Clone, Debug)]
+pub struct SweepUnrolled {
+    /// The marker-instrumented program unrolled to `max_bound`.
+    pub program: Program,
+    /// The sweep horizon `K`.
+    pub max_bound: u32,
+    /// Number of syntactic loops that received markers (0 = loop-free:
+    /// every bound of the sweep is the same instance).
+    pub num_loops: usize,
+}
+
+/// Unrolls `prog` once at the sweep horizon `max_bound`, injecting a
+/// boolean-nondet *unwinding marker* at the head of every loop body before
+/// unrolling. Each unrolled iteration then carries a distinct marker
+/// (fresh-named by the per-level nondet renaming), and assuming the
+/// markers with remaining count `<= max_bound - k` false restricts the
+/// instance to exactly the scratch unrolling at bound `k`:
+///
+/// - a false marker forces its iteration's path guard false (the SSA
+///   `assume` emits `guard → marker`), which is precisely the unwinding
+///   assumption `parent_guard → ¬cond` of the shallower unrolling;
+/// - enabled markers are free inputs, so they never constrain executions
+///   that genuinely take the iteration;
+/// - disabled iterations' events keep false guards, which every
+///   memory-model constraint is already conditioned on.
+pub fn unroll_program_sweep(prog: &Program, max_bound: u32) -> SweepUnrolled {
+    assert!(max_bound >= 1, "a sweep needs at least bound 1");
+    let mut marked = prog.clone();
+    let mut next_loop = 0usize;
+    for t in &mut marked.threads {
+        for s in &mut t.body {
+            inject_markers(s, &mut next_loop);
+        }
+    }
+    let mut program = unroll_program(&marked, max_bound);
+    program.name = format!("{}@sweep{}", prog.name, max_bound);
+    SweepUnrolled {
+        program,
+        max_bound,
+        num_loops: next_loop,
+    }
+}
+
+fn inject_markers(s: &mut Stmt, next_loop: &mut usize) {
+    match s {
+        Stmt::While(_, body) => {
+            let id = *next_loop;
+            *next_loop += 1;
+            for b in body.iter_mut() {
+                inject_markers(b, next_loop);
+            }
+            body.insert(
+                0,
+                Stmt::Assume(BoolExpr::Nondet(format!("{SWEEP_MARKER_PREFIX}{id}"))),
+            );
+        }
+        Stmt::If(_, t, e) => {
+            for b in t.iter_mut().chain(e.iter_mut()) {
+                inject_markers(b, next_loop);
+            }
+        }
+        _ => {}
+    }
+}
+
 /// Unrolls every loop in `prog` to depth `bound`, returning a loop-free
 /// program. `bound = 0` replaces loops by their unwinding assumption alone.
 pub fn unroll_program(prog: &Program, bound: u32) -> Program {
@@ -179,6 +267,158 @@ mod tests {
     fn name_records_bound() {
         let u = unroll_program(&counting_loop(), 3);
         assert_eq!(u.name, "loop@k3");
+    }
+
+    /// Collects every nondet name occurring in a statement tree.
+    fn collect_nondets(stmts: &[Stmt], out: &mut Vec<String>) {
+        fn walk_int(e: &crate::ast::IntExpr, out: &mut Vec<String>) {
+            use crate::ast::IntExpr::*;
+            match e {
+                Nondet(n) => out.push(n.clone()),
+                Add(a, b) | Sub(a, b) | Mul(a, b) | BitAnd(a, b) | BitOr(a, b) | BitXor(a, b) => {
+                    walk_int(a, out);
+                    walk_int(b, out);
+                }
+                Shl(a, _) | Shr(a, _) => walk_int(a, out),
+                Ite(c, a, b) => {
+                    walk_bool(c, out);
+                    walk_int(a, out);
+                    walk_int(b, out);
+                }
+                Const(_) | Var(_) => {}
+            }
+        }
+        fn walk_bool(e: &BoolExpr, out: &mut Vec<String>) {
+            use crate::ast::BoolExpr::*;
+            match e {
+                Nondet(n) => out.push(n.clone()),
+                Not(a) => walk_bool(a, out),
+                And(a, b) | Or(a, b) => {
+                    walk_bool(a, out);
+                    walk_bool(b, out);
+                }
+                Eq(a, b) | Ne(a, b) | Lt(a, b) | Le(a, b) | Gt(a, b) | Ge(a, b) => {
+                    walk_int(a, out);
+                    walk_int(b, out);
+                }
+                Const(_) => {}
+            }
+        }
+        for s in stmts {
+            match s {
+                Stmt::Assign(_, e) => walk_int(e, out),
+                Stmt::If(c, t, e) => {
+                    walk_bool(c, out);
+                    collect_nondets(t, out);
+                    collect_nondets(e, out);
+                }
+                Stmt::While(c, b) => {
+                    walk_bool(c, out);
+                    collect_nondets(b, out);
+                }
+                Stmt::Assert(c) | Stmt::Assume(c) => walk_bool(c, out),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_unroll_marks_every_iteration_once() {
+        let sw = unroll_program_sweep(&counting_loop(), 4);
+        assert!(!sw.program.has_loops());
+        assert_eq!(sw.num_loops, 1);
+        let mut names = Vec::new();
+        for t in &sw.program.threads {
+            collect_nondets(&t.body, &mut names);
+        }
+        let mut remaining: Vec<u32> = names
+            .iter()
+            .filter_map(|n| sweep_marker_remaining(n))
+            .collect();
+        remaining.sort_unstable();
+        // One marker per unrolled iteration, remaining counts 1..=4.
+        assert_eq!(remaining, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sweep_markers_of_nested_loops_track_their_own_remaining_count() {
+        let p = Program {
+            name: "nested".to_string(),
+            word_width: 8,
+            shared: vec![("x".to_string(), 0), ("y".to_string(), 0)],
+            mutexes: vec![],
+            threads: vec![Thread {
+                name: "main".to_string(),
+                body: vec![while_(
+                    lt(v("x"), c(2)),
+                    vec![while_(
+                        lt(v("y"), c(2)),
+                        vec![assign("y", add(v("y"), c(1)))],
+                    )],
+                )],
+            }],
+        };
+        let sw = unroll_program_sweep(&p, 3);
+        assert_eq!(sw.num_loops, 2);
+        let mut names = Vec::new();
+        for t in &sw.program.threads {
+            collect_nondets(&t.body, &mut names);
+        }
+        let markers: Vec<&String> = names
+            .iter()
+            .filter(|n| n.starts_with(SWEEP_MARKER_PREFIX))
+            .collect();
+        // Outer chain: 3 markers. Inner chains unroll to the enclosing
+        // copy's remaining count: 3 + 2 + 1 markers.
+        assert_eq!(markers.len(), 3 + (3 + 2 + 1));
+        for m in &markers {
+            let r = sweep_marker_remaining(m).expect("marker must parse");
+            // The first @ suffix is the marker's own remaining count, and
+            // later suffixes (from enclosing copies) never hide it.
+            let first = m.split('@').nth(1).unwrap();
+            assert_eq!(first.parse::<u32>().unwrap(), r);
+        }
+        // Restricting to bound k enables exactly the markers with
+        // remaining > K - k: a chain of length L keeps L - (K - k) of its
+        // iterations (markers inside disabled outer copies are also force-
+        // disabled by the rule, which is harmless — their guards are
+        // already false).
+        for k in 1..=3u32 {
+            let enabled = markers
+                .iter()
+                .filter(|m| sweep_marker_remaining(m).unwrap() > 3 - k)
+                .count() as u32;
+            let expected: u32 = [3u32, 3, 2, 1]
+                .iter()
+                .map(|&len| len.saturating_sub(3 - k))
+                .sum();
+            assert_eq!(enabled, expected, "bound {k}");
+        }
+    }
+
+    #[test]
+    fn sweep_marker_names_parse_with_and_without_ssa_prefix() {
+        assert_eq!(sweep_marker_remaining("zpre!uw!0@3"), Some(3));
+        assert_eq!(sweep_marker_remaining("ndb!zpre!uw!12@2@3"), Some(2));
+        assert_eq!(sweep_marker_remaining("ndb!user_choice"), None);
+        assert_eq!(sweep_marker_remaining("zpre!uw!0"), None);
+    }
+
+    #[test]
+    fn sweep_of_loop_free_program_is_plain_unroll() {
+        let p = Program {
+            name: "straight".to_string(),
+            word_width: 8,
+            shared: vec![("x".to_string(), 0)],
+            mutexes: vec![],
+            threads: vec![Thread {
+                name: "main".to_string(),
+                body: vec![assign("x", add(v("x"), c(1)))],
+            }],
+        };
+        let sw = unroll_program_sweep(&p, 5);
+        assert_eq!(sw.num_loops, 0);
+        assert_eq!(sw.program.threads, p.threads);
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub trait DecisionGuide {
         let _ = level;
     }
 
-    /// The solver restarted (backtracked to the root level).
+    /// The solver restarted. Under assumptions the restart backtracks to
+    /// the assumption-prefix level, not the root, so levels may still be
+    /// open when this fires (always after the matching `on_backtrack`).
     fn on_restart(&mut self) {}
 }
 
@@ -113,6 +115,19 @@ impl PriorityListGuide {
         &self.order
     }
 
+    /// Appends variables at the tail of the priority list (lowest
+    /// priority), preserving the relative order of everything already
+    /// there — frame-k interference variables keep the H1–H4 ranking of
+    /// earlier frames ahead of them. Call between solves (root level): the
+    /// cursor rewinds so the next scan sees the whole list.
+    pub fn extend_order(&mut self, vars: impl IntoIterator<Item = u32>) {
+        self.order.extend(vars);
+        self.cursor = 0;
+        for s in &mut self.saved {
+            *s = 0;
+        }
+    }
+
     fn next_bool(&mut self) -> bool {
         // xorshift64* — tiny, deterministic, good enough for polarity noise.
         let mut x = self.rng_state;
@@ -150,8 +165,14 @@ impl DecisionGuide for PriorityListGuide {
     }
 
     fn on_restart(&mut self) {
+        // Rescan from the front. Levels may still be open (a restart under
+        // assumptions keeps the prefix), so zero the snapshots instead of
+        // dropping them: a cursor at or before the first unassigned list
+        // variable is always valid, it just re-skips assigned vars.
         self.cursor = 0;
-        self.saved.clear();
+        for s in &mut self.saved {
+            *s = 0;
+        }
     }
 }
 
@@ -237,6 +258,65 @@ mod tests {
     }
 
     #[test]
+    fn extend_order_appends_at_lowest_priority_and_rescans() {
+        let mut assigns = vec![LBool::Undef; 4];
+        let mut g = PriorityListGuide::new(vec![1], 7).with_fixed_polarity(true);
+        assigns[1] = LBool::True;
+        assert_eq!(g.next_decision(view(&assigns)), None);
+        // New frame registers vars 3 and 0 behind the existing order.
+        g.extend_order([3, 0]);
+        assert_eq!(g.order(), &[1, 3, 0]);
+        assert_eq!(
+            g.next_decision(view(&assigns)),
+            Some(Var::new(3).positive())
+        );
+        // Earlier-frame vars regain priority once unassigned again.
+        assigns[1] = LBool::Undef;
+        g.extend_order([2]);
+        assert_eq!(
+            g.next_decision(view(&assigns)),
+            Some(Var::new(1).positive())
+        );
+    }
+
+    #[test]
+    fn restart_with_open_assumption_levels_keeps_snapshots_valid() {
+        // Mirror of the solver's assumption-prefix restart: backtrack to
+        // level 1 (not 0), then on_restart with a level still open.
+        let mut assigns = vec![LBool::Undef; 3];
+        let mut g = PriorityListGuide::new(vec![0, 1, 2], 7).with_fixed_polarity(true);
+        assigns[0] = LBool::True; // assumption at level 1
+        g.on_new_level();
+        assert_eq!(
+            g.next_decision(view(&assigns)),
+            Some(Var::new(1).positive())
+        );
+        assigns[1] = LBool::True;
+        g.on_new_level();
+        assigns[2] = LBool::True;
+        // Restart keeping the assumption: levels 2.. are undone.
+        assigns[1] = LBool::Undef;
+        assigns[2] = LBool::Undef;
+        g.on_backtrack(1);
+        g.on_restart();
+        assert_eq!(
+            g.next_decision(view(&assigns)),
+            Some(Var::new(1).positive())
+        );
+        // A later backtrack to level 1 must restore a valid cursor.
+        assigns[1] = LBool::True;
+        g.on_new_level();
+        assigns[2] = LBool::True;
+        assigns[1] = LBool::Undef;
+        assigns[2] = LBool::Undef;
+        g.on_backtrack(1);
+        assert_eq!(
+            g.next_decision(view(&assigns)),
+            Some(Var::new(1).positive())
+        );
+    }
+
+    #[test]
     fn random_polarity_is_deterministic_per_seed() {
         let assigns = vec![LBool::Undef; 1];
         let mut g1 = PriorityListGuide::new(vec![0], 42);
@@ -309,7 +389,7 @@ mod tests {
                 order in prop::collection::vec(0u32..10, 1..12),
                 // (op kind, operand) pairs; operands are reduced modulo
                 // whatever is legal when the op runs.
-                ops in prop::collection::vec((0usize..4, 0usize..16), 1..60),
+                ops in prop::collection::vec((0usize..5, 0usize..16), 1..60),
             ) {
                 let order: Vec<u32> =
                     order.into_iter().filter(|&v| (v as usize) < num_vars).collect();
@@ -360,12 +440,24 @@ mod tests {
                             }
                         }
                         // Restart: cancel_until(0) then on_restart, as in
-                        // the solver's restart path.
-                        _ => {
+                        // the solver's assumption-free restart path.
+                        3 => {
                             if sim.level > 0 {
                                 sim.undo_above(0);
                                 sim.level = 0;
                                 g.on_backtrack(0);
+                            }
+                            g.on_restart();
+                        }
+                        // Assumption-prefix restart: backtrack to some
+                        // still-open level, then on_restart — levels stay
+                        // open across the restart.
+                        _ => {
+                            if sim.level > 0 {
+                                let target = operand % sim.level;
+                                sim.undo_above(target);
+                                sim.level = target;
+                                g.on_backtrack(target as u32);
                             }
                             g.on_restart();
                         }

@@ -333,6 +333,13 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
         &self.stats
     }
 
+    /// Current learnt-clause database cap (0 before the first solve). The
+    /// cap is rescaled against the problem size at every solve entry, so on
+    /// an incremental sweep it tracks clause growth monotonically.
+    pub fn learnt_cap(&self) -> f64 {
+        self.max_learnts
+    }
+
     /// Current value of a literal.
     #[inline]
     pub fn value(&self, lit: Lit) -> LBool {
@@ -1066,9 +1073,16 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
             return SolveResult::Unsat;
         }
         self.budget.start();
-        if self.max_learnts == 0.0 {
-            self.max_learnts = (self.db.num_problem() as f64 / 3.0).max(2000.0);
-        }
+        // The conflict budget is per call: measure against a snapshot, not
+        // the lifetime counter, or the second incremental solve would start
+        // pre-exhausted.
+        let conflict_base = self.stats.conflicts;
+        // Rescale the learnt-DB cap against the *current* problem size
+        // (monotone max): clauses added between incremental calls must not
+        // leave a sweep thrashing `reduce_db` with a first-call-sized cap.
+        self.max_learnts = self
+            .max_learnts
+            .max((self.db.num_problem() as f64 / 3.0).max(2000.0));
         let mut conflicts_since_restart: u64 = 0;
         let mut restart_limit = self.restart_limit();
         // Deadlines and cancellation must fire even on conflict-free
@@ -1141,7 +1155,7 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                     self.record_learnt(learnt, lbd);
                     self.decay_var_activity();
                     self.decay_clause_activity();
-                    if self.budget.exhausted(self.stats.conflicts) {
+                    if self.budget.exhausted(self.stats.conflicts - conflict_base) {
                         self.cancel_until(0);
                         return SolveResult::Unknown;
                     }
@@ -1153,7 +1167,11 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                         self.restart_count += 1;
                         restart_limit = self.restart_limit();
                         conflicts_since_restart = 0;
-                        self.cancel_until(0);
+                        // Restart to the assumption-prefix level (MiniSat
+                        // semantics): the prefix stays assigned so the next
+                        // descent does not re-decide every assumption.
+                        let prefix = (assumptions.len() as u32).min(self.decision_level());
+                        self.cancel_until(prefix);
                         self.guide.on_restart();
                         continue;
                     }

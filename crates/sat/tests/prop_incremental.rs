@@ -1,0 +1,132 @@
+//! Property test for incremental solver use: random interleavings of
+//! `add_clause` / `new_var` / `solve_with_assumptions` against a
+//! fresh-solver-per-call oracle.
+//!
+//! Invariants checked at every solve point of the sequence:
+//! - the incremental verdict equals a fresh solver given the same clause
+//!   set and assumptions (learnt clauses and saved phases must never
+//!   change satisfiability);
+//! - every returned `assumption_core` is itself unsatisfiable when
+//!   re-asserted as units on a fresh solver over the same clauses;
+//! - `Sat` models satisfy all clauses and all assumptions.
+
+use proptest::prelude::*;
+use zpre_sat::{Lit, SolveResult, Solver, Var};
+
+/// One step of an incremental session.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Allocate `n` fresh variables.
+    NewVars(usize),
+    /// Add a clause drawn over the variables allocated so far.
+    AddClause(Vec<(usize, bool)>),
+    /// Solve under assumptions drawn over the variables so far.
+    Solve(Vec<(usize, bool)>),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..4).prop_map(Op::NewVars),
+        prop::collection::vec((0usize..64, any::<bool>()), 1..5).prop_map(Op::AddClause),
+        prop::collection::vec((0usize..64, any::<bool>()), 0..4).prop_map(Op::Solve),
+    ]
+}
+
+/// Projects raw `(index, sign)` pairs onto the live variable range.
+fn lits(raw: &[(usize, bool)], num_vars: usize) -> Vec<Lit> {
+    raw.iter()
+        .map(|&(v, s)| Var::new((v % num_vars) as u32).lit(s))
+        .collect()
+}
+
+/// Fresh-solver oracle: verdict of `clauses` under `assumptions`.
+fn oracle(num_vars: usize, clauses: &[Vec<Lit>], assumptions: &[Lit]) -> SolveResult {
+    let mut s = Solver::new();
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    let mut ok = true;
+    for c in clauses {
+        ok &= s.add_clause(c);
+    }
+    if !ok {
+        return SolveResult::Unsat;
+    }
+    s.solve_with_assumptions(assumptions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn incremental_session_matches_fresh_solver_oracle(
+        ops in prop::collection::vec(arb_op(), 1..24),
+    ) {
+        let mut s = Solver::new();
+        let mut num_vars = 0usize;
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        // Track trivial-unsat reports from add_clause: after one, the
+        // solver is permanently Unsat — so is the oracle's clause set.
+        let mut ok = true;
+
+        // Always start with at least one variable so clause projection
+        // is well-defined.
+        s.new_var();
+        num_vars += 1;
+
+        for op in &ops {
+            match op {
+                Op::NewVars(n) => {
+                    for _ in 0..*n {
+                        s.new_var();
+                    }
+                    num_vars += n;
+                    prop_assert_eq!(s.num_vars(), num_vars);
+                }
+                Op::AddClause(raw) => {
+                    let c = lits(raw, num_vars);
+                    ok &= s.add_clause(&c);
+                    clauses.push(c);
+                }
+                Op::Solve(raw) => {
+                    let assumptions = lits(raw, num_vars);
+                    let got = s.solve_with_assumptions(&assumptions);
+                    let want = oracle(num_vars, &clauses, &assumptions);
+                    prop_assert_eq!(got, want, "verdict diverged from fresh solver");
+                    if !ok {
+                        prop_assert_eq!(got, SolveResult::Unsat);
+                    }
+                    match got {
+                        SolveResult::Sat => {
+                            for c in &clauses {
+                                prop_assert!(
+                                    c.iter().any(|&l| s.model_value(l).is_true()),
+                                    "model violates a clause"
+                                );
+                            }
+                            for &a in &assumptions {
+                                prop_assert!(s.model_value(a).is_true());
+                            }
+                        }
+                        SolveResult::Unsat => {
+                            let core = s.assumption_core().to_vec();
+                            for l in &core {
+                                prop_assert!(
+                                    assumptions.contains(l),
+                                    "core literal {l:?} is not an assumption"
+                                );
+                            }
+                            // The core must be unsatisfiable when re-asserted.
+                            prop_assert_eq!(
+                                oracle(num_vars, &clauses, &core),
+                                SolveResult::Unsat,
+                                "assumption core is not actually conflicting"
+                            );
+                        }
+                        SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+                    }
+                }
+            }
+        }
+    }
+}

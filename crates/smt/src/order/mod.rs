@@ -195,10 +195,13 @@ impl OrderTheory {
         self.graph.num_nodes()
     }
 
-    /// Adds a fixed (program-order) edge `a→b`. Must be called before
-    /// solving. Duplicate parallel fixed edges are skipped. Returns `false`
-    /// if the edge closes a cycle among fixed edges — an encoding bug the
-    /// caller should surface.
+    /// Adds a fixed (program-order) edge `a→b`. Must be called at the root
+    /// level: before the first solve, or between incremental solve calls
+    /// (the solver backtracks to the root after every answer, so the fixed
+    /// skeleton, its topological levels, and any root-level asserted edges
+    /// all persist and new frames may extend them). Duplicate parallel
+    /// fixed edges are skipped. Returns `false` if the edge closes a cycle
+    /// among fixed edges — an encoding bug the caller should surface.
     pub fn add_fixed_edge(&mut self, a: NodeId, b: NodeId) -> bool {
         if a != b && self.is_fixed_edge(a, b) {
             return true;
@@ -820,6 +823,72 @@ mod tests {
             s.add_clause(&[v.positive()]);
         }
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// Incremental use: new events, fixed edges, and atoms may join the
+    /// theory between solve calls at the root level; the existing skeleton
+    /// and its levels carry over.
+    #[test]
+    fn accepts_new_events_and_atoms_between_solves() {
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let mut s: Solver<OrderTheory> = Solver::with_parts(t, zpre_sat::NoGuide);
+        let vab = s.new_var();
+        s.theory.register_atom(vab, a, b);
+        s.mark_theory_var(vab);
+        s.add_clause(&[vab.positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Root level after the answer: extend the EOG with a fresh event,
+        // a fixed edge, and a new ordering atom.
+        let c = s.theory.add_node();
+        assert!(s.theory.add_fixed_edge(b, c));
+        let vca = s.new_var();
+        s.theory.register_atom(vca, c, a);
+        s.mark_theory_var(vca);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // The root-level a→b edge persisted, so c<a must come out false —
+        // it would close a→b→c→a.
+        assert!(s.model_var_value(vca).is_false());
+        // Forcing it is unsatisfiable.
+        s.add_clause(&[vca.positive()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// Frame-style use: per-call assumptions toggle guarded ordering atoms
+    /// over a fixed skeleton that persists across calls.
+    #[test]
+    fn assumption_frames_share_the_fixed_skeleton() {
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let c = t.add_node();
+        t.add_fixed_edge(a, b);
+        let mut s: Solver<OrderTheory> = Solver::with_parts(t, zpre_sat::NoGuide);
+        let vbc = s.new_var();
+        let vca = s.new_var();
+        s.theory.register_atom(vbc, b, c);
+        s.theory.register_atom(vca, c, a);
+        for v in [vbc, vca] {
+            s.mark_theory_var(v);
+        }
+        let g1 = s.new_var();
+        let g2 = s.new_var();
+        // Frame 1 requires b<c; frame 2 additionally requires c<a.
+        s.add_clause(&[g1.negative(), vbc.positive()]);
+        s.add_clause(&[g2.negative(), vbc.positive()]);
+        s.add_clause(&[g2.negative(), vca.positive()]);
+        assert_eq!(s.solve_with_assumptions(&[g1.positive()]), SolveResult::Sat);
+        assert!(s.model_var_value(vbc).is_true());
+        // a→b→c plus c→a cycles: frame 2 is Unsat, core names g2 only.
+        assert_eq!(
+            s.solve_with_assumptions(&[g2.positive(), g1.negative()]),
+            SolveResult::Unsat
+        );
+        assert_eq!(s.assumption_core(), &[g2.positive()]);
+        // Frame 1 is still Sat afterwards; the skeleton survived.
+        assert_eq!(s.solve_with_assumptions(&[g1.positive()]), SolveResult::Sat);
+        assert!(s.theory.is_fixed_edge(a, b));
     }
 
     /// A long chain with one boolean selector per edge direction; forcing a

@@ -1,0 +1,115 @@
+//! The incremental bound sweep must be indistinguishable from per-bound
+//! scratch BMC: for every workload family, sweeping `k = 1..=K` inside one
+//! solver (assumption frames over a horizon encoding) returns the same
+//! verdict, at the same bound, with the same per-bound verdict sequence,
+//! as re-encoding and solving each bound from scratch.
+
+use zpre::{try_verify_sweep, verify_bmc, Strategy, VerifyOptions};
+use zpre_prog::build::*;
+use zpre_prog::MemoryModel;
+use zpre_workloads::{suite, Scale, Subcat};
+
+const HORIZON: u32 = 6;
+
+/// Runs both drivers on `program` and checks frame-by-frame agreement.
+fn assert_sweep_matches_scratch(
+    name: &str,
+    program: &zpre_prog::Program,
+    unroll_bound: u32,
+    mm: MemoryModel,
+) {
+    let opts = VerifyOptions {
+        unroll_bound,
+        max_bound: HORIZON,
+        ..VerifyOptions::new(mm, Strategy::Zpre)
+    };
+    let scratch = verify_bmc(program, HORIZON, &opts);
+    let sweep = try_verify_sweep(program, &opts).unwrap_or_else(|e| panic!("{name} {mm}: {e}"));
+    assert_eq!(
+        sweep.verdict, scratch.verdict,
+        "{name} {mm}: sweep verdict diverges from scratch BMC"
+    );
+    assert_eq!(
+        sweep.bound, scratch.bound,
+        "{name} {mm}: sweep decided at a different bound than scratch BMC"
+    );
+    // The per-bound verdict sequences agree frame by frame. A loop-free
+    // program collapses to one frame on both sides; otherwise both drivers
+    // stop at the same bound, so the sequences have equal length.
+    assert_eq!(
+        sweep.frames.len(),
+        scratch.per_bound.len(),
+        "{name} {mm}: sweep solved a different number of bounds"
+    );
+    for (f, (b, out)) in sweep.frames.iter().zip(&scratch.per_bound) {
+        assert_eq!(f.bound, *b, "{name} {mm}: bound order diverged");
+        assert_eq!(
+            f.verdict, out.verdict,
+            "{name} {mm}: bound {b} verdict diverges from scratch"
+        );
+    }
+}
+
+/// Every family of the quick suite, under every memory model: the
+/// acceptance bar from the issue ("incremental sweep k=1..6 verdicts
+/// identical to per-bound scratch on every workload family").
+#[test]
+fn sweep_matches_scratch_on_every_family() {
+    let tasks = suite(Scale::Quick);
+    let mut seen: Vec<Subcat> = Vec::new();
+    for task in &tasks {
+        if !seen.contains(&task.subcat) {
+            seen.push(task.subcat);
+        }
+        for mm in MemoryModel::ALL {
+            assert_sweep_matches_scratch(&task.name, &task.program, task.unroll_bound, mm);
+        }
+    }
+    assert_eq!(
+        seen.len(),
+        Subcat::ALL.len(),
+        "quick suite no longer covers every family; the equivalence bar shrank"
+    );
+}
+
+/// Loopy programs exercise the marker frames proper (the suite's stress and
+/// wmm families are loop-free and collapse to one frame), including a bug
+/// only reachable at `k* = 3` and a loop that stays safe at every bound.
+#[test]
+fn sweep_matches_scratch_on_loopy_programs() {
+    let kstar3 = ProgramBuilder::new("kstar3")
+        .shared("x", 0)
+        .main(vec![
+            while_(lt(v("x"), c(3)), vec![assign("x", add(v("x"), c(1)))]),
+            assert_(ne(v("x"), c(3))),
+        ])
+        .build();
+    let safe_loop = ProgramBuilder::new("safe-loop")
+        .width(8)
+        .shared("x", 0)
+        .main(vec![
+            while_(lt(v("x"), c(10)), vec![assign("x", add(v("x"), c(1)))]),
+            assert_(le(v("x"), c(10))),
+        ])
+        .build();
+    let threaded_loop = ProgramBuilder::new("threaded-loop")
+        .shared("cnt", 0)
+        .thread(
+            "w",
+            vec![while_(
+                lt(v("cnt"), c(2)),
+                vec![assign("cnt", add(v("cnt"), c(1)))],
+            )],
+        )
+        .main(vec![spawn(1), join(1), assert_(ne(v("cnt"), c(2)))])
+        .build();
+    for (name, p) in [
+        ("kstar3", &kstar3),
+        ("safe-loop", &safe_loop),
+        ("threaded-loop", &threaded_loop),
+    ] {
+        for mm in MemoryModel::ALL {
+            assert_sweep_matches_scratch(name, p, HORIZON, mm);
+        }
+    }
+}
