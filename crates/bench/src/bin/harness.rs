@@ -21,19 +21,92 @@
 //! carries a `zpre-obs` recorder: per-phase timings (unroll/SSA/encode/
 //! bit-blast/solve) and per-class decision histograms are appended to the
 //! raw rows and aggregated into `BENCH_TELEMETRY.json`.
+//!
+//! The runner is interrupt-safe: every finished measurement is appended to
+//! `raw.csv` and `BENCH_ROWS.json` (one JSON object per line) and flushed
+//! the moment it completes, so a run killed mid-suite leaves all finished
+//! rows on disk. `raw.csv` is rewritten in deterministic job order once the
+//! suite completes; `raw.json` is only written for completed runs.
 
 use std::collections::BTreeMap;
+use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use zpre::Strategy;
 use zpre_bench::{
-    ablation, ascii, fig_scatter, fig_subcats, mismatches, portfolio_summary, run_suite,
-    run_suite_portfolio, table1, table2, table3, telemetry_summary, to_csv, to_json, RunConfig,
-    TaskResult,
+    ablation, ascii, csv_row, fig_scatter, fig_subcats, json_row, mismatches, portfolio_summary,
+    run_suite_portfolio_streaming, run_suite_streaming, table1, table2, table3, telemetry_summary,
+    to_csv, to_json, RunConfig, TaskResult, CSV_HEADER,
 };
 use zpre_prog::MemoryModel;
 use zpre_workloads::{suite, Scale};
 
 const MMS: [&str; 3] = ["sc", "tso", "pso"];
+
+/// Streams finished rows to `raw.csv` + `BENCH_ROWS.json`, flushing after
+/// every append. A write failure downgrades the sink to a warning (printed
+/// once) instead of sinking the suite: the in-memory results still produce
+/// every table.
+struct RowSink {
+    csv: Option<std::fs::File>,
+    rows: Option<std::fs::File>,
+}
+
+impl RowSink {
+    fn open(out_dir: &std::path::Path) -> RowSink {
+        let open = |name: &str, header: Option<&str>| -> Option<std::fs::File> {
+            let path = out_dir.join(name);
+            match std::fs::File::create(&path) {
+                Ok(mut f) => {
+                    if let Some(h) = header {
+                        if let Err(e) = writeln!(f, "{h}") {
+                            eprintln!("warning: cannot write {}: {e}", path.display());
+                            return None;
+                        }
+                    }
+                    Some(f)
+                }
+                Err(e) => {
+                    eprintln!("warning: cannot create {}: {e}", path.display());
+                    None
+                }
+            }
+        };
+        RowSink {
+            csv: open("raw.csv", Some(CSV_HEADER)),
+            rows: open("BENCH_ROWS.json", None),
+        }
+    }
+
+    fn push(&mut self, r: &TaskResult) {
+        for (file, line, name) in [
+            (&mut self.csv, csv_row(r), "raw.csv"),
+            (&mut self.rows, json_row(r), "BENCH_ROWS.json"),
+        ] {
+            if let Some(f) = file {
+                if let Err(e) = writeln!(f, "{line}").and_then(|()| f.flush()) {
+                    eprintln!("warning: cannot append to {name}: {e}; partial rows stop here");
+                    *file = None;
+                }
+            }
+        }
+    }
+}
+
+fn parse_num(args: &[String], i: &mut usize, flag: &str) -> u64 {
+    *i += 1;
+    match args.get(*i).map(|raw| (raw, raw.parse())) {
+        Some((_, Ok(n))) => n,
+        Some((raw, Err(_))) => {
+            eprintln!("{flag}: invalid value {raw:?}");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,26 +121,26 @@ fn main() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = match args[i].as_str() {
-                    "quick" => Scale::Quick,
-                    "full" => Scale::Full,
+                scale = match args.get(i).map(String::as_str) {
+                    Some("quick") => Scale::Quick,
+                    Some("full") => Scale::Full,
                     other => {
                         eprintln!("unknown scale {other:?}");
                         std::process::exit(2);
                     }
                 };
             }
-            "--budget" => {
-                i += 1;
-                budget = args[i].parse().expect("numeric --budget");
-            }
-            "--seed" => {
-                i += 1;
-                seed = args[i].parse().expect("numeric --seed");
-            }
+            "--budget" => budget = parse_num(&args, &mut i, "--budget"),
+            "--seed" => seed = parse_num(&args, &mut i, "--seed"),
             "--out" => {
                 i += 1;
-                out_dir = PathBuf::from(&args[i]);
+                match args.get(i) {
+                    Some(dir) => out_dir = PathBuf::from(dir),
+                    None => {
+                        eprintln!("--out requires a value");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--telemetry" => telemetry = true,
             exp => experiments.push(exp.to_string()),
@@ -106,7 +179,10 @@ fn main() {
         telemetry,
         ..RunConfig::default()
     };
-    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create output dir {}: {e}", out_dir.display());
+        std::process::exit(2);
+    }
 
     // Which strategies are needed?
     let needs_ablation = experiments.iter().any(|e| e == "ablation");
@@ -134,22 +210,40 @@ fn main() {
         budget
     );
     let t0 = std::time::Instant::now();
-    let mut results = run_suite(&tasks, &MemoryModel::ALL, &strategies, &cfg);
+    let sink = Mutex::new(RowSink::open(&out_dir));
+    let mut results = run_suite_streaming(&tasks, &MemoryModel::ALL, &strategies, &cfg, |r| {
+        sink.lock().unwrap().push(r)
+    });
     if experiments.iter().any(|e| e == "portfolio") {
         eprintln!(
             "racing the portfolio over {} tasks x 3 memory models...",
             tasks.len()
         );
-        results.extend(run_suite_portfolio(&tasks, &MemoryModel::ALL, &cfg));
+        results.extend(run_suite_portfolio_streaming(
+            &tasks,
+            &MemoryModel::ALL,
+            &cfg,
+            |r| sink.lock().unwrap().push(r),
+        ));
     }
+    drop(sink);
     eprintln!("suite finished in {:.1}s", t0.elapsed().as_secs_f64());
 
-    // Persist raw data.
-    std::fs::write(out_dir.join("raw.csv"), to_csv(&results)).expect("write raw.csv");
-    std::fs::write(out_dir.join("raw.json"), to_json(&results)).expect("write raw.json");
+    // The streamed raw.csv is in completion order; rewrite it in
+    // deterministic job order now that the suite is complete, and persist
+    // the pretty JSON document (completed runs only — interrupted runs
+    // fall back to the streamed BENCH_ROWS.json prefix).
+    if let Err(e) = std::fs::write(out_dir.join("raw.csv"), to_csv(&results)) {
+        eprintln!("warning: cannot rewrite raw.csv: {e}");
+    }
+    if let Err(e) = std::fs::write(out_dir.join("raw.json"), to_json(&results)) {
+        eprintln!("warning: cannot write raw.json: {e}");
+    }
     if telemetry {
         let path = out_dir.join("BENCH_TELEMETRY.json");
-        std::fs::write(&path, telemetry_json_doc(&results)).expect("write BENCH_TELEMETRY.json");
+        if let Err(e) = std::fs::write(&path, telemetry_json_doc(&results)) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
         println!("\n================ telemetry ================");
         print_telemetry(&results);
         println!("(aggregate: {})", path.display());
@@ -395,7 +489,9 @@ fn print_fig_scatter(results: &[TaskResult], mm: &str, title: &str, out_dir: &st
     for (t, b, z) in &pts {
         csv.push_str(&format!("{t},{b:.3},{z:.3}\n"));
     }
-    std::fs::write(out_dir.join(&csv_name), csv).expect("write scatter csv");
+    if let Err(e) = std::fs::write(out_dir.join(&csv_name), csv) {
+        eprintln!("warning: cannot write {csv_name}: {e}");
+    }
     println!("{}", ascii::scatter(&pts, title));
     println!("(raw data: {csv_name})");
 }

@@ -15,7 +15,8 @@ pub mod sweep;
 
 pub use aggregate::*;
 pub use runner::{
-    run_one, run_one_portfolio, run_suite, run_suite_portfolio, telemetry_json, to_csv, to_json,
-    RowTelemetry, RunConfig, TaskResult,
+    csv_row, json_row, run_one, run_one_portfolio, run_suite, run_suite_portfolio,
+    run_suite_portfolio_streaming, run_suite_streaming, telemetry_json, to_csv, to_json,
+    RowTelemetry, RunConfig, TaskResult, CSV_HEADER,
 };
 pub use sweep::{compare_one, compare_suite, SweepAggregate, SweepComparison};

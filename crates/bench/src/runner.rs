@@ -204,6 +204,27 @@ pub fn run_suite(
     strategies: &[Strategy],
     cfg: &RunConfig,
 ) -> Vec<TaskResult> {
+    run_suite_streaming(tasks, mms, strategies, cfg, |_| {})
+}
+
+/// Runs `tasks × mms × strategies` in parallel, invoking `on_row` as each
+/// measurement completes. Rows arrive in completion order (not job order);
+/// the returned vector is still in deterministic job order.
+///
+/// This is the interrupt-safe entry point: the harness flushes each row to
+/// disk the moment it arrives, so a run killed mid-suite leaves every
+/// finished measurement behind instead of losing hours of work to one
+/// buffered `write` at the end.
+pub fn run_suite_streaming<F>(
+    tasks: &[Task],
+    mms: &[MemoryModel],
+    strategies: &[Strategy],
+    cfg: &RunConfig,
+    on_row: F,
+) -> Vec<TaskResult>
+where
+    F: Fn(&TaskResult) + Sync,
+{
     let mut jobs: Vec<(&Task, MemoryModel, Strategy)> = Vec::new();
     for t in tasks {
         for &mm in mms {
@@ -213,7 +234,11 @@ pub fn run_suite(
         }
     }
     jobs.par_iter()
-        .map(|&(task, mm, strategy)| run_one(task, mm, strategy, cfg))
+        .map(|&(task, mm, strategy)| {
+            let r = run_one(task, mm, strategy, cfg);
+            on_row(&r);
+            r
+        })
         .collect()
 }
 
@@ -227,6 +252,7 @@ pub fn run_one(task: &Task, mm: MemoryModel, strategy: Strategy, cfg: &RunConfig
         max_bound: task.unroll_bound,
         max_conflicts: Some(cfg.max_conflicts),
         timeout: cfg.timeout,
+        max_memory: None,
         seed: cfg.seed,
         validate_models: cfg.validate,
         want_trace: false,
@@ -300,6 +326,7 @@ pub fn run_one_portfolio(task: &Task, mm: MemoryModel, cfg: &RunConfig) -> TaskR
         max_bound: task.unroll_bound,
         max_conflicts: Some(cfg.max_conflicts),
         timeout: cfg.timeout,
+        max_memory: None,
         seed: cfg.seed,
         validate_models: cfg.validate,
         want_trace: false,
@@ -343,70 +370,136 @@ pub fn run_suite_portfolio(
     mms: &[MemoryModel],
     cfg: &RunConfig,
 ) -> Vec<TaskResult> {
+    run_suite_portfolio_streaming(tasks, mms, cfg, |_| {})
+}
+
+/// [`run_suite_portfolio`] with a per-row completion callback, mirroring
+/// [`run_suite_streaming`]: each finished portfolio race is handed to
+/// `on_row` immediately so callers can flush it to disk.
+pub fn run_suite_portfolio_streaming<F>(
+    tasks: &[Task],
+    mms: &[MemoryModel],
+    cfg: &RunConfig,
+    mut on_row: F,
+) -> Vec<TaskResult>
+where
+    F: FnMut(&TaskResult),
+{
     let mut results = Vec::new();
     for t in tasks {
         for &mm in mms {
-            results.push(run_one_portfolio(t, mm, cfg));
+            let r = run_one_portfolio(t, mm, cfg);
+            on_row(&r);
+            results.push(r);
         }
     }
     results
 }
 
+/// The CSV header line (no trailing newline) matching [`csv_row`].
+pub const CSV_HEADER: &str = "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok,winner,cancel_latency_ms,certified,quarantined,unroll_ms,ssa_ms,tele_encode_ms,blast_ms,tele_solve_ms,dec_rf_ext,dec_rf_int,dec_ws,dec_other,obs_conflicts,cc_checks,cc_accepted_o1,cc_visited,cc_promoted";
+
+// Certificate summaries contain commas; quote free-text columns.
+fn quoted(s: Option<&str>) -> String {
+    s.map_or(String::new(), |s| format!("\"{}\"", s.replace('"', "\"\"")))
+}
+
+/// One CSV line (no trailing newline) in [`CSV_HEADER`] column order.
+pub fn csv_row(r: &TaskResult) -> String {
+    // Telemetry columns stay empty (not zero) when telemetry was off,
+    // so downstream tooling can tell "unmeasured" from "measured zero".
+    let tele = r.telemetry.as_ref().map_or_else(
+        || ",,,,,,,,,,,,,".to_string(),
+        |t| {
+            format!(
+                "{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{}",
+                t.unroll_ms,
+                t.ssa_ms,
+                t.encode_ms,
+                t.blast_ms,
+                t.solve_ms,
+                t.dec_rf_ext,
+                t.dec_rf_int,
+                t.dec_ws,
+                t.dec_other,
+                t.obs_conflicts,
+                t.cc_checks,
+                t.cc_accepted_o1,
+                t.cc_visited,
+                t.cc_promoted
+            )
+        },
+    );
+    format!(
+        "{},{},{},{},{},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{}",
+        r.task,
+        r.subcat,
+        r.mm,
+        r.strategy,
+        r.verdict,
+        r.solve_ms,
+        r.encode_ms,
+        r.decisions,
+        r.propagations,
+        r.conflicts,
+        r.guided_decisions,
+        r.expected_ok,
+        r.winner.as_deref().unwrap_or(""),
+        r.cancel_latency_ms
+            .map_or(String::new(), |l| format!("{l:.3}")),
+        quoted(r.certified.as_deref()),
+        quoted(r.quarantined.as_deref()),
+        tele
+    )
+}
+
+/// One compact JSON object for a row (no trailing newline), suitable for
+/// NDJSON streaming: the harness appends one per completed measurement so
+/// an interrupted run leaves a parseable prefix behind.
+pub fn json_row(r: &TaskResult) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    format!(
+        "{{\"task\":\"{}\",\"subcat\":\"{}\",\"mm\":\"{}\",\"strategy\":\"{}\",\
+         \"verdict\":\"{}\",\"solve_ms\":{:.3},\"encode_ms\":{:.3},\"decisions\":{},\
+         \"propagations\":{},\"conflicts\":{},\"guided_decisions\":{},\"expected_ok\":{},\
+         \"winner\":{},\"cancel_latency_ms\":{},\"certified\":{},\"quarantined\":{},\
+         \"telemetry\":{}}}",
+        esc(&r.task),
+        esc(&r.subcat),
+        esc(&r.mm),
+        esc(&r.strategy),
+        esc(&r.verdict),
+        r.solve_ms,
+        r.encode_ms,
+        r.decisions,
+        r.propagations,
+        r.conflicts,
+        r.guided_decisions,
+        r.expected_ok,
+        r.winner
+            .as_deref()
+            .map_or("null".to_string(), |w| format!("\"{}\"", esc(w))),
+        r.cancel_latency_ms
+            .map_or("null".to_string(), |l| format!("{l:.3}")),
+        r.certified
+            .as_deref()
+            .map_or("null".to_string(), |c| format!("\"{}\"", esc(c))),
+        r.quarantined
+            .as_deref()
+            .map_or("null".to_string(), |q| format!("\"{}\"", esc(q))),
+        telemetry_json(r.telemetry.as_ref()),
+    )
+}
+
 /// Serializes results as CSV.
 pub fn to_csv(results: &[TaskResult]) -> String {
-    let mut out = String::from(
-        "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok,winner,cancel_latency_ms,certified,quarantined,unroll_ms,ssa_ms,tele_encode_ms,blast_ms,tele_solve_ms,dec_rf_ext,dec_rf_int,dec_ws,dec_other,obs_conflicts,cc_checks,cc_accepted_o1,cc_visited,cc_promoted\n",
-    );
-    // Certificate summaries contain commas; quote free-text columns.
-    fn quoted(s: Option<&str>) -> String {
-        s.map_or(String::new(), |s| format!("\"{}\"", s.replace('"', "\"\"")))
-    }
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
     for r in results {
-        // Telemetry columns stay empty (not zero) when telemetry was off,
-        // so downstream tooling can tell "unmeasured" from "measured zero".
-        let tele = r.telemetry.as_ref().map_or_else(
-            || ",,,,,,,,,,,,,".to_string(),
-            |t| {
-                format!(
-                    "{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{}",
-                    t.unroll_ms,
-                    t.ssa_ms,
-                    t.encode_ms,
-                    t.blast_ms,
-                    t.solve_ms,
-                    t.dec_rf_ext,
-                    t.dec_rf_int,
-                    t.dec_ws,
-                    t.dec_other,
-                    t.obs_conflicts,
-                    t.cc_checks,
-                    t.cc_accepted_o1,
-                    t.cc_visited,
-                    t.cc_promoted
-                )
-            },
-        );
-        out.push_str(&format!(
-            "{},{},{},{},{},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{}\n",
-            r.task,
-            r.subcat,
-            r.mm,
-            r.strategy,
-            r.verdict,
-            r.solve_ms,
-            r.encode_ms,
-            r.decisions,
-            r.propagations,
-            r.conflicts,
-            r.guided_decisions,
-            r.expected_ok,
-            r.winner.as_deref().unwrap_or(""),
-            r.cancel_latency_ms
-                .map_or(String::new(), |l| format!("{l:.3}")),
-            quoted(r.certified.as_deref()),
-            quoted(r.quarantined.as_deref()),
-            tele
-        ));
+        out.push_str(&csv_row(r));
+        out.push('\n');
     }
     out
 }

@@ -136,6 +136,7 @@ pub fn compare_one(
         max_bound,
         max_conflicts: Some(cfg.max_conflicts),
         timeout: cfg.timeout,
+        max_memory: None,
         seed: cfg.seed,
         validate_models: cfg.validate,
         want_trace: false,

@@ -7,11 +7,38 @@
 //!                      [--budget CONFLICTS] [--seed N] [--stats] [--trace]
 //!                      [--profile] [--trace-out FILE] [--trace-sample N]
 //!                      [--certify] [--replay-witness] [--json]
+//! zpre-cli batch  FILE... [--mm sc|tso|pso|all] [--strategy NAME]
+//!                      [--max-bound K] [--budget CONFLICTS] [--timeout-ms N]
+//!                      [--max-memory-mib N] [--journal FILE] [--resume]
+//!                      [--retries N] [--backoff-ms N] [--fault NAME]
+//!                      [--kill-after N] [--json] [--profile] [--trace-out FILE]
 //! zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]
 //! zpre-cli dump   FILE [--mm sc|tso|pso] [--unroll N]
 //! zpre-cli pretty FILE
 //! zpre-cli trace-check FILE
 //! ```
+//!
+//! `batch` runs every (file × memory model) pair as one resilient
+//! bound-sweep task: budgets abort structurally instead of killing the
+//! process, exhausted tasks are retried and degraded down a strategy
+//! ladder, and `--journal` checkpoints every solved frame so `--resume`
+//! continues an interrupted batch at its first unsolved frame. `--fault`
+//! (member-oom, deadline-skew, corrupt-journal) and `--kill-after N` are
+//! the chaos-testing injections of the harness.
+//!
+//! Exit codes (the most severe outcome wins):
+//!
+//! | code | meaning                                         |
+//! |------|-------------------------------------------------|
+//! | 0    | every verdict Safe                              |
+//! | 1    | some verdict Unsafe                             |
+//! | 2    | usage error                                     |
+//! | 3    | some verdict Unknown (budgets/ladder exhausted) |
+//! | 4    | invalid program or I/O failure                  |
+//! | 5    | encoding refused                                |
+//! | 6    | model validation failed                         |
+//! | 7    | certification failed                            |
+//! | 8    | portfolio member panicked                       |
 //!
 //! `verify` runs the interference-guided SMT pipeline (`--portfolio` races
 //! the main strategies plus a polarity-varied ZPRE, first verdict wins;
@@ -40,10 +67,13 @@
 //! the process exits with failure. `--json` prints one JSON object per
 //! memory model instead of the human-readable lines.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 use zpre::{
-    try_verify, try_verify_sweep, verify_bmc, verify_portfolio, Certificate, PortfolioOptions,
-    Strategy, Verdict, VerifyOptions,
+    run_batch, try_verify, try_verify_sweep, verify_bmc, verify_portfolio, BatchFault,
+    BatchOptions, BatchTask, Certificate, PortfolioOptions, Strategy, Verdict, VerifyError,
+    VerifyOptions,
 };
 use zpre_obs::{profile_report, Recorder, TraceConfig};
 use zpre_prog::interp::{check_sc, Limits, Outcome};
@@ -57,6 +87,10 @@ fn usage() -> ExitCode {
          [--budget CONFLICTS] [--seed N] [--stats] [--trace] \
          [--profile] [--trace-out FILE] [--trace-sample N] \
          [--certify] [--replay-witness] [--json]\n  \
+         zpre-cli batch FILE... [--mm sc|tso|pso|all] [--strategy NAME] [--max-bound K] \
+         [--budget CONFLICTS] [--timeout-ms N] [--max-memory-mib N] [--journal FILE] \
+         [--resume] [--retries N] [--backoff-ms N] [--fault member-oom|deadline-skew|\
+corrupt-journal] [--kill-after N] [--json] [--profile] [--trace-out FILE]\n  \
          zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]\n  \
          zpre-cli dump FILE [--mm sc|tso|pso] [--unroll N]\n  \
          zpre-cli pretty FILE\n  \
@@ -64,6 +98,41 @@ fn usage() -> ExitCode {
          zpre-fixed-true zpre-no-revprop branch-cond"
     );
     ExitCode::from(2)
+}
+
+/// Maps every [`VerifyError`] variant to its own non-zero exit code (see
+/// the table in the crate docs).
+fn exit_for_error(e: &VerifyError) -> ExitCode {
+    ExitCode::from(match e {
+        VerifyError::Exhausted(_) => 3,
+        VerifyError::InvalidProgram(_) => 4,
+        VerifyError::Encode(_) => 5,
+        VerifyError::ModelValidation(_) => 6,
+        VerifyError::Certification { .. } => 7,
+        VerifyError::MemberPanic { .. } => 8,
+    })
+}
+
+/// Fetches the value of flag `flag` from `args[*i + 1]`, advancing the
+/// cursor — the safe replacement for the old `i += 1; args[i]` pattern
+/// that panicked when a flag was the last argument.
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+/// Parses a flag's value, rejecting (instead of silently defaulting on)
+/// malformed input.
+fn flag_parse<T: std::str::FromStr>(
+    args: &[String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<T, String> {
+    let raw = flag_value(args, i, flag)?;
+    raw.parse()
+        .map_err(|_| format!("{flag}: invalid value {raw:?}"))
 }
 
 fn json_escape(s: &str) -> String {
@@ -133,11 +202,274 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "verify" => cmd_verify(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
         "oracle" => cmd_oracle(&args[1..]),
         "dump" => cmd_dump(&args[1..]),
         "pretty" => cmd_pretty(&args[1..]),
         "trace-check" => cmd_trace_check(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// The resilient batch runner: every (file × memory model) pair becomes one
+/// bound-sweep task of `zpre::harness::run_batch`. Files that fail to load
+/// are reported and skipped — a bad input degrades the batch, it does not
+/// stop it.
+fn cmd_batch(args: &[String]) -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut mms = vec![MemoryModel::Sc];
+    let mut strategy = Strategy::Zpre;
+    let mut max_bound = 6u32;
+    let mut opts = BatchOptions::default();
+    let mut json = false;
+    let mut profile = false;
+    let mut trace_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mm" => match flag_value(args, &mut i, "--mm").map(parse_mm) {
+                Ok(Some(m)) => mms = m,
+                _ => return usage(),
+            },
+            "--strategy" => match flag_value(args, &mut i, "--strategy").map(parse_strategy) {
+                Ok(Some(s)) => strategy = s,
+                _ => return usage(),
+            },
+            "--max-bound" => match flag_parse(args, &mut i, "--max-bound") {
+                Ok(k) if k >= 1 => max_bound = k,
+                _ => return usage(),
+            },
+            "--budget" => match flag_parse(args, &mut i, "--budget") {
+                Ok(n) => opts.max_conflicts = Some(n),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            },
+            "--timeout-ms" => match flag_parse(args, &mut i, "--timeout-ms") {
+                Ok(ms) => opts.timeout = Some(Duration::from_millis(ms)),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            },
+            "--max-memory-mib" => match flag_parse::<u64>(args, &mut i, "--max-memory-mib") {
+                Ok(mib) => opts.max_memory = Some(mib.saturating_mul(1 << 20)),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            },
+            "--seed" => match flag_parse(args, &mut i, "--seed") {
+                Ok(n) => opts.seed = n,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            },
+            "--journal" => match flag_value(args, &mut i, "--journal") {
+                Ok(f) => opts.journal = Some(PathBuf::from(f)),
+                Err(_) => return usage(),
+            },
+            "--resume" => opts.resume = true,
+            "--retries" => match flag_parse(args, &mut i, "--retries") {
+                Ok(n) => opts.max_retries = n,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            },
+            "--backoff-ms" => match flag_parse(args, &mut i, "--backoff-ms") {
+                Ok(ms) => opts.backoff = Duration::from_millis(ms),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            },
+            "--fault" => match flag_value(args, &mut i, "--fault") {
+                Ok("member-oom") => opts.fault = Some(BatchFault::MemberOom),
+                Ok("deadline-skew") => opts.fault = Some(BatchFault::DeadlineSkew),
+                Ok("corrupt-journal") => opts.fault = Some(BatchFault::CorruptJournal),
+                _ => return usage(),
+            },
+            "--kill-after" => match flag_parse(args, &mut i, "--kill-after") {
+                Ok(n) => opts.fault = Some(BatchFault::MidBatchKill(n)),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            },
+            "--json" => json = true,
+            "--profile" => profile = true,
+            "--trace-out" => match flag_value(args, &mut i, "--trace-out") {
+                Ok(f) => trace_out = Some(f.to_owned()),
+                Err(_) => return usage(),
+            },
+            flag if flag.starts_with("--") => return usage(),
+            file => files.push(file.to_owned()),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        return usage();
+    }
+    let recorder = (profile || trace_out.is_some()).then(|| {
+        Recorder::new(TraceConfig {
+            events: trace_out.is_some(),
+            decision_sample: 1,
+        })
+    });
+    opts.recorder = recorder.clone();
+
+    let mut tasks: Vec<BatchTask> = Vec::new();
+    let mut load_errors = 0usize;
+    for file in &files {
+        match load(file) {
+            Ok(p) => {
+                for mm in &mms {
+                    tasks.push(BatchTask::new(p.clone(), *mm, strategy, max_bound));
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                load_errors += 1;
+            }
+        }
+    }
+    if tasks.is_empty() {
+        return ExitCode::from(4);
+    }
+
+    let out = run_batch(&tasks, &opts);
+    for r in &out.reports {
+        if json {
+            let ladder: Vec<String> = r
+                .ladder
+                .iter()
+                .map(|rec| {
+                    let verdict = rec
+                        .verdict
+                        .map(|v| format!("\"{v}\""))
+                        .unwrap_or_else(|| "null".to_string());
+                    let exh = rec
+                        .exhaustion
+                        .map(|x| format!("\"{x}\""))
+                        .unwrap_or_else(|| "null".to_string());
+                    let error = rec
+                        .error
+                        .as_deref()
+                        .map(|e| format!("\"{}\"", json_escape(e)))
+                        .unwrap_or_else(|| "null".to_string());
+                    format!(
+                        "{{\"rung\":\"{}\",\"strategy\":\"{}\",\"bound\":{},\
+                         \"attempt\":{},\"verdict\":{},\"exhaustion\":{},\"error\":{}}}",
+                        rec.rung.name(),
+                        rec.strategy,
+                        rec.bound,
+                        rec.attempt,
+                        verdict,
+                        exh,
+                        error,
+                    )
+                })
+                .collect();
+            let exh = r
+                .exhaustion
+                .map(|x| format!("\"{x}\""))
+                .unwrap_or_else(|| "null".to_string());
+            let resumed = r
+                .resumed_at
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "null".to_string());
+            println!(
+                "{{\"task\":\"{}\",\"verdict\":\"{}\",\"bound\":{},\
+                 \"from_journal\":{},\"resumed_at\":{},\"exhaustion\":{},\"ladder\":[{}]}}",
+                json_escape(&r.key),
+                r.verdict,
+                r.bound,
+                r.from_journal,
+                resumed,
+                exh,
+                ladder.join(","),
+            );
+        } else {
+            let mut notes = String::new();
+            if r.from_journal {
+                notes.push_str(" (from journal)");
+            }
+            if let Some(b) = r.resumed_at {
+                notes.push_str(&format!(" (resumed at k={b})"));
+            }
+            if let Some(x) = r.exhaustion {
+                notes.push_str(&format!(" ({x})"));
+            }
+            println!("{}: {} at bound {}{}", r.key, r.verdict, r.bound, notes);
+            if r.ladder.len() > 1 {
+                for rec in &r.ladder {
+                    let what = rec
+                        .verdict
+                        .map(|v| v.to_string())
+                        .or_else(|| rec.error.clone())
+                        .unwrap_or_else(|| "failed".to_string());
+                    let why = rec
+                        .exhaustion
+                        .map(|x| format!(" ({x})"))
+                        .unwrap_or_default();
+                    println!(
+                        "  rung {} [{} k<={}] attempt {}: {}{}",
+                        rec.rung.name(),
+                        rec.strategy,
+                        rec.bound,
+                        rec.attempt,
+                        what,
+                        why
+                    );
+                }
+            }
+        }
+    }
+    if !json {
+        println!(
+            "batch: {} tasks ({} solved, {} from journal), {} retries, {} degradations{}",
+            out.reports.len(),
+            out.tasks_run,
+            out.tasks_skipped,
+            out.retries,
+            out.degradations,
+            if out.interrupted {
+                " — interrupted"
+            } else {
+                ""
+            }
+        );
+    }
+    if let Some(e) = &out.journal_error {
+        eprintln!("warning: {e}");
+    }
+    if let Some(rec) = &recorder {
+        let snapshot = rec.snapshot();
+        if let Some(file) = &trace_out {
+            let ndjson = zpre_obs::ndjson::to_ndjson(&snapshot);
+            if let Err(e) = std::fs::write(file, ndjson) {
+                eprintln!("cannot write trace to {file}: {e}");
+                return ExitCode::from(4);
+            }
+        }
+        if profile {
+            print!("{}", profile_report(&snapshot));
+        }
+    }
+
+    let any_unsafe = out.reports.iter().any(|r| r.verdict == Verdict::Unsafe);
+    let any_unknown = out.reports.iter().any(|r| r.verdict == Verdict::Unknown);
+    if any_unsafe {
+        ExitCode::from(1)
+    } else if load_errors > 0 {
+        ExitCode::from(4)
+    } else if any_unknown || out.interrupted {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -152,7 +484,7 @@ fn cmd_trace_check(args: &[String]) -> ExitCode {
         Ok(t) => t,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(4);
         }
     };
     match zpre_obs::ndjson::validate(&text) {
@@ -191,7 +523,7 @@ fn cmd_pretty(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("{e}");
-            ExitCode::FAILURE
+            ExitCode::from(4)
         }
     }
 }
@@ -205,17 +537,17 @@ fn cmd_dump(args: &[String]) -> ExitCode {
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--mm" => {
-                i += 1;
-                match parse_mm(&args[i]).as_deref() {
-                    Some([m]) => mm = *m,
-                    _ => return usage(),
+            "--mm" => match flag_value(args, &mut i, "--mm").map(parse_mm) {
+                Ok(Some(ref ms)) if ms.len() == 1 => mm = ms[0],
+                _ => return usage(),
+            },
+            "--unroll" => match flag_parse(args, &mut i, "--unroll") {
+                Ok(n) => unroll = n,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
                 }
-            }
-            "--unroll" => {
-                i += 1;
-                unroll = args[i].parse().unwrap_or(2);
-            }
+            },
             _ => return usage(),
         }
         i += 1;
@@ -228,7 +560,7 @@ fn cmd_dump(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("{e}");
-            ExitCode::FAILURE
+            ExitCode::from(4)
         }
     }
 }
@@ -242,17 +574,17 @@ fn cmd_oracle(args: &[String]) -> ExitCode {
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--mm" => {
-                i += 1;
-                match parse_mm(&args[i]) {
-                    Some(m) => mms = m,
-                    None => return usage(),
+            "--mm" => match flag_value(args, &mut i, "--mm").map(parse_mm) {
+                Ok(Some(m)) => mms = m,
+                _ => return usage(),
+            },
+            "--unroll" => match flag_parse(args, &mut i, "--unroll") {
+                Ok(n) => unroll = n,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
                 }
-            }
-            "--unroll" => {
-                i += 1;
-                unroll = args[i].parse().unwrap_or(2);
-            }
+            },
             _ => return usage(),
         }
         i += 1;
@@ -261,7 +593,7 @@ fn cmd_oracle(args: &[String]) -> ExitCode {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(4);
         }
     };
     let fp = flatten(&unroll_program(&program, unroll));
@@ -309,61 +641,58 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--mm" => {
-                i += 1;
-                match parse_mm(&args[i]) {
-                    Some(m) => mms = m,
-                    None => return usage(),
+            "--mm" => match flag_value(args, &mut i, "--mm").map(parse_mm) {
+                Ok(Some(m)) => mms = m,
+                _ => return usage(),
+            },
+            "--strategy" => match flag_value(args, &mut i, "--strategy").map(parse_strategy) {
+                Ok(Some(s)) => strategy = s,
+                _ => return usage(),
+            },
+            "--unroll" => match flag_parse(args, &mut i, "--unroll") {
+                Ok(n) => unroll = n,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
                 }
-            }
-            "--strategy" => {
-                i += 1;
-                match parse_strategy(&args[i]) {
-                    Some(s) => strategy = s,
-                    None => return usage(),
+            },
+            "--bmc" => match flag_parse(args, &mut i, "--bmc") {
+                Ok(n) => bmc = Some(n),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
                 }
-            }
-            "--unroll" => {
-                i += 1;
-                unroll = args[i].parse().unwrap_or(2);
-            }
-            "--bmc" => {
-                i += 1;
-                bmc = args[i].parse().ok();
-            }
+            },
             "--incremental" => incremental = true,
-            "--max-bound" => {
-                i += 1;
-                match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(k) if k >= 1 => max_bound = k,
-                    _ => return usage(),
+            "--max-bound" => match flag_parse(args, &mut i, "--max-bound") {
+                Ok(k) if k >= 1 => max_bound = k,
+                _ => return usage(),
+            },
+            "--budget" => match flag_parse(args, &mut i, "--budget") {
+                Ok(n) => budget = Some(n),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
                 }
-            }
-            "--budget" => {
-                i += 1;
-                budget = args[i].parse().ok();
-            }
-            "--seed" => {
-                i += 1;
-                seed = args[i].parse().unwrap_or(seed);
-            }
+            },
+            "--seed" => match flag_parse(args, &mut i, "--seed") {
+                Ok(n) => seed = n,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            },
             "--stats" => show_stats = true,
             "--trace" => want_trace = true,
             "--profile" => profile = true,
-            "--trace-out" => {
-                i += 1;
-                match args.get(i) {
-                    Some(f) => trace_out = Some(f.clone()),
-                    None => return usage(),
-                }
-            }
-            "--trace-sample" => {
-                i += 1;
-                match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(n) if n >= 1 => trace_sample = n,
-                    _ => return usage(),
-                }
-            }
+            "--trace-out" => match flag_value(args, &mut i, "--trace-out") {
+                Ok(f) => trace_out = Some(f.to_owned()),
+                Err(_) => return usage(),
+            },
+            "--trace-sample" => match flag_parse(args, &mut i, "--trace-sample") {
+                Ok(n) if n >= 1 => trace_sample = n,
+                _ => return usage(),
+            },
             "--portfolio" => portfolio = true,
             "--certify" | "--replay-witness" => certify = true,
             "--json" => json = true,
@@ -397,7 +726,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(4);
         }
     };
 
@@ -411,6 +740,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             max_bound,
             max_conflicts: budget,
             timeout: None,
+            max_memory: None,
             seed,
             validate_models: true,
             want_trace,
@@ -497,7 +827,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("{}: verdict rejected under {}: {e}", program.name, mm);
-                    return ExitCode::FAILURE;
+                    return exit_for_error(&e);
                 }
             };
             if json {
@@ -587,7 +917,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
                 Ok(out) => (out.verdict, out, None),
                 Err(e) => {
                     eprintln!("{}: verdict rejected under {}: {e}", program.name, mm);
-                    return ExitCode::FAILURE;
+                    return exit_for_error(&e);
                 }
             }
         };
@@ -648,7 +978,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             let ndjson = zpre_obs::ndjson::to_ndjson(&snapshot);
             if let Err(e) = std::fs::write(file, ndjson) {
                 eprintln!("cannot write trace to {file}: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(4);
             }
             eprintln!(
                 "trace: {} spans, {} events -> {file}",
@@ -661,7 +991,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         }
     }
     if any_unsafe {
-        ExitCode::FAILURE
+        ExitCode::from(1)
     } else if any_unknown {
         ExitCode::from(3)
     } else {

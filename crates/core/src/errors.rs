@@ -10,6 +10,7 @@
 
 use std::fmt;
 use zpre_encoder::EncodeError;
+use zpre_sat::ExhaustionReason;
 
 /// Why a verification run could not produce a trustworthy verdict.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,6 +38,10 @@ pub enum VerifyError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// Every attempt to decide the task ran out of resources: the batch
+    /// harness exhausted its whole degradation ladder and the bottom rung
+    /// still returned `Unknown` for this reason.
+    Exhausted(ExhaustionReason),
 }
 
 impl fmt::Display for VerifyError {
@@ -52,6 +57,9 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::MemberPanic { member, message } => {
                 write!(f, "portfolio member {member} panicked: {message}")
+            }
+            VerifyError::Exhausted(reason) => {
+                write!(f, "resources exhausted ({reason})")
             }
         }
     }

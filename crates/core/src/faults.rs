@@ -57,6 +57,53 @@ impl Fault {
     }
 }
 
+/// One injectable batch-harness fault (see [`crate::harness`]): where
+/// [`Fault`] corrupts certification artifacts inside one pipeline run,
+/// these stress the resilience layer *around* runs — resource pressure,
+/// clock trouble, and checkpoint damage. The chaos matrix in `tests/`
+/// runs every one of them and asserts the harness fails closed: a faulted
+/// batch may degrade tasks to `Unknown`, but never flips a `Safe`/`Unsafe`
+/// verdict and never dies.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BatchFault {
+    /// Squeeze every rung under a pathologically small memory cap, as if
+    /// the machine were out of memory: encodings are refused up front and
+    /// solves abort with `Memory` exhaustion.
+    MemberOom,
+    /// Arm every rung with an already-expired deadline, as if the clock
+    /// had jumped past the budget: solves abort with `Time` exhaustion.
+    DeadlineSkew,
+    /// Kill the batch at the `n`-th journal append (the append is refused
+    /// and the run stops), simulating `kill -9` mid-run at a deterministic
+    /// write boundary. `--resume` must complete the remaining work.
+    MidBatchKill(u64),
+    /// Tear the journal's final line in half before a resume scan reads
+    /// it, simulating a crash mid-append. The scan must drop the torn
+    /// line and re-derive its content.
+    CorruptJournal,
+}
+
+impl BatchFault {
+    /// Every batch fault kind, for test matrices (the kill fires after 3
+    /// journal writes — early enough to leave work behind on any example).
+    pub const ALL: [BatchFault; 4] = [
+        BatchFault::MemberOom,
+        BatchFault::DeadlineSkew,
+        BatchFault::MidBatchKill(3),
+        BatchFault::CorruptJournal,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BatchFault::MemberOom => "member-oom",
+            BatchFault::DeadlineSkew => "deadline-skew",
+            BatchFault::MidBatchKill(_) => "mid-batch-kill",
+            BatchFault::CorruptJournal => "corrupt-journal",
+        }
+    }
+}
+
 /// Applies a proof-side fault to the artifacts of a Safe certification.
 pub(crate) fn corrupt_proof(fault: Fault, proof: &mut Proof, journal: &mut Vec<TheoryLemma>) {
     match fault {

@@ -18,10 +18,10 @@ use crate::strategy::Strategy;
 use crate::verifier::{validate_model, Verdict, VerifyOptions};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use zpre_encoder::encode_sweep;
+use zpre_encoder::{encode_sweep, estimate_cnf, EncodeError};
 use zpre_obs::{Phase, VarClass};
 use zpre_prog::{to_ssa_traced, unroll_program_sweep, Program};
-use zpre_sat::{Budget, PriorityListGuide, SolveResult, Solver, Stats};
+use zpre_sat::{Budget, ExhaustionReason, PriorityListGuide, SolveResult, Solver, Stats};
 use zpre_smt::{ClassCounts, OrderTheory, VarKind};
 
 /// One frame (= one bound) of an incremental sweep.
@@ -44,6 +44,9 @@ pub struct FrameOutcome {
     pub reused_learnts: u64,
     /// Conflicts spent by earlier frames when this frame's solve started.
     pub reused_conflicts: u64,
+    /// Which budget ran out when the frame verdict is `Unknown`; `None` on
+    /// definitive frames.
+    pub exhaustion: Option<ExhaustionReason>,
 }
 
 /// Result of an incremental bound sweep.
@@ -100,7 +103,7 @@ pub fn verify_sweep(prog: &Program, opts: &VerifyOptions) -> SweepOutcome {
 /// Certification is not supported on sweeps (the proof log would span
 /// several assumption solves); `opts.certify` is ignored here.
 pub fn try_verify_sweep(prog: &Program, opts: &VerifyOptions) -> Result<SweepOutcome, VerifyError> {
-    sweep_impl(prog, opts, true)
+    sweep_impl(prog, opts, true, 1, &mut |_| {})
 }
 
 /// Like [`try_verify_sweep`], but solves **every** frame `1..=max_bound`
@@ -119,13 +122,40 @@ pub fn try_verify_sweep_full(
     prog: &Program,
     opts: &VerifyOptions,
 ) -> Result<SweepOutcome, VerifyError> {
-    sweep_impl(prog, opts, false)
+    sweep_impl(prog, opts, false, 1, &mut |_| {})
+}
+
+/// Resumable sweep: starts solving at `start_bound` (frames below it are
+/// encoded but not solved — the caller already knows their verdicts, e.g.
+/// from a checkpoint journal), and reports each solved frame to `on_frame`
+/// *before* moving on, so a caller can journal per-frame progress and a
+/// later resume can skip exactly the frames that finished.
+///
+/// Reusing journaled frame verdicts across runs is sound because a frame's
+/// verdict depends only on (program, memory model, bound) — not on the
+/// strategy, the sweep horizon, or what other frames ran first (the frame
+/// equisatisfiability invariant of `zpre_encoder::sweep`, cross-checked by
+/// the `sweep_equivalence` integration suite).
+///
+/// The returned outcome's `frames` contain only the frames this call
+/// solved; `verdict`/`bound` summarize those frames alone, with bounds
+/// below `start_bound` assumed `Safe` (a sweep only proceeds past a frame
+/// it proved safe).
+pub fn try_verify_sweep_resumed(
+    prog: &Program,
+    opts: &VerifyOptions,
+    start_bound: u32,
+    on_frame: &mut dyn FnMut(&FrameOutcome),
+) -> Result<SweepOutcome, VerifyError> {
+    sweep_impl(prog, opts, true, start_bound.max(1), on_frame)
 }
 
 fn sweep_impl(
     prog: &Program,
     opts: &VerifyOptions,
     stop_early: bool,
+    start_bound: u32,
+    on_frame: &mut dyn FnMut(&FrameOutcome),
 ) -> Result<SweepOutcome, VerifyError> {
     let t0 = Instant::now();
     let rec = opts.recorder.as_ref();
@@ -147,6 +177,17 @@ fn sweep_impl(
     }
     let guide = PriorityListGuide::new(Vec::new(), opts.seed);
     let mut solver: Solver<OrderTheory, PriorityListGuide> = Solver::with_parts(theory, guide);
+    // Pre-blast guard: refuse a horizon encoding whose estimated footprint
+    // already exceeds the memory budget, before allocating any of it.
+    if let Some(cap) = opts.max_memory {
+        let est = estimate_cnf(&ssa, opts.mm).map_err(VerifyError::Encode)?;
+        if est.bytes() > cap {
+            return Err(VerifyError::Encode(EncodeError::EncodingTooLarge {
+                estimated_bytes: est.bytes(),
+                cap_bytes: cap,
+            }));
+        }
+    }
     let mut enc = encode_sweep(&ssa, opts.mm, max_bound, &mut solver, rec)?;
 
     if let Some(r) = rec {
@@ -196,18 +237,27 @@ fn sweep_impl(
     // Loop-free programs have no markers: frame 1 already is the full
     // instance, and every other bound would re-solve it verbatim.
     let last_bound = if loop_free { 1 } else { max_bound };
+    let start = start_bound.min(last_bound);
     let mut frames: Vec<FrameOutcome> = Vec::new();
     let mut verdict = Verdict::Safe;
     let mut decided = last_bound;
     let mut solve_time = Duration::ZERO;
 
-    for k in 1..=last_bound {
+    // Frames must exist in order 1..=K for the assumption prefixes; on a
+    // resume, the already-decided bounds are encoded without being solved.
+    for k in 1..start {
+        enc.encode_frame(k, &mut solver);
+    }
+    for k in start..=last_bound {
         enc.encode_frame(k, &mut solver);
         // Budgets are per frame: the per-call conflict accounting and the
         // one-shot deadline arming both reset with a fresh Budget.
         let mut budget = Budget::with_limits(opts.max_conflicts, opts.timeout);
         if let Some(token) = &opts.cancel {
             budget = budget.with_cancel(token.clone());
+        }
+        if let Some(cap) = opts.max_memory {
+            budget = budget.with_max_memory(cap);
         }
         solver.set_budget(budget);
 
@@ -245,7 +295,9 @@ fn sweep_impl(
             propagations: after.propagations - before.propagations,
             reused_learnts: before.learnt_clauses,
             reused_conflicts: before.conflicts,
+            exhaustion: solver.exhaustion(),
         });
+        on_frame(frames.last().expect("frame just pushed"));
         // The overall verdict is the first non-Safe frame's; a full sweep
         // keeps solving later frames without revising it.
         if verdict == Verdict::Safe {
@@ -415,6 +467,44 @@ mod tests {
         assert_eq!(sweep.verdict, Verdict::Unsafe);
         let trace = sweep.trace.expect("trace requested");
         assert!(!trace.steps.is_empty());
+    }
+
+    #[test]
+    fn resumed_sweep_matches_uninterrupted_tail() {
+        let mut opts = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        opts.max_bound = 6;
+        let full = verify_sweep(&kstar3(), &opts);
+        assert_eq!(full.frames.len(), 3, "k*=3 under stop-early");
+
+        // Resume from bound 3 as if frames 1–2 came from a journal: the
+        // solved tail must reproduce the same per-bound verdicts.
+        let mut seen: Vec<(u32, Verdict)> = Vec::new();
+        let resumed = try_verify_sweep_resumed(&kstar3(), &opts, 3, &mut |f| {
+            seen.push((f.bound, f.verdict));
+        })
+        .unwrap();
+        assert_eq!(resumed.verdict, Verdict::Unsafe);
+        assert_eq!(resumed.bound, 3);
+        assert_eq!(resumed.frames.len(), 1);
+        assert_eq!(resumed.frames[0].bound, 3);
+        assert_eq!(resumed.frames[0].verdict, Verdict::Unsafe);
+        assert_eq!(
+            seen,
+            vec![(3, Verdict::Unsafe)],
+            "callback per solved frame"
+        );
+    }
+
+    #[test]
+    fn frame_exhaustion_is_reported() {
+        let mut opts = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        opts.max_bound = 4;
+        opts.max_conflicts = Some(0);
+        let sweep = verify_sweep(&kstar3(), &opts);
+        assert_eq!(sweep.verdict, Verdict::Unknown);
+        let last = sweep.frames.last().unwrap();
+        assert_eq!(last.verdict, Verdict::Unknown);
+        assert_eq!(last.exhaustion, Some(ExhaustionReason::Conflicts));
     }
 
     #[test]

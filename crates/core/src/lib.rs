@@ -47,6 +47,7 @@ pub mod certify;
 pub mod decision_order;
 pub mod errors;
 pub mod faults;
+pub mod harness;
 pub mod incremental;
 pub mod portfolio;
 pub mod strategy;
@@ -57,9 +58,13 @@ pub use bmc::{verify_bmc, BmcOutcome};
 pub use certify::Certificate;
 pub use decision_order::{decision_order, prior_to, Refinements};
 pub use errors::VerifyError;
-pub use faults::Fault;
+pub use faults::{BatchFault, Fault};
+pub use harness::{
+    run_batch, BatchOptions, BatchOutcome, BatchTask, LadderRung, RungRecord, TaskReport,
+};
 pub use incremental::{
-    try_verify_sweep, try_verify_sweep_full, verify_sweep, FrameOutcome, SweepOutcome,
+    try_verify_sweep, try_verify_sweep_full, try_verify_sweep_resumed, verify_sweep, FrameOutcome,
+    SweepOutcome,
 };
 pub use portfolio::{
     verify_portfolio, verify_ssa_portfolio, MemberResult, PortfolioMember, PortfolioOptions,
@@ -70,6 +75,7 @@ pub use trace::{Trace, TraceStep};
 pub use verifier::{
     try_verify, try_verify_ssa, verify, verify_ssa, Verdict, VerifyOptions, VerifyOutcome,
 };
+pub use zpre_sat::ExhaustionReason;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {

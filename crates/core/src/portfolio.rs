@@ -35,7 +35,7 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 use zpre_obs::MemberRecord;
 use zpre_prog::{flatten, to_ssa_traced, unroll_program_traced, FlatProgram, Program, SsaProgram};
-use zpre_sat::CancelToken;
+use zpre_sat::{CancelToken, ExhaustionReason};
 
 /// One racing configuration.
 #[derive(Clone, Debug)]
@@ -110,6 +110,11 @@ pub struct MemberResult {
     /// Why the member was quarantined: the panic message or the typed
     /// error's rendering. `None` for healthy members.
     pub error: Option<String>,
+    /// Which resource ended an `Unknown` member: the solver's structured
+    /// reason for healthy members (conflicts / time / memory / cancelled),
+    /// [`ExhaustionReason::Quarantined`] for failed ones, `None` on a
+    /// definitive verdict.
+    pub exhaustion: Option<ExhaustionReason>,
 }
 
 /// Result of a portfolio run.
@@ -188,7 +193,7 @@ fn run_member(
 }
 
 /// A synthesized `Unknown` outcome for races without a definitive member.
-fn unknown_outcome(ssa: &SsaProgram) -> VerifyOutcome {
+fn unknown_outcome(ssa: &SsaProgram, exhaustion: Option<ExhaustionReason>) -> VerifyOutcome {
     VerifyOutcome {
         verdict: Verdict::Unknown,
         stats: Default::default(),
@@ -199,6 +204,7 @@ fn unknown_outcome(ssa: &SsaProgram) -> VerifyOutcome {
         num_solver_vars: 0,
         trace: None,
         certificate: None,
+        exhaustion,
     }
 }
 
@@ -324,6 +330,10 @@ fn portfolio_inner(
             cancelled: matches!(report, Ok(o) if o.verdict == Verdict::Unknown)
                 && first_definitive.is_some(),
             error: report.as_ref().err().cloned(),
+            exhaustion: match report {
+                Ok(o) => o.exhaustion,
+                Err(_) => Some(ExhaustionReason::Quarantined),
+            },
         })
         .collect();
 
@@ -393,6 +403,10 @@ fn portfolio_inner(
             time: elapsed,
             cancelled: false,
             error: report.as_ref().err().cloned(),
+            exhaustion: match &report {
+                Ok(o) => o.exhaustion,
+                Err(_) => Some(ExhaustionReason::Quarantined),
+            },
         });
         if let Some(r) = &opts.base.recorder {
             let m = members.last().expect("retry member just pushed");
@@ -446,7 +460,7 @@ fn portfolio_inner(
     let outcome = results
         .into_iter()
         .find_map(|(r, _)| r.ok().filter(|o| o.verdict == Verdict::Unknown))
-        .unwrap_or_else(|| unknown_outcome(ssa));
+        .unwrap_or_else(|| unknown_outcome(ssa, Some(ExhaustionReason::Quarantined)));
 
     PortfolioOutcome {
         outcome,
@@ -542,6 +556,12 @@ mod tests {
             .members
             .iter()
             .all(|m| m.verdict == Verdict::Unknown && !m.cancelled));
+        // Every member hit the deterministic conflict cap; the structured
+        // reason survives the race.
+        assert!(folio
+            .members
+            .iter()
+            .all(|m| m.exhaustion == Some(ExhaustionReason::Conflicts)));
     }
 
     #[test]

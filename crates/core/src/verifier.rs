@@ -16,13 +16,15 @@ use crate::strategy::Strategy;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zpre_bv::{lits_to_u64, TermKind};
-use zpre_encoder::{po_pairs, try_encode_traced, Encoded};
+use zpre_encoder::{estimate_cnf, po_pairs, try_encode_traced, EncodeError, Encoded};
 use zpre_obs::{Phase, Recorder, VarClass};
 use zpre_prog::ssa::EventKind;
 use zpre_prog::{
     flatten, to_ssa_traced, unroll_program_traced, FlatProgram, MemoryModel, Program, SsaProgram,
 };
-use zpre_sat::{Budget, CancelToken, PriorityListGuide, SolveResult, Solver, Stats};
+use zpre_sat::{
+    Budget, CancelToken, ExhaustionReason, PriorityListGuide, SolveResult, Solver, Stats,
+};
 use zpre_smt::{ClassCounts, OrderTheory, VarKind};
 
 /// Verification verdict.
@@ -65,6 +67,13 @@ pub struct VerifyOptions {
     pub max_conflicts: Option<u64>,
     /// Wall-clock budget.
     pub timeout: Option<Duration>,
+    /// Byte-accounted memory budget. When set, two guards engage: a
+    /// pre-blast CNF size estimate refuses pathological encodings up front
+    /// ([`zpre_encoder::EncodeError::EncodingTooLarge`]), and the solver
+    /// polls its own footprint on the budget stride, aborting with
+    /// `Unknown` / [`ExhaustionReason::Memory`] instead of letting the
+    /// allocator kill the process.
+    pub max_memory: Option<u64>,
     /// Seed for the random decision polarity of interference variables.
     pub seed: u64,
     /// Re-validate extracted executions on `Unsafe` answers.
@@ -101,6 +110,7 @@ impl Default for VerifyOptions {
             max_bound: 6,
             max_conflicts: None,
             timeout: None,
+            max_memory: None,
             seed: 0xC0FFEE,
             validate_models: true,
             want_trace: false,
@@ -145,6 +155,9 @@ pub struct VerifyOutcome {
     pub trace: Option<crate::trace::Trace>,
     /// Certification evidence (on definitive verdicts, when requested).
     pub certificate: Option<Certificate>,
+    /// Which budget was exhausted when the verdict is `Unknown`; `None` on
+    /// definitive answers.
+    pub exhaustion: Option<ExhaustionReason>,
 }
 
 /// Verifies `prog` under `opts`.
@@ -220,6 +233,17 @@ pub(crate) fn verify_ssa_inner(
         solver.enable_proof_logging();
     }
     let rec = opts.recorder.as_ref();
+    // Pre-blast guard: refuse an encoding whose estimated footprint already
+    // exceeds the memory budget, before allocating any of it.
+    if let Some(cap) = opts.max_memory {
+        let est = estimate_cnf(ssa, opts.mm)?;
+        if est.bytes() > cap {
+            return Err(VerifyError::Encode(EncodeError::EncodingTooLarge {
+                estimated_bytes: est.bytes(),
+                cap_bytes: cap,
+            }));
+        }
+    }
     let enc = try_encode_traced(ssa, opts.mm, &mut solver, rec)?;
 
     // With a recorder installed, resolve solver vars to interference classes
@@ -269,6 +293,9 @@ pub(crate) fn verify_ssa_inner(
     let mut budget = Budget::with_limits(opts.max_conflicts, opts.timeout);
     if let Some(token) = &opts.cancel {
         budget = budget.with_cancel(token.clone());
+    }
+    if let Some(cap) = opts.max_memory {
+        budget = budget.with_max_memory(cap);
     }
     solver.set_budget(budget);
 
@@ -335,6 +362,7 @@ pub(crate) fn verify_ssa_inner(
         num_solver_vars: solver.num_vars(),
         trace: trace.filter(|_| opts.want_trace),
         certificate,
+        exhaustion: solver.exhaustion(),
     })
 }
 
@@ -603,6 +631,38 @@ mod tests {
         opts.max_conflicts = Some(1);
         let out = verify(&locked(), &opts);
         assert_eq!(out.verdict, Verdict::Unknown);
+        assert_eq!(out.exhaustion, Some(ExhaustionReason::Conflicts));
+    }
+
+    #[test]
+    fn definitive_verdict_has_no_exhaustion() {
+        let out = verify(
+            &racy(),
+            &VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre),
+        );
+        assert_eq!(out.verdict, Verdict::Unsafe);
+        assert_eq!(out.exhaustion, None);
+    }
+
+    #[test]
+    fn tiny_memory_cap_rejects_encoding_up_front() {
+        let mut opts = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        opts.max_memory = Some(64);
+        match try_verify(&racy(), &opts) {
+            Err(VerifyError::Encode(EncodeError::EncodingTooLarge {
+                estimated_bytes,
+                cap_bytes: 64,
+            })) => assert!(estimated_bytes > 64),
+            other => panic!("expected EncodingTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_memory_cap_does_not_perturb_verdicts() {
+        let mut opts = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        opts.max_memory = Some(1 << 30);
+        assert_eq!(verify(&racy(), &opts).verdict, Verdict::Unsafe);
+        assert_eq!(verify(&locked(), &opts).verdict, Verdict::Safe);
     }
 
     #[test]

@@ -101,6 +101,16 @@ pub enum EncodeError {
         /// Event id of the unmatched unlock.
         event: usize,
     },
+    /// The pre-blast size estimate ([`estimate_cnf`]) exceeds the caller's
+    /// memory cap: blasting the encoding would likely OOM, so it is refused
+    /// up front. Callers treat this like in-search memory exhaustion and
+    /// degrade (smaller bound, `Unknown`) instead of dying.
+    EncodingTooLarge {
+        /// Estimated resident bytes the encoding would need.
+        estimated_bytes: u64,
+        /// The cap the estimate was checked against.
+        cap_bytes: u64,
+    },
 }
 
 impl std::fmt::Display for EncodeError {
@@ -116,6 +126,16 @@ impl std::fmt::Display for EncodeError {
                 write!(
                     f,
                     "unlock without lock in SSA event stream (thread {thread}, event {event})"
+                )
+            }
+            EncodeError::EncodingTooLarge {
+                estimated_bytes,
+                cap_bytes,
+            } => {
+                write!(
+                    f,
+                    "encoding too large: estimated {estimated_bytes} bytes exceeds the \
+                     {cap_bytes}-byte memory cap"
                 )
             }
         }
@@ -546,6 +566,147 @@ pub fn access_analysis(ssa: &SsaProgram, closure: &PoClosure) -> AccessAnalysis 
     }
 }
 
+/// A coarse pre-blast size estimate of the verification condition.
+///
+/// Produced by [`estimate_cnf`] *without* running the blaster, so callers
+/// with a memory budget can refuse a pathological encoding before it
+/// allocates anything. The numbers are deliberate over-approximations
+/// (within a small constant factor of the real CNF): the estimate only has
+/// to catch encodings that are orders of magnitude too big, not to be
+/// precise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CnfEstimate {
+    /// Estimated solver variables (SSA bits + interference selectors).
+    pub vars: u64,
+    /// Estimated CNF clauses across Φ_ssa ∧ Φ_po ∧ Φ_rf ∧ Φ_ws ∧ Φ_fr ∧ Φ_err.
+    pub clauses: u64,
+    /// Estimated read-from selectors (Σ per-read candidate writes).
+    pub rf_selectors: u64,
+    /// Estimated write-serialization selectors (Σ per-var write pairs).
+    pub ws_selectors: u64,
+}
+
+impl CnfEstimate {
+    /// Estimated resident bytes of the blasted encoding inside the solver,
+    /// using the same per-variable and per-clause accounting as
+    /// `Solver::memory_bytes` (64 bytes/var bookkeeping, ~32 bytes/clause
+    /// for arena words plus watchers at the observed mean clause width).
+    pub fn bytes(&self) -> u64 {
+        self.vars * 64 + self.clauses * 32
+    }
+}
+
+/// Estimates the blasted size of `ssa`'s verification condition under `mm`
+/// without creating a solver or a blaster. Runs the same program-order
+/// closure and access analysis as [`try_encode`], then prices each
+/// constraint family:
+///
+/// - data path: one variable per bit-vector bit, ~8 clauses per bit for
+///   linear circuits and ~4·w² for multipliers;
+/// - Φ_rf: one selector per (read, candidate write) plus a value-equality
+///   ladder of ~2 clauses per bit;
+/// - Φ_ws: one two-sided ordering selector per unordered same-variable
+///   write pair;
+/// - Φ_fr: one clause per (rf candidate, other write of the variable).
+///
+/// Errors mirror [`try_encode`]'s structural checks where they can be
+/// detected this early (a cyclic program order).
+pub fn estimate_cnf(ssa: &SsaProgram, mm: MemoryModel) -> Result<CnfEstimate, EncodeError> {
+    let ts = &ssa.store;
+    let pairs = po_pairs(ssa, mm);
+    // Kahn pre-check: `PoClosure::new` asserts acyclicity, so detect the
+    // malformed case here and report it as the typed error instead.
+    {
+        let n = ssa.events.len();
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &pairs {
+            adj[a].push(b);
+            indeg[b] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(x) = queue.pop() {
+            seen += 1;
+            for &y in &adj[x] {
+                indeg[y] -= 1;
+                if indeg[y] == 0 {
+                    queue.push(y);
+                }
+            }
+        }
+        if seen != n {
+            return Err(EncodeError::CyclicProgramOrder);
+        }
+    }
+    let closure = PoClosure::new(ssa.events.len(), &pairs);
+    let analysis = access_analysis(ssa, &closure);
+
+    // Data path: price every hash-consed term once (the blaster memoizes).
+    let mut vars: u64 = 0;
+    let mut clauses: u64 = 0;
+    for i in 0..ts.len() {
+        let t = TermId(i as u32);
+        let w = match ts.sort(t) {
+            zpre_bv::Sort::Bool => 1u64,
+            zpre_bv::Sort::Bv(w) => w as u64,
+        };
+        vars += w;
+        clauses += match ts.kind(t) {
+            TermKind::BvMul(_, _) => 4 * w * w,
+            _ => 8 * w,
+        };
+    }
+
+    // Interference selectors and their clause families.
+    let width_of = |eid: usize| -> u64 {
+        match ssa.events[eid].kind {
+            EventKind::Read { value, .. } | EventKind::Write { value, .. } => {
+                match ts.sort(value) {
+                    zpre_bv::Sort::Bool => 1,
+                    zpre_bv::Sort::Bv(w) => w as u64,
+                }
+            }
+            _ => 1,
+        }
+    };
+    let mut rf_selectors: u64 = 0;
+    for (r, cands) in analysis.candidates.iter().enumerate() {
+        if cands.is_empty() {
+            continue;
+        }
+        rf_selectors += cands.len() as u64;
+        // rf → value-eq (~2 clauses/bit), rf → order, rf → guard, and the
+        // Φ_rf_some covering clause; Φ_fr adds one clause per other write.
+        let w = width_of(r);
+        clauses += cands.len() as u64 * (2 * w + 2) + 1;
+    }
+    let mut ws_selectors: u64 = 0;
+    for writes in &analysis.writes_of {
+        // One selector per same-variable write pair (po-ordered pairs are
+        // settled by theory propagation but still get a selector).
+        let n = writes.len() as u64;
+        let pairs = n * n.saturating_sub(1) / 2;
+        ws_selectors += pairs;
+        clauses += pairs * 2;
+    }
+    for (v, reads) in analysis.reads_of.iter().enumerate() {
+        let writes = analysis.writes_of[v].len() as u64;
+        clauses += reads.len() as u64 * writes.saturating_mul(writes.saturating_sub(1));
+    }
+    vars += rf_selectors + ws_selectors;
+    // Ordering atoms: at most one per rf (read↔write order) beyond the ws
+    // selectors, which are ordering atoms themselves.
+    vars += rf_selectors;
+
+    Ok(CnfEstimate {
+        vars,
+        clauses,
+        rf_selectors,
+        ws_selectors,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -802,6 +963,58 @@ mod tests {
         let enc = encode(&ssa, MemoryModel::Sc, &mut solver);
         assert!(enc.trivially_safe);
         assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn estimate_tracks_real_encoding_within_constant_factor() {
+        // The estimator must (a) never undercount interference selectors,
+        // and (b) stay within a small constant factor of the real solver
+        // footprint, so a memory cap gated on it is meaningful.
+        let u = unroll_program(&fig2(), 2);
+        let ssa = to_ssa(&u);
+        for mm in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+            let est = estimate_cnf(&ssa, mm).unwrap();
+            let mut solver: Solver<OrderTheory, NoGuide> =
+                Solver::with_parts(OrderTheory::new(), NoGuide);
+            let enc = encode(&ssa, mm, &mut solver);
+            assert!(
+                est.rf_selectors >= enc.rf_vars.len() as u64,
+                "{mm:?}: rf estimate {} < actual {}",
+                est.rf_selectors,
+                enc.rf_vars.len()
+            );
+            assert!(
+                est.ws_selectors >= enc.ws_vars.len() as u64,
+                "{mm:?}: ws estimate {} < actual {}",
+                est.ws_selectors,
+                enc.ws_vars.len()
+            );
+            let actual = solver.memory_bytes();
+            assert!(
+                est.bytes() >= actual / 8,
+                "{mm:?}: estimate {} implausibly below footprint {actual}",
+                est.bytes()
+            );
+            assert!(
+                est.bytes() <= actual.saturating_mul(64),
+                "{mm:?}: estimate {} implausibly above footprint {actual}",
+                est.bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_grows_with_unroll_bound() {
+        let e1 = {
+            let ssa = to_ssa(&unroll_program(&fig2(), 1));
+            estimate_cnf(&ssa, MemoryModel::Sc).unwrap()
+        };
+        let e4 = {
+            let ssa = to_ssa(&unroll_program(&fig2(), 4));
+            estimate_cnf(&ssa, MemoryModel::Sc).unwrap()
+        };
+        assert!(e4.bytes() >= e1.bytes());
+        assert!(e1.bytes() > 0);
     }
 
     #[test]

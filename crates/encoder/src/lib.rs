@@ -23,8 +23,8 @@ pub mod smtlib;
 pub mod sweep;
 
 pub use encode::{
-    access_analysis, encode, try_encode, try_encode_traced, AccessAnalysis, EncodeError, Encoded,
-    RfVar, WsVar,
+    access_analysis, encode, estimate_cnf, try_encode, try_encode_traced, AccessAnalysis,
+    CnfEstimate, EncodeError, Encoded, RfVar, WsVar,
 };
 pub use memory_model::{po_pairs, preserved, PoClosure};
 pub use smtlib::dump_smtlib;

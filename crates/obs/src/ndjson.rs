@@ -224,7 +224,11 @@ fn summary_line(snap: &TraceSnapshot) -> String {
         .num("dropped", c.dropped_events)
         .num("frames", c.frames)
         .num("fr_learnts", c.frame_reused_learnts)
-        .num("fr_conflicts", c.frame_reused_conflicts);
+        .num("fr_conflicts", c.frame_reused_conflicts)
+        .num("batch_tasks", c.batch_tasks)
+        .num("batch_retries", c.batch_retries)
+        .num("batch_degraded", c.batch_degraded)
+        .num("batch_checkpoints", c.batch_checkpoints);
     o.finish()
 }
 
@@ -518,6 +522,12 @@ pub fn from_ndjson(text: &str) -> Result<TraceSnapshot, String> {
                     c.frames = get_num(&map, "frames").unwrap_or(0);
                     c.frame_reused_learnts = get_num(&map, "fr_learnts").unwrap_or(0);
                     c.frame_reused_conflicts = get_num(&map, "fr_conflicts").unwrap_or(0);
+                    // Batch-harness counters arrived later still; same
+                    // leniency for traces that predate them.
+                    c.batch_tasks = get_num(&map, "batch_tasks").unwrap_or(0);
+                    c.batch_retries = get_num(&map, "batch_retries").unwrap_or(0);
+                    c.batch_degraded = get_num(&map, "batch_degraded").unwrap_or(0);
+                    c.batch_checkpoints = get_num(&map, "batch_checkpoints").unwrap_or(0);
                     snap.counters = c;
                     saw_summary = true;
                 }

@@ -22,6 +22,9 @@ pub enum Phase {
     Validate,
     Certify,
     Replay,
+    /// One task of a resilient batch run (`zpre-cli batch`); the span label
+    /// carries the task key (program × memory model × mode).
+    Batch,
 }
 
 impl Phase {
@@ -36,6 +39,7 @@ impl Phase {
             Phase::Validate => "validate",
             Phase::Certify => "certify",
             Phase::Replay => "replay",
+            Phase::Batch => "batch",
         }
     }
 
@@ -50,11 +54,12 @@ impl Phase {
             "validate" => Some(Phase::Validate),
             "certify" => Some(Phase::Certify),
             "replay" => Some(Phase::Replay),
+            "batch" => Some(Phase::Batch),
             _ => None,
         }
     }
 
-    pub fn all() -> [Phase; 9] {
+    pub fn all() -> [Phase; 10] {
         [
             Phase::Parse,
             Phase::Unroll,
@@ -65,6 +70,7 @@ impl Phase {
             Phase::Validate,
             Phase::Certify,
             Phase::Replay,
+            Phase::Batch,
         ]
     }
 }
@@ -172,6 +178,15 @@ pub struct Counters {
     /// Conflicts spent by earlier frames at frame-solve entry, summed over
     /// frames.
     pub frame_reused_conflicts: u64,
+    /// Batch-harness tasks started.
+    pub batch_tasks: u64,
+    /// Batch-harness retries (re-runs of a rung after exhaustion, before
+    /// moving down the ladder).
+    pub batch_retries: u64,
+    /// Batch-harness degradations (moves to a lower rung of the ladder).
+    pub batch_degraded: u64,
+    /// Batch-harness checkpoint records appended to the journal.
+    pub batch_checkpoints: u64,
 }
 
 impl Counters {
@@ -347,6 +362,26 @@ impl Recorder {
         inner.counters.frames += 1;
         inner.counters.frame_reused_learnts += reused_learnts;
         inner.counters.frame_reused_conflicts += reused_conflicts;
+    }
+
+    /// Record the start of one batch-harness task.
+    pub fn record_batch_task(&self) {
+        self.shared.inner.lock().unwrap().counters.batch_tasks += 1;
+    }
+
+    /// Record one batch-harness retry (same ladder rung, after backoff).
+    pub fn record_batch_retry(&self) {
+        self.shared.inner.lock().unwrap().counters.batch_retries += 1;
+    }
+
+    /// Record one batch-harness degradation (move to a lower ladder rung).
+    pub fn record_batch_degraded(&self) {
+        self.shared.inner.lock().unwrap().counters.batch_degraded += 1;
+    }
+
+    /// Record one checkpoint line appended to the batch journal.
+    pub fn record_batch_checkpoint(&self) {
+        self.shared.inner.lock().unwrap().counters.batch_checkpoints += 1;
     }
 
     /// Record one portfolio member's telemetry.

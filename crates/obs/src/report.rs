@@ -149,6 +149,13 @@ pub fn profile_report(snap: &TraceSnapshot) -> String {
             c.frames, c.frame_reused_learnts, c.frame_reused_conflicts
         );
     }
+    if c.batch_tasks > 0 {
+        let _ = writeln!(
+            out,
+            "batch tasks {} (retries {}, degradations {}, checkpoints {})",
+            c.batch_tasks, c.batch_retries, c.batch_degraded, c.batch_checkpoints
+        );
+    }
     if snap.decision_sample > 1 {
         let _ = writeln!(
             out,

@@ -49,5 +49,5 @@ pub use guide::{AssignView, DecisionGuide, NoGuide, PriorityListGuide};
 pub use lit::{LBool, Lit, Var};
 pub use proof::{Proof, ProofStep};
 pub use solver::{RestartStrategy, SolveResult, Solver, SolverConfig};
-pub use stats::{Budget, CancelToken, Stats};
+pub use stats::{Budget, CancelToken, ExhaustionReason, Stats};
 pub use theory::{NoTheory, Theory, TheoryConflict, TheoryOut};

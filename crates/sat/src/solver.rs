@@ -19,7 +19,7 @@ use crate::clause::{CRef, ClauseDb};
 use crate::guide::{AssignView, DecisionGuide, NoGuide};
 use crate::lit::{LBool, Lit, Var};
 use crate::proof::Proof;
-use crate::stats::{Budget, Stats};
+use crate::stats::{Budget, ExhaustionReason, Stats};
 use crate::theory::{NoTheory, Theory, TheoryOut};
 
 /// Final verdict of a [`Solver::solve`] run.
@@ -149,6 +149,8 @@ pub struct Solver<T: Theory = NoTheory, G: DecisionGuide = NoGuide> {
 
     stats: Stats,
     budget: Budget,
+    /// Why the last `solve` call returned `Unknown`, when it did.
+    exhaustion: Option<ExhaustionReason>,
     theory_out: TheoryOut,
     proof: Option<Proof>,
     /// Verbatim copy of every clause passed to [`Self::add_clause`] while
@@ -206,6 +208,7 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
             restart_count: 0,
             stats: Stats::default(),
             budget: Budget::default(),
+            exhaustion: None,
             theory_out: TheoryOut::default(),
             proof: None,
             logged_cnf: Vec::new(),
@@ -338,6 +341,31 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
     /// an incremental sweep it tracks clause growth monotonically.
     pub fn learnt_cap(&self) -> f64 {
         self.max_learnts
+    }
+
+    /// Why the last `solve`/`solve_with_assumptions` call returned
+    /// [`SolveResult::Unknown`]; `None` after a definitive answer.
+    pub fn exhaustion(&self) -> Option<ExhaustionReason> {
+        self.exhaustion
+    }
+
+    /// O(1) estimate of the solver's resident footprint in bytes: the clause
+    /// arena (problem + learnt clauses, u32 words), the trail, and the
+    /// per-variable bookkeeping (assignment, level, reason, phase, activity,
+    /// watch lists, heap slot — ~64 bytes amortized per variable). This is
+    /// deliberately an estimate, not an allocator query: it is cheap enough
+    /// to consult on the periodic budget stride and deterministic across
+    /// platforms, which keeps memory-cap exhaustion reproducible.
+    pub fn memory_bytes(&self) -> u64 {
+        let arena = self.db.arena_len() as u64 * 4;
+        let trail = self.trail.capacity() as u64 * 4;
+        let per_var = self.assigns.len() as u64 * 64;
+        // Each clause holds two watchers; approximate their storage without
+        // walking the watch lists (which would make the stride poll O(vars)).
+        let watchers = (self.db.num_problem() + self.db.num_learnt()) as u64
+            * 2
+            * std::mem::size_of::<Watcher>() as u64;
+        arena + trail + per_var + watchers
     }
 
     /// Current value of a literal.
@@ -1069,6 +1097,7 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
     /// On `Unsat`, [`Self::assumption_core`] names a conflicting subset.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.assumption_core.clear();
+        self.exhaustion = None;
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -1095,7 +1124,13 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
             let work = self.stats.propagations + self.stats.decisions;
             if work >= next_budget_check {
                 next_budget_check = work + self.budget.stride();
-                if self.budget.interrupted() {
+                if let Some(reason) = self.budget.interrupted_reason() {
+                    self.exhaustion = Some(reason);
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
+                if self.budget.memory_exceeded(self.memory_bytes()) {
+                    self.exhaustion = Some(ExhaustionReason::Memory);
                     self.cancel_until(0);
                     return SolveResult::Unknown;
                 }
@@ -1155,7 +1190,11 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                     self.record_learnt(learnt, lbd);
                     self.decay_var_activity();
                     self.decay_clause_activity();
-                    if self.budget.exhausted(self.stats.conflicts - conflict_base) {
+                    if let Some(reason) = self
+                        .budget
+                        .exhausted_reason(self.stats.conflicts - conflict_base)
+                    {
+                        self.exhaustion = Some(reason);
                         self.cancel_until(0);
                         return SolveResult::Unknown;
                     }
@@ -1189,6 +1228,7 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
 #[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
+    use crate::stats::CancelToken;
 
     fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
         (0..n).map(|_| s.new_var()).collect()
@@ -1369,6 +1409,49 @@ mod tests {
         }
         s.set_budget(Budget::with_max_conflicts(3));
         assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.exhaustion(), Some(ExhaustionReason::Conflicts));
+    }
+
+    #[test]
+    fn memory_cap_reports_unknown_with_memory_reason() {
+        // PHP(8,7) again, under a cap smaller than the solver's baseline
+        // footprint so the very first stride poll trips it. The solver must
+        // abort with a structured reason instead of growing without bound.
+        let mut s = Solver::new();
+        let n_p = 8;
+        let n_h = 7;
+        let x: Vec<Vec<Var>> = (0..n_p).map(|_| vars(&mut s, n_h)).collect();
+        for p in 0..n_p {
+            let clause: Vec<Lit> = (0..n_h).map(|h| x[p][h].positive()).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..n_h {
+            for p1 in 0..n_p {
+                for p2 in p1 + 1..n_p {
+                    s.add_clause(&[x[p1][h].negative(), x[p2][h].negative()]);
+                }
+            }
+        }
+        assert!(s.memory_bytes() > 64);
+        s.set_budget(Budget::unlimited().with_max_memory(64).with_check_stride(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.exhaustion(), Some(ExhaustionReason::Memory));
+        // A solvable budget afterwards clears the exhaustion marker.
+        s.set_budget(Budget::unlimited());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.exhaustion(), None);
+    }
+
+    #[test]
+    fn cancelled_solve_reports_cancelled_reason() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0].positive(), v[1].positive()]);
+        let tok = CancelToken::new();
+        tok.cancel();
+        s.set_budget(Budget::unlimited().with_cancel(tok).with_check_stride(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.exhaustion(), Some(ExhaustionReason::Cancelled));
     }
 
     #[test]

@@ -88,6 +88,70 @@ impl Stats {
     }
 }
 
+/// Why a solve stopped without a verdict.
+///
+/// Produced by [`Budget::exhausted_reason`] / [`Budget::interrupted_reason`]
+/// and surfaced by the solver (and every layer above it: sweep frames,
+/// portfolio members, the batch harness) whenever a call returns
+/// [`crate::SolveResult::Unknown`]. `Quarantined` is never produced by the
+/// solver itself — it is assigned by supervising layers (portfolio, batch
+/// harness) when a worker panicked and was caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExhaustionReason {
+    /// The deterministic conflict cap was reached.
+    Conflicts,
+    /// The wall-clock deadline passed.
+    Time,
+    /// The byte-accounted memory cap was exceeded (clause arena + trail +
+    /// per-variable bookkeeping), or a pre-blast size estimate rejected the
+    /// encoding outright.
+    Memory,
+    /// A shared [`CancelToken`] was tripped by another thread.
+    Cancelled,
+    /// The task panicked and was caught by a supervising layer.
+    Quarantined,
+}
+
+impl ExhaustionReason {
+    /// Stable lowercase identifier, used in journals, traces, and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExhaustionReason::Conflicts => "conflicts",
+            ExhaustionReason::Time => "time",
+            ExhaustionReason::Memory => "memory",
+            ExhaustionReason::Cancelled => "cancelled",
+            ExhaustionReason::Quarantined => "quarantined",
+        }
+    }
+
+    /// Inverse of [`ExhaustionReason::name`], for journal/trace parsing.
+    pub fn from_name(s: &str) -> Option<ExhaustionReason> {
+        Some(match s {
+            "conflicts" => ExhaustionReason::Conflicts,
+            "time" => ExhaustionReason::Time,
+            "memory" => ExhaustionReason::Memory,
+            "cancelled" => ExhaustionReason::Cancelled,
+            "quarantined" => ExhaustionReason::Quarantined,
+            _ => return None,
+        })
+    }
+
+    /// Every variant, for exhaustive tests and chaos matrices.
+    pub const ALL: [ExhaustionReason; 5] = [
+        ExhaustionReason::Conflicts,
+        ExhaustionReason::Time,
+        ExhaustionReason::Memory,
+        ExhaustionReason::Cancelled,
+        ExhaustionReason::Quarantined,
+    ];
+}
+
+impl std::fmt::Display for ExhaustionReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A shared cooperative-cancellation flag.
 ///
 /// Cloning the token shares the underlying flag: any clone may
@@ -137,6 +201,13 @@ pub struct Budget {
     /// cancellation polls in the search loop. `None` uses
     /// [`Budget::DEFAULT_CHECK_STRIDE`].
     pub check_stride: Option<u64>,
+    /// Byte-accounted memory cap. The solver estimates its resident
+    /// footprint (clause arena — problem plus learnt — trail capacity, and
+    /// per-variable bookkeeping) on the same periodic stride as the
+    /// deadline poll; exceeding the cap aborts the solve with
+    /// [`ExhaustionReason::Memory`] instead of letting the allocator kill
+    /// the process.
+    pub max_memory_bytes: Option<u64>,
     deadline: Option<Instant>,
 }
 
@@ -187,6 +258,18 @@ impl Budget {
         self
     }
 
+    /// Caps the solver's estimated resident footprint at `bytes`.
+    pub fn with_max_memory(mut self, bytes: u64) -> Budget {
+        self.max_memory_bytes = Some(bytes);
+        self
+    }
+
+    /// `true` when a memory cap is set and `estimated_bytes` exceeds it.
+    #[inline]
+    pub fn memory_exceeded(&self, estimated_bytes: u64) -> bool {
+        matches!(self.max_memory_bytes, Some(cap) if estimated_bytes > cap)
+    }
+
     /// The effective periodic check stride.
     pub fn stride(&self) -> u64 {
         self.check_stride.unwrap_or(Self::DEFAULT_CHECK_STRIDE)
@@ -211,29 +294,44 @@ impl Budget {
 
     /// `true` once any limit is hit or the cancel token is tripped.
     pub fn exhausted(&self, conflicts: u64) -> bool {
+        self.exhausted_reason(conflicts).is_some()
+    }
+
+    /// Like [`Budget::exhausted`], but reports *which* limit was hit. The
+    /// conflict cap is checked first (deterministic reasons beat wall-clock
+    /// ones when both trip in the same poll).
+    pub fn exhausted_reason(&self, conflicts: u64) -> Option<ExhaustionReason> {
         if let Some(max) = self.max_conflicts {
             if conflicts >= max {
-                return true;
+                return Some(ExhaustionReason::Conflicts);
             }
         }
-        self.interrupted()
+        self.interrupted_reason()
     }
 
     /// The non-deterministic half of [`Budget::exhausted`]: cancellation and
     /// the wall-clock deadline, ignoring the conflict cap. This is what the
     /// periodic in-search poll consults.
     pub fn interrupted(&self) -> bool {
+        self.interrupted_reason().is_some()
+    }
+
+    /// Like [`Budget::interrupted`], but reports the cause. Cancellation is
+    /// checked before the deadline: when a portfolio winner cancels the
+    /// losers, the loser should report `Cancelled` even if its own deadline
+    /// happened to pass in the same stride.
+    pub fn interrupted_reason(&self) -> Option<ExhaustionReason> {
         if let Some(tok) = &self.cancel {
             if tok.is_cancelled() {
-                return true;
+                return Some(ExhaustionReason::Cancelled);
             }
         }
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
-                return true;
+                return Some(ExhaustionReason::Time);
             }
         }
-        false
+        None
     }
 }
 
@@ -297,6 +395,44 @@ mod tests {
         b.timeout = Some(Duration::from_secs(3600));
         b.restart_deadline();
         assert!(!b.exhausted(0));
+    }
+
+    #[test]
+    fn exhaustion_reason_names_round_trip() {
+        for r in ExhaustionReason::ALL {
+            assert_eq!(ExhaustionReason::from_name(r.name()), Some(r));
+            assert_eq!(format!("{r}"), r.name());
+        }
+        assert_eq!(ExhaustionReason::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn conflict_cap_wins_over_deadline() {
+        let mut b = Budget::with_limits(Some(5), Some(Duration::from_nanos(1)));
+        b.start();
+        std::thread::sleep(Duration::from_millis(2));
+        // Both tripped; the deterministic reason is reported.
+        assert_eq!(b.exhausted_reason(5), Some(ExhaustionReason::Conflicts));
+        assert_eq!(b.exhausted_reason(0), Some(ExhaustionReason::Time));
+    }
+
+    #[test]
+    fn cancel_reported_before_deadline() {
+        let tok = CancelToken::new();
+        let mut b = Budget::with_timeout(Duration::from_nanos(1)).with_cancel(tok.clone());
+        b.start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(b.interrupted_reason(), Some(ExhaustionReason::Time));
+        tok.cancel();
+        assert_eq!(b.interrupted_reason(), Some(ExhaustionReason::Cancelled));
+    }
+
+    #[test]
+    fn memory_cap() {
+        let b = Budget::unlimited().with_max_memory(1024);
+        assert!(!b.memory_exceeded(1024));
+        assert!(b.memory_exceeded(1025));
+        assert!(!Budget::unlimited().memory_exceeded(u64::MAX));
     }
 
     #[test]
