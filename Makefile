@@ -1,4 +1,4 @@
-.PHONY: build test bench-eog bench-eog-quick bench-sweep bench-sweep-quick
+.PHONY: build test bench-eog bench-eog-quick bench-sweep bench-sweep-quick trace-baselines trace-gate
 
 build:
 	cargo build --release
@@ -29,3 +29,56 @@ bench-sweep: build
 # Quick smoke variant for CI: quick-scale families, scratch output file.
 bench-sweep-quick: build
 	./target/release/sweep-bench --quick --tag ci-smoke --out /tmp/sweep-smoke.json
+
+# --- Trace analytics & the telemetry regression gate -------------------
+#
+# Baselines are one-line `metrics` NDJSON files checked in under
+# tests/baselines/, one per example program, produced by the fixed recipe
+# below (--mm all --incremental --max-bound 4, default seed). All gated
+# metrics (solver work counters, distribution percentiles, quality shares)
+# are deterministic for a fixed seed; wall-clock metrics ride along but
+# stay informational in the gate.
+
+TRACE_EXAMPLES := $(wildcard examples/programs/*.zc)
+TRACE_GATE_DIR := target/trace-gate
+
+# Re-record the checked-in baselines. Run after a change that legitimately
+# shifts solver telemetry, and commit the diff.
+trace-baselines: build
+	@mkdir -p tests/baselines
+	@for prog in $(TRACE_EXAMPLES); do \
+		name=$$(basename $$prog .zc); \
+		./target/release/zpre-cli verify $$prog --mm all --incremental \
+			--max-bound 4 --trace-out /tmp/baseline_$$name.ndjson \
+			>/dev/null 2>&1 || test $$? -eq 1 || exit 1; \
+		./target/release/zpre-cli trace stats /tmp/baseline_$$name.ndjson \
+			--json > tests/baselines/$$name.metrics.json; \
+		echo "recorded tests/baselines/$$name.metrics.json"; \
+	done
+
+# The CI telemetry regression gate: rerun the baseline recipe on every
+# example, diff against the checked-in baseline at +-20%, and fail on any
+# gated regression. Traces and flamegraphs land in $(TRACE_GATE_DIR) so CI
+# can upload them as artifacts.
+trace-gate: build
+	@mkdir -p $(TRACE_GATE_DIR)
+	@fail=0; for prog in $(TRACE_EXAMPLES); do \
+		name=$$(basename $$prog .zc); \
+		./target/release/zpre-cli verify $$prog --mm all --incremental \
+			--max-bound 4 --trace-out $(TRACE_GATE_DIR)/$$name.ndjson \
+			>/dev/null 2>&1 || test $$? -eq 1 || exit 1; \
+		./target/release/zpre-cli trace check $(TRACE_GATE_DIR)/$$name.ndjson \
+			> /dev/null || exit 1; \
+		./target/release/zpre-cli trace flame $(TRACE_GATE_DIR)/$$name.ndjson \
+			--out $(TRACE_GATE_DIR)/$$name.folded 2> /dev/null; \
+		echo "== $$name"; \
+		./target/release/zpre-cli trace diff \
+			tests/baselines/$$name.metrics.json \
+			$(TRACE_GATE_DIR)/$$name.ndjson --gate-tolerance 20% \
+			| tee $(TRACE_GATE_DIR)/$$name.diff.txt | tail -1; \
+		./target/release/zpre-cli trace diff \
+			tests/baselines/$$name.metrics.json \
+			$(TRACE_GATE_DIR)/$$name.ndjson --gate-tolerance 20% --json \
+			> $(TRACE_GATE_DIR)/$$name.diff.ndjson || fail=1; \
+	done; \
+	test $$fail -eq 0 || { echo "trace-gate: telemetry regressed"; exit 1; }

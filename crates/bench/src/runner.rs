@@ -126,6 +126,14 @@ pub struct RowTelemetry {
     pub cc_visited: u64,
     /// Topological-level promotions performed by forward passes.
     pub cc_promoted: u64,
+    /// Conflict-LBD distribution: median (0 when no conflicts).
+    pub lbd_p50: u64,
+    /// Conflict-LBD distribution: 90th percentile.
+    pub lbd_p90: u64,
+    /// Conflict-LBD distribution: 99th percentile.
+    pub lbd_p99: u64,
+    /// EOG lemma cycle length, 90th percentile (0 when no lemmas).
+    pub cycle_len_p90: u64,
 }
 
 impl RowTelemetry {
@@ -166,6 +174,10 @@ impl RowTelemetry {
             cc_accepted_o1: c.cycle_accepted_o1,
             cc_visited: c.cycle_visited,
             cc_promoted: c.cycle_promoted,
+            lbd_p50: snap.hists.conflict_lbd.percentile(0.50),
+            lbd_p90: snap.hists.conflict_lbd.percentile(0.90),
+            lbd_p99: snap.hists.conflict_lbd.percentile(0.99),
+            cycle_len_p90: snap.hists.lemma_cycle_len.percentile(0.90),
         }
     }
 }
@@ -397,7 +409,7 @@ where
 }
 
 /// The CSV header line (no trailing newline) matching [`csv_row`].
-pub const CSV_HEADER: &str = "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok,winner,cancel_latency_ms,certified,quarantined,unroll_ms,ssa_ms,tele_encode_ms,blast_ms,tele_solve_ms,dec_rf_ext,dec_rf_int,dec_ws,dec_other,obs_conflicts,cc_checks,cc_accepted_o1,cc_visited,cc_promoted";
+pub const CSV_HEADER: &str = "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok,winner,cancel_latency_ms,certified,quarantined,unroll_ms,ssa_ms,tele_encode_ms,blast_ms,tele_solve_ms,dec_rf_ext,dec_rf_int,dec_ws,dec_other,obs_conflicts,cc_checks,cc_accepted_o1,cc_visited,cc_promoted,lbd_p50,lbd_p90,lbd_p99,cycle_len_p90";
 
 // Certificate summaries contain commas; quote free-text columns.
 fn quoted(s: Option<&str>) -> String {
@@ -409,10 +421,10 @@ pub fn csv_row(r: &TaskResult) -> String {
     // Telemetry columns stay empty (not zero) when telemetry was off,
     // so downstream tooling can tell "unmeasured" from "measured zero".
     let tele = r.telemetry.as_ref().map_or_else(
-        || ",,,,,,,,,,,,,".to_string(),
+        || ",,,,,,,,,,,,,,,,,".to_string(),
         |t| {
             format!(
-                "{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{}",
+                "{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 t.unroll_ms,
                 t.ssa_ms,
                 t.encode_ms,
@@ -426,7 +438,11 @@ pub fn csv_row(r: &TaskResult) -> String {
                 t.cc_checks,
                 t.cc_accepted_o1,
                 t.cc_visited,
-                t.cc_promoted
+                t.cc_promoted,
+                t.lbd_p50,
+                t.lbd_p90,
+                t.lbd_p99,
+                t.cycle_len_p90
             )
         },
     );
@@ -546,7 +562,8 @@ pub fn telemetry_json(t: Option<&RowTelemetry>) -> String {
             "{{\"unroll_ms\": {:.3}, \"ssa_ms\": {:.3}, \"encode_ms\": {:.3}, \
              \"blast_ms\": {:.3}, \"solve_ms\": {:.3}, \"dec_rf_ext\": {}, \
              \"dec_rf_int\": {}, \"dec_ws\": {}, \"dec_other\": {}, \"obs_conflicts\": {}, \
-             \"cc_checks\": {}, \"cc_accepted_o1\": {}, \"cc_visited\": {}, \"cc_promoted\": {}}}",
+             \"cc_checks\": {}, \"cc_accepted_o1\": {}, \"cc_visited\": {}, \"cc_promoted\": {}, \
+             \"lbd_p50\": {}, \"lbd_p90\": {}, \"lbd_p99\": {}, \"cycle_len_p90\": {}}}",
             t.unroll_ms,
             t.ssa_ms,
             t.encode_ms,
@@ -560,7 +577,11 @@ pub fn telemetry_json(t: Option<&RowTelemetry>) -> String {
             t.cc_checks,
             t.cc_accepted_o1,
             t.cc_visited,
-            t.cc_promoted
+            t.cc_promoted,
+            t.lbd_p50,
+            t.lbd_p90,
+            t.lbd_p99,
+            t.cycle_len_p90
         ),
     }
 }
@@ -654,6 +675,23 @@ mod tests {
                 t.obs_conflicts, r.conflicts,
                 "{} {} {}: event-stream conflicts must match stats",
                 r.task, r.mm, r.strategy
+            );
+            // LBD percentiles are monotone and present exactly when a
+            // conflict was observed (every conflict has LBD >= 1).
+            assert!(
+                t.lbd_p50 <= t.lbd_p90 && t.lbd_p90 <= t.lbd_p99,
+                "{} {} {}: LBD percentiles must be monotone",
+                r.task,
+                r.mm,
+                r.strategy
+            );
+            assert_eq!(
+                t.lbd_p99 > 0,
+                t.obs_conflicts > 0,
+                "{} {} {}: LBD p99 must track conflict presence",
+                r.task,
+                r.mm,
+                r.strategy
             );
             // The guide explains the histogram: ZPRE front-loads
             // interference classes, so whenever it decided anything it

@@ -15,7 +15,12 @@
 //! zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]
 //! zpre-cli dump   FILE [--mm sc|tso|pso] [--unroll N]
 //! zpre-cli pretty FILE
-//! zpre-cli trace-check FILE
+//! zpre-cli trace check FILE
+//! zpre-cli trace top   FILE [-n N]
+//! zpre-cli trace stats FILE [--json]
+//! zpre-cli trace flame FILE [--out FILE]
+//! zpre-cli trace diff  BASE NEW [--gate-tolerance PCT] [--gate-time]
+//!                               [--all] [--json]
 //! ```
 //!
 //! `batch` runs every (file × memory model) pair as one resilient
@@ -55,9 +60,24 @@
 //! external-RF/internal-RF/WS/other, conflicts, theory lemmas with
 //! event-order-graph cycle length, restarts, learnt-DB reductions) as
 //! NDJSON; `--trace-sample N` keeps only every Nth decision event (counters
-//! stay exact). `trace-check` validates an NDJSON trace file's schema and
-//! internal invariants — the CI telemetry smoke job runs it on every
-//! example program.
+//! stay exact). `trace check` (spelled `trace-check` historically; both
+//! work) validates an NDJSON trace file's schema and internal invariants —
+//! the CI telemetry smoke job runs it on every example program.
+//!
+//! The rest of the `trace` family analyzes what `--trace-out` wrote:
+//! `trace top` ranks phases by self time, `trace stats` flattens a trace
+//! into the named metric map (`--json` emits the one-line `metrics` form
+//! used as a CI baseline), `trace flame` exports a collapsed-stack
+//! flamegraph (`flamegraph.pl`/inferno format), and `trace diff BASE NEW`
+//! compares two traces (or metrics files) under a relative tolerance —
+//! exit 0 when the telemetry gate passes, 1 when a gated metric regressed.
+//! Tolerance accepts `20%` or `0.2`; wall-clock metrics stay informational
+//! unless `--gate-time` is given.
+//!
+//! `batch --heartbeat N` prints a progress line every N seconds and, with
+//! `--metrics-out FILE`, appends a `metrics` snapshot line on the same
+//! cadence — a killed batch leaves an inspectable trail, and `--resume`
+//! continues appending to it.
 //!
 //! `--certify` (and its witness-focused alias `--replay-witness`) asks the
 //! pipeline to certify definitive verdicts: Safe verdicts carry a
@@ -90,11 +110,17 @@ fn usage() -> ExitCode {
          zpre-cli batch FILE... [--mm sc|tso|pso|all] [--strategy NAME] [--max-bound K] \
          [--budget CONFLICTS] [--timeout-ms N] [--max-memory-mib N] [--journal FILE] \
          [--resume] [--retries N] [--backoff-ms N] [--fault member-oom|deadline-skew|\
-corrupt-journal] [--kill-after N] [--json] [--profile] [--trace-out FILE]\n  \
+corrupt-journal] [--kill-after N] [--heartbeat SECS] [--metrics-out FILE] [--json] \
+         [--profile] [--trace-out FILE]\n  \
          zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]\n  \
          zpre-cli dump FILE [--mm sc|tso|pso] [--unroll N]\n  \
          zpre-cli pretty FILE\n  \
-         zpre-cli trace-check FILE\n\nstrategies: baseline zpre- zpre zpre-h2 zpre-h3 \
+         zpre-cli trace check FILE\n  \
+         zpre-cli trace top FILE [-n N]\n  \
+         zpre-cli trace stats FILE [--json]\n  \
+         zpre-cli trace flame FILE [--out FILE]\n  \
+         zpre-cli trace diff BASE NEW [--gate-tolerance PCT] [--gate-time] [--all] \
+         [--json]\n\nstrategies: baseline zpre- zpre zpre-h2 zpre-h3 \
          zpre-fixed-true zpre-no-revprop branch-cond"
     );
     ExitCode::from(2)
@@ -206,7 +232,25 @@ fn main() -> ExitCode {
         "oracle" => cmd_oracle(&args[1..]),
         "dump" => cmd_dump(&args[1..]),
         "pretty" => cmd_pretty(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
+        // Historical spelling, kept because CI scripts use it.
         "trace-check" => cmd_trace_check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// The trace analytics family: everything that consumes an NDJSON trace
+/// file after the fact.
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let Some(sub) = args.first() else {
+        return usage();
+    };
+    match sub.as_str() {
+        "check" => cmd_trace_check(&args[1..]),
+        "top" => cmd_trace_top(&args[1..]),
+        "stats" => cmd_trace_stats(&args[1..]),
+        "flame" => cmd_trace_flame(&args[1..]),
+        "diff" => cmd_trace_diff(&args[1..]),
         _ => usage(),
     }
 }
@@ -298,6 +342,14 @@ fn cmd_batch(args: &[String]) -> ExitCode {
                     eprintln!("{e}");
                     return usage();
                 }
+            },
+            "--heartbeat" => match flag_parse::<u64>(args, &mut i, "--heartbeat") {
+                Ok(secs) if secs >= 1 => opts.heartbeat = Some(Duration::from_secs(secs)),
+                _ => return usage(),
+            },
+            "--metrics-out" => match flag_value(args, &mut i, "--metrics-out") {
+                Ok(f) => opts.metrics_out = Some(PathBuf::from(f)),
+                Err(_) => return usage(),
             },
             "--json" => json = true,
             "--profile" => profile = true,
@@ -509,6 +561,219 @@ fn cmd_trace_check(args: &[String]) -> ExitCode {
             eprintln!("{path}: invalid trace: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Reads `path` and parses its trace blocks; any failure is reported and
+/// mapped to exit code 4 (I/O / invalid input).
+fn load_trace_blocks(path: &str) -> Result<Vec<zpre_obs::TraceSnapshot>, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::from(4)
+    })?;
+    zpre_obs::analyze::load_blocks(&text).map_err(|e| {
+        eprintln!("{path}: {e}");
+        ExitCode::from(4)
+    })
+}
+
+/// Collapsed stacks summed across every block in the trace (a batch or
+/// multi-model run writes several), deterministic lexicographic order.
+fn merged_stacks(blocks: &[zpre_obs::TraceSnapshot]) -> Vec<(String, u64)> {
+    let mut acc: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for b in blocks {
+        for (stack, self_us) in zpre_obs::flame::stack_entries(b) {
+            *acc.entry(stack).or_insert(0) += self_us;
+        }
+    }
+    acc.into_iter().collect()
+}
+
+/// Ranks span stacks by self time — the "where did the time go" one-liner.
+fn cmd_trace_top(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let mut n = 10usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-n" => match flag_parse(args, &mut i, "-n") {
+                Ok(k) if k >= 1 => n = k,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let blocks = match load_trace_blocks(path) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
+    let mut entries = merged_stacks(&blocks);
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let total: u64 = entries.iter().map(|(_, v)| v).sum();
+    println!("{:>12} {:>6}  stack", "self_us", "share");
+    for (stack, self_us) in entries.iter().take(n) {
+        let share = if total > 0 {
+            100.0 * *self_us as f64 / total as f64
+        } else {
+            0.0
+        };
+        println!("{self_us:>12} {share:>5.1}%  {stack}");
+    }
+    if entries.len() > n {
+        println!("  ... {} more stacks ({total} us total)", entries.len() - n);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Flattens a trace into the named metric map; `--json` prints the one-line
+/// `metrics` form that doubles as a CI baseline file.
+fn cmd_trace_stats(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let mut json = false;
+    for a in &args[1..] {
+        match a.as_str() {
+            "--json" => json = true,
+            _ => return usage(),
+        }
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(4);
+        }
+    };
+    let stats = match zpre_obs::analyze::load_stats(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(4);
+        }
+    };
+    if json {
+        println!("{}", stats.to_metrics_line());
+    } else {
+        println!("{:<24} {:>12}", "metric", "value");
+        for (name, value) in &stats.metrics {
+            println!("{name:<24} {value:>12}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Exports the collapsed-stack flamegraph (`flamegraph.pl`/inferno input).
+fn cmd_trace_flame(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let mut out: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => match flag_value(args, &mut i, "--out") {
+                Ok(f) => out = Some(f.to_owned()),
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let blocks = match load_trace_blocks(path) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
+    let mut text = String::new();
+    for (stack, self_us) in merged_stacks(&blocks) {
+        text.push_str(&format!("{stack} {self_us}\n"));
+    }
+    match out {
+        Some(file) => {
+            if let Err(e) = std::fs::write(&file, &text) {
+                eprintln!("cannot write {file}: {e}");
+                return ExitCode::from(4);
+            }
+            eprintln!("flame: {} stacks -> {file}", text.lines().count());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--gate-tolerance` accepts `20%` or a fraction `0.2`; bare numbers >= 1
+/// are read as percentages since a 100%+ fractional tolerance is useless.
+fn parse_tolerance(raw: &str) -> Option<f64> {
+    let (num, percent) = match raw.strip_suffix('%') {
+        Some(n) => (n, true),
+        None => (raw, false),
+    };
+    let v: f64 = num.parse().ok()?;
+    if !v.is_finite() || v < 0.0 {
+        return None;
+    }
+    Some(if percent || v >= 1.0 { v / 100.0 } else { v })
+}
+
+/// The telemetry regression gate: compares two traces (or `metrics`-line
+/// baselines) and exits 1 when a gated metric moved the wrong way beyond
+/// tolerance.
+fn cmd_trace_diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut opts = zpre_obs::DiffOptions::default();
+    let mut json = false;
+    let mut all = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--gate-tolerance" => match flag_value(args, &mut i, "--gate-tolerance") {
+                Ok(raw) => match parse_tolerance(raw) {
+                    Some(t) => opts.tolerance = t,
+                    None => {
+                        eprintln!("--gate-tolerance: invalid value {raw:?}");
+                        return usage();
+                    }
+                },
+                Err(_) => return usage(),
+            },
+            "--gate-time" => opts.gate_time = true,
+            "--json" => json = true,
+            "--all" => all = true,
+            flag if flag.starts_with("--") => return usage(),
+            path => paths.push(path),
+        }
+        i += 1;
+    }
+    let [base_path, new_path] = paths.as_slice() else {
+        return usage();
+    };
+    let load = |path: &str| -> Result<zpre_obs::analyze::TraceStats, ExitCode> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::from(4)
+        })?;
+        zpre_obs::analyze::load_stats(&text).map_err(|e| {
+            eprintln!("{path}: {e}");
+            ExitCode::from(4)
+        })
+    };
+    let (base, new) = match (load(base_path), load(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let report = zpre_obs::diff::diff(&base, &new, &opts);
+    if json {
+        print!("{}", report.to_ndjson());
+    } else {
+        print!("{}", report.render(all));
+    }
+    if report.gate_failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

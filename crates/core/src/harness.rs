@@ -48,7 +48,10 @@ use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use zpre_obs::metrics::{rss_bytes, MetricsRegistry};
 use zpre_obs::ndjson::{parse_line, JsonVal};
 use zpre_obs::{Phase, Recorder};
 use zpre_prog::{MemoryModel, Program};
@@ -116,6 +119,16 @@ pub struct BatchOptions {
     /// Trace recorder: batch task/retry/degradation/checkpoint counters
     /// and one `batch` phase span per task flow into it.
     pub recorder: Option<Recorder>,
+    /// Emit a one-line progress heartbeat (and, with
+    /// [`BatchOptions::metrics_out`], one NDJSON metrics snapshot) at this
+    /// interval while the batch runs. `None` disables the heartbeat thread
+    /// entirely.
+    pub heartbeat: Option<Duration>,
+    /// NDJSON metrics stream written by the heartbeat: one
+    /// `{"t":"metrics",…}` line per tick, flushed per line so a killed
+    /// batch leaves an inspectable trail. Appended to (with continuing
+    /// sequence numbers) when [`BatchOptions::resume`] is set.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for BatchOptions {
@@ -131,6 +144,8 @@ impl Default for BatchOptions {
             resume: false,
             fault: None,
             recorder: None,
+            heartbeat: None,
+            metrics_out: None,
         }
     }
 }
@@ -493,6 +508,137 @@ enum RungOutcome {
 }
 
 // ---------------------------------------------------------------------------
+// Heartbeat
+// ---------------------------------------------------------------------------
+
+/// Live batch progress shared with the heartbeat thread. Counters are
+/// relaxed atomics — the heartbeat is an observer, not a synchronizer.
+#[derive(Debug)]
+struct BatchProgress {
+    tasks_total: u64,
+    tasks_done: AtomicU64,
+    retries: AtomicU64,
+    degraded: AtomicU64,
+    /// `"<task key> [<rung>]"` of whatever is running right now.
+    current: Mutex<String>,
+}
+
+impl BatchProgress {
+    fn new(tasks_total: usize) -> BatchProgress {
+        BatchProgress {
+            tasks_total: tasks_total as u64,
+            tasks_done: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            current: Mutex::new(String::from("-")),
+        }
+    }
+
+    fn set_current(&self, key: &str, rung: &str) {
+        *self.current.lock().unwrap() = format!("{key} [{rung}]");
+    }
+
+    /// Snapshot the counters into a fresh registry for one metrics line.
+    fn registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.add("tasks_total", self.tasks_total);
+        reg.add("tasks_done", self.tasks_done.load(Ordering::Relaxed));
+        reg.add("batch_retries", self.retries.load(Ordering::Relaxed));
+        reg.add("batch_degraded", self.degraded.load(Ordering::Relaxed));
+        reg.set_gauge("rss_bytes", rss_bytes());
+        reg
+    }
+}
+
+/// The heartbeat thread: every interval (and once at start and stop, so
+/// even a batch shorter than one interval leaves a trail) it appends one
+/// metrics line to `metrics_out` and prints a one-line progress summary to
+/// stderr. Line-buffered appends, no fsync: losing the very last tick to a
+/// kill is acceptable for an observability stream, torn lines are not —
+/// and `writeln!` emits each line in one call.
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn spawn(
+        interval: Duration,
+        metrics_out: Option<PathBuf>,
+        resume: bool,
+        progress: Arc<BatchProgress>,
+    ) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let epoch = Instant::now();
+            // A fresh run truncates the stream; a resume continues it with
+            // monotone sequence numbers.
+            let mut seq = 0u64;
+            let mut file = metrics_out.and_then(|path| {
+                if resume {
+                    if let Ok(existing) = std::fs::read_to_string(&path) {
+                        seq = existing.lines().filter(|l| !l.trim().is_empty()).count() as u64;
+                    }
+                    OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&path)
+                        .ok()
+                } else {
+                    File::create(&path).ok()
+                }
+            });
+            loop {
+                let reg = progress.registry();
+                let elapsed_ms = epoch.elapsed().as_millis() as u64;
+                if let Some(f) = &mut file {
+                    if writeln!(f, "{}", reg.snapshot_line(seq, elapsed_ms)).is_err() {
+                        file = None;
+                    }
+                }
+                let current = progress.current.lock().unwrap().clone();
+                eprintln!(
+                    "[heartbeat {:>6.1}s] {}/{} done, {} retried, {} degraded, rss {} MiB, running {}",
+                    elapsed_ms as f64 / 1000.0,
+                    reg.counter("tasks_done"),
+                    reg.counter("tasks_total"),
+                    reg.counter("batch_retries"),
+                    reg.counter("batch_degraded"),
+                    reg.gauge("rss_bytes").unwrap_or(0) >> 20,
+                    current
+                );
+                seq += 1;
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Sleep in short slices so the final tick lands promptly
+                // after the batch finishes instead of one interval late.
+                let deadline = Instant::now() + interval;
+                while Instant::now() < deadline {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(25).min(interval));
+                }
+            }
+        });
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signal the thread to emit its final tick and wait for it.
+    fn finish(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -526,6 +672,16 @@ pub fn run_batch(tasks: &[BatchTask], opts: &BatchOptions) -> BatchOutcome {
         },
     });
 
+    let progress = Arc::new(BatchProgress::new(tasks.len()));
+    let heartbeat = opts.heartbeat.map(|interval| {
+        Heartbeat::spawn(
+            interval,
+            opts.metrics_out.clone(),
+            opts.resume,
+            Arc::clone(&progress),
+        )
+    });
+
     let mut out = BatchOutcome::default();
     for task in tasks {
         let _span = opts
@@ -536,6 +692,7 @@ pub fn run_batch(tasks: &[BatchTask], opts: &BatchOptions) -> BatchOutcome {
         // Layer 3: finished tasks are answered straight from the journal.
         if let Some((verdict, bound, exh)) = state.done.get(&task.key) {
             out.tasks_skipped += 1;
+            progress.tasks_done.fetch_add(1, Ordering::Relaxed);
             out.reports.push(TaskReport {
                 key: task.key.clone(),
                 verdict: *verdict,
@@ -569,6 +726,7 @@ pub fn run_batch(tasks: &[BatchTask], opts: &BatchOptions) -> BatchOutcome {
                 resumed_at: None,
             };
             out.tasks_skipped += 1;
+            progress.tasks_done.fetch_add(1, Ordering::Relaxed);
             let alive = journal.borrow_mut().append(&task_line(
                 &task.key,
                 report.verdict,
@@ -596,6 +754,7 @@ pub fn run_batch(tasks: &[BatchTask], opts: &BatchOptions) -> BatchOutcome {
                     resumed_at: None,
                 };
                 out.tasks_skipped += 1;
+                progress.tasks_done.fetch_add(1, Ordering::Relaxed);
                 let alive = journal.borrow_mut().append(&task_line(
                     &task.key,
                     report.verdict,
@@ -615,7 +774,9 @@ pub fn run_batch(tasks: &[BatchTask], opts: &BatchOptions) -> BatchOutcome {
             r.record_batch_task();
         }
         out.tasks_run += 1;
-        let (report, killed) = run_task(task, opts, safe_prefix, &journal, &mut out);
+        progress.set_current(&task.key, "primary");
+        let (report, killed) = run_task(task, opts, safe_prefix, &journal, &mut out, &progress);
+        progress.tasks_done.fetch_add(1, Ordering::Relaxed);
         let mut alive = !killed;
         if alive {
             alive = journal.borrow_mut().append(&task_line(
@@ -631,6 +792,10 @@ pub fn run_batch(tasks: &[BatchTask], opts: &BatchOptions) -> BatchOutcome {
             break;
         }
     }
+    if let Some(hb) = heartbeat {
+        *progress.current.lock().unwrap() = String::from("-");
+        hb.finish();
+    }
     out.journal_error = journal.borrow_mut().error.take();
     out
 }
@@ -643,6 +808,7 @@ fn run_task(
     safe_prefix: u32,
     journal: &RefCell<Journal>,
     out: &mut BatchOutcome,
+    hb: &BatchProgress,
 ) -> (TaskReport, bool) {
     let rungs = build_ladder(task.strategy, task.max_bound);
     let mut ladder: Vec<RungRecord> = Vec::new();
@@ -655,6 +821,7 @@ fn run_task(
 
     for (idx, (rung, strategy, bound)) in rungs.iter().enumerate() {
         let mut attempt = 0u32;
+        hb.set_current(&task.key, rung.name());
         loop {
             if failures > 0 && !opts.backoff.is_zero() {
                 let exp = failures.min(16) - 1;
@@ -718,6 +885,7 @@ fn run_task(
                     if retryable(reason) && attempt < opts.max_retries {
                         attempt += 1;
                         out.retries += 1;
+                        hb.retries.fetch_add(1, Ordering::Relaxed);
                         if let Some(r) = &opts.recorder {
                             r.record_batch_retry();
                         }
@@ -735,6 +903,7 @@ fn run_task(
                     if reason.is_some_and(retryable) && attempt < opts.max_retries {
                         attempt += 1;
                         out.retries += 1;
+                        hb.retries.fetch_add(1, Ordering::Relaxed);
                         if let Some(r) = &opts.recorder {
                             r.record_batch_retry();
                         }
@@ -746,6 +915,7 @@ fn run_task(
             // Degrade to the next rung (if any).
             if idx + 1 < rungs.len() {
                 out.degradations += 1;
+                hb.degraded.fetch_add(1, Ordering::Relaxed);
                 if let Some(r) = &opts.recorder {
                     r.record_batch_degraded();
                 }
@@ -1168,6 +1338,63 @@ mod tests {
         // Time is transient: each rung retried once before degrading.
         assert!(out.retries >= 1);
         assert!(r.ladder.len() > 4, "retries + degradations all recorded");
+    }
+
+    #[test]
+    fn heartbeat_writes_metrics_trail_that_survives_kill_and_resume() {
+        let journal = tmp_journal("hb-journal");
+        let metrics = tmp_journal("hb-metrics");
+        let opts = BatchOptions {
+            journal: Some(journal.clone()),
+            heartbeat: Some(Duration::from_millis(10)),
+            metrics_out: Some(metrics.clone()),
+            // Kill mid-batch at a write boundary.
+            fault: Some(BatchFault::MidBatchKill(3)),
+            ..fast_opts()
+        };
+        let killed = run_batch(&tasks(), &opts);
+        assert!(killed.interrupted);
+        let first = std::fs::read_to_string(&metrics).unwrap();
+        let first_lines = first.lines().filter(|l| !l.trim().is_empty()).count();
+        assert!(first_lines >= 1, "at least the start tick landed");
+        // Every line is flat JSON tagged `metrics`, loadable by the
+        // analysis layer.
+        let stats = zpre_obs::analyze::load_stats(&first).expect("metrics stream");
+        assert_eq!(stats.get("tasks_total"), 4);
+
+        // Resume: the trail is appended, not truncated, and sequence
+        // numbers continue.
+        let resumed = run_batch(
+            &tasks(),
+            &BatchOptions {
+                journal: Some(journal.clone()),
+                heartbeat: Some(Duration::from_millis(10)),
+                metrics_out: Some(metrics.clone()),
+                resume: true,
+                ..fast_opts()
+            },
+        );
+        assert!(!resumed.interrupted);
+        let both = std::fs::read_to_string(&metrics).unwrap();
+        assert!(both.starts_with(&first), "resume must append, not truncate");
+        let seqs: Vec<u64> = both
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| {
+                parse_line(l.trim())
+                    .unwrap()
+                    .get("seq")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap()
+            })
+            .collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "seqs: {seqs:?}");
+        // The final tick reports the finished batch.
+        let stats = zpre_obs::analyze::load_stats(&both).expect("appended stream");
+        assert_eq!(stats.get("tasks_done"), 4);
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(&metrics);
     }
 
     #[test]

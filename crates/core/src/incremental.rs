@@ -274,6 +274,9 @@ fn sweep_impl(
         }
         let frame_time = t1.elapsed();
         solve_time += frame_time;
+        if let Some(r) = rec {
+            r.record_frame_solved(frame_time.as_micros() as u64);
+        }
         let after = *solver.stats();
 
         let frame_verdict = match result {

@@ -1,0 +1,353 @@
+//! Trace comparison and the telemetry regression gate.
+//!
+//! Compares two [`TraceStats`] metric maps (from raw traces or metrics-line
+//! baselines) under a relative tolerance and produces a machine-readable
+//! verdict per metric. Only metrics with a known *direction* participate in
+//! the gate: counters where less is better (conflicts, visited nodes, LBD
+//! percentiles) regress upward, shares where more is better (H1 share,
+//! O(1) acceptance) regress downward, and everything else — including all
+//! wall-clock metrics unless explicitly opted in — is informational, so a
+//! same-config rerun gates clean on any machine.
+
+use std::fmt::Write as _;
+
+use crate::analyze::TraceStats;
+
+/// Which way a metric is allowed to move without regressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Growth beyond tolerance is a regression (work counters).
+    LowerBetter,
+    /// Shrinkage beyond tolerance is a regression (quality shares).
+    HigherBetter,
+    /// Reported but never gated.
+    Info,
+}
+
+/// Per-metric comparison outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    Regressed,
+    Improved,
+    WithinNoise,
+    /// Ungated metric: the relative change is reported, nothing judged.
+    Info,
+}
+
+impl Verdict {
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Regressed => "regressed",
+            Verdict::Improved => "improved",
+            Verdict::WithinNoise => "within-noise",
+            Verdict::Info => "info",
+        }
+    }
+}
+
+/// Gate configuration.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Relative tolerance: a gated metric may move by this fraction of the
+    /// baseline before it is judged. Default 0.20 (±20%).
+    pub tolerance: f64,
+    /// Relative changes are computed against `max(base, min_base)`, damping
+    /// small-count noise: going from 2 conflicts to 4 is not a 100%
+    /// regression worth failing CI over. Default 16.
+    pub min_base: u64,
+    /// Gate wall-clock metrics (`*_us`, `*_ms`) too. Off by default so the
+    /// gate stays deterministic across machines and CI load.
+    pub gate_time: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            tolerance: 0.20,
+            min_base: 16,
+            gate_time: false,
+        }
+    }
+}
+
+/// Direction of a metric by its stable name (the [`TraceStats`] vocabulary).
+/// Time metrics return [`Direction::Info`] here; [`diff`] upgrades them to
+/// [`Direction::LowerBetter`] under [`DiffOptions::gate_time`].
+pub fn direction_of(name: &str) -> Direction {
+    if name.ends_with("_us") || name.ends_with("_ms") || name == "elapsed_ms" {
+        return Direction::Info;
+    }
+    match name {
+        // Work the solver/theory had to do: less is better.
+        "decisions" | "conflicts" | "lemmas" | "restarts" | "reductions" | "cc_searched"
+        | "cc_visited" | "cc_promoted" => Direction::LowerBetter,
+        // Quality shares: more is better.
+        "h1_share_pm" | "cc_o1" => Direction::HigherBetter,
+        _ => {
+            // Distribution shape: smaller LBDs, shorter cycles, fewer
+            // visited nodes, shorter conflict windows — percentiles and
+            // maxima gate downward; raw observation counts follow their
+            // counter and are informational here (the counter gates).
+            let gated_hist = ["conflict_lbd", "lemma_cycle_len", "cycle_visited"];
+            for base in gated_hist {
+                for suffix in ["_p50", "_p90", "_p99", "_max"] {
+                    if name == format!("{base}{suffix}") {
+                        return Direction::LowerBetter;
+                    }
+                }
+            }
+            Direction::Info
+        }
+    }
+}
+
+/// One metric's comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    pub name: String,
+    pub base: u64,
+    pub new: u64,
+    /// Signed relative change against `max(base, min_base)`.
+    pub rel: f64,
+    pub verdict: Verdict,
+}
+
+/// Full comparison of two stat maps.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// One row per metric in the union of both maps, sorted by name.
+    pub rows: Vec<MetricDiff>,
+    /// Names of gated metrics judged [`Verdict::Regressed`].
+    pub regressed: Vec<String>,
+    /// Names of gated metrics judged [`Verdict::Improved`].
+    pub improved: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when the regression gate should fail.
+    pub fn gate_failed(&self) -> bool {
+        !self.regressed.is_empty()
+    }
+
+    /// Human-readable table: changed metrics first (largest |rel| first),
+    /// then a one-line verdict summary.
+    pub fn render(&self, all: bool) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12} {:>12} {:>8}  verdict",
+            "metric", "base", "new", "delta"
+        );
+        let mut rows: Vec<&MetricDiff> = self
+            .rows
+            .iter()
+            .filter(|r| all || r.base != r.new)
+            .collect();
+        rows.sort_by(|a, b| {
+            b.rel
+                .abs()
+                .partial_cmp(&a.rel.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        for r in rows {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>12} {:>12} {:>+7.1}%  {}",
+                r.name,
+                r.base,
+                r.new,
+                100.0 * r.rel,
+                r.verdict.name()
+            );
+        }
+        if self.gate_failed() {
+            let _ = writeln!(out, "\nGATE: regressed: {}", self.regressed.join(", "));
+        } else if !self.improved.is_empty() {
+            let _ = writeln!(out, "\nGATE: ok (improved: {})", self.improved.join(", "));
+        } else {
+            let _ = writeln!(out, "\nGATE: ok (all gated metrics within noise)");
+        }
+        out
+    }
+
+    /// Machine-readable NDJSON: one `diffrow` line per changed metric plus
+    /// a final `diffgate` line with the overall outcome.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for r in self.rows.iter().filter(|r| r.base != r.new) {
+            // Signed permille keeps the line integer-only like every other
+            // trace line.
+            let rel_pm = (r.rel * 1000.0).round() as i64;
+            let _ = writeln!(
+                out,
+                "{{\"t\":\"diffrow\",\"name\":\"{}\",\"base\":{},\"new\":{},\"rel_pm\":{},\"verdict\":\"{}\"}}",
+                r.name,
+                r.base,
+                r.new,
+                rel_pm,
+                r.verdict.name()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{{\"t\":\"diffgate\",\"failed\":{},\"regressed\":{},\"improved\":{}}}",
+            self.gate_failed(),
+            self.regressed.len(),
+            self.improved.len()
+        );
+        out
+    }
+}
+
+/// Compare `new` against `base` under `opts`.
+pub fn diff(base: &TraceStats, new: &TraceStats, opts: &DiffOptions) -> DiffReport {
+    let mut names: Vec<&String> = base.metrics.keys().chain(new.metrics.keys()).collect();
+    names.sort();
+    names.dedup();
+    let mut report = DiffReport::default();
+    for name in names {
+        let b = base.get(name);
+        let n = new.get(name);
+        let denom = b.max(opts.min_base) as f64;
+        let rel = (n as f64 - b as f64) / denom;
+        let mut dir = direction_of(name);
+        if dir == Direction::Info
+            && opts.gate_time
+            && (name.ends_with("_us") || name.ends_with("_ms"))
+        {
+            dir = Direction::LowerBetter;
+        }
+        let verdict = match dir {
+            Direction::Info => Verdict::Info,
+            _ if rel.abs() <= opts.tolerance => Verdict::WithinNoise,
+            Direction::LowerBetter if rel > 0.0 => Verdict::Regressed,
+            Direction::HigherBetter if rel < 0.0 => Verdict::Regressed,
+            _ => Verdict::Improved,
+        };
+        match verdict {
+            Verdict::Regressed => report.regressed.push(name.clone()),
+            Verdict::Improved => report.improved.push(name.clone()),
+            _ => {}
+        }
+        report.rows.push(MetricDiff {
+            name: name.clone(),
+            base: b,
+            new: n,
+            rel,
+            verdict,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn stats(pairs: &[(&str, u64)]) -> TraceStats {
+        TraceStats {
+            metrics: pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect::<BTreeMap<_, _>>(),
+        }
+    }
+
+    #[test]
+    fn identical_stats_gate_clean() {
+        let s = stats(&[("decisions", 1000), ("conflicts", 40), ("h1_share_pm", 800)]);
+        let report = diff(&s, &s, &DiffOptions::default());
+        assert!(!report.gate_failed());
+        assert!(report.rows.iter().all(|r| r.rel == 0.0));
+    }
+
+    #[test]
+    fn regressions_and_improvements_follow_direction() {
+        let base = stats(&[
+            ("decisions", 1000),
+            ("conflicts", 100),
+            ("h1_share_pm", 800),
+            ("cc_visited", 500),
+        ]);
+        let new = stats(&[
+            ("decisions", 1000),
+            ("conflicts", 150),   // +50%: regression (lower is better)
+            ("h1_share_pm", 600), // -25%: regression (higher is better)
+            ("cc_visited", 300),  // -40%: improvement
+        ]);
+        let report = diff(&base, &new, &DiffOptions::default());
+        assert!(report.gate_failed());
+        assert_eq!(report.regressed, vec!["conflicts", "h1_share_pm"]);
+        assert_eq!(report.improved, vec!["cc_visited"]);
+        let rendered = report.render(false);
+        assert!(rendered.contains("GATE: regressed: conflicts, h1_share_pm"));
+    }
+
+    #[test]
+    fn tolerance_and_min_base_damp_noise() {
+        // +19% stays inside the default 20% tolerance.
+        let base = stats(&[("conflicts", 100)]);
+        let new = stats(&[("conflicts", 119)]);
+        assert!(!diff(&base, &new, &DiffOptions::default()).gate_failed());
+
+        // 2 → 5 conflicts is +150% nominally, but the min_base floor of 16
+        // reads it as +18.75%: small-count noise, not a regression.
+        let base = stats(&[("conflicts", 2)]);
+        let new = stats(&[("conflicts", 5)]);
+        assert!(!diff(&base, &new, &DiffOptions::default()).gate_failed());
+
+        // A tighter tolerance flips the first case.
+        let base = stats(&[("conflicts", 100)]);
+        let new = stats(&[("conflicts", 119)]);
+        let tight = DiffOptions {
+            tolerance: 0.10,
+            ..DiffOptions::default()
+        };
+        assert!(diff(&base, &new, &tight).gate_failed());
+    }
+
+    #[test]
+    fn time_metrics_gate_only_when_asked() {
+        let base = stats(&[("phase_solve_us", 1000), ("wall_us", 2000)]);
+        let new = stats(&[("phase_solve_us", 9000), ("wall_us", 9500)]);
+        let report = diff(&base, &new, &DiffOptions::default());
+        assert!(!report.gate_failed());
+        assert!(report.rows.iter().all(|r| r.verdict == Verdict::Info));
+        let timed = DiffOptions {
+            gate_time: true,
+            ..DiffOptions::default()
+        };
+        let report = diff(&base, &new, &timed);
+        assert!(report.gate_failed());
+        assert_eq!(report.regressed, vec!["phase_solve_us", "wall_us"]);
+    }
+
+    #[test]
+    fn missing_metrics_read_as_zero() {
+        // A metric present only in the baseline (new run never restarted):
+        // dropping to zero is an improvement for a LowerBetter metric.
+        let base = stats(&[("restarts", 50)]);
+        let new = stats(&[]);
+        let report = diff(&base, &new, &DiffOptions::default());
+        assert_eq!(report.improved, vec!["restarts"]);
+        // And appearing from zero beyond tolerance regresses.
+        let report = diff(&new, &base, &DiffOptions::default());
+        assert_eq!(report.regressed, vec!["restarts"]);
+    }
+
+    #[test]
+    fn ndjson_output_is_flat_and_integer_only() {
+        let base = stats(&[("conflicts", 100)]);
+        let new = stats(&[("conflicts", 150)]);
+        let report = diff(&base, &new, &DiffOptions::default());
+        let text = report.to_ndjson();
+        for line in text.lines() {
+            let map = crate::ndjson::parse_line(line).expect("flat JSON");
+            assert!(map.contains_key("t"));
+        }
+        assert!(text.contains("\"t\":\"diffgate\",\"failed\":true"));
+        assert!(text.contains("\"rel_pm\":500"));
+    }
+}

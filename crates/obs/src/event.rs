@@ -82,8 +82,10 @@ pub enum Event {
     Conflict { level: u32, lbd: u32 },
     /// An order-theory lemma blocking an EOG cycle of `cycle_len` edges.
     TheoryLemma { cycle_len: u32 },
-    /// A solver restart.
-    Restart,
+    /// A solver restart. `conflicts` is the restart interval: conflicts
+    /// resolved since the previous restart (or since solving began), the
+    /// raw observation behind the restart-interval histogram.
+    Restart { conflicts: u64 },
     /// A learnt-database reduction that removed `removed` clauses.
     Reduction { removed: u64 },
     /// One EOG cycle check by the order theory. `accepted_o1` is true when

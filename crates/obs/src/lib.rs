@@ -15,17 +15,27 @@
 //! 3. **Export**: NDJSON traces ([`ndjson::to_ndjson`], validated by
 //!    [`ndjson::validate`]) and a human ASCII profile
 //!    ([`report::profile_report`]).
+//! 4. **Analysis**: distribution metrics ([`metrics::Histogram`], fed by the
+//!    recorder alongside the exact counters), trace loading/aggregation
+//!    ([`analyze`]), collapsed-stack flamegraph export ([`flame`]), and
+//!    trace comparison with a regression gate ([`diff`]).
 //!
 //! The crate is intentionally free of dependencies (std only) so every layer
 //! of the workspace — including `zpre-sat`, which otherwise depends on
 //! nothing — can link it without cycles.
 
+pub mod analyze;
+pub mod diff;
 pub mod event;
+pub mod flame;
+pub mod metrics;
 pub mod ndjson;
 pub mod recorder;
 pub mod report;
 
+pub use diff::{DiffOptions, DiffReport, Verdict};
 pub use event::{Event, EventSink, VarClass};
+pub use metrics::{Histogram, Hists, MetricsRegistry};
 pub use recorder::{
     Counters, EventKind, EventRecord, MemberRecord, Phase, Recorder, Span, SpanRecord, TraceConfig,
     TraceSnapshot,

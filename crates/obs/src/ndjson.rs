@@ -9,9 +9,10 @@
 //! | `decision`  | solver decision (seq, var, class, level, guided) |
 //! | `conflict`  | solver conflict (seq, level, lbd)            |
 //! | `lemma`     | order-theory lemma (seq, cycle_len)          |
-//! | `restart`   | solver restart (seq)                         |
+//! | `restart`   | solver restart (seq, conflicts since last)   |
 //! | `reduction` | learnt-DB reduction (seq, removed)           |
 //! | `member`    | portfolio member telemetry                   |
+//! | `hist`      | one distribution (name, count/sum/min/max, sparse buckets) |
 //! | `summary`   | exact counters; terminates a trace block     |
 //!
 //! A file may hold several concatenated blocks (one per memory model when the
@@ -21,6 +22,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::event::VarClass;
+use crate::metrics::Histogram;
 use crate::recorder::{
     Counters, EventKind, EventRecord, MemberRecord, Phase, SpanRecord, TraceSnapshot,
 };
@@ -173,9 +175,9 @@ fn event_line(e: &EventRecord) -> String {
             o.num("seq", e.seq).num("cycle_len", cycle_len as u64);
             o
         }
-        EventKind::Restart => {
+        EventKind::Restart { conflicts } => {
             let mut o = Obj::new("restart");
-            o.num("seq", e.seq);
+            o.num("seq", e.seq).num("conflicts", conflicts);
             o
         }
         EventKind::Reduction { removed } => {
@@ -199,6 +201,17 @@ fn member_line(m: &MemberRecord) -> String {
         .num("conflicts", m.conflicts)
         .num("time_us", m.time_us)
         .opt_str("error", m.error.as_deref());
+    o.finish()
+}
+
+fn hist_line(name: &str, h: &Histogram) -> String {
+    let mut o = Obj::new("hist");
+    o.str("name", name)
+        .num("count", h.count())
+        .num("sum", h.sum())
+        .num("min", h.min())
+        .num("max", h.max())
+        .str("buckets", &h.encode_buckets());
     o.finish()
 }
 
@@ -246,6 +259,13 @@ pub fn to_ndjson(snap: &TraceSnapshot) -> String {
     for m in &snap.members {
         out.push_str(&member_line(m));
         out.push('\n');
+    }
+    // Empty distributions are elided: a `hist` line asserts observations.
+    for (name, h) in snap.hists.named() {
+        if h.count() > 0 {
+            out.push_str(&hist_line(&name, h));
+            out.push('\n');
+        }
     }
     out.push_str(&summary_line(snap));
     out.push('\n');
@@ -407,18 +427,27 @@ fn opt_string(map: &BTreeMap<String, JsonVal>, k: &str) -> Option<String> {
 /// Parse a single NDJSON block back into a [`TraceSnapshot`]. Inverse of
 /// [`to_ndjson`] for blocks produced by it (the round-trip is exact).
 pub fn from_ndjson(text: &str) -> Result<TraceSnapshot, String> {
+    from_ndjson_at(text, 1)
+}
+
+/// [`from_ndjson`] for a block that starts at absolute line `first_line` of
+/// a larger file: parse errors report file line numbers, so a failure inside
+/// the third concatenated block points at the real line, not an offset into
+/// the block.
+pub fn from_ndjson_at(text: &str, first_line: usize) -> Result<TraceSnapshot, String> {
     let mut snap = TraceSnapshot::default();
     let mut saw_summary = false;
     for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + first_line;
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
         if saw_summary {
-            return Err(format!("line {}: content after summary", lineno + 1));
+            return Err(format!("line {lineno}: content after summary"));
         }
-        let map = parse_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        let tag = get_str(&map, "t").map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let map = parse_line(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let tag = get_str(&map, "t").map_err(|e| format!("line {lineno}: {e}"))?;
         let res: Result<(), String> = (|| {
             match tag {
                 "span" => {
@@ -473,7 +502,11 @@ pub fn from_ndjson(text: &str) -> Result<TraceSnapshot, String> {
                     snap.events.push(EventRecord {
                         seq: get_num(&map, "seq")?,
                         member: opt_string(&map, "member"),
-                        kind: EventKind::Restart,
+                        kind: EventKind::Restart {
+                            // The interval arrived after PR 3; absent in old
+                            // traces, so it parses leniently.
+                            conflicts: get_num(&map, "conflicts").unwrap_or(0),
+                        },
                     });
                 }
                 "reduction" => {
@@ -484,6 +517,21 @@ pub fn from_ndjson(text: &str) -> Result<TraceSnapshot, String> {
                             removed: get_num(&map, "removed")?,
                         },
                     });
+                }
+                "hist" => {
+                    let name = get_str(&map, "name")?;
+                    let h = Histogram::decode(
+                        get_num(&map, "count")?,
+                        get_num(&map, "sum")?,
+                        get_num(&map, "min")?,
+                        get_num(&map, "max")?,
+                        get_str(&map, "buckets")?,
+                    )
+                    .map_err(|e| format!("hist {name:?}: {e}"))?;
+                    *snap
+                        .hists
+                        .by_name_mut(name)
+                        .ok_or_else(|| format!("unknown hist name {name:?}"))? = h;
                 }
                 "member" => {
                     snap.members.push(MemberRecord {
@@ -535,7 +583,7 @@ pub fn from_ndjson(text: &str) -> Result<TraceSnapshot, String> {
             }
             Ok(())
         })();
-        res.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        res.map_err(|e| format!("line {lineno}: {e}"))?;
     }
     if !saw_summary {
         return Err("trace block has no summary line".into());
@@ -567,6 +615,9 @@ pub fn validate(text: &str) -> Result<TraceReport, String> {
     let mut block_start = 1usize;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
+            // Keep blank lines in the block so its line numbering stays
+            // aligned with the file's (errors report absolute lines).
+            block.push('\n');
             continue;
         }
         block.push_str(line);
@@ -591,7 +642,7 @@ pub fn validate(text: &str) -> Result<TraceReport, String> {
 }
 
 fn validate_block(block: &str, start_line: usize, report: &mut TraceReport) -> Result<(), String> {
-    let snap = from_ndjson(block).map_err(|e| format!("block at line {start_line}: {e}"))?;
+    let snap = from_ndjson_at(block, start_line)?;
     let mut last_seq: Option<u64> = None;
     let mut recorded_decisions = 0u64;
     let mut recorded_conflicts = 0u64;
@@ -634,6 +685,43 @@ fn validate_block(block: &str, start_line: usize, report: &mut TraceReport) -> R
             "block at line {start_line}: cycle-check split broken: o1 ({}) + searched ({}) != total ({})",
             c.cycle_accepted_o1, c.cycle_searched, c.cycle_checks
         ));
+    }
+    // Distribution/counter reconciliation: each histogram is fed on exactly
+    // the event path its counter tracks, so a present histogram must agree
+    // with the summary. Absent histograms (count 0) are fine — pre-histogram
+    // traces carry none.
+    for (name, h, counter, counter_name) in [
+        (
+            "conflict_lbd",
+            &snap.hists.conflict_lbd,
+            c.conflicts,
+            "conflicts",
+        ),
+        (
+            "lemma_cycle_len",
+            &snap.hists.lemma_cycle_len,
+            c.theory_lemmas,
+            "lemmas",
+        ),
+        (
+            "restart_interval",
+            &snap.hists.restart_interval,
+            c.restarts,
+            "restarts",
+        ),
+        (
+            "cycle_visited",
+            &snap.hists.cycle_visited,
+            c.cycle_searched,
+            "cc_searched",
+        ),
+    ] {
+        if h.count() != 0 && h.count() != counter {
+            return Err(format!(
+                "block at line {start_line}: hist {name:?} has {} observations but summary key {counter_name:?} is {counter}",
+                h.count()
+            ));
+        }
     }
     for s in &snap.spans {
         if !s.closed {
@@ -689,7 +777,7 @@ mod tests {
         }
         solver.emit(Event::Conflict { level: 3, lbd: 2 });
         solver.emit(Event::TheoryLemma { cycle_len: 5 });
-        solver.emit(Event::Restart);
+        solver.emit(Event::Restart { conflicts: 1 });
         solver.emit(Event::Reduction { removed: 7 });
         solver.emit(Event::CycleCheck {
             visited: 0,
@@ -776,6 +864,100 @@ mod tests {
         assert!(validate(&tampered)
             .unwrap_err()
             .contains("cycle-check split"));
+    }
+
+    #[test]
+    fn hist_lines_round_trip_and_reconcile() {
+        let snap = sample_snapshot();
+        let text = to_ndjson(&snap);
+        // The sample conflicts/lemmas/restarts all feed their histograms.
+        assert!(text.contains("\"t\":\"hist\",\"name\":\"conflict_lbd\""));
+        assert!(text.contains("\"name\":\"lemma_cycle_len\""));
+        assert!(text.contains("\"name\":\"restart_interval\""));
+        let back = from_ndjson(&text).expect("parse back");
+        assert_eq!(back.hists, snap.hists);
+        // Tampering a histogram count breaks reconciliation with the
+        // summary counter and validate names both sides.
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"name\":\"conflict_lbd\""))
+            .unwrap();
+        let tampered_line = line
+            .replace("\"count\":1", "\"count\":2")
+            .replace("\"buckets\":\"2:1\"", "\"buckets\":\"2:2\"");
+        let tampered = text.replace(line, &tampered_line);
+        let err = validate(&tampered).unwrap_err();
+        assert!(err.contains("conflict_lbd"), "got: {err}");
+        assert!(err.contains("conflicts"), "got: {err}");
+    }
+
+    #[test]
+    fn errors_carry_absolute_line_numbers_and_key() {
+        let snap = sample_snapshot();
+        let mut text = to_ndjson(&snap);
+        let first_block_lines = text.lines().count();
+        text.push_str(&to_ndjson(&snap));
+        // Break a line in the SECOND block: drop a required key.
+        let broken = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i >= first_block_lines && l.contains("\"t\":\"conflict\"") {
+                    l.replace("\"lbd\":2", "\"xlbd\":2")
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = validate(&broken).unwrap_err();
+        // The error names the offending key and the absolute file line.
+        assert!(err.contains("\"lbd\""), "got: {err}");
+        let bad_line = 1 + text
+            .lines()
+            .enumerate()
+            .position(|(i, l)| i >= first_block_lines && l.contains("\"t\":\"conflict\""))
+            .unwrap();
+        assert!(err.contains(&format!("line {bad_line}")), "got: {err}");
+    }
+
+    /// Compile-guard: this exhaustive struct literal fails to build when a
+    /// field is added to `Counters`, forcing the author to extend it here —
+    /// and the round-trip assertion then fails until `summary_line` *and*
+    /// the `from_ndjson` summary parser both carry the new field.
+    #[test]
+    fn counters_round_trip_is_exhaustive() {
+        let counters = Counters {
+            decisions: [11, 12, 13, 14],
+            guided: [5, 6, 7, 8],
+            conflicts: 21,
+            theory_lemmas: 22,
+            lemma_cycle_edges: 23,
+            restarts: 24,
+            reductions: 25,
+            clauses_removed: 26,
+            cycle_checks: 60,
+            cycle_accepted_o1: 33,
+            cycle_searched: 27,
+            cycle_visited: 28,
+            cycle_promoted: 29,
+            dropped_events: 30,
+            frames: 31,
+            frame_reused_learnts: 32,
+            frame_reused_conflicts: 33,
+            batch_tasks: 34,
+            batch_retries: 35,
+            batch_degraded: 36,
+            batch_checkpoints: 37,
+        };
+        let snap = TraceSnapshot {
+            decision_sample: 3,
+            counters: counters.clone(),
+            ..TraceSnapshot::default()
+        };
+        let back = from_ndjson(&to_ndjson(&snap)).expect("parse back");
+        assert_eq!(back.counters, counters);
+        assert_eq!(back.decision_sample, 3);
     }
 
     #[test]

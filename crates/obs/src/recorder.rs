@@ -8,6 +8,7 @@ use std::thread::ThreadId;
 use std::time::Instant;
 
 use crate::event::{Event, EventSink, VarClass};
+use crate::metrics::Hists;
 
 /// Pipeline phases tracked by the recorder. One variant per stage named in the
 /// observability plan; `Encode` spans carry the memory model in their label.
@@ -137,7 +138,10 @@ pub enum EventKind {
     TheoryLemma {
         cycle_len: u32,
     },
-    Restart,
+    Restart {
+        /// Conflicts since the previous restart (the restart interval).
+        conflicts: u64,
+    },
     Reduction {
         removed: u64,
     },
@@ -229,6 +233,8 @@ pub struct TraceSnapshot {
     pub events: Vec<EventRecord>,
     pub members: Vec<MemberRecord>,
     pub counters: Counters,
+    /// Distribution metrics (histograms) fed alongside the counters.
+    pub hists: Hists,
 }
 
 struct Inner {
@@ -239,6 +245,11 @@ struct Inner {
     /// Raw solver var index -> class, installed after encoding.
     classes: Vec<VarClass>,
     counters: Counters,
+    hists: Hists,
+    /// Per-member decisions-per-class since that member's last conflict —
+    /// the open conflict window behind the decision-to-conflict-distance
+    /// histograms. Keyed by member label (`None` = the unlabeled stream).
+    conflict_window: HashMap<Option<String>, [u64; VarClass::COUNT]>,
     /// Global event sequence; monotone across all threads (one mutex).
     seq: u64,
     /// Per-thread span nesting depth.
@@ -290,6 +301,8 @@ impl Recorder {
                     members: Vec::new(),
                     classes: Vec::new(),
                     counters: Counters::default(),
+                    hists: Hists::default(),
+                    conflict_window: HashMap::new(),
                     seq: 0,
                     depth: HashMap::new(),
                 }),
@@ -364,6 +377,14 @@ impl Recorder {
         inner.counters.frame_reused_conflicts += reused_conflicts;
     }
 
+    /// Record the wall-clock duration of one completed frame solve into the
+    /// per-frame solve-time histogram (the [`Recorder::record_frame`]
+    /// counterpart called once the solve returns).
+    pub fn record_frame_solved(&self, solve_us: u64) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.hists.frame_solve_us.observe(solve_us);
+    }
+
     /// Record the start of one batch-harness task.
     pub fn record_batch_task(&self) {
         self.shared.inner.lock().unwrap().counters.batch_tasks += 1;
@@ -399,7 +420,13 @@ impl Recorder {
             events: inner.events.clone(),
             members: inner.members.clone(),
             counters: inner.counters.clone(),
+            hists: inner.hists.clone(),
         }
+    }
+
+    /// Distribution metrics only (cheaper than a full snapshot).
+    pub fn hists(&self) -> Hists {
+        self.shared.inner.lock().unwrap().hists.clone()
     }
 
     /// Exact counters only (cheaper than a full snapshot).
@@ -424,6 +451,12 @@ impl EventSink for Recorder {
                 if guided {
                     inner.counters.guided[class.index()] += 1;
                 }
+                // Open conflict window: this member made one more decision
+                // of `class` since its last conflict.
+                inner
+                    .conflict_window
+                    .entry(self.member_string())
+                    .or_default()[class.index()] += 1;
                 if inner.cfg.events && !n.is_multiple_of(inner.cfg.decision_sample as u64) {
                     inner.counters.dropped_events += 1;
                     return;
@@ -437,16 +470,31 @@ impl EventSink for Recorder {
             }
             Event::Conflict { level, lbd } => {
                 inner.counters.conflicts += 1;
+                inner.hists.conflict_lbd.observe(lbd as u64);
+                // Close this member's conflict window: observe each class's
+                // decision count since the previous conflict. Classes that
+                // made no decisions in the window are skipped — absence is
+                // not a distance of zero.
+                if let Some(window) = inner.conflict_window.remove(&self.member_string()) {
+                    for cls in VarClass::all() {
+                        let n = window[cls.index()];
+                        if n > 0 {
+                            inner.hists.dec_to_conflict[cls.index()].observe(n);
+                        }
+                    }
+                }
                 EventKind::Conflict { level, lbd }
             }
             Event::TheoryLemma { cycle_len } => {
                 inner.counters.theory_lemmas += 1;
                 inner.counters.lemma_cycle_edges += cycle_len as u64;
+                inner.hists.lemma_cycle_len.observe(cycle_len as u64);
                 EventKind::TheoryLemma { cycle_len }
             }
-            Event::Restart => {
+            Event::Restart { conflicts } => {
                 inner.counters.restarts += 1;
-                EventKind::Restart
+                inner.hists.restart_interval.observe(conflicts);
+                EventKind::Restart { conflicts }
             }
             Event::Reduction { removed } => {
                 inner.counters.reductions += 1;
@@ -465,6 +513,7 @@ impl EventSink for Recorder {
                     inner.counters.cycle_accepted_o1 += 1;
                 } else {
                     inner.counters.cycle_searched += 1;
+                    inner.hists.cycle_visited.observe(visited as u64);
                 }
                 inner.counters.cycle_visited += visited as u64;
                 inner.counters.cycle_promoted += promoted as u64;
@@ -628,7 +677,7 @@ mod tests {
             events: false,
             decision_sample: 1,
         });
-        rec.emit(Event::Restart);
+        rec.emit(Event::Restart { conflicts: 17 });
         rec.emit(Event::Reduction { removed: 42 });
         rec.emit(Event::TheoryLemma { cycle_len: 4 });
         let snap = rec.snapshot();
@@ -637,6 +686,46 @@ mod tests {
         assert_eq!(snap.counters.clauses_removed, 42);
         assert_eq!(snap.counters.theory_lemmas, 1);
         assert_eq!(snap.counters.lemma_cycle_edges, 4);
+        // Histograms are fed even when event storage is off.
+        assert_eq!(snap.hists.restart_interval.count(), 1);
+        assert_eq!(snap.hists.restart_interval.max(), 17);
+        assert_eq!(snap.hists.lemma_cycle_len.count(), 1);
+    }
+
+    #[test]
+    fn conflict_windows_are_per_member_and_per_class() {
+        let rec = Recorder::default();
+        rec.set_var_classes(vec![VarClass::ExternalRf, VarClass::Ws]);
+        let a = rec.member_labeled("a");
+        let b = rec.member_labeled("b");
+        // Member a: 3 external-RF decisions, then a conflict.
+        for _ in 0..3 {
+            a.emit(Event::Decision {
+                var: 0,
+                level: 1,
+                guided: true,
+            });
+        }
+        // Member b decides too, but never conflicts: its window stays open
+        // and must not leak into the histograms.
+        b.emit(Event::Decision {
+            var: 1,
+            level: 1,
+            guided: false,
+        });
+        a.emit(Event::Conflict { level: 1, lbd: 2 });
+        let snap = rec.snapshot();
+        let ext = &snap.hists.dec_to_conflict[VarClass::ExternalRf.index()];
+        assert_eq!(ext.count(), 1);
+        assert_eq!(ext.max(), 3);
+        // b's Ws decision is still in flight — no observation.
+        assert_eq!(snap.hists.dec_to_conflict[VarClass::Ws.index()].count(), 0);
+        // Classes with zero decisions in the window are skipped entirely.
+        assert_eq!(
+            snap.hists.dec_to_conflict[VarClass::Other.index()].count(),
+            0
+        );
+        assert_eq!(snap.hists.conflict_lbd.count(), 1);
     }
 
     #[test]

@@ -10,6 +10,38 @@ fn ms(us: u64) -> f64 {
     us as f64 / 1000.0
 }
 
+/// Share of `part` in `whole` as a percentage, clamped to 100: nested or
+/// overlapping spans can sum past the wall clock, but a display share never
+/// exceeds it. `None` when there is no denominator to take a share of.
+fn pct_of(part: u64, whole: u64) -> Option<f64> {
+    if whole == 0 {
+        None
+    } else {
+        Some((100.0 * part as f64 / whole as f64).min(100.0))
+    }
+}
+
+/// Right-aligned percentage cell; `—` when there is no denominator.
+fn pct_cell(pct: Option<f64>) -> String {
+    match pct {
+        Some(p) => format!("{p:>6.1}%"),
+        None => format!("{:>7}", "—"),
+    }
+}
+
+/// `#`-bar at 2.5% per character, capped at 40 characters. Total, not
+/// saturating, arithmetic: the input is already clamped and NaN maps to an
+/// empty bar, so the `usize` cast cannot wrap.
+fn bar(pct: Option<f64>) -> String {
+    let chars = (pct.unwrap_or(0.0) / 2.5).round();
+    let chars = if chars.is_finite() {
+        chars.clamp(0.0, 40.0) as usize
+    } else {
+        0
+    };
+    "#".repeat(chars)
+}
+
 /// Render the phase profile, decision histogram, solver event summary, and
 /// portfolio member table as an ASCII report.
 pub fn profile_report(snap: &TraceSnapshot) -> String {
@@ -52,30 +84,25 @@ pub fn profile_report(snap: &TraceSnapshot) -> String {
             if let Some(l) = label {
                 let _ = write!(name, "[{l}]");
             }
-            let pct = if wall_us > 0 {
-                100.0 * total_us as f64 / wall_us as f64
-            } else {
-                0.0
-            };
-            let bar = "#".repeat((pct / 2.5).round().clamp(0.0, 40.0) as usize);
+            let pct = pct_of(total_us, wall_us);
             let _ = writeln!(
                 out,
-                "{:<22} {:>6} {:>12.3} {:>6.1}%  {}",
+                "{:<22} {:>6} {:>12.3} {}  {}",
                 name,
                 count,
                 ms(total_us),
-                pct,
-                bar
+                pct_cell(pct),
+                bar(pct)
             );
         }
     }
     let _ = writeln!(
         out,
-        "{:<22} {:>6} {:>12.3} {:>6.1}%",
+        "{:<22} {:>6} {:>12.3} {}",
         "total(top-level)",
         snap.spans.iter().filter(|s| s.depth == 0).count(),
         ms(wall_us),
-        100.0
+        pct_cell(pct_of(wall_us, wall_us))
     );
 
     // ---- decision histogram ---------------------------------------------
@@ -89,34 +116,25 @@ pub fn profile_report(snap: &TraceSnapshot) -> String {
     );
     for cls in VarClass::all() {
         let n = c.decisions[cls.index()];
-        let pct = if total > 0 {
-            100.0 * n as f64 / total as f64
-        } else {
-            0.0
-        };
-        let bar = "#".repeat((pct / 2.5).round().clamp(0.0, 40.0) as usize);
+        let pct = pct_of(n, total);
         let _ = writeln!(
             out,
-            "{:<14} {:>12} {:>12} {:>6.1}%  {}",
+            "{:<14} {:>12} {:>12} {}  {}",
             cls.name(),
             n,
             c.guided[cls.index()],
-            pct,
-            bar
+            pct_cell(pct),
+            bar(pct)
         );
     }
     let interference = c.interference_decisions();
     let _ = writeln!(
         out,
-        "{:<14} {:>12} {:>12} {:>6.1}%",
+        "{:<14} {:>12} {:>12} {}",
         "interference",
         interference,
         "",
-        if total > 0 {
-            100.0 * interference as f64 / total as f64
-        } else {
-            0.0
-        }
+        pct_cell(pct_of(interference, total))
     );
 
     // ---- solver events ---------------------------------------------------
@@ -162,6 +180,32 @@ pub fn profile_report(snap: &TraceSnapshot) -> String {
             "decision events sampled 1/{} ({} dropped from the stream; counters exact)",
             snap.decision_sample, c.dropped_events
         );
+    }
+
+    // ---- distributions ---------------------------------------------------
+    let named = snap.hists.named();
+    if named.iter().any(|(_, h)| h.count() > 0) {
+        out.push_str("\ndistributions\n");
+        let _ = writeln!(
+            out,
+            "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "metric", "count", "p50", "p90", "p99", "max"
+        );
+        for (name, h) in named {
+            if h.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                h.count(),
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.99),
+                h.max()
+            );
+        }
     }
 
     // ---- portfolio members ----------------------------------------------
@@ -261,6 +305,8 @@ mod tests {
         assert!(report.contains("cycle-checks 2 (1 O(1)-accepted, 1 searched"));
         assert!(report.contains("portfolio members"));
         assert!(report.contains("winner"));
+        assert!(report.contains("distributions"));
+        assert!(report.contains("conflict_lbd"));
     }
 
     #[test]
@@ -268,5 +314,44 @@ mod tests {
         let report = profile_report(&TraceSnapshot::default());
         assert!(report.contains("phase profile"));
         assert!(report.contains("decisions by variable class"));
+        // No denominator → shares render as `—`, never 0.0% or NaN.
+        assert!(report.contains("—"));
+        assert!(!report.contains("NaN"));
+        // An empty snapshot has no distributions section.
+        assert!(!report.contains("distributions"));
+    }
+
+    #[test]
+    fn shares_clamp_at_100_percent() {
+        // Two overlapping top-level spans make each phase's share of the
+        // summed wall clock well-defined, but a hand-built snapshot can
+        // still claim a phase longer than the wall: the display must clamp.
+        let snap = TraceSnapshot {
+            spans: vec![
+                crate::recorder::SpanRecord {
+                    phase: Phase::Solve,
+                    label: None,
+                    member: None,
+                    depth: 0,
+                    start_us: 0,
+                    dur_us: 10,
+                    closed: true,
+                },
+                crate::recorder::SpanRecord {
+                    phase: Phase::Solve,
+                    label: None,
+                    member: None,
+                    depth: 1,
+                    start_us: 0,
+                    dur_us: 500,
+                    closed: true,
+                },
+            ],
+            ..TraceSnapshot::default()
+        };
+        let report = profile_report(&snap);
+        // The nested span is 50× the wall; its row shows 100.0%, not 5000%.
+        assert!(report.contains("100.0%"), "got:\n{report}");
+        assert!(!report.contains("5000.0%"), "got:\n{report}");
     }
 }

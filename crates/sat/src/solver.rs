@@ -1202,7 +1202,9 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                 None => {
                     if conflicts_since_restart >= restart_limit {
                         self.stats.restarts += 1;
-                        self.emit(Event::Restart);
+                        self.emit(Event::Restart {
+                            conflicts: conflicts_since_restart,
+                        });
                         self.restart_count += 1;
                         restart_limit = self.restart_limit();
                         conflicts_since_restart = 0;

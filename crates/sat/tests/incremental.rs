@@ -92,7 +92,7 @@ impl EventSink for DecisionCounter {
             Event::Decision { var, .. } if var >= self.lo && var < self.hi => {
                 self.decisions.fetch_add(1, Ordering::Relaxed);
             }
-            Event::Restart => {
+            Event::Restart { .. } => {
                 self.restarts.fetch_add(1, Ordering::Relaxed);
             }
             _ => {}
