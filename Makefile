@@ -1,4 +1,4 @@
-.PHONY: build test bench-eog bench-eog-quick bench-sweep bench-sweep-quick trace-baselines trace-gate
+.PHONY: build test bench-eog bench-eog-quick bench-sweep bench-sweep-quick bench-share bench-share-quick trace-baselines trace-gate
 
 build:
 	cargo build --release
@@ -29,6 +29,19 @@ bench-sweep: build
 # Quick smoke variant for CI: quick-scale families, scratch output file.
 bench-sweep-quick: build
 	./target/release/sweep-bench --quick --tag ci-smoke --out /tmp/sweep-smoke.json
+
+# Shared vs isolated portfolio comparison on the stress + wmm families
+# (plus a contended family generating heavy lemma traffic). Asserts
+# identical verdicts pair by pair, appends per-task rows and family
+# aggregates to BENCH_SHARE.json, and fails unless the shared aggregate
+# wall clock stays within tolerance of isolated with non-zero import hits.
+bench-share: build
+	./target/release/share-bench --tag "$${TAG:-local}"
+
+# Quick smoke variant for CI: quick-scale families, scratch output file,
+# looser timing bar (tiny tasks make portfolio timing noisy).
+bench-share-quick: build
+	./target/release/share-bench --quick --tag ci-smoke --tolerance 50 --out /tmp/share-smoke.json
 
 # --- Trace analytics & the telemetry regression gate -------------------
 #

@@ -47,6 +47,12 @@ pub struct TelemetrySummaryRow {
     pub cc_visited: u64,
     /// Topological-level promotions performed by forward passes.
     pub cc_promoted: u64,
+    /// Clauses exported to the portfolio share pool (0 without sharing).
+    pub sh_exported: u64,
+    /// Foreign clauses imported from the pool.
+    pub sh_imported: u64,
+    /// Propagations/conflicts driven by imported clauses.
+    pub sh_import_hits: u64,
 }
 
 impl TelemetrySummaryRow {
@@ -93,6 +99,9 @@ pub fn telemetry_summary(results: &[TaskResult]) -> Vec<TelemetrySummaryRow> {
         row.cc_accepted_o1 += t.cc_accepted_o1;
         row.cc_visited += t.cc_visited;
         row.cc_promoted += t.cc_promoted;
+        row.sh_exported += t.sh_exported;
+        row.sh_imported += t.sh_imported;
+        row.sh_import_hits += t.sh_import_hits;
     }
     per.into_values().collect()
 }
@@ -569,6 +578,9 @@ mod tests {
             cc_accepted_o1: 6,
             cc_visited: 12,
             cc_promoted: 2,
+            sh_exported: 7,
+            sh_imported: 3,
+            sh_import_hits: 2,
             ..RowTelemetry::default()
         });
         let mut b = mk("b", "sc", "zpre", "safe", 1.0);
@@ -581,6 +593,9 @@ mod tests {
             cc_accepted_o1: 2,
             cc_visited: 0,
             cc_promoted: 0,
+            sh_exported: 1,
+            sh_imported: 2,
+            sh_import_hits: 1,
             ..RowTelemetry::default()
         });
         let no_tele = mk("c", "sc", "baseline", "safe", 1.0);
@@ -601,6 +616,7 @@ mod tests {
             (10, 8, 12, 2)
         );
         assert!((r.cc_o1_pct() - 80.0).abs() < 1e-9);
+        assert_eq!((r.sh_exported, r.sh_imported, r.sh_import_hits), (8, 5, 3));
     }
 
     #[test]

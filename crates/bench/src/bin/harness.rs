@@ -294,7 +294,8 @@ fn telemetry_json_doc(results: &[TaskResult]) -> String {
              \"blast_ms\": {:.3}, \"solve_ms\": {:.3}, \"dec_rf_ext\": {}, \
              \"dec_rf_int\": {}, \"dec_ws\": {}, \"dec_other\": {}, \
              \"obs_conflicts\": {}, \"cc_checks\": {}, \"cc_accepted_o1\": {}, \
-             \"cc_visited\": {}, \"cc_promoted\": {}}}{}\n",
+             \"cc_visited\": {}, \"cc_promoted\": {}, \"sh_exported\": {}, \
+             \"sh_imported\": {}, \"sh_import_hits\": {}}}{}\n",
             r.mm,
             r.strategy,
             r.rows,
@@ -312,6 +313,9 @@ fn telemetry_json_doc(results: &[TaskResult]) -> String {
             r.cc_accepted_o1,
             r.cc_visited,
             r.cc_promoted,
+            r.sh_exported,
+            r.sh_imported,
+            r.sh_import_hits,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -321,7 +325,7 @@ fn telemetry_json_doc(results: &[TaskResult]) -> String {
 
 fn print_telemetry(results: &[TaskResult]) {
     println!(
-        "{:<5} {:<15} {:>10} {:>10} {:>10} {:>9} {:>9} {:>7} {:>9} {:>7} {:>10} {:>7} {:>10} {:>9}",
+        "{:<5} {:<15} {:>10} {:>10} {:>10} {:>9} {:>9} {:>7} {:>9} {:>7} {:>10} {:>7} {:>10} {:>9} {:>8} {:>8} {:>8}",
         "MM",
         "strategy",
         "encode(ms)",
@@ -335,11 +339,14 @@ fn print_telemetry(results: &[TaskResult]) {
         "cc",
         "o1%",
         "visited",
-        "promoted"
+        "promoted",
+        "sh_exp",
+        "sh_imp",
+        "sh_hits"
     );
     for r in telemetry_summary(results) {
         println!(
-            "{:<5} {:<15} {:>10.1} {:>10.1} {:>10.1} {:>9} {:>9} {:>7} {:>9} {:>6.1}% {:>10} {:>6.1}% {:>10} {:>9}",
+            "{:<5} {:<15} {:>10.1} {:>10.1} {:>10.1} {:>9} {:>9} {:>7} {:>9} {:>6.1}% {:>10} {:>6.1}% {:>10} {:>9} {:>8} {:>8} {:>8}",
             r.mm.to_uppercase(),
             r.strategy,
             r.encode_ms,
@@ -353,7 +360,10 @@ fn print_telemetry(results: &[TaskResult]) {
             r.cc_checks,
             r.cc_o1_pct(),
             r.cc_visited,
-            r.cc_promoted
+            r.cc_promoted,
+            r.sh_exported,
+            r.sh_imported,
+            r.sh_import_hits
         );
     }
 }

@@ -2,7 +2,9 @@
 
 use rayon::prelude::*;
 use std::time::Duration;
-use zpre::{try_verify, verify_portfolio, PortfolioOptions, Strategy, Verdict, VerifyOptions};
+use zpre::{
+    try_verify, verify_portfolio, PortfolioOptions, ShareConfig, Strategy, Verdict, VerifyOptions,
+};
 use zpre_obs::{Phase, Recorder, TraceConfig, VarClass};
 use zpre_prog::MemoryModel;
 use zpre_workloads::{Scale, Subcat, Task};
@@ -31,6 +33,10 @@ pub struct RunConfig {
     /// harness). Off by default so timing rows stay untouched by
     /// event-buffer overhead.
     pub telemetry: bool,
+    /// Cross-member clause sharing for portfolio measurements
+    /// ([`run_one_portfolio`] / [`run_suite_portfolio`]); single-strategy
+    /// rows ignore it (there is nobody to share with).
+    pub share: Option<ShareConfig>,
 }
 
 impl Default for RunConfig {
@@ -43,6 +49,7 @@ impl Default for RunConfig {
             validate: true,
             certify: false,
             telemetry: false,
+            share: None,
         }
     }
 }
@@ -134,6 +141,13 @@ pub struct RowTelemetry {
     pub lbd_p99: u64,
     /// EOG lemma cycle length, 90th percentile (0 when no lemmas).
     pub cycle_len_p90: u64,
+    /// Clauses exported to the portfolio share pool (0 without `--share`).
+    pub sh_exported: u64,
+    /// Foreign clauses imported from the pool.
+    pub sh_imported: u64,
+    /// Propagations/conflicts driven by imported clauses — the signal that
+    /// sharing did useful work, not just traffic.
+    pub sh_import_hits: u64,
 }
 
 impl RowTelemetry {
@@ -178,6 +192,9 @@ impl RowTelemetry {
             lbd_p90: snap.hists.conflict_lbd.percentile(0.90),
             lbd_p99: snap.hists.conflict_lbd.percentile(0.99),
             cycle_len_p90: snap.hists.lemma_cycle_len.percentile(0.90),
+            sh_exported: c.sh_exported,
+            sh_imported: c.sh_imported,
+            sh_import_hits: c.sh_import_hits,
         }
     }
 }
@@ -272,6 +289,7 @@ pub fn run_one(task: &Task, mm: MemoryModel, strategy: Strategy, cfg: &RunConfig
         certify: cfg.certify,
         fault: None,
         recorder: recorder.clone(),
+        share: None,
     };
     let telemetry = |rec: &Option<Recorder>| rec.as_ref().map(RowTelemetry::from_recorder);
     match try_verify(&task.program, &opts) {
@@ -346,8 +364,13 @@ pub fn run_one_portfolio(task: &Task, mm: MemoryModel, cfg: &RunConfig) -> TaskR
         certify: cfg.certify,
         fault: None,
         recorder: recorder.clone(),
+        share: None,
     };
-    let folio = verify_portfolio(&task.program, &PortfolioOptions::new(base));
+    let mut folio_opts = PortfolioOptions::new(base);
+    if let Some(share_cfg) = cfg.share {
+        folio_opts = folio_opts.with_share(share_cfg);
+    }
+    let folio = verify_portfolio(&task.program, &folio_opts);
     let out = &folio.outcome;
     TaskResult {
         task: task.name.clone(),
@@ -409,7 +432,7 @@ where
 }
 
 /// The CSV header line (no trailing newline) matching [`csv_row`].
-pub const CSV_HEADER: &str = "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok,winner,cancel_latency_ms,certified,quarantined,unroll_ms,ssa_ms,tele_encode_ms,blast_ms,tele_solve_ms,dec_rf_ext,dec_rf_int,dec_ws,dec_other,obs_conflicts,cc_checks,cc_accepted_o1,cc_visited,cc_promoted,lbd_p50,lbd_p90,lbd_p99,cycle_len_p90";
+pub const CSV_HEADER: &str = "task,subcat,mm,strategy,verdict,solve_ms,encode_ms,decisions,propagations,conflicts,guided_decisions,expected_ok,winner,cancel_latency_ms,certified,quarantined,unroll_ms,ssa_ms,tele_encode_ms,blast_ms,tele_solve_ms,dec_rf_ext,dec_rf_int,dec_ws,dec_other,obs_conflicts,cc_checks,cc_accepted_o1,cc_visited,cc_promoted,lbd_p50,lbd_p90,lbd_p99,cycle_len_p90,sh_exported,sh_imported,sh_import_hits";
 
 // Certificate summaries contain commas; quote free-text columns.
 fn quoted(s: Option<&str>) -> String {
@@ -421,10 +444,10 @@ pub fn csv_row(r: &TaskResult) -> String {
     // Telemetry columns stay empty (not zero) when telemetry was off,
     // so downstream tooling can tell "unmeasured" from "measured zero".
     let tele = r.telemetry.as_ref().map_or_else(
-        || ",,,,,,,,,,,,,,,,,".to_string(),
+        || ",,,,,,,,,,,,,,,,,,,,".to_string(),
         |t| {
             format!(
-                "{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 t.unroll_ms,
                 t.ssa_ms,
                 t.encode_ms,
@@ -442,7 +465,10 @@ pub fn csv_row(r: &TaskResult) -> String {
                 t.lbd_p50,
                 t.lbd_p90,
                 t.lbd_p99,
-                t.cycle_len_p90
+                t.cycle_len_p90,
+                t.sh_exported,
+                t.sh_imported,
+                t.sh_import_hits
             )
         },
     );
@@ -563,7 +589,8 @@ pub fn telemetry_json(t: Option<&RowTelemetry>) -> String {
              \"blast_ms\": {:.3}, \"solve_ms\": {:.3}, \"dec_rf_ext\": {}, \
              \"dec_rf_int\": {}, \"dec_ws\": {}, \"dec_other\": {}, \"obs_conflicts\": {}, \
              \"cc_checks\": {}, \"cc_accepted_o1\": {}, \"cc_visited\": {}, \"cc_promoted\": {}, \
-             \"lbd_p50\": {}, \"lbd_p90\": {}, \"lbd_p99\": {}, \"cycle_len_p90\": {}}}",
+             \"lbd_p50\": {}, \"lbd_p90\": {}, \"lbd_p99\": {}, \"cycle_len_p90\": {}, \
+             \"sh_exported\": {}, \"sh_imported\": {}, \"sh_import_hits\": {}}}",
             t.unroll_ms,
             t.ssa_ms,
             t.encode_ms,
@@ -581,7 +608,10 @@ pub fn telemetry_json(t: Option<&RowTelemetry>) -> String {
             t.lbd_p50,
             t.lbd_p90,
             t.lbd_p99,
-            t.cycle_len_p90
+            t.cycle_len_p90,
+            t.sh_exported,
+            t.sh_imported,
+            t.sh_import_hits
         ),
     }
 }
@@ -636,8 +666,11 @@ mod tests {
         let csv = to_csv(&results);
         assert_eq!(csv.lines().count(), results.len() + 1);
         assert!(csv.starts_with("task,"));
-        // Telemetry was off: the trailing telemetry columns are empty.
-        assert!(csv.lines().nth(1).unwrap().ends_with(",,,,,,,,,,,,,"));
+        // Telemetry was off: the trailing telemetry columns are empty, and
+        // the row still has exactly one field per header column.
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.ends_with(",,,,,,,,,,,,,"));
+        assert_eq!(row.split(',').count(), CSV_HEADER.split(',').count());
     }
 
     /// Table 2's decision and conflict columns must be reproducible from

@@ -144,6 +144,7 @@ pub fn compare_one(
         certify: false,
         fault: None,
         recorder: None,
+        share: None,
     };
 
     // Scratch: one fresh instance per bound, each paying its own encode.

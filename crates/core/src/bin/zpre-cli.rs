@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! zpre-cli verify FILE [--mm sc|tso|pso|all] [--strategy NAME] [--portfolio]
+//!                      [--share] [--share-lbd-max N]
 //!                      [--unroll N] [--bmc MAXBOUND]
 //!                      [--incremental] [--max-bound K]
 //!                      [--budget CONFLICTS] [--seed N] [--stats] [--trace]
@@ -92,8 +93,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 use zpre::{
     run_batch, try_verify, try_verify_sweep, verify_bmc, verify_portfolio, BatchFault,
-    BatchOptions, BatchTask, Certificate, PortfolioOptions, Strategy, Verdict, VerifyError,
-    VerifyOptions,
+    BatchOptions, BatchTask, Certificate, PortfolioOptions, ShareConfig, Strategy, Verdict,
+    VerifyError, VerifyOptions,
 };
 use zpre_obs::{profile_report, Recorder, TraceConfig};
 use zpre_prog::interp::{check_sc, Limits, Outcome};
@@ -103,6 +104,7 @@ use zpre_prog::{flatten, parse_program_traced, pretty, unroll_program, MemoryMod
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  zpre-cli verify FILE [--mm sc|tso|pso|all] [--strategy NAME] [--portfolio] \
+         [--share] [--share-lbd-max N] \
          [--unroll N] [--bmc MAXBOUND] [--incremental] [--max-bound K] \
          [--budget CONFLICTS] [--seed N] [--stats] [--trace] \
          [--profile] [--trace-out FILE] [--trace-sample N] \
@@ -898,6 +900,8 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     let mut show_stats = false;
     let mut want_trace = false;
     let mut portfolio = false;
+    let mut share = false;
+    let mut share_lbd_max: Option<u32> = None;
     let mut certify = false;
     let mut json = false;
     let mut profile = false;
@@ -959,6 +963,11 @@ fn cmd_verify(args: &[String]) -> ExitCode {
                 _ => return usage(),
             },
             "--portfolio" => portfolio = true,
+            "--share" => share = true,
+            "--share-lbd-max" => match flag_parse(args, &mut i, "--share-lbd-max") {
+                Ok(n) if n >= 1 => share_lbd_max = Some(n),
+                _ => return usage(),
+            },
             "--certify" | "--replay-witness" => certify = true,
             "--json" => json = true,
             _ => return usage(),
@@ -967,6 +976,10 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     }
     if portfolio && bmc.is_some() {
         eprintln!("--portfolio cannot be combined with --bmc");
+        return usage();
+    }
+    if (share || share_lbd_max.is_some()) && !portfolio {
+        eprintln!("--share/--share-lbd-max require --portfolio (sharing needs members)");
         return usage();
     }
     if certify && bmc.is_some() {
@@ -1013,9 +1026,17 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             certify,
             fault: None,
             recorder: recorder.clone(),
+            share: None,
         };
         if portfolio {
-            let folio = verify_portfolio(&program, &PortfolioOptions::new(opts));
+            let mut folio_opts = PortfolioOptions::new(opts);
+            if share || share_lbd_max.is_some() {
+                let cfg = share_lbd_max
+                    .map(ShareConfig::with_lbd_max)
+                    .unwrap_or_default();
+                folio_opts = folio_opts.with_share(cfg);
+            }
+            let folio = verify_portfolio(&program, &folio_opts);
             let verdict = folio.verdict();
             if json {
                 let winner = folio

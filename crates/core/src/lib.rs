@@ -75,7 +75,7 @@ pub use trace::{Trace, TraceStep};
 pub use verifier::{
     try_verify, try_verify_ssa, verify, verify_ssa, Verdict, VerifyOptions, VerifyOutcome,
 };
-pub use zpre_sat::ExhaustionReason;
+pub use zpre_sat::{ExhaustionReason, ShareConfig, ShareSpec};
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {

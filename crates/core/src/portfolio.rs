@@ -35,7 +35,7 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 use zpre_obs::MemberRecord;
 use zpre_prog::{flatten, to_ssa_traced, unroll_program_traced, FlatProgram, Program, SsaProgram};
-use zpre_sat::{CancelToken, ExhaustionReason};
+use zpre_sat::{CancelToken, ExhaustionReason, ShareConfig, ShareSpec, SharedPool};
 
 /// One racing configuration.
 #[derive(Clone, Debug)]
@@ -69,6 +69,12 @@ pub struct PortfolioOptions {
     pub base: VerifyOptions,
     /// The racing members, in result order.
     pub members: Vec<PortfolioMember>,
+    /// Learnt-clause sharing across members: when set, the race creates one
+    /// [`SharedPool`] and hands every member an interference-aware export/
+    /// import endpoint. Sound because every member solves the identical
+    /// CNF+theory instance. The bounded retry never shares — it exists to
+    /// re-check a suspect race from a clean slate.
+    pub share: Option<ShareConfig>,
 }
 
 impl PortfolioOptions {
@@ -88,7 +94,17 @@ impl PortfolioOptions {
                 seed: varied,
             },
         ];
-        PortfolioOptions { base, members }
+        PortfolioOptions {
+            base,
+            members,
+            share: None,
+        }
+    }
+
+    /// Enables cross-member clause sharing with `cfg`.
+    pub fn with_share(mut self, cfg: ShareConfig) -> PortfolioOptions {
+        self.share = Some(cfg);
+        self
     }
 }
 
@@ -219,6 +235,10 @@ fn portfolio_inner(
     );
     let token = CancelToken::new();
     let external = opts.base.cancel.clone();
+    // One pool per race; members get per-index endpoints below. Dropping
+    // the race drops the pool — shared clauses never outlive the instance
+    // they are consequences of.
+    let share_pool = opts.share.map(|cfg| (SharedPool::new(cfg.pool_cap), cfg));
     type Report = (usize, Result<VerifyOutcome, String>, Duration);
     let (tx, rx) = mpsc::channel::<Report>();
 
@@ -243,6 +263,11 @@ fn portfolio_inner(
                 .recorder
                 .as_ref()
                 .map(|r| r.member_labeled(&member.name));
+            member_opts.share = share_pool.as_ref().map(|(pool, cfg)| ShareSpec {
+                pool: std::sync::Arc::clone(pool),
+                member: i as u32,
+                cfg: *cfg,
+            });
             scope.spawn(move || {
                 let t0 = Instant::now();
                 let report = run_member(ssa, &member_opts, flat);
@@ -384,6 +409,7 @@ fn portfolio_inner(
         retry_opts.strategy = Strategy::Baseline;
         retry_opts.seed = opts.base.seed.wrapping_add(0xDEAD_BEEF);
         retry_opts.cancel = external;
+        retry_opts.share = None; // the retry re-checks from a clean slate
         retry_opts.recorder = opts
             .base
             .recorder
@@ -585,6 +611,7 @@ mod tests {
         let opts = PortfolioOptions {
             base: base.clone(),
             members: vec![PortfolioMember::new(Strategy::Zpre, base.seed)],
+            share: None,
         };
         let folio = verify_portfolio(&racy(), &opts);
         let single = crate::verifier::verify(&racy(), &base);
@@ -602,6 +629,35 @@ mod tests {
 
         let folio = verify_portfolio(&locked(), &PortfolioOptions::new(base));
         assert_eq!(folio.verdict(), Verdict::Safe);
+        assert!(folio.outcome.certificate.is_some());
+    }
+
+    #[test]
+    fn shared_portfolio_agrees_with_isolated_on_both_verdicts() {
+        for prog in [racy(), locked()] {
+            let base = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+            let isolated = verify_portfolio(&prog, &PortfolioOptions::new(base.clone()));
+            let shared = verify_portfolio(
+                &prog,
+                &PortfolioOptions::new(base).with_share(ShareConfig::default()),
+            );
+            assert_eq!(shared.verdict(), isolated.verdict(), "{}", prog.name);
+            assert!(shared.quarantined.is_empty(), "{}", prog.name);
+        }
+    }
+
+    #[test]
+    fn shared_certified_portfolio_still_certifies() {
+        // Imported theory lemmas join each member's journal; a certified
+        // Safe verdict must replay with shared lemmas in the proof.
+        let mut base = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
+        base.certify = true;
+        let folio = verify_portfolio(
+            &locked(),
+            &PortfolioOptions::new(base).with_share(ShareConfig::default()),
+        );
+        assert_eq!(folio.verdict(), Verdict::Safe, "{:?}", folio.unknown_reason);
+        assert!(folio.quarantined.is_empty(), "{:?}", folio.quarantined);
         assert!(folio.outcome.certificate.is_some());
     }
 

@@ -23,7 +23,8 @@ use zpre_prog::{
     flatten, to_ssa_traced, unroll_program_traced, FlatProgram, MemoryModel, Program, SsaProgram,
 };
 use zpre_sat::{
-    Budget, CancelToken, ExhaustionReason, PriorityListGuide, SolveResult, Solver, Stats,
+    Budget, CancelToken, ExhaustionReason, PriorityListGuide, ShareSpec, SolveResult, Solver,
+    Stats, Var,
 };
 use zpre_smt::{ClassCounts, OrderTheory, VarKind};
 
@@ -99,6 +100,14 @@ pub struct VerifyOptions {
     /// solver/theory stream structured events into it. `None` (the default)
     /// disables all instrumentation at the cost of one branch per site.
     pub recorder: Option<Recorder>,
+    /// Learnt-clause sharing endpoint for portfolio members. All members of
+    /// one portfolio run solve the same CNF+theory instance (identical SSA,
+    /// encoding, and variable numbering), so any clause one member learns is
+    /// a logical consequence for every other — the endpoint exports learnt
+    /// clauses and EOG-cycle lemmas to a shared pool and imports foreign
+    /// ones at root-level exchange points. `None` (the default) disables
+    /// sharing entirely.
+    pub share: Option<ShareSpec>,
 }
 
 impl Default for VerifyOptions {
@@ -118,6 +127,7 @@ impl Default for VerifyOptions {
             certify: false,
             fault: None,
             recorder: None,
+            share: None,
         }
     }
 }
@@ -264,6 +274,20 @@ pub(crate) fn verify_ssa_inner(
         let sink: Arc<dyn zpre_obs::EventSink> = Arc::new(r.clone());
         solver.set_event_sink(Some(sink.clone()));
         solver.theory.set_event_sink(Some(sink));
+    }
+
+    // Hook this member into the portfolio share pool. The hot-var table
+    // (external-RF interference variables get the relaxed LBD export cap)
+    // comes straight from the encoder registry, independent of any recorder.
+    if let Some(spec) = &opts.share {
+        solver.set_share(spec);
+        let hot: Vec<Var> = enc
+            .registry
+            .iter()
+            .filter(|(_, info)| matches!(info.kind, VarKind::Rf { external: true, .. }))
+            .map(|(v, _)| v)
+            .collect();
+        solver.set_share_hot_vars(&hot);
     }
 
     // Install the decision order for the chosen strategy.

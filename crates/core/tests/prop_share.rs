@@ -1,0 +1,98 @@
+//! Property test for portfolio clause sharing: a shared portfolio must
+//! agree with an isolated one on every verdict, across random programs,
+//! strategy combinations, seeds, and sharing policies. Every member
+//! solves the identical CNF+theory instance, so shared clauses are
+//! logical consequences and can never flip a verdict — this test pins
+//! that invariant against regressions in the export filter, the import
+//! path, or the pool itself.
+
+use proptest::prelude::*;
+use zpre::{
+    verify_portfolio, PortfolioMember, PortfolioOptions, ShareConfig, Strategy, Verdict,
+    VerifyOptions,
+};
+use zpre_prog::build::*;
+use zpre_prog::{MemoryModel, Program, Stmt};
+
+/// `threads` workers race `steps` lossy increments on a shared counter;
+/// the assertion is safe (`cnt <= threads*steps` holds always) or unsafe
+/// (`cnt == threads*steps` misses when an update is lost).
+fn racy_counter(threads: usize, steps: u64, safe: bool) -> Program {
+    let body: Vec<Stmt> = (0..steps)
+        .flat_map(|_| vec![assign("r", v("cnt")), assign("cnt", add(v("r"), c(1)))])
+        .collect();
+    let total = threads as u64 * steps;
+    let check = if safe {
+        assert_(le(v("cnt"), c(total)))
+    } else {
+        assert_(eq(v("cnt"), c(total)))
+    };
+    let mut b = ProgramBuilder::new("prop-share").shared("cnt", 0);
+    for t in 0..threads {
+        b = b.thread(&format!("w{t}"), body.clone());
+    }
+    let mut main: Vec<Stmt> = (1..=threads).map(spawn).collect();
+    main.extend((1..=threads).map(join));
+    main.push(check);
+    b.main(main).build()
+}
+
+/// Strategy line-ups a race can field; sharing needs >= 2 members.
+const COMBOS: &[&[Strategy]] = &[
+    &[Strategy::Zpre, Strategy::ZpreMinus],
+    &[Strategy::Zpre, Strategy::Baseline],
+    &[Strategy::ZpreMinus, Strategy::Baseline],
+    &[Strategy::Zpre, Strategy::ZpreMinus, Strategy::Baseline],
+    &[Strategy::Zpre, Strategy::Zpre],
+    &[Strategy::Baseline, Strategy::Baseline, Strategy::Baseline],
+];
+
+proptest! {
+    // Each case races two whole portfolios; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn shared_portfolio_agrees_with_isolated(
+        threads in 2usize..4,
+        steps in 1u64..3,
+        safe in any::<bool>(),
+        seed in any::<u64>(),
+        combo in 0usize..COMBOS.len(),
+        mm_idx in 0usize..3,
+        lbd_max in 1u32..6,
+    ) {
+        let program = racy_counter(threads, steps, safe);
+        let mm = MemoryModel::ALL[mm_idx];
+        let mut base = VerifyOptions::new(mm, Strategy::Zpre);
+        base.max_conflicts = Some(200_000);
+        base.seed = seed;
+        let members: Vec<PortfolioMember> = COMBOS[combo]
+            .iter()
+            .enumerate()
+            .map(|(i, &st)| PortfolioMember {
+                name: format!("{}#{i}", st.name()),
+                strategy: st,
+                // Distinct seeds per member so same-strategy line-ups
+                // still explore differently (and share usefully).
+                seed: seed.wrapping_add(i as u64),
+            })
+            .collect();
+        let mut isolated = PortfolioOptions::new(base);
+        isolated.members = members;
+        let shared = isolated.clone().with_share(ShareConfig::with_lbd_max(lbd_max));
+
+        let iso = verify_portfolio(&program, &isolated);
+        let sh = verify_portfolio(&program, &shared);
+        let expected = if safe { Verdict::Safe } else { Verdict::Unsafe };
+        prop_assert_eq!(
+            iso.outcome.verdict, expected,
+            "isolated portfolio missed the ground truth"
+        );
+        prop_assert_eq!(
+            sh.outcome.verdict, expected,
+            "shared portfolio flipped the verdict (combo {:?}, mm {}, lbd {})",
+            COMBOS[combo], mm.name(), lbd_max
+        );
+        prop_assert!(sh.quarantined.is_empty(), "sharing quarantined a member");
+    }
+}

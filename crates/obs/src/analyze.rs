@@ -67,6 +67,12 @@ impl TraceStats {
             counters.batch_retries += c.batch_retries;
             counters.batch_degraded += c.batch_degraded;
             counters.batch_checkpoints += c.batch_checkpoints;
+            counters.sh_exported += c.sh_exported;
+            counters.sh_exported_theory += c.sh_exported_theory;
+            counters.sh_exported_rf += c.sh_exported_rf;
+            counters.sh_imported += c.sh_imported;
+            counters.sh_dropped += c.sh_dropped;
+            counters.sh_import_hits += c.sh_import_hits;
             hists.merge(&snap.hists);
             for s in snap.spans.iter().filter(|s| s.depth == 0 && s.closed) {
                 *phase_us
@@ -107,6 +113,12 @@ impl TraceStats {
         m.insert("batch_tasks".into(), c.batch_tasks);
         m.insert("batch_retries".into(), c.batch_retries);
         m.insert("batch_degraded".into(), c.batch_degraded);
+        m.insert("sh_exported".into(), c.sh_exported);
+        m.insert("sh_exported_theory".into(), c.sh_exported_theory);
+        m.insert("sh_exported_rf".into(), c.sh_exported_rf);
+        m.insert("sh_imported".into(), c.sh_imported);
+        m.insert("sh_dropped".into(), c.sh_dropped);
+        m.insert("sh_import_hits".into(), c.sh_import_hits);
         for (name, h) in hists.named() {
             if h.count() == 0 {
                 continue;

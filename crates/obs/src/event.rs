@@ -98,6 +98,25 @@ pub enum Event {
         promoted: u32,
         accepted_o1: bool,
     },
+    /// Clause-sharing traffic deltas, emitted by a portfolio member at
+    /// exchange points (root-level imports) and once at solve exit. All
+    /// fields are increments since the member's previous `Share` event.
+    /// Folded into counters only — never stored in the event stream.
+    Share {
+        /// Clauses offered to the pool (any class).
+        exported: u64,
+        /// Subset of `exported` that were theory cycle lemmas.
+        exported_theory: u64,
+        /// Subset of `exported` that touched external-RF variables.
+        exported_rf: u64,
+        /// Foreign clauses attached by this member.
+        imported: u64,
+        /// Foreign clauses rejected (duplicate, ring overrun, root-satisfied,
+        /// or policy-filtered).
+        dropped: u64,
+        /// Times an imported clause propagated or conflicted here.
+        import_hits: u64,
+    },
 }
 
 /// Receiver for solver/theory events. Implementations must be cheap: the

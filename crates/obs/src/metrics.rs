@@ -231,6 +231,9 @@ pub struct Hists {
     pub restart_interval: Histogram,
     /// Wall-clock microseconds of each incremental-sweep frame solve.
     pub frame_solve_us: Histogram,
+    /// Imported-clause hits (propagations/conflicts on foreign clauses)
+    /// per share exchange, observed once per exchange that had any.
+    pub sh_import_hits: Histogram,
     /// Decisions of each class inside one conflict-to-conflict window,
     /// indexed by `VarClass::index()`: at every conflict, each class's
     /// decision count since the previous conflict is observed (zero counts
@@ -248,6 +251,7 @@ impl Hists {
             ("cycle_visited".into(), &self.cycle_visited),
             ("restart_interval".into(), &self.restart_interval),
             ("frame_solve_us".into(), &self.frame_solve_us),
+            ("sh_import_hits".into(), &self.sh_import_hits),
         ];
         for cls in VarClass::all() {
             out.push((
@@ -266,6 +270,7 @@ impl Hists {
             "cycle_visited" => Some(&mut self.cycle_visited),
             "restart_interval" => Some(&mut self.restart_interval),
             "frame_solve_us" => Some(&mut self.frame_solve_us),
+            "sh_import_hits" => Some(&mut self.sh_import_hits),
             _ => {
                 let cls = VarClass::all()
                     .into_iter()
@@ -285,6 +290,7 @@ impl Hists {
             cycle_visited,
             restart_interval,
             frame_solve_us,
+            sh_import_hits,
             dec_to_conflict,
         } = other;
         self.conflict_lbd.merge(conflict_lbd);
@@ -292,6 +298,7 @@ impl Hists {
         self.cycle_visited.merge(cycle_visited);
         self.restart_interval.merge(restart_interval);
         self.frame_solve_us.merge(frame_solve_us);
+        self.sh_import_hits.merge(sh_import_hits);
         for (mine, theirs) in self.dec_to_conflict.iter_mut().zip(dec_to_conflict) {
             mine.merge(theirs);
         }
@@ -502,7 +509,7 @@ mod tests {
     fn hists_named_and_by_name_agree() {
         let mut hists = Hists::default();
         let names: Vec<String> = hists.named().iter().map(|(n, _)| n.clone()).collect();
-        assert_eq!(names.len(), 5 + VarClass::COUNT);
+        assert_eq!(names.len(), 6 + VarClass::COUNT);
         for name in &names {
             hists
                 .by_name_mut(name)

@@ -241,7 +241,13 @@ fn summary_line(snap: &TraceSnapshot) -> String {
         .num("batch_tasks", c.batch_tasks)
         .num("batch_retries", c.batch_retries)
         .num("batch_degraded", c.batch_degraded)
-        .num("batch_checkpoints", c.batch_checkpoints);
+        .num("batch_checkpoints", c.batch_checkpoints)
+        .num("sh_exported", c.sh_exported)
+        .num("sh_exported_theory", c.sh_exported_theory)
+        .num("sh_exported_rf", c.sh_exported_rf)
+        .num("sh_imported", c.sh_imported)
+        .num("sh_dropped", c.sh_dropped)
+        .num("sh_import_hits", c.sh_import_hits);
     o.finish()
 }
 
@@ -576,6 +582,13 @@ pub fn from_ndjson_at(text: &str, first_line: usize) -> Result<TraceSnapshot, St
                     c.batch_retries = get_num(&map, "batch_retries").unwrap_or(0);
                     c.batch_degraded = get_num(&map, "batch_degraded").unwrap_or(0);
                     c.batch_checkpoints = get_num(&map, "batch_checkpoints").unwrap_or(0);
+                    // Clause-sharing counters are newer again; lenient too.
+                    c.sh_exported = get_num(&map, "sh_exported").unwrap_or(0);
+                    c.sh_exported_theory = get_num(&map, "sh_exported_theory").unwrap_or(0);
+                    c.sh_exported_rf = get_num(&map, "sh_exported_rf").unwrap_or(0);
+                    c.sh_imported = get_num(&map, "sh_imported").unwrap_or(0);
+                    c.sh_dropped = get_num(&map, "sh_dropped").unwrap_or(0);
+                    c.sh_import_hits = get_num(&map, "sh_import_hits").unwrap_or(0);
                     snap.counters = c;
                     saw_summary = true;
                 }
@@ -949,6 +962,12 @@ mod tests {
             batch_retries: 35,
             batch_degraded: 36,
             batch_checkpoints: 37,
+            sh_exported: 38,
+            sh_exported_theory: 39,
+            sh_exported_rf: 40,
+            sh_imported: 41,
+            sh_dropped: 42,
+            sh_import_hits: 43,
         };
         let snap = TraceSnapshot {
             decision_sample: 3,

@@ -191,6 +191,19 @@ pub struct Counters {
     pub batch_degraded: u64,
     /// Batch-harness checkpoint records appended to the journal.
     pub batch_checkpoints: u64,
+    /// Clauses exported to the portfolio share pool (any class).
+    pub sh_exported: u64,
+    /// Subset of `sh_exported` that were order-theory cycle lemmas.
+    pub sh_exported_theory: u64,
+    /// Subset of `sh_exported` that touched external-RF variables.
+    pub sh_exported_rf: u64,
+    /// Foreign clauses imported and attached by portfolio members.
+    pub sh_imported: u64,
+    /// Foreign clauses rejected at export or import (duplicate, ring
+    /// overrun, root-satisfied, policy-filtered).
+    pub sh_dropped: u64,
+    /// Times an imported clause propagated or conflicted in its importer.
+    pub sh_import_hits: u64,
 }
 
 impl Counters {
@@ -519,6 +532,28 @@ impl EventSink for Recorder {
                 inner.counters.cycle_promoted += promoted as u64;
                 return;
             }
+            Event::Share {
+                exported,
+                exported_theory,
+                exported_rf,
+                imported,
+                dropped,
+                import_hits,
+            } => {
+                // Counter-only deltas batched per exchange point; the
+                // import-hit histogram observes the batch size so the
+                // distribution of hits-per-exchange survives aggregation.
+                inner.counters.sh_exported += exported;
+                inner.counters.sh_exported_theory += exported_theory;
+                inner.counters.sh_exported_rf += exported_rf;
+                inner.counters.sh_imported += imported;
+                inner.counters.sh_dropped += dropped;
+                inner.counters.sh_import_hits += import_hits;
+                if import_hits > 0 {
+                    inner.hists.sh_import_hits.observe(import_hits);
+                }
+                return;
+            }
         };
         if !inner.cfg.events {
             return;
@@ -810,6 +845,38 @@ mod tests {
         );
         assert_eq!(snap.counters.cycle_visited, 9);
         assert_eq!(snap.counters.cycle_promoted, 3);
+    }
+
+    #[test]
+    fn share_deltas_fold_into_counters_only() {
+        let rec = Recorder::default();
+        rec.emit(Event::Share {
+            exported: 5,
+            exported_theory: 2,
+            exported_rf: 1,
+            imported: 3,
+            dropped: 4,
+            import_hits: 0,
+        });
+        rec.emit(Event::Share {
+            exported: 1,
+            exported_theory: 0,
+            exported_rf: 0,
+            imported: 2,
+            dropped: 0,
+            import_hits: 7,
+        });
+        let snap = rec.snapshot();
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.counters.sh_exported, 6);
+        assert_eq!(snap.counters.sh_exported_theory, 2);
+        assert_eq!(snap.counters.sh_exported_rf, 1);
+        assert_eq!(snap.counters.sh_imported, 5);
+        assert_eq!(snap.counters.sh_dropped, 4);
+        assert_eq!(snap.counters.sh_import_hits, 7);
+        // Zero-hit exchanges don't observe; the one hit batch does.
+        assert_eq!(snap.hists.sh_import_hits.count(), 1);
+        assert_eq!(snap.hists.sh_import_hits.max(), 7);
     }
 
     #[test]

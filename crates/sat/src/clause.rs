@@ -33,6 +33,7 @@ const LEN_BITS: u32 = 27;
 const LEN_MASK: u32 = (1 << LEN_BITS) - 1;
 const FLAG_LEARNT: u32 = 1 << 27;
 const FLAG_DELETED: u32 = 1 << 28;
+const FLAG_IMPORTED: u32 = 1 << 29;
 const HEADER_WORDS: usize = 3;
 
 /// The clause arena.
@@ -43,6 +44,9 @@ pub struct ClauseDb {
     num_learnt: usize,
     /// Number of live problem clauses.
     num_problem: usize,
+    /// Number of live learnt clauses imported from the share pool (a subset
+    /// of `num_learnt`; excluded from the learnt-cap rescale trigger).
+    num_imported: usize,
     /// Words occupied by deleted clauses, to decide when compaction pays off.
     wasted: usize,
 }
@@ -119,6 +123,31 @@ impl ClauseDb {
         self.arena[c.offset()] & FLAG_DELETED != 0
     }
 
+    /// Marks clause `c` as imported from the share pool. The flag lives in
+    /// the header, so it survives [`ClauseDb::collect`] relocation.
+    pub fn mark_imported(&mut self, c: CRef) {
+        let off = c.offset();
+        debug_assert!(
+            self.arena[off] & FLAG_LEARNT != 0,
+            "only learnt clauses can be imported"
+        );
+        if self.arena[off] & FLAG_IMPORTED == 0 {
+            self.arena[off] |= FLAG_IMPORTED;
+            self.num_imported += 1;
+        }
+    }
+
+    /// `true` if clause `c` came from the share pool.
+    #[inline]
+    pub fn is_imported(&self, c: CRef) -> bool {
+        self.arena[c.offset()] & FLAG_IMPORTED != 0
+    }
+
+    /// Live imported-clause count (subset of [`ClauseDb::num_learnt`]).
+    pub fn num_imported(&self) -> usize {
+        self.num_imported
+    }
+
     /// Clause activity (used for learnt-clause aging).
     #[inline]
     pub fn activity(&self, c: CRef) -> f32 {
@@ -149,6 +178,9 @@ impl ClauseDb {
         debug_assert!(self.arena[off] & FLAG_DELETED == 0, "double delete");
         if self.arena[off] & FLAG_LEARNT != 0 {
             self.num_learnt -= 1;
+            if self.arena[off] & FLAG_IMPORTED != 0 {
+                self.num_imported -= 1;
+            }
         } else {
             self.num_problem -= 1;
         }
@@ -278,6 +310,30 @@ mod tests {
         assert_eq!(db.lits(new2), &lits(&[4, 6, 8])[..]);
         assert_eq!(db.lits(new3), &lits(&[10, 12])[..]);
         assert_eq!(db.wasted(), 0);
+    }
+
+    #[test]
+    fn imported_flag_survives_collect_and_delete_decrements() {
+        let mut db = ClauseDb::new();
+        let c1 = db.add(&lits(&[0, 2]), true);
+        let c2 = db.add(&lits(&[4, 6]), true);
+        db.mark_imported(c2);
+        db.mark_imported(c2); // idempotent
+        assert_eq!(db.num_imported(), 1);
+        assert!(db.is_imported(c2));
+        assert!(!db.is_imported(c1));
+        db.delete(c1);
+        let mut relocated = CRef::UNDEF;
+        db.collect(|old, new| {
+            if old == c2 {
+                relocated = new;
+            }
+        });
+        assert!(db.is_imported(relocated));
+        assert_eq!(db.num_imported(), 1);
+        db.delete(relocated);
+        assert_eq!(db.num_imported(), 0);
+        assert_eq!(db.num_learnt(), 0);
     }
 
     #[test]

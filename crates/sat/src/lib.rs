@@ -40,6 +40,7 @@ pub mod guide;
 pub mod heap;
 pub mod lit;
 pub mod proof;
+pub mod share;
 pub mod solver;
 pub mod stats;
 pub mod theory;
@@ -48,6 +49,9 @@ pub use clause::{CRef, ClauseDb};
 pub use guide::{AssignView, DecisionGuide, NoGuide, PriorityListGuide};
 pub use lit::{LBool, Lit, Var};
 pub use proof::{Proof, ProofStep};
+pub use share::{
+    CycleEdgeRaw, MemberEndpoint, ShareClass, ShareConfig, ShareSpec, SharedClause, SharedPool,
+};
 pub use solver::{RestartStrategy, SolveResult, Solver, SolverConfig};
 pub use stats::{Budget, CancelToken, ExhaustionReason, Stats};
 pub use theory::{NoTheory, Theory, TheoryConflict, TheoryOut};

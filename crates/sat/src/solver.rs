@@ -19,6 +19,7 @@ use crate::clause::{CRef, ClauseDb};
 use crate::guide::{AssignView, DecisionGuide, NoGuide};
 use crate::lit::{LBool, Lit, Var};
 use crate::proof::Proof;
+use crate::share::{MemberEndpoint, ShareClass, ShareSpec, SharedClause};
 use crate::stats::{Budget, ExhaustionReason, Stats};
 use crate::theory::{NoTheory, Theory, TheoryOut};
 
@@ -55,6 +56,9 @@ struct Watcher {
 struct Conflict {
     /// All literals are false under the current assignment.
     lits: Vec<Lit>,
+    /// `true` when the theory raised it (the learnt clause then ships to
+    /// the share pool under the theory class, not the generic LBD cap).
+    from_theory: bool,
 }
 
 /// Outcome of a decision attempt.
@@ -162,6 +166,20 @@ pub struct Solver<T: Theory = NoTheory, G: DecisionGuide = NoGuide> {
     /// Structured-event receiver; `None` (the default) keeps every emission
     /// site down to a single branch.
     sink: Option<Arc<dyn EventSink>>,
+    /// Portfolio clause-sharing endpoint (`None` outside `--share` runs).
+    share: Option<MemberEndpoint>,
+    /// Per-variable interference flag: clauses touching a hot variable
+    /// export under the relaxed `lbd_max_hot` cap.
+    share_hot_var: Vec<bool>,
+    /// Set by the budget stride poll when the pool holds unread clauses;
+    /// nudges the next restart forward so imports land promptly.
+    share_pull_due: bool,
+    /// `sh_*` counter values at the last `Event::Share` emission, so each
+    /// emission carries deltas.
+    share_reported: Stats,
+    /// Debug-mode RUP spot-check budget per solve call.
+    #[cfg(debug_assertions)]
+    share_probes: u32,
 }
 
 impl Solver<NoTheory, NoGuide> {
@@ -215,6 +233,12 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
             assumption_core: Vec::new(),
             config: SolverConfig::default(),
             sink: None,
+            share: None,
+            share_hot_var: Vec::new(),
+            share_pull_due: false,
+            share_reported: Stats::default(),
+            #[cfg(debug_assertions)]
+            share_probes: 0,
         }
     }
 
@@ -263,6 +287,270 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
         if let Some(s) = &self.sink {
             s.emit(ev);
         }
+    }
+
+    /// Joins a portfolio share pool: learnt clauses and theory cycle lemmas
+    /// export at conflict time, foreign clauses import at restart-to-root
+    /// boundaries. Also asks the theory to start capturing shareable lemmas.
+    pub fn set_share(&mut self, spec: &ShareSpec) {
+        self.share = Some(spec.endpoint());
+        self.theory.enable_share_capture();
+    }
+
+    /// Flags interference-class (external-RF) variables: clauses touching
+    /// one export under the relaxed `lbd_max_hot` cap.
+    pub fn set_share_hot_vars(&mut self, hot: &[Var]) {
+        for &v in hot {
+            if self.share_hot_var.len() <= v.index() {
+                self.share_hot_var.resize(v.index() + 1, false);
+            }
+            self.share_hot_var[v.index()] = true;
+        }
+    }
+
+    /// The live share endpoint, when sharing is enabled.
+    pub fn share_endpoint(&self) -> Option<&MemberEndpoint> {
+        self.share.as_ref()
+    }
+
+    /// Offers the freshly learnt clause and any captured theory lemmas to
+    /// the share outbox. Called at conflict time; never touches the pool
+    /// lock (the outbox publishes at the next exchange).
+    fn share_export(&mut self, learnt: &[Lit], lbd: u32, from_theory: bool) {
+        let Some(mut ep) = self.share.take() else {
+            return;
+        };
+        // Theory cycle lemmas carry their cycle justification, so they stay
+        // certifiable on the importing side and bypass the LBD caps.
+        let mut lemmas = Vec::new();
+        self.theory.drain_shared_lemmas(&mut lemmas);
+        for (clause, cycle) in lemmas {
+            if ep.offer(ShareClass::Theory, 0, &clause, Some(cycle)) {
+                self.stats.sh_exported += 1;
+                self.stats.sh_exported_theory += 1;
+            } else {
+                self.stats.sh_dropped += 1;
+            }
+        }
+        // Learnt clauses are RUP only against *this* member's clause DB, so
+        // under proof logging (--certify) they are not exportable: importers
+        // could not justify them in a replayable proof. Cycle lemmas above
+        // still ship — they re-justify from the journal.
+        if self.proof.is_none() && !learnt.is_empty() {
+            let class = if from_theory {
+                ShareClass::Theory
+            } else if learnt.iter().any(|l| {
+                self.share_hot_var
+                    .get(l.var().index())
+                    .copied()
+                    .unwrap_or(false)
+            }) {
+                ShareClass::Interference
+            } else {
+                ShareClass::Generic
+            };
+            if ep.offer(class, lbd, learnt, None) {
+                self.stats.sh_exported += 1;
+                match class {
+                    ShareClass::Theory => self.stats.sh_exported_theory += 1,
+                    ShareClass::Interference => self.stats.sh_exported_rf += 1,
+                    ShareClass::Generic => {}
+                }
+            } else {
+                self.stats.sh_dropped += 1;
+            }
+        }
+        self.share = Some(ep);
+    }
+
+    /// Publishes the outbox and attaches every unseen foreign clause. Must
+    /// run at decision level 0 (restart-to-root boundary or solve entry) so
+    /// units enqueue on the root trail and attachments are trail-safe.
+    /// Returns `Some(Unsat)` when an import closes the formula at the root.
+    fn share_exchange(&mut self) -> Option<SolveResult> {
+        let mut ep = self.share.take()?;
+        debug_assert_eq!(self.decision_level(), 0);
+        self.share_pull_due = false;
+        ep.flush();
+        let mut incoming = Vec::new();
+        self.stats.sh_dropped += ep.drain_imports(&mut incoming);
+        self.share = Some(ep);
+        let mut result = None;
+        for c in incoming {
+            // All members blast one SSA instance, so variable numberings
+            // agree; the guard is defensive against misconfigured pools.
+            if c.lits.iter().any(|l| l.var().index() >= self.num_vars()) {
+                self.stats.sh_dropped += 1;
+                continue;
+            }
+            // Under proof logging only journal-justified cycle lemmas can
+            // enter: anything else would leave a hole in the replayed proof.
+            if self.proof.is_some() && c.cycle.is_none() {
+                self.stats.sh_dropped += 1;
+                continue;
+            }
+            if self.import_clause(&c) {
+                self.stats.sh_imported += 1;
+            } else {
+                self.stats.sh_dropped += 1;
+            }
+            if !self.ok {
+                result = Some(SolveResult::Unsat);
+                break;
+            }
+        }
+        self.emit_share_deltas();
+        result
+    }
+
+    /// Normalizes and attaches one imported clause at the root level, the
+    /// same way [`Self::add_clause`] treats input clauses. Returns `false`
+    /// if the clause was dropped (tautology or already satisfied at root).
+    /// Sets `ok = false` when the import empties at the root.
+    fn import_clause(&mut self, shared: &SharedClause) -> bool {
+        if self.proof.is_some() {
+            // Log the lemma verbatim and hand its justification to the
+            // theory journal: `certify_safe` then replays the shared lemma
+            // exactly like a locally derived one.
+            self.proof_lemma(&shared.lits);
+            let cycle = shared.cycle.as_ref().expect("gated by share_exchange");
+            self.theory.absorb_shared_lemma(&shared.lits, cycle);
+        }
+        let mut c = shared.lits.clone();
+        c.sort_unstable();
+        c.dedup();
+        let mut w = 0;
+        for i in 0..c.len() {
+            let l = c[i];
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return false; // tautology
+            }
+            match self.value(l) {
+                LBool::True => return false, // satisfied at root
+                LBool::False => {}           // drop
+                LBool::Undef => {
+                    c[w] = l;
+                    w += 1;
+                }
+            }
+        }
+        c.truncate(w);
+        if c.len() < shared.lits.len() {
+            // Root-level strengthening: RUP from the logged lemma + units.
+            self.proof_add(&c.clone());
+        }
+        #[cfg(debug_assertions)]
+        self.rup_spot_check(&c);
+        match c.len() {
+            0 => {
+                if shared.lits.is_empty() {
+                    self.proof_add(&[]);
+                }
+                self.ok = false;
+                true
+            }
+            1 => {
+                let ok = self.enqueue(c[0], Reason::None);
+                debug_assert!(ok);
+                true
+            }
+            _ => {
+                let cr = self.db.add(&c, true);
+                // Theory lemmas arrive without an LBD; length is the
+                // conservative stand-in (avoids glue-keeping them all).
+                let lbd = if shared.lbd == 0 {
+                    c.len() as u32
+                } else {
+                    shared.lbd
+                };
+                self.db.set_lbd(cr, lbd);
+                self.db.set_activity(cr, self.cla_inc);
+                self.db.mark_imported(cr);
+                self.attach(cr);
+                true
+            }
+        }
+    }
+
+    /// Debug-only soundness probe: asserts the negation of an imported
+    /// clause on a throwaway decision level and propagates once. A conflict
+    /// confirms the clause is RUP against this member's database; no
+    /// conflict is inconclusive (the clause is still a consequence of the
+    /// shared instance, just not unit-derivable locally). Either way the
+    /// probe must leave no trace on the search state.
+    #[cfg(debug_assertions)]
+    fn rup_spot_check(&mut self, clause: &[Lit]) {
+        const MAX_PROBES: u32 = 8;
+        if self.proof.is_some() || self.share_probes >= MAX_PROBES {
+            return; // a probe would interleave steps into the DRAT log
+        }
+        // Probing with unpropagated root units pending could swallow a real
+        // root conflict inside the probe's propagate; skip in that case.
+        if self.qhead != self.trail.len() || clause.is_empty() {
+            return;
+        }
+        if clause.iter().any(|&l| self.value(l).is_true()) {
+            return; // root-satisfied: trivially consistent
+        }
+        self.share_probes += 1;
+        let saved_stats = self.stats;
+        self.new_decision_level();
+        let mut conflict = false;
+        for &l in clause {
+            if self.value(l).is_undef() && !self.enqueue(!l, Reason::None) {
+                conflict = true;
+                break;
+            }
+        }
+        if !conflict {
+            conflict = self.propagate().is_some();
+        }
+        let _ = conflict;
+        self.cancel_until(0);
+        self.stats = saved_stats;
+        debug_assert_eq!(self.decision_level(), 0);
+    }
+
+    /// Emits the `sh_*` counter movement since the last emission as one
+    /// counter-only [`Event::Share`].
+    fn emit_share_deltas(&mut self) {
+        if self.sink.is_none() {
+            return;
+        }
+        let s = self.stats;
+        let r = self.share_reported;
+        if s.sh_exported == r.sh_exported
+            && s.sh_imported == r.sh_imported
+            && s.sh_dropped == r.sh_dropped
+            && s.sh_import_hits == r.sh_import_hits
+        {
+            return;
+        }
+        self.emit(Event::Share {
+            exported: s.sh_exported - r.sh_exported,
+            exported_theory: s.sh_exported_theory - r.sh_exported_theory,
+            exported_rf: s.sh_exported_rf - r.sh_exported_rf,
+            imported: s.sh_imported - r.sh_imported,
+            dropped: s.sh_dropped - r.sh_dropped,
+            import_hits: s.sh_import_hits - r.sh_import_hits,
+        });
+        self.share_reported = s;
+    }
+
+    /// End-of-solve share housekeeping: drain any theory lemmas captured
+    /// since the last conflict, publish the outbox (the winner's final
+    /// lemmas still reach slower members), and flush counter deltas so
+    /// `sh_import_hits` reaches the recorder even if this member never
+    /// restarted after its last import.
+    fn share_finish(&mut self) {
+        if self.share.is_none() {
+            return;
+        }
+        self.share_export(&[], 0, false);
+        if let Some(ep) = self.share.as_mut() {
+            ep.flush();
+        }
+        self.emit_share_deltas();
     }
 
     /// Overrides the tunable parameters (decays, restart policy). Call
@@ -365,7 +653,11 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
         let watchers = (self.db.num_problem() + self.db.num_learnt()) as u64
             * 2
             * std::mem::size_of::<Watcher>() as u64;
-        arena + trail + per_var + watchers
+        // Under `--share`, the member's outbox/dedup set plus the broadcast
+        // ring (imported clauses themselves live in the arena, counted
+        // above) — keeps the batch harness's memory cap honest.
+        let share = self.share.as_ref().map_or(0, |ep| ep.memory_bytes() as u64);
+        arena + trail + per_var + watchers + share
     }
 
     /// Current value of a literal.
@@ -563,10 +855,17 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
             kept += 1;
             if self.value(first).is_false() {
                 // Conflict: copy remaining watchers back before reporting.
+                if self.db.is_imported(cr) {
+                    self.stats.sh_import_hits += 1;
+                }
                 conflict = Some(Conflict {
                     lits: self.db.lits(cr).to_vec(),
+                    from_theory: false,
                 });
                 break;
+            }
+            if self.db.is_imported(cr) {
+                self.stats.sh_import_hits += 1;
             }
             let ok = self.enqueue(first, Reason::Clause(cr));
             debug_assert!(ok);
@@ -588,7 +887,10 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                 self.stats.theory_conflicts += 1;
                 let lits: Vec<Lit> = tc.lits.iter().map(|&l| !l).collect();
                 self.proof_lemma(&lits);
-                Some(Conflict { lits })
+                Some(Conflict {
+                    lits,
+                    from_theory: true,
+                })
             }
             Ok(()) => {
                 let mut found = None;
@@ -618,7 +920,10 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                             let mut lits = vec![q];
                             lits.extend(ants.iter().map(|&a| !a));
                             self.proof_lemma(&lits);
-                            found = Some(Conflict { lits });
+                            found = Some(Conflict {
+                                lits,
+                                from_theory: true,
+                            });
                             break;
                         }
                     }
@@ -1096,12 +1401,31 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
     /// first decisions and retracted afterwards, enabling incremental use.
     /// On `Unsat`, [`Self::assumption_core`] names a conflicting subset.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let result = self.solve_with_assumptions_inner(assumptions);
+        self.share_finish();
+        result
+    }
+
+    fn solve_with_assumptions_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.assumption_core.clear();
         self.exhaustion = None;
+        #[cfg(debug_assertions)]
+        {
+            self.share_probes = 0;
+        }
         if !self.ok {
             return SolveResult::Unsat;
         }
         self.budget.start();
+        // Pick up clauses other members published before this call; with a
+        // non-empty assumption prefix imports wait for restart-to-root
+        // boundaries (which a prefix never reaches), so sharing is
+        // effectively per-call for sweep-style incremental use.
+        if assumptions.is_empty() {
+            if let Some(r) = self.share_exchange() {
+                return r;
+            }
+        }
         // The conflict budget is per call: measure against a snapshot, not
         // the lifetime counter, or the second incremental solve would start
         // pre-exhausted.
@@ -1134,6 +1458,13 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                     self.cancel_until(0);
                     return SolveResult::Unknown;
                 }
+                // One relaxed atomic load: note pending imports so the next
+                // restart is pulled forward. Never touches the pool lock.
+                if !self.share_pull_due {
+                    if let Some(ep) = &self.share {
+                        self.share_pull_due = ep.pending();
+                    }
+                }
             }
             let conflict = match self.propagate() {
                 Some(c) => Some(c),
@@ -1162,7 +1493,10 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                                     self.stats.theory_conflicts += 1;
                                     let lits: Vec<Lit> = tc.lits.iter().map(|&l| !l).collect();
                                     self.proof_lemma(&lits);
-                                    Some(Conflict { lits })
+                                    Some(Conflict {
+                                        lits,
+                                        from_theory: true,
+                                    })
                                 }
                             }
                         }
@@ -1181,12 +1515,16 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                         self.ok = false;
                         return SolveResult::Unsat;
                     }
+                    let from_theory = confl.from_theory;
                     let (learnt, back_level, lbd) = self.analyze(confl);
                     self.emit(Event::Conflict {
                         level: conflict_level,
                         lbd,
                     });
                     self.cancel_until(back_level);
+                    if self.share.is_some() {
+                        self.share_export(&learnt, lbd, from_theory);
+                    }
                     self.record_learnt(learnt, lbd);
                     self.decay_var_activity();
                     self.decay_clause_activity();
@@ -1200,7 +1538,16 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                     }
                 }
                 None => {
-                    if conflicts_since_restart >= restart_limit {
+                    // A restart pulled forward by pending imports only pays
+                    // off when it reaches the root (prefix 0); hold it back
+                    // until the descent has done real work, or constant
+                    // import traffic degenerates the restart schedule into
+                    // a fixed short fuse and the member thrashes between
+                    // root exchanges instead of searching.
+                    let share_kick = self.share_pull_due
+                        && assumptions.is_empty()
+                        && conflicts_since_restart >= restart_limit.clamp(16, 64);
+                    if conflicts_since_restart >= restart_limit || share_kick {
                         self.stats.restarts += 1;
                         self.emit(Event::Restart {
                             conflicts: conflicts_since_restart,
@@ -1214,9 +1561,19 @@ impl<T: Theory, G: DecisionGuide> Solver<T, G> {
                         let prefix = (assumptions.len() as u32).min(self.decision_level());
                         self.cancel_until(prefix);
                         self.guide.on_restart();
+                        if prefix == 0 {
+                            if let Some(r) = self.share_exchange() {
+                                return r;
+                            }
+                        }
                         continue;
                     }
-                    if self.db.num_learnt() as f64 >= self.max_learnts {
+                    // Imported clauses never count against the learnt cap:
+                    // importing must not trigger rescales that evict the
+                    // member's own learnt clauses (they remain eligible for
+                    // reduce_db aging like any learnt clause, though).
+                    let own_learnt = self.db.num_learnt() - self.db.num_imported();
+                    if own_learnt as f64 >= self.max_learnts {
                         self.max_learnts *= 1.2;
                         self.reduce_db();
                     }
@@ -1546,6 +1903,167 @@ mod tests {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod share_tests {
+    use super::*;
+    use crate::share::{ShareConfig, SharedPool};
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    fn spec(pool: &Arc<SharedPool>, member: u32) -> ShareSpec {
+        ShareSpec {
+            pool: Arc::clone(pool),
+            member,
+            cfg: ShareConfig::default(),
+        }
+    }
+
+    /// Every watcher must reference a live clause that actually watches the
+    /// literal whose list it sits on — the dangling-watcher invariant.
+    fn check_watches(s: &Solver) {
+        for code in 0..s.watches.len() {
+            let watched = !Lit::from_code(code as u32);
+            for w in &s.watches[code] {
+                assert!(!s.db.is_deleted(w.cref), "watcher on deleted clause");
+                let lits = s.db.lits(w.cref);
+                assert!(
+                    lits[0] == watched || lits[1] == watched,
+                    "clause does not watch the literal whose list holds it"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn imported_clause_survives_backtracking_and_gc() {
+        let pool = SharedPool::new(64);
+        let mut exporter = spec(&pool, 0).endpoint();
+        let mut s = Solver::new();
+        let v = vars(&mut s, 8);
+        // xor-ish constraints force decisions, conflicts, and backtracking.
+        for i in 0..4 {
+            assert!(s.add_clause(&[v[i].positive(), v[i + 4].positive()]));
+            assert!(s.add_clause(&[v[i].negative(), v[i + 4].negative()]));
+        }
+        assert!(exporter.offer(
+            ShareClass::Generic,
+            2,
+            &[v[0].positive(), v[1].positive(), v[2].positive()],
+            None,
+        ));
+        exporter.flush();
+        s.set_share(&spec(&pool, 1));
+        // The import lands at solve entry; the search then backtracks over
+        // it repeatedly before reaching Sat.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().sh_imported, 1);
+        let imported: Vec<CRef> = s.db.iter().filter(|&c| s.db.is_imported(c)).collect();
+        assert_eq!(imported.len(), 1);
+        assert_eq!(s.db.num_imported(), 1);
+        check_watches(&s);
+        // Reduce + compact like the search would: the imported clause must
+        // relocate without leaving dangling watchers.
+        s.reduce_db();
+        s.garbage_collect();
+        check_watches(&s);
+        // Now force-delete it the way reduce_db evicts a clause and compact
+        // again: the watcher lists must drop it cleanly.
+        let survivor = s.db.iter().find(|&c| s.db.is_imported(c));
+        if let Some(cr) = survivor {
+            assert!(!s.locked(cr), "nothing is assigned after solve");
+            s.detach(cr);
+            s.db.delete(cr);
+            s.garbage_collect();
+            check_watches(&s);
+            assert_eq!(s.db.num_imported(), 0);
+        }
+    }
+
+    #[test]
+    fn imported_clause_propagates_and_counts_hits() {
+        let pool = SharedPool::new(16);
+        let mut exporter = spec(&pool, 0).endpoint();
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        assert!(s.add_clause(&[v[0].negative(), v[1].negative()]));
+        // Import (v0 ∨ v1): whichever variable is decided false first makes
+        // the imported clause propagate the other — an import hit.
+        assert!(exporter.offer(
+            ShareClass::Theory,
+            0,
+            &[v[0].positive(), v[1].positive()],
+            None,
+        ));
+        exporter.flush();
+        s.set_share(&spec(&pool, 1));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().sh_imported, 1);
+        assert!(s.stats().sh_import_hits >= 1, "imported clause never fired");
+        // The model satisfies the imported clause too.
+        assert!(
+            s.model_value(v[0].positive()).is_true() || s.model_value(v[1].positive()).is_true()
+        );
+    }
+
+    #[test]
+    fn share_round_trip_preserves_verdicts() {
+        // Two members, one pool, same UNSAT pigeonhole CNF: the first run
+        // exports its learnt clauses (flushed at exit), the second imports
+        // them and must still answer Unsat.
+        let pool = SharedPool::new(1024);
+        let build = |sp: ShareSpec| {
+            let mut s = Solver::new();
+            let n_p = 4;
+            let n_h = 3;
+            let x: Vec<Vec<Var>> = (0..n_p).map(|_| vars(&mut s, n_h)).collect();
+            for p in x.iter() {
+                let c: Vec<Lit> = p.iter().map(|v| v.positive()).collect();
+                assert!(s.add_clause(&c));
+            }
+            for h in 0..n_h {
+                for p1 in 0..n_p {
+                    for p2 in p1 + 1..n_p {
+                        assert!(s.add_clause(&[x[p1][h].negative(), x[p2][h].negative()]));
+                    }
+                }
+            }
+            s.set_share(&sp);
+            s
+        };
+        let mut a = build(spec(&pool, 0));
+        assert_eq!(a.solve(), SolveResult::Unsat);
+        assert!(a.stats().sh_exported > 0, "no clauses exported");
+        let mut b = build(spec(&pool, 1));
+        assert_eq!(b.solve(), SolveResult::Unsat);
+        assert!(b.stats().sh_imported > 0, "no clauses imported");
+    }
+
+    #[test]
+    fn unit_import_strengthens_at_root() {
+        let pool = SharedPool::new(16);
+        let mut exporter = spec(&pool, 0).endpoint();
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        assert!(s.add_clause(&[v[0].negative()]));
+        // (v0 ∨ v1) strengthens to the unit (v1) against the root trail.
+        assert!(exporter.offer(
+            ShareClass::Generic,
+            1,
+            &[v[0].positive(), v[1].positive()],
+            None,
+        ));
+        exporter.flush();
+        s.set_share(&spec(&pool, 1));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().sh_imported, 1);
+        assert!(s.model_value(v[1].positive()).is_true());
+        // Nothing attached: the unit went straight onto the root trail.
+        assert_eq!(s.db.num_imported(), 0);
     }
 }
 

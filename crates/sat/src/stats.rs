@@ -44,6 +44,18 @@ pub struct Stats {
     pub eog_visited: u64,
     /// Node-level promotions performed by cycle-check forward passes.
     pub eog_promoted: u64,
+    /// Clauses exported to the share pool (all classes).
+    pub sh_exported: u64,
+    /// Order-theory cycle lemmas among the exports.
+    pub sh_exported_theory: u64,
+    /// External-RF interference clauses among the exports.
+    pub sh_exported_rf: u64,
+    /// Foreign clauses imported and attached from the share pool.
+    pub sh_imported: u64,
+    /// Share-pool clauses dropped (filter, duplicate, or ring eviction).
+    pub sh_dropped: u64,
+    /// Times an imported clause propagated or participated in a conflict.
+    pub sh_import_hits: u64,
 }
 
 impl Stats {
@@ -69,6 +81,12 @@ impl Stats {
             eog_accepted_o1,
             eog_visited,
             eog_promoted,
+            sh_exported,
+            sh_exported_theory,
+            sh_exported_rf,
+            sh_imported,
+            sh_dropped,
+            sh_import_hits,
         } = *other;
         self.decisions += decisions;
         self.guided_decisions += guided_decisions;
@@ -85,6 +103,12 @@ impl Stats {
         self.eog_accepted_o1 += eog_accepted_o1;
         self.eog_visited += eog_visited;
         self.eog_promoted += eog_promoted;
+        self.sh_exported += sh_exported;
+        self.sh_exported_theory += sh_exported_theory;
+        self.sh_exported_rf += sh_exported_rf;
+        self.sh_imported += sh_imported;
+        self.sh_dropped += sh_dropped;
+        self.sh_import_hits += sh_import_hits;
     }
 }
 
@@ -475,6 +499,12 @@ mod tests {
             eog_accepted_o1: 1,
             eog_visited: 1,
             eog_promoted: 1,
+            sh_exported: 1,
+            sh_exported_theory: 1,
+            sh_exported_rf: 1,
+            sh_imported: 1,
+            sh_dropped: 1,
+            sh_import_hits: 1,
         };
         let mut acc = Stats::default();
         acc.accumulate(&one);
@@ -495,6 +525,12 @@ mod tests {
             eog_accepted_o1,
             eog_visited,
             eog_promoted,
+            sh_exported,
+            sh_exported_theory,
+            sh_exported_rf,
+            sh_imported,
+            sh_dropped,
+            sh_import_hits,
         } = acc;
         for (name, v) in [
             ("decisions", decisions),
@@ -512,6 +548,12 @@ mod tests {
             ("eog_accepted_o1", eog_accepted_o1),
             ("eog_visited", eog_visited),
             ("eog_promoted", eog_promoted),
+            ("sh_exported", sh_exported),
+            ("sh_exported_theory", sh_exported_theory),
+            ("sh_exported_rf", sh_exported_rf),
+            ("sh_imported", sh_imported),
+            ("sh_dropped", sh_dropped),
+            ("sh_import_hits", sh_import_hits),
         ] {
             assert_eq!(v, 2, "field {name} dropped from accumulate");
         }

@@ -18,6 +18,7 @@
 //!   asserted before it) that imply it.
 
 use crate::lit::Lit;
+use crate::share::CycleEdgeRaw;
 
 /// A theory conflict: `lits` are all currently assigned true and jointly
 /// inconsistent in the theory.
@@ -66,6 +67,24 @@ pub trait Theory {
     fn final_check(&mut self, out: &mut TheoryOut) -> Result<(), TheoryConflict> {
         let _ = out;
         Ok(())
+    }
+
+    /// Asks the theory to start buffering shareable lemmas (conflict-cycle
+    /// lemmas, for the order theory) for the solver's share-export hook.
+    /// Theories with nothing worth sharing keep the default no-op.
+    fn enable_share_capture(&mut self) {}
+
+    /// Drains lemmas buffered since the last drain into `out` as
+    /// `(clause, cycle-justification)` pairs in transport form.
+    fn drain_shared_lemmas(&mut self, out: &mut Vec<(Vec<Lit>, Vec<CycleEdgeRaw>)>) {
+        let _ = out;
+    }
+
+    /// Absorbs a lemma imported from another member: the theory records the
+    /// justification (e.g. in its certification journal) so downstream
+    /// proof replay treats the clause like a locally derived lemma.
+    fn absorb_shared_lemma(&mut self, clause: &[Lit], cycle: &[CycleEdgeRaw]) {
+        let _ = (clause, cycle);
     }
 }
 

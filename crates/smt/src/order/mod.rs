@@ -33,9 +33,15 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use zpre_obs::{Event, EventSink};
-use zpre_sat::{Lit, Theory, TheoryConflict, TheoryOut, Var};
+use zpre_sat::share::NO_TAG;
+use zpre_sat::{CycleEdgeRaw, Lit, Theory, TheoryConflict, TheoryOut, Var};
 
 use graph::{CycleStats, Inserted, OrderGraph};
+
+/// Cap on lemmas buffered for sharing between solver drains. Conflicts can
+/// outpace the drain cadence (the solver drains on learn, not per-assert),
+/// so the buffer is bounded and overflow is dropped silently.
+const SHARE_BUF_CAP: usize = 256;
 
 /// A node of the event order graph (an event, or a virtual fence /
 /// spawn / join node).
@@ -63,6 +69,25 @@ pub struct CycleEdge {
     pub to: NodeId,
     /// The asserting literal, or `None` for a fixed edge.
     pub tag: Option<Lit>,
+}
+
+/// Converts a cycle edge to the node-type-agnostic transport form used by
+/// the `zpre-sat` share pool.
+fn raw_edge(e: &CycleEdge) -> CycleEdgeRaw {
+    CycleEdgeRaw {
+        from: e.from.0,
+        to: e.to.0,
+        tag_code: e.tag.map_or(NO_TAG, |l| l.code() as u32),
+    }
+}
+
+/// Reconstructs a cycle edge from transport form.
+fn cooked_edge(e: &CycleEdgeRaw) -> CycleEdge {
+    CycleEdge {
+        from: NodeId(e.from),
+        to: NodeId(e.to),
+        tag: (e.tag_code != NO_TAG).then(|| Lit::from_code(e.tag_code)),
+    }
 }
 
 /// A theory lemma together with its justification: the clause is valid in
@@ -102,6 +127,12 @@ pub struct OrderTheory {
     journal: Vec<TheoryLemma>,
     /// Whether the lemma journal is recording.
     journal_on: bool,
+    /// Whether conflict-cycle lemmas are buffered for portfolio sharing.
+    share_on: bool,
+    /// Buffered shareable lemmas in transport form, drained by the solver's
+    /// share-export hook. Bounded by [`SHARE_BUF_CAP`]; overflow drops the
+    /// newest (sharing is best-effort, the conflict itself is unaffected).
+    share_out: Vec<(Vec<Lit>, Vec<CycleEdgeRaw>)>,
     /// Number of cycle checks performed (diagnostics).
     pub cycle_checks: u64,
     /// Number of cycles detected (theory conflicts raised).
@@ -132,6 +163,8 @@ impl OrderTheory {
             propagate_reverse: true,
             journal: Vec::new(),
             journal_on: false,
+            share_on: false,
+            share_out: Vec::new(),
             cycle_checks: 0,
             cycles_found: 0,
             sink: None,
@@ -362,17 +395,21 @@ impl Theory for OrderTheory {
                 self.emit_lemma(path.len() as u32 + 1);
                 let mut path_lits: Vec<Lit> = path.iter().filter_map(|e| e.tag).collect();
                 path_lits.push(lit);
-                if self.journal_on {
+                if self.journal_on || self.share_on {
                     let mut cycle = vec![CycleEdge {
                         from,
                         to,
                         tag: Some(lit),
                     }];
                     cycle.extend(path);
-                    self.journal.push(TheoryLemma {
-                        clause: path_lits.iter().map(|&l| !l).collect(),
-                        cycle,
-                    });
+                    let clause: Vec<Lit> = path_lits.iter().map(|&l| !l).collect();
+                    if self.share_on && self.share_out.len() < SHARE_BUF_CAP {
+                        self.share_out
+                            .push((clause.clone(), cycle.iter().map(raw_edge).collect()));
+                    }
+                    if self.journal_on {
+                        self.journal.push(TheoryLemma { clause, cycle });
+                    }
                 }
                 // All literals are true; their conjunction is inconsistent.
                 return Err(TheoryConflict { lits: path_lits });
@@ -495,6 +532,29 @@ impl Theory for OrderTheory {
             .cloned()
             .expect("explanation requested for a literal the theory did not propagate")
     }
+
+    fn enable_share_capture(&mut self) {
+        self.share_on = true;
+        self.share_out.clear();
+    }
+
+    fn drain_shared_lemmas(&mut self, out: &mut Vec<(Vec<Lit>, Vec<CycleEdgeRaw>)>) {
+        out.append(&mut self.share_out);
+    }
+
+    fn absorb_shared_lemma(&mut self, clause: &[Lit], cycle: &[CycleEdgeRaw]) {
+        // An imported cycle lemma joins the journal so certification can
+        // match the clause like a locally derived one. All portfolio
+        // members encode the same SSA instance, so the node indices and
+        // atom registrations line up; the certifier re-checks the cycle
+        // against this member's registry, never trusting the exporter.
+        if self.journal_on {
+            self.journal.push(TheoryLemma {
+                clause: clause.to_vec(),
+                cycle: cycle.iter().map(cooked_edge).collect(),
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -512,6 +572,52 @@ mod tests {
         assert!(t.add_fixed_edge(b, c));
         assert!(!t.add_fixed_edge(c, a));
         assert!(t.has_fixed_cycle());
+    }
+
+    #[test]
+    fn share_capture_round_trips_through_transport_form() {
+        use crate::certcheck::check_lemma_against;
+        // Exporter: a 3-node cycle (one fixed edge, two atoms) raises a
+        // conflict whose lemma lands in the share buffer.
+        let mut t = OrderTheory::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let c = t.add_node();
+        t.add_fixed_edge(a, b);
+        let v0 = Var::new(0);
+        let v1 = Var::new(1);
+        t.register_atom(v0, b, c);
+        t.register_atom(v1, c, a);
+        t.enable_share_capture();
+        let mut out = TheoryOut::default();
+        t.new_level();
+        assert!(t.assert_lit(v0.positive(), &mut out).is_ok());
+        assert!(t.assert_lit(v1.positive(), &mut out).is_err());
+        t.backtrack_to(0);
+        let mut drained = Vec::new();
+        t.drain_shared_lemmas(&mut drained);
+        assert_eq!(drained.len(), 1);
+        // A second drain yields nothing (buffer was taken).
+        let mut again = Vec::new();
+        t.drain_shared_lemmas(&mut again);
+        assert!(again.is_empty());
+
+        // Importer: an identically encoded theory absorbs the lemma into
+        // its journal, and the certifier re-checks it from first principles.
+        let mut imp = OrderTheory::new();
+        let ia = imp.add_node();
+        let ib = imp.add_node();
+        let _ic = imp.add_node();
+        imp.add_fixed_edge(ia, ib);
+        imp.register_atom(v0, NodeId(1), NodeId(2));
+        imp.register_atom(v1, NodeId(2), NodeId(0));
+        imp.enable_lemma_journal();
+        let (clause, cycle) = &drained[0];
+        imp.absorb_shared_lemma(clause, cycle);
+        let lemmas = imp.take_lemmas();
+        assert_eq!(lemmas.len(), 1);
+        assert_eq!(lemmas[0].clause, *clause);
+        assert_eq!(check_lemma_against(&imp, &lemmas[0]), Ok(()));
     }
 
     #[test]
