@@ -1,4 +1,4 @@
-.PHONY: build test bench-eog bench-eog-quick bench-sweep bench-sweep-quick bench-share bench-share-quick trace-baselines trace-gate
+.PHONY: build test bench-eog bench-eog-quick bench-sweep bench-sweep-quick bench-share bench-share-quick bench-prune bench-prune-quick trace-baselines trace-gate
 
 build:
 	cargo build --release
@@ -42,6 +42,20 @@ bench-share: build
 # looser timing bar (tiny tasks make portfolio timing noisy).
 bench-share-quick: build
 	./target/release/share-bench --quick --tag ci-smoke --tolerance 50 --out /tmp/share-smoke.json
+
+# Pruned vs unpruned encoding comparison on the stress + wmm families plus
+# the lock-heavy pthread and join-heavy contended families. Asserts
+# identical verdicts pair by pair, appends per-task rows and family
+# aggregates to BENCH_PRUNE.json, and fails unless the lock/join-heavy
+# families show a positive interference-variable reduction with the pruned
+# aggregate wall clock within tolerance of unpruned.
+bench-prune: build
+	./target/release/prune-bench --tag "$${TAG:-local}"
+
+# Quick smoke variant for CI: quick-scale families, scratch output file,
+# looser timing bar (tiny tasks make encode-time jitter dominate).
+bench-prune-quick: build
+	./target/release/prune-bench --quick --tag ci-smoke --tolerance 50 --out /tmp/prune-smoke.json
 
 # --- Trace analytics & the telemetry regression gate -------------------
 #

@@ -1,0 +1,295 @@
+//! Independent re-verification of a [`PruneReport`].
+//!
+//! The checker trusts nothing derived: it rebuilds the fixed program-order
+//! *edge set* from [`po_pairs`] (no closure), re-scans the raw event
+//! stream for lock/unlock brackets, and then walks every justification
+//! step by step:
+//!
+//! - paths are verified edge by edge against the fixed-edge set;
+//! - shadow killers must really write the same variable with a
+//!   constant-true (or guard-identical) path condition;
+//! - lockset witnesses must really bracket their events on the claimed
+//!   mutex, in the claimed threads;
+//! - resolved chains must be pairwise path-connected and end before their
+//!   read.
+//!
+//! It also checks *completeness*: every same-variable `(read, write)` pair
+//! is accounted for — either kept as a candidate or pruned with evidence —
+//! so a buggy pass cannot silently drop a feasible interference.
+//!
+//! `--certify` runs this before solving; a failure is a certification
+//! error, never a wrong verdict.
+
+use crate::memory_model::po_pairs;
+use crate::prune::{guard_implies, Justification, PruneReport};
+use std::collections::HashSet;
+use zpre_bv::TermKind;
+use zpre_prog::ssa::{EventKind, SsaProgram};
+
+/// Re-verifies every justification in `report` against `ssa`. Returns the
+/// number of justifications checked, or a description of the first piece
+/// of evidence that does not hold.
+pub fn check_report(ssa: &SsaProgram, report: &PruneReport) -> Result<usize, String> {
+    let edges: HashSet<(usize, usize)> = po_pairs(ssa, report.mm).into_iter().collect();
+    let ts = &ssa.store;
+    let n = ssa.events.len();
+    let always_true =
+        |eid: usize| matches!(ts.kind(ssa.events[eid].guard), TermKind::BoolConst(true));
+    let written_var = |eid: usize| match ssa.events[eid].kind {
+        EventKind::Write { var, .. } => Some(var),
+        _ => None,
+    };
+    let read_var = |eid: usize| match ssa.events[eid].kind {
+        EventKind::Read { var, .. } => Some(var),
+        _ => None,
+    };
+    let check_path = |path: &[usize], from: usize, to: usize| -> Result<(), String> {
+        if path.first() != Some(&from) || path.last() != Some(&to) {
+            return Err(format!("path {path:?} does not connect {from} to {to}"));
+        }
+        for w in path.windows(2) {
+            if !edges.contains(&(w[0], w[1])) {
+                return Err(format!(
+                    "path step {} -> {} is not a fixed program-order edge",
+                    w[0], w[1]
+                ));
+            }
+        }
+        Ok(())
+    };
+    // Lock/unlock bracket check straight off the event stream: `lock` and
+    // `unlock` are Lock/Unlock events of `mutex` in one thread, `e` lies
+    // between them in program order, and the bracket is properly matched
+    // (no unbalanced unlock of the same mutex in between).
+    let check_section =
+        |(lock, unlock): (usize, usize), mutex: usize, e: usize| -> Result<(), String> {
+            if lock >= n || unlock >= n || e >= n {
+                return Err(format!("section ({lock},{unlock}) out of range"));
+            }
+            let (le, ue, ev) = (&ssa.events[lock], &ssa.events[unlock], &ssa.events[e]);
+            if !matches!(le.kind, EventKind::Lock { mutex: m } if m == mutex) {
+                return Err(format!("event {lock} is not lock({mutex})"));
+            }
+            if !matches!(ue.kind, EventKind::Unlock { mutex: m } if m == mutex) {
+                return Err(format!("event {unlock} is not unlock({mutex})"));
+            }
+            if le.thread != ue.thread || le.thread != ev.thread {
+                return Err(format!(
+                    "section ({lock},{unlock}) and event {e} span threads"
+                ));
+            }
+            if !(le.pos < ev.pos && ev.pos < ue.pos) {
+                return Err(format!("event {e} is not inside section ({lock},{unlock})"));
+            }
+            let mut depth = 0i64;
+            for o in ssa.thread_events(le.thread) {
+                if o.pos <= le.pos || o.pos >= ue.pos {
+                    continue;
+                }
+                match o.kind {
+                    EventKind::Lock { mutex: m } if m == mutex => depth += 1,
+                    EventKind::Unlock { mutex: m } if m == mutex => depth -= 1,
+                    _ => {}
+                }
+                if depth < 0 {
+                    return Err(format!(
+                        "section ({lock},{unlock}) is not a matched bracket on mutex {mutex}"
+                    ));
+                }
+            }
+            Ok(())
+        };
+
+    let mut checked = 0usize;
+    for (r, w, just) in &report.pruned_rf {
+        let (r, w) = (*r, *w);
+        let rv = read_var(r).ok_or_else(|| format!("pruned rf: event {r} is not a read"))?;
+        if written_var(w) != Some(rv) {
+            return Err(format!("pruned rf ({r},{w}): write variable mismatch"));
+        }
+        match just {
+            Justification::WriteAfterRead { path } => check_path(path, r, w)?,
+            Justification::Shadowed {
+                killer,
+                path_to_killer,
+                path_to_read,
+            } => {
+                if written_var(*killer) != Some(rv) || *killer == w {
+                    return Err(format!(
+                        "shadow killer {killer} is not another write of the variable"
+                    ));
+                }
+                if !always_true(*killer) {
+                    return Err(format!("shadow killer {killer} is not always executed"));
+                }
+                check_path(path_to_killer, w, *killer)?;
+                check_path(path_to_read, *killer, r)?;
+            }
+            Justification::LocksetShadow {
+                killer,
+                mutex,
+                write_section,
+                read_section,
+                path_to_killer,
+            } => {
+                if written_var(*killer) != Some(rv) || *killer == w {
+                    return Err(format!(
+                        "lockset killer {killer} is not another write of the variable"
+                    ));
+                }
+                if !(always_true(*killer)
+                    || guard_implies(ts, ssa.events[w].guard, ssa.events[*killer].guard))
+                {
+                    return Err(format!(
+                        "lockset killer {killer} may execute less often than write {w}"
+                    ));
+                }
+                check_section(*write_section, *mutex, w)?;
+                check_section(*write_section, *mutex, *killer)?;
+                check_section(*read_section, *mutex, r)?;
+                if !guard_implies(ts, ssa.events[w].guard, ssa.events[write_section.0].guard) {
+                    return Err(format!("write {w} may execute without taking its lock"));
+                }
+                if !guard_implies(ts, ssa.events[r].guard, ssa.events[read_section.0].guard) {
+                    return Err(format!("read {r} may execute without taking its lock"));
+                }
+                if ssa.events[write_section.0].thread == ssa.events[read_section.0].thread {
+                    return Err(format!(
+                        "lockset sections of ({r},{w}) are in the same thread"
+                    ));
+                }
+                check_path(path_to_killer, w, *killer)?;
+            }
+            other => {
+                return Err(format!(
+                    "rf pair ({r},{w}) carries a ws justification {other:?}"
+                ));
+            }
+        }
+        checked += 1;
+    }
+
+    for (w1, w2, just) in &report.pruned_ws {
+        let (w1, w2) = (*w1, *w2);
+        let v1 = written_var(w1).ok_or_else(|| format!("pruned ws: event {w1} is not a write"))?;
+        if written_var(w2) != Some(v1) {
+            return Err(format!("pruned ws ({w1},{w2}): variable mismatch"));
+        }
+        match just {
+            Justification::MhbOrdered {
+                first_before_second,
+                path,
+            } => {
+                let (from, to) = if *first_before_second {
+                    (w1, w2)
+                } else {
+                    (w2, w1)
+                };
+                check_path(path, from, to)?;
+            }
+            Justification::MutexSerialized {
+                mutex,
+                first_section,
+                second_section,
+            } => {
+                check_section(*first_section, *mutex, w1)?;
+                check_section(*second_section, *mutex, w2)?;
+                if ssa.events[first_section.0].thread == ssa.events[second_section.0].thread {
+                    return Err(format!(
+                        "serialized ws ({w1},{w2}): sections share a thread"
+                    ));
+                }
+            }
+            other => {
+                return Err(format!(
+                    "ws pair ({w1},{w2}) carries an rf justification {other:?}"
+                ));
+            }
+        }
+        checked += 1;
+    }
+
+    // Completeness: every same-variable (read, write) pair is either a
+    // surviving candidate or pruned with evidence.
+    let mut pruned_pairs: HashSet<(usize, usize)> = HashSet::new();
+    for (r, w, _) in &report.pruned_rf {
+        pruned_pairs.insert((*r, *w));
+    }
+    for e in &ssa.events {
+        let Some(v) = read_var(e.id) else { continue };
+        for o in &ssa.events {
+            if written_var(o.id) != Some(v) {
+                continue;
+            }
+            let kept = report.candidates[e.id].contains(&o.id);
+            let pruned = pruned_pairs.contains(&(e.id, o.id));
+            if !kept && !pruned {
+                return Err(format!(
+                    "rf pair (read {}, write {}) neither kept nor justified",
+                    e.id, o.id
+                ));
+            }
+            if kept && pruned {
+                return Err(format!(
+                    "rf pair (read {}, write {}) both kept and pruned",
+                    e.id, o.id
+                ));
+            }
+        }
+    }
+
+    // Resolved chains: exactly the surviving candidates, pairwise
+    // path-connected in chain order, every link ending before the read.
+    let edge_reach = |from: usize, to: usize| -> bool {
+        // Forward DFS over the raw edge set — independent of PoClosure.
+        let mut stack = vec![from];
+        let mut seen = vec![false; n];
+        seen[from] = true;
+        while let Some(x) = stack.pop() {
+            if x == to {
+                return true;
+            }
+            for &(a, b) in edges.iter().filter(|&&(a, _)| a == x) {
+                debug_assert_eq!(a, x);
+                if !seen[b] {
+                    seen[b] = true;
+                    stack.push(b);
+                }
+            }
+        }
+        false
+    };
+    for (r, chain) in report.resolved.iter().enumerate() {
+        let Some(chain) = chain else { continue };
+        let mut sorted_candidates = report.candidates[r].clone();
+        sorted_candidates.sort_unstable();
+        let mut sorted_chain = chain.clone();
+        sorted_chain.sort_unstable();
+        if sorted_chain != sorted_candidates {
+            return Err(format!("resolved read {r}: chain differs from candidates"));
+        }
+        if !chain.iter().any(|&w| always_true(w)) {
+            return Err(format!(
+                "resolved read {r}: no always-executed write in chain"
+            ));
+        }
+        for pair in chain.windows(2) {
+            if !edge_reach(pair[0], pair[1]) {
+                return Err(format!(
+                    "resolved read {r}: chain writes {} and {} are not ordered",
+                    pair[0], pair[1]
+                ));
+            }
+        }
+        if let Some(&last) = chain.last() {
+            if !edge_reach(last, r) {
+                return Err(format!(
+                    "resolved read {r}: chain does not end before the read"
+                ));
+            }
+        }
+        checked += 1;
+    }
+
+    Ok(checked)
+}

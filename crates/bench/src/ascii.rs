@@ -120,6 +120,45 @@ pub fn share_table(rows: &[ShareRow], title: &str) -> String {
     out
 }
 
+/// One family row of the static-pruning report: `(family, rows,
+/// unpruned_ms, pruned_ms, vars_unpruned, vars_pruned)`.
+pub type PruneRow = (String, usize, f64, f64, u64, u64);
+
+/// Renders the pruned-vs-unpruned comparison with the interference-variable
+/// reduction per family, the terminal face of `BENCH_PRUNE.json`.
+pub fn prune_table(rows: &[PruneRow], title: &str) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<12} {:>5} {:>13} {:>12} {:>10} {:>10} {:>8}  speedup\n",
+        "family", "rows", "unpruned(ms)", "pruned(ms)", "vars_full", "vars_left", "shrink"
+    ));
+    for (family, n, unpruned, pruned, full, left) in rows {
+        let speedup = if *pruned > 0.0 {
+            unpruned / pruned
+        } else {
+            f64::INFINITY
+        };
+        let shrink = if *full > 0 {
+            100.0 * (full.saturating_sub(*left)) as f64 / *full as f64
+        } else {
+            0.0
+        };
+        let bar_len = (speedup * 10.0).round().clamp(0.0, 60.0) as usize;
+        out.push_str(&format!(
+            "{:<12} {:>5} {:>13.1} {:>12.1} {:>10} {:>10} {:>7.1}%  {}\n",
+            family,
+            n,
+            unpruned,
+            pruned,
+            full,
+            left,
+            shrink,
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

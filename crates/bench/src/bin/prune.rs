@@ -1,0 +1,249 @@
+//! `prune-bench` — pruned vs unpruned encoding comparison.
+//!
+//! ```text
+//! prune-bench [--quick] [--tag NAME] [--out PATH] [--budget N]
+//!             [--seed N] [--tolerance PCT]
+//! ```
+//!
+//! Races the verifier twice over the stress and wmm families, the
+//! lock-heavy pthread family, and a join-heavy contended family: once with
+//! the static interference-pruning pass on (the default) and once with the
+//! historic unpruned encoding (`prune: false`). Verdicts are asserted
+//! identical row by row; per-task rows and per-family aggregates append as
+//! NDJSON to `BENCH_PRUNE.json` so the pruning-efficiency trajectory
+//! accumulates across commits.
+//!
+//! Each row also reruns the analysis pass standalone to report the
+//! interference-variable ledger: `vars_full` is what the seed encoder
+//! emits, `vars_left` what survives the report — the difference is
+//! exactly the rf selectors, fixed ws pairs, and serialized ws pairs the
+//! pass removed from the solver's search space.
+//!
+//! Acceptance: every paired verdict agrees, the pruned aggregate wall
+//! clock stays within `--tolerance` (default 15%) of the unpruned run,
+//! and the lock/join-heavy families (pthread, contended) show a strictly
+//! positive interference-variable reduction.
+//!
+//! The timing gate follows the paper's §5 both-solved convention (the
+//! same one `share-bench` uses): rows where both sides exhaust the
+//! conflict budget (verdict `unknown`) are excluded from the gated wall
+//! clock, but still count for verdict agreement and the variable ledger.
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+
+use zpre::Strategy;
+use zpre_bench::{ascii, contended_family, run_one, RunConfig, TaskResult};
+use zpre_prog::{to_ssa, unroll_program, MemoryModel};
+use zpre_workloads::{subcategory, Scale, Subcat, Task};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let tag = flag_value(&args, "--tag").unwrap_or_else(|| {
+        if quick {
+            "quick".to_string()
+        } else {
+            "full".to_string()
+        }
+    });
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PRUNE.json".to_string());
+    let budget: u64 = flag_value(&args, "--budget")
+        .map(|v| v.parse().expect("numeric --budget"))
+        .unwrap_or(200_000);
+    let seed: u64 = flag_value(&args, "--seed")
+        .map(|v| v.parse().expect("numeric --seed"))
+        .unwrap_or(0xC0FFEE);
+    let tolerance_pct: f64 = flag_value(&args, "--tolerance")
+        .map(|v| {
+            v.trim_end_matches('%')
+                .parse()
+                .expect("numeric --tolerance")
+        })
+        .unwrap_or(15.0);
+
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let pruned_cfg = RunConfig {
+        scale,
+        max_conflicts: budget,
+        seed,
+        validate: false,
+        prune: true,
+        ..RunConfig::default()
+    };
+    let unpruned_cfg = RunConfig {
+        prune: false,
+        ..pruned_cfg.clone()
+    };
+
+    let families: Vec<(&str, Vec<Task>)> = vec![
+        ("stress", subcategory(scale, Subcat::Stress)),
+        ("wmm", subcategory(scale, Subcat::Wmm)),
+        ("pthread", subcategory(scale, Subcat::Pthread)),
+        ("contended", contended_family(if quick { 2 } else { 4 })),
+    ];
+
+    let mut lines = Vec::new();
+    let mut table: Vec<ascii::PruneRow> = Vec::new();
+    let mut disagreements = Vec::new();
+    let (mut total_un_ms, mut total_pr_ms) = (0.0f64, 0.0f64);
+    let mut total_exhausted = 0usize;
+    let mut heavy_reduction = 0u64;
+    for (family, tasks) in &families {
+        if tasks.is_empty() {
+            continue;
+        }
+        let (mut un_ms, mut pr_ms) = (0.0f64, 0.0f64);
+        let (mut vars_full, mut vars_left) = (0u64, 0u64);
+        let mut rows = 0usize;
+        let mut exhausted = 0usize;
+        for task in tasks {
+            for &mm in &MemoryModel::ALL {
+                let un = run_one(task, mm, Strategy::Zpre, &unpruned_cfg);
+                let pr = run_one(task, mm, Strategy::Zpre, &pruned_cfg);
+                if un.verdict != pr.verdict {
+                    disagreements.push(format!(
+                        "{} {}: unpruned={} pruned={}",
+                        task.name,
+                        mm.name(),
+                        un.verdict,
+                        pr.verdict
+                    ));
+                }
+                rows += 1;
+                // Both-solved convention: budget-exhausted pairs carry no
+                // time-to-verdict signal, so they stay out of the gated
+                // wall clock.
+                if un.verdict == "unknown" && pr.verdict == "unknown" {
+                    exhausted += 1;
+                } else {
+                    un_ms += un.solve_ms + un.encode_ms;
+                    pr_ms += pr.solve_ms + pr.encode_ms;
+                }
+                let (full, left) = var_ledger(task, mm);
+                vars_full += full;
+                vars_left += left;
+                lines.push(row_json(&tag, family, mm.name(), &un, &pr, full, left));
+            }
+        }
+        total_un_ms += un_ms;
+        total_pr_ms += pr_ms;
+        total_exhausted += exhausted;
+        if *family == "pthread" || *family == "contended" {
+            heavy_reduction += vars_full.saturating_sub(vars_left);
+        }
+        lines.push(format!(
+            "{{\"tag\": \"{tag}\", \"kind\": \"family\", \"family\": \"{family}\", \
+             \"rows\": {rows}, \"exhausted_rows\": {exhausted}, \
+             \"unpruned_ms\": {un_ms:.3}, \"pruned_ms\": {pr_ms:.3}, \
+             \"speedup\": {:.3}, \"vars_full\": {vars_full}, \"vars_left\": {vars_left}}}",
+            if pr_ms > 0.0 {
+                un_ms / pr_ms
+            } else {
+                f64::INFINITY
+            }
+        ));
+        table.push((family.to_string(), rows, un_ms, pr_ms, vars_full, vars_left));
+    }
+
+    println!(
+        "{}",
+        ascii::prune_table(&table, "Static interference pruning: unpruned vs pruned")
+    );
+    if total_exhausted > 0 {
+        println!(
+            "({total_exhausted} row(s) exhausted the conflict budget on both sides; \
+             excluded from the gated ms per the both-solved convention)"
+        );
+    }
+
+    for d in &disagreements {
+        eprintln!("VERDICT DISAGREEMENT {d}");
+    }
+    let bar = 1.0 + tolerance_pct / 100.0;
+    let time_ok = total_pr_ms <= total_un_ms * bar;
+    let shrink_ok = heavy_reduction > 0;
+    let agree_ok = disagreements.is_empty();
+    println!(
+        "aggregate (both-solved): unpruned {total_un_ms:.1} ms vs pruned {total_pr_ms:.1} ms \
+         (bar: pruned <= {bar:.2}x unpruned: {}), lock/join-heavy vars removed {heavy_reduction} \
+         (bar: > 0: {}), verdict agreement: {}",
+        pass(time_ok),
+        pass(shrink_ok),
+        pass(agree_ok)
+    );
+    lines.push(format!(
+        "{{\"tag\": \"{tag}\", \"kind\": \"aggregate\", \"unpruned_ms\": {total_un_ms:.3}, \
+         \"pruned_ms\": {total_pr_ms:.3}, \"speedup\": {:.3}, \
+         \"exhausted_rows\": {total_exhausted}, \"heavy_vars_removed\": {heavy_reduction}, \
+         \"verdicts_agree\": {agree_ok}, \"accept\": {}}}",
+        if total_pr_ms > 0.0 {
+            total_un_ms / total_pr_ms
+        } else {
+            f64::INFINITY
+        },
+        time_ok && shrink_ok && agree_ok
+    ));
+
+    let mut f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+        .expect("open BENCH_PRUNE.json for append");
+    for l in &lines {
+        writeln!(f, "{l}").expect("append bench line");
+    }
+    println!("appended {} lines to {out_path}", lines.len());
+    if !(time_ok && shrink_ok && agree_ok) {
+        std::process::exit(1);
+    }
+}
+
+fn pass(ok: bool) -> &'static str {
+    if ok {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}
+
+/// Reruns the analysis pass standalone and returns `(vars_full,
+/// vars_left)`: the interference variables the seed encoder emits vs what
+/// survives the prune report.
+fn var_ledger(task: &Task, mm: MemoryModel) -> (u64, u64) {
+    let ssa = to_ssa(&unroll_program(&task.program, task.unroll_bound));
+    let report = zpre_analysis::analyze(&ssa, mm);
+    (
+        report.unpruned_interference_vars(),
+        report.interference_vars(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn row_json(
+    tag: &str,
+    family: &str,
+    mm: &str,
+    un: &TaskResult,
+    pr: &TaskResult,
+    vars_full: u64,
+    vars_left: u64,
+) -> String {
+    format!(
+        "{{\"tag\": \"{tag}\", \"kind\": \"row\", \"family\": \"{family}\", \
+         \"task\": \"{}\", \"mm\": \"{mm}\", \"verdict\": \"{}\", \
+         \"unpruned_ms\": {:.3}, \"pruned_ms\": {:.3}, \"vars_full\": {vars_full}, \
+         \"vars_left\": {vars_left}, \"agree\": {}}}",
+        un.task,
+        pr.verdict,
+        un.solve_ms + un.encode_ms,
+        pr.solve_ms + pr.encode_ms,
+        un.verdict == pr.verdict
+    )
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}

@@ -1,0 +1,65 @@
+//! Synthetic workload families shared by the comparison harnesses
+//! (`share-bench`, `prune-bench`) beyond the paper suite proper.
+
+use zpre_prog::build::*;
+use zpre_prog::{Program, Stmt};
+use zpre_workloads::{Expected, Subcat, Task};
+
+/// Builds `n` threads racing `steps` lossy increments on `cnt`, joined
+/// by main before `check` runs.
+fn contended_program(name: &str, n: usize, steps: u64, check: Stmt) -> Program {
+    let body: Vec<Stmt> = (0..steps)
+        .flat_map(|_| vec![assign("r", v("cnt")), assign("cnt", add(v("r"), c(1)))])
+        .collect();
+    let mut b = ProgramBuilder::new(name).shared("cnt", 0);
+    for t in 0..n {
+        b = b.thread(&format!("w{t}"), body.clone());
+    }
+    let mut main: Vec<Stmt> = (1..=n).map(spawn).collect();
+    main.extend((1..=n).map(join));
+    main.push(check);
+    b.main(main).build()
+}
+
+/// Programs whose proofs force the solver through long refutations:
+/// `n` threads race lossy increments, and the safe variant's assertion
+/// states the bound that holds in every interleaving, so the search must
+/// exhaust the read-from space (learning EOG-cycle lemmas along the way).
+/// An unsafe variant rides along so Sat rows are paired too. The spawn/join
+/// fan shape also makes the family join-heavy: every worker write is
+/// must-happen-before the main-thread check.
+pub fn contended_family(width: usize) -> Vec<Task> {
+    let steps = 3u64;
+    let mut tasks = Vec::new();
+    for n in 2..=width.max(2) {
+        let total = n as u64 * steps;
+        // Lossy increments never exceed n*steps: safe in every
+        // interleaving, but proving it walks the whole rf space.
+        tasks.push(Task::new(
+            format!("contended/le{n}"),
+            Subcat::Ext,
+            contended_program(
+                &format!("contended-le{n}"),
+                n,
+                steps,
+                assert_(le(v("cnt"), c(total))),
+            ),
+            1,
+            Expected::safe_all(),
+        ));
+        // The exact total is racy: lost updates make it reachable to miss.
+        tasks.push(Task::new(
+            format!("contended/eq{n}"),
+            Subcat::Ext,
+            contended_program(
+                &format!("contended-eq{n}"),
+                n,
+                steps,
+                assert_(eq(v("cnt"), c(total))),
+            ),
+            1,
+            Expected::unsafe_all(),
+        ));
+    }
+    tasks
+}

@@ -10,10 +10,12 @@
 
 pub mod aggregate;
 pub mod ascii;
+pub mod families;
 pub mod runner;
 pub mod sweep;
 
 pub use aggregate::*;
+pub use families::contended_family;
 pub use runner::{
     csv_row, json_row, run_one, run_one_portfolio, run_suite, run_suite_portfolio,
     run_suite_portfolio_streaming, run_suite_streaming, telemetry_json, to_csv, to_json,

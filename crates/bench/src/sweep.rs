@@ -145,6 +145,7 @@ pub fn compare_one(
         fault: None,
         recorder: None,
         share: None,
+        prune: cfg.prune,
     };
 
     // Scratch: one fresh instance per bound, each paying its own encode.

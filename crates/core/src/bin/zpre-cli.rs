@@ -7,12 +7,14 @@
 //!                      [--incremental] [--max-bound K]
 //!                      [--budget CONFLICTS] [--seed N] [--stats] [--trace]
 //!                      [--profile] [--trace-out FILE] [--trace-sample N]
-//!                      [--certify] [--replay-witness] [--json]
+//!                      [--certify] [--replay-witness] [--prune] [--no-prune]
+//!                      [--json]
 //! zpre-cli batch  FILE... [--mm sc|tso|pso|all] [--strategy NAME]
 //!                      [--max-bound K] [--budget CONFLICTS] [--timeout-ms N]
 //!                      [--max-memory-mib N] [--journal FILE] [--resume]
 //!                      [--retries N] [--backoff-ms N] [--fault NAME]
-//!                      [--kill-after N] [--json] [--profile] [--trace-out FILE]
+//!                      [--kill-after N] [--no-prune] [--json] [--profile]
+//!                      [--trace-out FILE]
 //! zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]
 //! zpre-cli dump   FILE [--mm sc|tso|pso] [--unroll N]
 //! zpre-cli pretty FILE
@@ -87,6 +89,14 @@
 //! A verdict whose evidence fails certification is reported on stderr and
 //! the process exits with failure. `--json` prints one JSON object per
 //! memory model instead of the human-readable lines.
+//!
+//! Static interference pruning (`zpre-analysis`) runs before encoding by
+//! default: must-happen-before, lockset, and thread-locality analyses
+//! remove provably redundant `V_rf`/`V_ws` selectors. `--no-prune`
+//! reproduces the historic unpruned encoding (`--prune` restates the
+//! default); under `--certify`, every pruned pair's justification is
+//! re-verified by an independent checker before the smaller encoding is
+//! trusted.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -108,12 +118,12 @@ fn usage() -> ExitCode {
          [--unroll N] [--bmc MAXBOUND] [--incremental] [--max-bound K] \
          [--budget CONFLICTS] [--seed N] [--stats] [--trace] \
          [--profile] [--trace-out FILE] [--trace-sample N] \
-         [--certify] [--replay-witness] [--json]\n  \
+         [--certify] [--replay-witness] [--prune] [--no-prune] [--json]\n  \
          zpre-cli batch FILE... [--mm sc|tso|pso|all] [--strategy NAME] [--max-bound K] \
          [--budget CONFLICTS] [--timeout-ms N] [--max-memory-mib N] [--journal FILE] \
          [--resume] [--retries N] [--backoff-ms N] [--fault member-oom|deadline-skew|\
-corrupt-journal] [--kill-after N] [--heartbeat SECS] [--metrics-out FILE] [--json] \
-         [--profile] [--trace-out FILE]\n  \
+corrupt-journal] [--kill-after N] [--heartbeat SECS] [--metrics-out FILE] [--no-prune] \
+         [--json] [--profile] [--trace-out FILE]\n  \
          zpre-cli oracle FILE [--mm sc|tso|pso] [--unroll N]\n  \
          zpre-cli dump FILE [--mm sc|tso|pso] [--unroll N]\n  \
          zpre-cli pretty FILE\n  \
@@ -123,7 +133,7 @@ corrupt-journal] [--kill-after N] [--heartbeat SECS] [--metrics-out FILE] [--jso
          zpre-cli trace flame FILE [--out FILE]\n  \
          zpre-cli trace diff BASE NEW [--gate-tolerance PCT] [--gate-time] [--all] \
          [--json]\n\nstrategies: baseline zpre- zpre zpre-h2 zpre-h3 \
-         zpre-fixed-true zpre-no-revprop branch-cond"
+         zpre-fixed-true zpre-no-revprop zpre-dfs-check zpre-noprune branch-cond"
     );
     ExitCode::from(2)
 }
@@ -353,6 +363,8 @@ fn cmd_batch(args: &[String]) -> ExitCode {
                 Ok(f) => opts.metrics_out = Some(PathBuf::from(f)),
                 Err(_) => return usage(),
             },
+            "--prune" => opts.prune = true,
+            "--no-prune" => opts.prune = false,
             "--json" => json = true,
             "--profile" => profile = true,
             "--trace-out" => match flag_value(args, &mut i, "--trace-out") {
@@ -905,6 +917,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     let mut certify = false;
     let mut json = false;
     let mut profile = false;
+    let mut prune = true;
     let mut trace_out: Option<String> = None;
     let mut trace_sample = 1u32;
     let mut i = 1;
@@ -969,6 +982,8 @@ fn cmd_verify(args: &[String]) -> ExitCode {
                 _ => return usage(),
             },
             "--certify" | "--replay-witness" => certify = true,
+            "--prune" => prune = true,
+            "--no-prune" => prune = false,
             "--json" => json = true,
             _ => return usage(),
         }
@@ -1020,6 +1035,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             timeout: None,
             max_memory: None,
             seed,
+            prune,
             validate_models: true,
             want_trace,
             cancel: None,

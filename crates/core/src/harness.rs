@@ -129,6 +129,9 @@ pub struct BatchOptions {
     /// batch leaves an inspectable trail. Appended to (with continuing
     /// sequence numbers) when [`BatchOptions::resume`] is set.
     pub metrics_out: Option<PathBuf>,
+    /// Run the static interference-pruning pass before encoding on every
+    /// rung (default). `false` reproduces the historic unpruned encoding.
+    pub prune: bool,
 }
 
 impl Default for BatchOptions {
@@ -146,6 +149,7 @@ impl Default for BatchOptions {
             recorder: None,
             heartbeat: None,
             metrics_out: None,
+            prune: true,
         }
     }
 }
@@ -958,6 +962,7 @@ fn run_rung(
     vo.seed = opts.seed;
     vo.cancel = Some(cancel.clone());
     vo.recorder = opts.recorder.clone();
+    vo.prune = opts.prune;
     // Layer 1 fault injections: squeeze or skew every rung uniformly, so
     // the ladder cannot quietly rescue the fault out of observation.
     match opts.fault {

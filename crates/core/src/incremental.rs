@@ -18,7 +18,7 @@ use crate::strategy::Strategy;
 use crate::verifier::{validate_model, Verdict, VerifyOptions};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use zpre_encoder::{encode_sweep, estimate_cnf, EncodeError};
+use zpre_encoder::{encode_sweep_opts, estimate_cnf, EncodeError};
 use zpre_obs::{Phase, VarClass};
 use zpre_prog::{to_ssa_traced, unroll_program_sweep, Program};
 use zpre_sat::{Budget, ExhaustionReason, PriorityListGuide, SolveResult, Solver, Stats};
@@ -188,7 +188,37 @@ fn sweep_impl(
             }));
         }
     }
-    let mut enc = encode_sweep(&ssa, opts.mm, max_bound, &mut solver, rec)?;
+    // Static interference pruning on the horizon encoding: the report's
+    // justifications rest on fixed program-order edges and guard
+    // implications, which frames never weaken, so one analysis at the
+    // horizon serves every bound (see `encode_sweep_opts`).
+    let prune_on = opts.prune && opts.strategy != Strategy::ZpreNoPrune;
+    let report = if prune_on {
+        let rep = zpre_analysis::analyze(&ssa, opts.mm);
+        if let Some(r) = rec {
+            let c = &rep.counters;
+            r.record_prune(
+                c.rf_pruned,
+                c.rf_kept,
+                c.ws_pruned,
+                c.ws_serialized,
+                c.reads_resolved,
+                c.local_vars,
+            );
+        }
+        if opts.certify {
+            zpre_analysis::check_report(&ssa, &rep).map_err(|reason| {
+                VerifyError::Certification {
+                    stage: "prune",
+                    reason,
+                }
+            })?;
+        }
+        Some(rep)
+    } else {
+        None
+    };
+    let mut enc = encode_sweep_opts(&ssa, opts.mm, max_bound, &mut solver, rec, report.as_ref())?;
 
     if let Some(r) = rec {
         let mut classes = vec![VarClass::Other; solver.num_vars()];
@@ -503,6 +533,9 @@ mod tests {
         let mut opts = VerifyOptions::new(MemoryModel::Sc, Strategy::Zpre);
         opts.max_bound = 4;
         opts.max_conflicts = Some(0);
+        // The pruned encoding of kstar3 solves within zero conflicts; this
+        // test is about exhaustion reporting, so keep the instance hard.
+        opts.prune = false;
         let sweep = verify_sweep(&kstar3(), &opts);
         assert_eq!(sweep.verdict, Verdict::Unknown);
         let last = sweep.frames.last().unwrap();

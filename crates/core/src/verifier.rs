@@ -16,7 +16,7 @@ use crate::strategy::Strategy;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zpre_bv::{lits_to_u64, TermKind};
-use zpre_encoder::{estimate_cnf, po_pairs, try_encode_traced, EncodeError, Encoded};
+use zpre_encoder::{estimate_cnf, po_pairs, try_encode_opts, EncodeError, Encoded};
 use zpre_obs::{Phase, Recorder, VarClass};
 use zpre_prog::ssa::EventKind;
 use zpre_prog::{
@@ -77,6 +77,12 @@ pub struct VerifyOptions {
     pub max_memory: Option<u64>,
     /// Seed for the random decision polarity of interference variables.
     pub seed: u64,
+    /// Run the static interference-pruning pass (`zpre-analysis`) before
+    /// encoding: must-happen-before, lockset and thread-locality analyses
+    /// shrink `V_rf`/`V_ws` and refine the `#write` counts H4 sees.
+    /// Default on; `--no-prune` (or [`Strategy::ZpreNoPrune`]) reproduces
+    /// the historic unpruned encoding.
+    pub prune: bool,
     /// Re-validate extracted executions on `Unsafe` answers.
     pub validate_models: bool,
     /// Extract a readable counterexample trace on `Unsafe` answers.
@@ -121,6 +127,7 @@ impl Default for VerifyOptions {
             timeout: None,
             max_memory: None,
             seed: 0xC0FFEE,
+            prune: true,
             validate_models: true,
             want_trace: false,
             cancel: None,
@@ -254,7 +261,36 @@ pub(crate) fn verify_ssa_inner(
             }));
         }
     }
-    let enc = try_encode_traced(ssa, opts.mm, &mut solver, rec)?;
+    // Static interference pruning: run the analysis pass, surface its
+    // counters, and — under `--certify` — re-verify every justification
+    // with the independent checker before trusting the smaller encoding.
+    let prune_on = opts.prune && opts.strategy != Strategy::ZpreNoPrune;
+    let report = if prune_on {
+        let rep = zpre_analysis::analyze(ssa, opts.mm);
+        if let Some(r) = rec {
+            let c = &rep.counters;
+            r.record_prune(
+                c.rf_pruned,
+                c.rf_kept,
+                c.ws_pruned,
+                c.ws_serialized,
+                c.reads_resolved,
+                c.local_vars,
+            );
+        }
+        if opts.certify {
+            zpre_analysis::check_report(ssa, &rep).map_err(|reason| {
+                VerifyError::Certification {
+                    stage: "prune",
+                    reason,
+                }
+            })?;
+        }
+        Some(rep)
+    } else {
+        None
+    };
+    let enc = try_encode_opts(ssa, opts.mm, &mut solver, rec, report.as_ref())?;
 
     // With a recorder installed, resolve solver vars to interference classes
     // and stream solver/theory events into it.
@@ -367,6 +403,34 @@ pub(crate) fn verify_ssa_inner(
         None
     };
 
+    // Debug oracle: on small instances, re-verify with the pruning pass
+    // disabled and assert verdict equivalence. Catches any unsound prune
+    // rule in every debug-build test run, not just the dedicated
+    // equivalence suite. Gated off for fault-injection, portfolio members
+    // (share/cancel), and inconclusive verdicts.
+    #[cfg(debug_assertions)]
+    if prune_on
+        && opts.fault.is_none()
+        && opts.share.is_none()
+        && opts.cancel.is_none()
+        && verdict != Verdict::Unknown
+        && ssa.events.len() <= 64
+    {
+        let mut oracle = opts.clone();
+        oracle.prune = false;
+        oracle.certify = false;
+        oracle.want_trace = false;
+        oracle.recorder = None;
+        let unpruned = verify_ssa_inner(ssa, &oracle, Instant::now(), None)?;
+        if unpruned.verdict != Verdict::Unknown {
+            assert_eq!(
+                verdict, unpruned.verdict,
+                "pruned and unpruned encodings disagree (mm={}, strategy={})",
+                opts.mm, opts.strategy
+            );
+        }
+    }
+
     // Copy the order theory's cycle-check work counters into the outcome
     // stats (the solver itself doesn't know about the theory's engine).
     let mut stats = *solver.stats();
@@ -451,16 +515,30 @@ pub(crate) fn validate_model(
             continue;
         }
         let var = e.kind.var().expect("read has a variable");
-        let chosen: Vec<_> = enc
+        let chosen: Vec<usize> = enc
             .rf_vars
             .iter()
             .filter(|rf| rf.read == e.id && solver.model_var_value(rf.var).is_true())
+            .map(|rf| rf.write)
             .collect();
-        if chosen.is_empty() {
-            return Err(format!("executed read {} has no read-from edge", e.id));
-        }
-        for rf in chosen {
-            let w = rf.write;
+        let sources: Vec<usize> = if chosen.is_empty() {
+            // A read the pruning pass resolved has no rf selectors; its
+            // source is the last executed write of its static chain, and
+            // the same read-from/from-read axioms must hold for it.
+            let Some(rr) = enc.resolved_reads.iter().find(|rr| rr.read == e.id) else {
+                return Err(format!("executed read {} has no read-from edge", e.id));
+            };
+            let Some(&w) = rr.chain.iter().rev().find(|&&w| guard_of(w)) else {
+                return Err(format!(
+                    "resolved read {} has no executed chain write",
+                    e.id
+                ));
+            };
+            vec![w]
+        } else {
+            chosen
+        };
+        for w in sources {
             if !guard_of(w) {
                 return Err(format!("read {} reads from unexecuted write {w}", e.id));
             }

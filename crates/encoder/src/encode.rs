@@ -23,9 +23,10 @@
 //! (`rf_<rt>_<ri>_<wt>_<wi>`), which is how the frontend communicates
 //! thread information to the solver-side decision-order generator.
 
-use crate::memory_model::{po_pairs, PoClosure};
 use std::collections::HashMap;
-use zpre_bv::{Blaster, ClauseSink, TermId, TermKind};
+use zpre_analysis::prune::PruneReport;
+use zpre_analysis::{po_pairs, PoClosure};
+use zpre_bv::{Blaster, ClauseSink, Sort, TermId, TermKind, TermStore};
 use zpre_obs::{Phase, Recorder};
 use zpre_prog::ssa::{EventKind, SsaProgram};
 use zpre_prog::MemoryModel;
@@ -55,6 +56,18 @@ pub struct WsVar {
     pub second: usize,
 }
 
+/// A read whose value the pruning pass resolved statically: no rf
+/// selectors are emitted for it; Φ_ssa gets an if-then-else chain over
+/// `chain` instead (the read's value is the last executed write's value).
+#[derive(Clone, Debug)]
+pub struct ResolvedRead {
+    /// The read event id.
+    pub read: usize,
+    /// Surviving candidate writes in must-happen-before order; at least
+    /// one has a constant-true guard.
+    pub chain: Vec<usize>,
+}
+
 /// Everything the verifier needs back from the encoding.
 pub struct Encoded {
     /// Variable classification (drives the decision order).
@@ -80,6 +93,12 @@ pub struct Encoded {
     /// `true` when the error condition is statically false (no reachable
     /// assertion) — the formula is then trivially unsatisfiable.
     pub trivially_safe: bool,
+    /// Reads the pruning pass resolved directly in Φ_ssa (empty when
+    /// encoding without a [`PruneReport`]).
+    pub resolved_reads: Vec<ResolvedRead>,
+    /// Write pairs whose serialization polarity was fixed statically, in
+    /// both key orders: `(a, b) → true` means `a` definitely before `b`.
+    pub ws_fixed: HashMap<(usize, usize), bool>,
 }
 
 /// A structural problem with the encoding input, reported instead of a
@@ -201,7 +220,28 @@ pub fn try_encode_traced<G: DecisionGuide>(
     solver: &mut Solver<OrderTheory, G>,
     rec: Option<&Recorder>,
 ) -> Result<Encoded, EncodeError> {
+    try_encode_opts(ssa, mm, solver, rec, None)
+}
+
+/// [`try_encode_traced`] with an optional [`PruneReport`] from
+/// `zpre-analysis`. Without a report the encoding is exactly the historic
+/// one; with a report the Φ_rf candidate sets come from the report,
+/// resolved reads become if-then-else chains in Φ_ssa, statically fixed ws
+/// pairs get no selector, and mutex-serialized ws pairs ride on plain
+/// ordering atoms (`V_ord`) instead of interference variables. The report
+/// must have been computed for the same `ssa` and `mm`.
+pub fn try_encode_opts<G: DecisionGuide>(
+    ssa: &SsaProgram,
+    mm: MemoryModel,
+    solver: &mut Solver<OrderTheory, G>,
+    rec: Option<&Recorder>,
+    prune: Option<&PruneReport>,
+) -> Result<Encoded, EncodeError> {
     let _encode_span = rec.map(|r| r.span_labeled(Phase::Encode, Some(mm.name())));
+    debug_assert!(
+        prune.is_none_or(|p| p.mm == mm && p.candidates.len() == ssa.events.len()),
+        "prune report computed for a different program or memory model"
+    );
     if solver.num_vars() != 0 {
         return Err(EncodeError::SolverNotFresh {
             vars: solver.num_vars(),
@@ -251,9 +291,12 @@ pub fn try_encode_traced<G: DecisionGuide>(
     };
 
     // --- Φ_err --------------------------------------------------------------
-    // err = ⋁ (guard ∧ ¬cond); assert it (SAT ⇔ property violated).
+    // err = ⋁ (guard ∧ ¬cond); assert it (SAT ⇔ property violated). The
+    // working clone `ts2` is shared with the resolved-read chains below:
+    // the blaster memoizes by `TermId`, so every term created after the
+    // clone must come from the *same* store or ids would collide.
+    let mut ts2 = ts.clone();
     let (err_lit, trivially_safe) = {
-        let mut ts2 = ts.clone();
         let mut err = ts2.fls();
         for &(g, cond) in &ssa.assertions {
             let nc = ts2.not(cond);
@@ -269,6 +312,44 @@ pub fn try_encode_traced<G: DecisionGuide>(
         sink.add_clause_sink(&[lit]);
         (lit, trivially_safe)
     };
+
+    // --- Resolved reads (pruning pass) ---------------------------------------
+    // A resolved read's value is the last executed write of its chain:
+    // guard(r) → value(r) = ite(guard(wₙ), value(wₙ), … value(w₀) …).
+    let mut resolved_reads: Vec<ResolvedRead> = Vec::new();
+    if let Some(rep) = prune {
+        let value_of = |eid: usize| -> TermId {
+            match ssa.events[eid].kind {
+                EventKind::Read { value, .. } | EventKind::Write { value, .. } => value,
+                _ => unreachable!("value of a non-access event"),
+            }
+        };
+        let ite = |ts2: &mut TermStore, c: TermId, t: TermId, e: TermId| match ts2.sort(t) {
+            Sort::Bool => ts2.bool_ite(c, t, e),
+            Sort::Bv(_) => ts2.bv_ite(c, t, e),
+        };
+        for (r, chain) in rep.resolved.iter().enumerate() {
+            let Some(chain) = chain else { continue };
+            let mut val = value_of(chain[0]);
+            for &w in &chain[1..] {
+                val = ite(&mut ts2, ssa.events[w].guard, value_of(w), val);
+            }
+            let eq = match ts2.sort(val) {
+                Sort::Bool => ts2.iff(value_of(r), val),
+                Sort::Bv(_) => ts2.eq(value_of(r), val),
+            };
+            let imp = ts2.implies(ssa.events[r].guard, eq);
+            let mut sink = RegSink {
+                solver,
+                registry: &mut registry,
+            };
+            blaster.assert_true(&ts2, imp, &mut sink);
+            resolved_reads.push(ResolvedRead {
+                read: r,
+                chain: chain.clone(),
+            });
+        }
+    }
     if let Some(s) = blast_span {
         s.close();
     }
@@ -312,11 +393,20 @@ pub fn try_encode_traced<G: DecisionGuide>(
     let _ = num_vars;
     for reads in &analysis.reads_of {
         for &r in reads {
-            let candidates = analysis.candidates[r].clone();
+            // With a prune report: resolved reads were handled in Φ_ssa
+            // above, and surviving candidate sets (a subset of the plain
+            // MHB filtering) refine the `#write` count H4 sees.
+            if prune.is_some_and(|rep| rep.resolved[r].is_some()) {
+                continue;
+            }
+            let candidates: &[usize] = match prune {
+                Some(rep) => &rep.candidates[r],
+                None => &analysis.candidates[r],
+            };
             let writes = candidates.len() as u32;
             let rev = &ssa.events[r];
             let mut some_clause: Vec<Lit> = vec![!guard_lits[r]];
-            for &w in &candidates {
+            for &w in candidates {
                 let wev = &ssa.events[w];
                 let var = solver.new_var();
                 registry.register(
@@ -360,10 +450,30 @@ pub fn try_encode_traced<G: DecisionGuide>(
     // --- Φ_ws ------------------------------------------------------------------
     let mut ws_vars: Vec<WsVar> = Vec::new();
     let mut ws_lit: HashMap<(usize, usize), Lit> = HashMap::new();
+    let mut ws_fixed: HashMap<(usize, usize), bool> = HashMap::new();
     for ws in writes_of.iter() {
         for i in 0..ws.len() {
             for j in i + 1..ws.len() {
                 let (w1, w2) = (ws[i], ws[j]);
+                if let Some(rep) = prune {
+                    // Statically fixed pair: no selector at all; Φ_fr
+                    // consults the fixed polarity instead.
+                    if let Some(&first) = rep.ws_fixed.get(&(w1, w2)) {
+                        ws_fixed.insert((w1, w2), first);
+                        ws_fixed.insert((w2, w1), !first);
+                        continue;
+                    }
+                    // Mutex-serialized pair: same two-sided ordering-atom
+                    // semantics, but classified `V_ord` — the section
+                    // serialization selectors already decide it, so it is
+                    // not an interference variable.
+                    if rep.ws_serialized.contains(&(w1, w2)) {
+                        let l = get_ord(w1, w2, solver, &mut registry);
+                        ws_lit.insert((w1, w2), l);
+                        ws_lit.insert((w2, w1), !l);
+                        continue;
+                    }
+                }
                 let var = solver.new_var();
                 let (e1, e2) = (&ssa.events[w1], &ssa.events[w2]);
                 registry.register(
@@ -390,19 +500,32 @@ pub fn try_encode_traced<G: DecisionGuide>(
 
     // --- Φ_fr -------------------------------------------------------------------
     // rf(w,r) ∧ (w before k) ∧ guard(k) → clk(r) < clk(k).
-    for rf in rf_vars.clone() {
+    for &rf in &rf_vars {
         let v = ssa.events[rf.read].kind.var().expect("read event");
         for &k in &writes_of[v] {
             if k == rf.write {
                 continue;
             }
             let f = rf.var.positive();
-            let before = ws_lit[&(rf.write, k)];
-            // Skip impossible combinations early: if po forces k before w,
-            // `before` is settled false by theory propagation anyway.
-            let mut clause = vec![!f, !before, !guard_lits[k]];
+            // `w before k` is a selector literal, an ordering atom
+            // (mutex-serialized pair), or a statically fixed polarity.
+            let before = match ws_lit.get(&(rf.write, k)) {
+                Some(&l) => Some(l),
+                None => match ws_fixed.get(&(rf.write, k)) {
+                    // Fixed true: the antecedent literal is settled, emit
+                    // the clause without it.
+                    Some(true) => None,
+                    // Fixed false (or an unreachable gap): the clause is
+                    // vacuously satisfied.
+                    Some(false) | None => continue,
+                },
+            };
             if closure.reaches(rf.read, k) {
                 continue; // order already guaranteed by po
+            }
+            let mut clause = vec![!f, !guard_lits[k]];
+            if let Some(before) = before {
+                clause.push(!before);
             }
             let ord = get_ord(rf.read, k, solver, &mut registry);
             clause.push(ord);
@@ -509,6 +632,8 @@ pub fn try_encode_traced<G: DecisionGuide>(
         critical_sections,
         err_lit,
         trivially_safe,
+        resolved_reads,
+        ws_fixed,
     })
 }
 

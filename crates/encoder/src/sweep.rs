@@ -36,7 +36,8 @@
 //!   describes an execution whose loop exits early, which the scratch
 //!   encoding admits too.
 
-use crate::encode::{try_encode_traced, EncodeError, Encoded};
+use crate::encode::{try_encode_opts, EncodeError, Encoded};
+use zpre_analysis::prune::PruneReport;
 use zpre_obs::Recorder;
 use zpre_prog::ssa::SsaProgram;
 use zpre_prog::{sweep_marker_remaining, MemoryModel};
@@ -66,7 +67,24 @@ pub fn encode_sweep<G: DecisionGuide>(
     solver: &mut Solver<OrderTheory, G>,
     rec: Option<&Recorder>,
 ) -> Result<SweepEncoded, EncodeError> {
-    let base = try_encode_traced(ssa, mm, solver, rec)?;
+    encode_sweep_opts(ssa, mm, max_bound, solver, rec, None)
+}
+
+/// [`encode_sweep`] with an optional static-pruning report for the base
+/// encoding. Pruning is frame-sound for the same reason the base instance
+/// is (DESIGN.md §6d): every pruning justification rests on fixed
+/// program-order edges and guard implications, neither of which a frame's
+/// `g_k → ¬m` clauses weaken — frames only remove models, which preserves
+/// both directions of the pruned/unpruned equisatisfiability argument.
+pub fn encode_sweep_opts<G: DecisionGuide>(
+    ssa: &SsaProgram,
+    mm: MemoryModel,
+    max_bound: u32,
+    solver: &mut Solver<OrderTheory, G>,
+    rec: Option<&Recorder>,
+    prune: Option<&PruneReport>,
+) -> Result<SweepEncoded, EncodeError> {
+    let base = try_encode_opts(ssa, mm, solver, rec, prune)?;
     let mut markers: Vec<(u32, Lit)> = base
         .blaster
         .bool_inputs

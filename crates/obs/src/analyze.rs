@@ -73,6 +73,12 @@ impl TraceStats {
             counters.sh_imported += c.sh_imported;
             counters.sh_dropped += c.sh_dropped;
             counters.sh_import_hits += c.sh_import_hits;
+            counters.pr_rf_pruned += c.pr_rf_pruned;
+            counters.pr_rf_kept += c.pr_rf_kept;
+            counters.pr_ws_pruned += c.pr_ws_pruned;
+            counters.pr_ws_serialized += c.pr_ws_serialized;
+            counters.pr_reads_resolved += c.pr_reads_resolved;
+            counters.pr_local_vars += c.pr_local_vars;
             hists.merge(&snap.hists);
             for s in snap.spans.iter().filter(|s| s.depth == 0 && s.closed) {
                 *phase_us
@@ -119,6 +125,12 @@ impl TraceStats {
         m.insert("sh_imported".into(), c.sh_imported);
         m.insert("sh_dropped".into(), c.sh_dropped);
         m.insert("sh_import_hits".into(), c.sh_import_hits);
+        m.insert("pr_rf_pruned".into(), c.pr_rf_pruned);
+        m.insert("pr_rf_kept".into(), c.pr_rf_kept);
+        m.insert("pr_ws_pruned".into(), c.pr_ws_pruned);
+        m.insert("pr_ws_serialized".into(), c.pr_ws_serialized);
+        m.insert("pr_reads_resolved".into(), c.pr_reads_resolved);
+        m.insert("pr_local_vars".into(), c.pr_local_vars);
         for (name, h) in hists.named() {
             if h.count() == 0 {
                 continue;

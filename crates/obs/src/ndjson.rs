@@ -247,7 +247,13 @@ fn summary_line(snap: &TraceSnapshot) -> String {
         .num("sh_exported_rf", c.sh_exported_rf)
         .num("sh_imported", c.sh_imported)
         .num("sh_dropped", c.sh_dropped)
-        .num("sh_import_hits", c.sh_import_hits);
+        .num("sh_import_hits", c.sh_import_hits)
+        .num("pr_rf_pruned", c.pr_rf_pruned)
+        .num("pr_rf_kept", c.pr_rf_kept)
+        .num("pr_ws_pruned", c.pr_ws_pruned)
+        .num("pr_ws_serialized", c.pr_ws_serialized)
+        .num("pr_reads_resolved", c.pr_reads_resolved)
+        .num("pr_local_vars", c.pr_local_vars);
     o.finish()
 }
 
@@ -589,6 +595,13 @@ pub fn from_ndjson_at(text: &str, first_line: usize) -> Result<TraceSnapshot, St
                     c.sh_imported = get_num(&map, "sh_imported").unwrap_or(0);
                     c.sh_dropped = get_num(&map, "sh_dropped").unwrap_or(0);
                     c.sh_import_hits = get_num(&map, "sh_import_hits").unwrap_or(0);
+                    // Prune counters are newer still; lenient as well.
+                    c.pr_rf_pruned = get_num(&map, "pr_rf_pruned").unwrap_or(0);
+                    c.pr_rf_kept = get_num(&map, "pr_rf_kept").unwrap_or(0);
+                    c.pr_ws_pruned = get_num(&map, "pr_ws_pruned").unwrap_or(0);
+                    c.pr_ws_serialized = get_num(&map, "pr_ws_serialized").unwrap_or(0);
+                    c.pr_reads_resolved = get_num(&map, "pr_reads_resolved").unwrap_or(0);
+                    c.pr_local_vars = get_num(&map, "pr_local_vars").unwrap_or(0);
                     snap.counters = c;
                     saw_summary = true;
                 }
@@ -968,6 +981,12 @@ mod tests {
             sh_imported: 41,
             sh_dropped: 42,
             sh_import_hits: 43,
+            pr_rf_pruned: 44,
+            pr_rf_kept: 45,
+            pr_ws_pruned: 46,
+            pr_ws_serialized: 47,
+            pr_reads_resolved: 48,
+            pr_local_vars: 49,
         };
         let snap = TraceSnapshot {
             decision_sample: 3,

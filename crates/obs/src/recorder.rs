@@ -204,6 +204,20 @@ pub struct Counters {
     pub sh_dropped: u64,
     /// Times an imported clause propagated or conflicted in its importer.
     pub sh_import_hits: u64,
+    /// Interference pruning: rf pairs removed by the static pass (beyond
+    /// plain candidate filtering).
+    pub pr_rf_pruned: u64,
+    /// Interference pruning: rf selectors the encoder still emits.
+    pub pr_rf_kept: u64,
+    /// Interference pruning: ws pairs with a statically fixed polarity.
+    pub pr_ws_pruned: u64,
+    /// Interference pruning: ws pairs demoted to plain ordering atoms by
+    /// mutual exclusion.
+    pub pr_ws_serialized: u64,
+    /// Interference pruning: reads resolved directly in Φ_ssa.
+    pub pr_reads_resolved: u64,
+    /// Interference pruning: shared variables local to one thread.
+    pub pr_local_vars: u64,
 }
 
 impl Counters {
@@ -416,6 +430,29 @@ impl Recorder {
     /// Record one checkpoint line appended to the batch journal.
     pub fn record_batch_checkpoint(&self) {
         self.shared.inner.lock().unwrap().counters.batch_checkpoints += 1;
+    }
+
+    /// Record the static interference-pruning pass's statistics for one
+    /// encoding: pairs pruned/kept, demoted ws pairs, resolved reads, and
+    /// thread-local variables. Accumulates across encodings (sweep frames,
+    /// portfolio members).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_prune(
+        &self,
+        rf_pruned: u64,
+        rf_kept: u64,
+        ws_pruned: u64,
+        ws_serialized: u64,
+        reads_resolved: u64,
+        local_vars: u64,
+    ) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.counters.pr_rf_pruned += rf_pruned;
+        inner.counters.pr_rf_kept += rf_kept;
+        inner.counters.pr_ws_pruned += ws_pruned;
+        inner.counters.pr_ws_serialized += ws_serialized;
+        inner.counters.pr_reads_resolved += reads_resolved;
+        inner.counters.pr_local_vars += local_vars;
     }
 
     /// Record one portfolio member's telemetry.

@@ -147,6 +147,18 @@ pub enum ValidationError {
     BadWidth(u32),
     /// Main thread spawned or joined itself.
     MainThreadRef,
+    /// A mutex is re-acquired while provably already held (held on every
+    /// path reaching the second `Lock`) — self-deadlock.
+    DoubleLock(String),
+    /// A mutex is released at a point where no path could have acquired
+    /// it.
+    UnlockWithoutLock(String),
+    /// A thread is joined but never spawned anywhere in the program.
+    JoinWithoutSpawn(usize),
+    /// An atomic section is unbalanced: `AtomicEnd` without a matching
+    /// `AtomicBegin` in the same statement sequence, or a sequence ends
+    /// with a section still open.
+    UnbalancedAtomic,
 }
 
 impl fmt::Display for ValidationError {
@@ -163,6 +175,18 @@ impl fmt::Display for ValidationError {
             ValidationError::DuplicateShared(v) => write!(f, "duplicate shared variable {v:?}"),
             ValidationError::BadWidth(w) => write!(f, "word width {w} outside 1..=64"),
             ValidationError::MainThreadRef => write!(f, "spawn/join of the main thread"),
+            ValidationError::DoubleLock(m) => {
+                write!(f, "mutex {m:?} locked while already held")
+            }
+            ValidationError::UnlockWithoutLock(m) => {
+                write!(f, "mutex {m:?} unlocked while never held")
+            }
+            ValidationError::JoinWithoutSpawn(i) => {
+                write!(f, "join of thread {i} which is never spawned")
+            }
+            ValidationError::UnbalancedAtomic => {
+                write!(f, "unbalanced __VERIFIER_atomic begin/end section")
+            }
         }
     }
 }
@@ -230,12 +254,114 @@ impl Program {
         for t in &self.threads {
             walk(&t.body, self, true, &mut spawns)?;
         }
+        // A joined-but-never-spawned thread gets the specific lint before
+        // the generic spawn-count check below catches it.
+        fn collect_joins(stmts: &[Stmt], joins: &mut Vec<usize>) {
+            for s in stmts {
+                match s {
+                    Stmt::Join(i) => joins.push(*i),
+                    Stmt::If(_, t, e) => {
+                        collect_joins(t, joins);
+                        collect_joins(e, joins);
+                    }
+                    Stmt::While(_, b) => collect_joins(b, joins),
+                    _ => {}
+                }
+            }
+        }
+        let mut joins = Vec::new();
+        for t in &self.threads {
+            collect_joins(&t.body, &mut joins);
+        }
+        for j in joins {
+            if spawns[j] == 0 {
+                return Err(ValidationError::JoinWithoutSpawn(j));
+            }
+        }
         // Every worker thread must be spawned exactly once (the encoder's
         // guard-true events and spawn edges rely on this).
         for (i, &n) in spawns.iter().enumerate().skip(1) {
             if n != 1 {
                 return Err(ValidationError::BadSpawnCount(i));
             }
+        }
+        // Lockset lint: `must` holds mutexes held on every path reaching
+        // the statement, `may` those held on some path — only provable
+        // misuse is flagged (a conditionally held mutex raises nothing).
+        fn locksets(
+            stmts: &[Stmt],
+            must: &mut BTreeSet<String>,
+            may: &mut BTreeSet<String>,
+        ) -> Result<(), ValidationError> {
+            for s in stmts {
+                match s {
+                    Stmt::Lock(m) => {
+                        if must.contains(m) {
+                            return Err(ValidationError::DoubleLock(m.clone()));
+                        }
+                        must.insert(m.clone());
+                        may.insert(m.clone());
+                    }
+                    Stmt::Unlock(m) => {
+                        if !may.contains(m) {
+                            return Err(ValidationError::UnlockWithoutLock(m.clone()));
+                        }
+                        must.remove(m);
+                        may.remove(m);
+                    }
+                    Stmt::If(_, t, e) => {
+                        let (mut must_t, mut may_t) = (must.clone(), may.clone());
+                        let (mut must_e, mut may_e) = (must.clone(), may.clone());
+                        locksets(t, &mut must_t, &mut may_t)?;
+                        locksets(e, &mut must_e, &mut may_e)?;
+                        *must = must_t.intersection(&must_e).cloned().collect();
+                        *may = may_t.union(&may_e).cloned().collect();
+                    }
+                    Stmt::While(_, b) => {
+                        // One symbolic iteration finds errors inside the
+                        // body; the loop may run zero times, so afterwards
+                        // only the intersection survives as `must`.
+                        let (mut must_b, mut may_b) = (must.clone(), may.clone());
+                        locksets(b, &mut must_b, &mut may_b)?;
+                        *must = must.intersection(&must_b).cloned().collect();
+                        *may = may.union(&may_b).cloned().collect();
+                    }
+                    _ => {}
+                }
+            }
+            Ok(())
+        }
+        // Atomic-balance lint: sections must open and close within one
+        // statement sequence (branching into or out of a section has no
+        // execution-order meaning).
+        fn atomic_balance(stmts: &[Stmt]) -> Result<(), ValidationError> {
+            let mut depth = 0i32;
+            for s in stmts {
+                match s {
+                    Stmt::AtomicBegin => depth += 1,
+                    Stmt::AtomicEnd => {
+                        depth -= 1;
+                        if depth < 0 {
+                            return Err(ValidationError::UnbalancedAtomic);
+                        }
+                    }
+                    Stmt::If(_, t, e) => {
+                        atomic_balance(t)?;
+                        atomic_balance(e)?;
+                    }
+                    Stmt::While(_, b) => atomic_balance(b)?,
+                    _ => {}
+                }
+            }
+            if depth != 0 {
+                return Err(ValidationError::UnbalancedAtomic);
+            }
+            Ok(())
+        }
+        for t in &self.threads {
+            let (mut must, mut may) = (BTreeSet::new(), BTreeSet::new());
+            locksets(&t.body, &mut must, &mut may)?;
+            atomic_balance(&t.body)?;
         }
         Ok(())
     }
@@ -567,6 +693,113 @@ mod tests {
             .build();
         assert!(matches!(q.threads[0].body[0], Stmt::Spawn(1)));
         assert!(matches!(q.threads[0].body[1], Stmt::Join(1)));
+    }
+
+    #[test]
+    fn double_lock_rejected() {
+        let p = ProgramBuilder::new("bad")
+            .mutex("m")
+            .thread("t", vec![lock("m"), lock("m"), unlock("m")])
+            .build();
+        assert_eq!(
+            p.validate(),
+            Err(ValidationError::DoubleLock("m".to_string()))
+        );
+    }
+
+    #[test]
+    fn conditional_relock_is_not_flagged() {
+        // The second lock is only reached when the first never ran: the
+        // mutex is not held on *every* path, so the lint must stay quiet.
+        let p = ProgramBuilder::new("ok")
+            .mutex("m")
+            .shared("x", 0)
+            .thread(
+                "t",
+                vec![
+                    when(eq(v("x"), c(0)), vec![lock("m")]),
+                    when(ne(v("x"), c(0)), vec![lock("m")]),
+                    unlock("m"),
+                ],
+            )
+            .build();
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn unlock_without_lock_rejected() {
+        let p = ProgramBuilder::new("bad")
+            .mutex("m")
+            .thread("t", vec![unlock("m")])
+            .build();
+        assert_eq!(
+            p.validate(),
+            Err(ValidationError::UnlockWithoutLock("m".to_string()))
+        );
+    }
+
+    #[test]
+    fn conditional_unlock_is_not_flagged() {
+        let p = ProgramBuilder::new("ok")
+            .mutex("m")
+            .shared("x", 0)
+            .thread(
+                "t",
+                vec![
+                    when(eq(v("x"), c(0)), vec![lock("m")]),
+                    when(eq(v("x"), c(0)), vec![unlock("m")]),
+                ],
+            )
+            .build();
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn join_without_spawn_rejected() {
+        // Thread 2 is joined but nobody ever spawns it: the specific lint
+        // must fire, not the generic spawn-count error. (An explicit spawn
+        // of thread 1 keeps the builder from auto-inserting spawns.)
+        let p = ProgramBuilder::new("bad")
+            .shared("x", 0)
+            .thread("t1", vec![assign("x", c(1))])
+            .thread("t2", vec![assign("x", c(2))])
+            .main(vec![spawn(1), join(1), join(2)])
+            .build();
+        assert_eq!(p.validate(), Err(ValidationError::JoinWithoutSpawn(2)));
+    }
+
+    #[test]
+    fn unbalanced_atomic_rejected() {
+        let open = ProgramBuilder::new("bad-open")
+            .shared("x", 0)
+            .thread("t", vec![Stmt::AtomicBegin, assign("x", c(1))])
+            .build();
+        assert_eq!(open.validate(), Err(ValidationError::UnbalancedAtomic));
+        let close = ProgramBuilder::new("bad-close")
+            .shared("x", 0)
+            .thread("t", vec![assign("x", c(1)), Stmt::AtomicEnd])
+            .build();
+        assert_eq!(close.validate(), Err(ValidationError::UnbalancedAtomic));
+        let branch = ProgramBuilder::new("bad-branch")
+            .shared("x", 0)
+            .thread(
+                "t",
+                vec![
+                    when(eq(v("x"), c(0)), vec![Stmt::AtomicBegin]),
+                    Stmt::AtomicEnd,
+                ],
+            )
+            .build();
+        assert_eq!(branch.validate(), Err(ValidationError::UnbalancedAtomic));
+    }
+
+    #[test]
+    fn balanced_atomic_accepted() {
+        let p = ProgramBuilder::new("ok")
+            .shared("x", 0)
+            .thread("t", atomic(vec![assign("x", add(v("x"), c(1)))]))
+            .build();
+        assert_eq!(p.validate(), Ok(()));
     }
 
     #[test]

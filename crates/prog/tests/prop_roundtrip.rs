@@ -1,5 +1,7 @@
 //! Property test: pretty-printing followed by parsing is the identity on
-//! program structure (names, declarations, statements).
+//! program structure (names, declarations, statements) — including the
+//! synchronization constructs (`lock`/`unlock`, `spawn`/`join`, balanced
+//! `atomic_begin`/`atomic_end` sections).
 
 use proptest::prelude::*;
 use zpre_prog::build::*;
@@ -59,8 +61,8 @@ fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
             .prop_map(|(n, e)| Stmt::Assign(n.to_string(), e)),
         arb_bool(1).prop_map(Stmt::Assert),
         arb_bool(1).prop_map(Stmt::Assume),
-        Just(Stmt::Lock("m".to_string())),
-        Just(Stmt::Unlock("m".to_string())),
+        prop_oneof![Just("m"), Just("m2")].prop_map(|m| Stmt::Lock(m.to_string())),
+        prop_oneof![Just("m"), Just("m2")].prop_map(|m| Stmt::Unlock(m.to_string())),
         Just(Stmt::Fence),
         Just(Stmt::Skip),
     ];
@@ -76,23 +78,44 @@ fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
     .boxed()
 }
 
-fn arb_program() -> impl Strategy<Value = Program> {
-    (
-        prop::collection::vec(arb_stmt(2), 1..5),
-        prop::collection::vec(arb_stmt(2), 1..5),
+/// A statement sequence that may wrap a prefix in a balanced
+/// `atomic_begin`/`atomic_end` section.
+fn arb_body(depth: u32) -> impl Strategy<Value = Vec<Stmt>> {
+    (prop::collection::vec(arb_stmt(depth), 1..5), any::<bool>()).prop_map(
+        |(stmts, wrap_atomic)| {
+            if wrap_atomic {
+                atomic(stmts)
+            } else {
+                stmts
+            }
+        },
     )
-        .prop_map(|(t1, main_tail)| {
-            let mut main = vec![spawn(1), join(1)];
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (arb_body(2), arb_body(2), arb_body(2), any::<bool>()).prop_map(
+        |(t1, t2, main_tail, interleave)| {
+            // Two worker threads exercise both spawn/join shapes the
+            // pretty-printer emits: nested (spawn-spawn-join-join) and
+            // sequential (spawn-join-spawn-join).
+            let mut main = if interleave {
+                vec![spawn(1), join(1), spawn(2), join(2)]
+            } else {
+                vec![spawn(1), spawn(2), join(1), join(2)]
+            };
             main.extend(main_tail);
             ProgramBuilder::new("prop")
                 .width(8)
                 .shared("x", 3)
                 .shared("y", 0)
                 .mutex("m")
+                .mutex("m2")
                 .thread("t1", t1)
+                .thread("t2", t2)
                 .main(main)
                 .build()
-        })
+        },
+    )
 }
 
 proptest! {
